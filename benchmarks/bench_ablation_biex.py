@@ -1,0 +1,82 @@
+"""ABL-BOOL — BIEX-2Lev vs BIEX-ZMF: the read/space-efficiency trade-off.
+
+The paper lists both variants because they sit on opposite ends of the
+trade-off (§5: "read and space efficiency (e.g. BIEX-2Lev and
+BIEX-ZMF)").  This ablation measures, on the same corpus:
+
+* conjunctive query latency — 2Lev does exact bucket lookups, ZMF pays k
+  PRF probes per candidate per term, so 2Lev is read-faster;
+* local-structure size — 2Lev materialises every pairwise co-occurrence,
+  ZMF stores one fixed counting filter, so ZMF is space-smaller once the
+  pairwise structure outgrows the filter.
+"""
+
+import pytest
+
+from repro.gateway.service import GatewayRuntime
+
+DOCS = 60
+FIELDS = [("status", ["final", "prelim"]),
+          ("code", ["glucose", "hr", "bp"]),
+          ("city", ["leuven", "ghent"])]
+
+
+def build_corpus(fresh_deployment, registry, variant):
+    cloud, transport = fresh_deployment()
+    runtime = GatewayRuntime("abl", transport, registry)
+    gateway = runtime.tactic("s._bool", variant)
+    for i in range(DOCS):
+        terms = [
+            gateway.term(field, values[i % len(values)])
+            for field, values in FIELDS
+        ]
+        gateway.insert_terms(f"d{i}", terms)
+    cloud_instance = cloud.tactic_instance("abl", "s._bool", variant)
+    return gateway, cloud_instance
+
+
+@pytest.mark.parametrize("variant", ["biex-2lev", "biex-zmf"])
+def test_conjunction_latency(benchmark, fresh_deployment, registry,
+                             variant):
+    gateway, _ = build_corpus(fresh_deployment, registry, variant)
+    cnf = [[gateway.term("status", "final")],
+           [gateway.term("code", "glucose")]]
+
+    benchmark.group = "biex-conjunction"
+    result = benchmark(
+        lambda: gateway.resolve_bool(gateway.bool_query_terms(cnf))
+    )
+    expected = {f"d{i}" for i in range(DOCS)
+                if i % 2 == 0 and i % 3 == 0}
+    assert result == expected
+
+
+def test_space_tradeoff(fresh_deployment, registry):
+    sizes = {}
+    for variant in ("biex-2lev", "biex-zmf"):
+        _, cloud_instance = build_corpus(fresh_deployment, registry,
+                                         variant)
+        sizes[variant] = cloud_instance.index_size()
+
+    print()
+    print("ABL-BOOL local-structure size (bytes):")
+    for variant, size in sizes.items():
+        print(f"  {variant:<10} {size:>10,}")
+
+    # Both are non-trivial; the filter is fixed-size while the pairwise
+    # store grows with co-occurrences.
+    assert sizes["biex-2lev"] > 0
+    assert sizes["biex-zmf"] > 0
+
+    # Growing the corpus grows 2Lev but not the ZMF filter allocation.
+    global DOCS
+    original = DOCS
+    try:
+        DOCS = original * 2
+        _, big_2lev = build_corpus(fresh_deployment, registry,
+                                   "biex-2lev")
+        _, big_zmf = build_corpus(fresh_deployment, registry, "biex-zmf")
+        assert big_2lev.index_size() > sizes["biex-2lev"]
+        assert big_zmf.index_size() <= sizes["biex-zmf"] * 1.6
+    finally:
+        DOCS = original

@@ -1,0 +1,71 @@
+"""ABL-MIX — workload-mix sensitivity: how much of the protected-path
+cost is the homomorphic aggregate share.
+
+The paper attributes much of its overhead to the ~50k Paillier queries
+per run.  This ablation sweeps the aggregate fraction of the workload
+(the rest split evenly between inserts and searches) and reports the
+overall throughput of the hard-coded-tactics scenario, decomposing the
+Figure 5 gap by operation mix.
+"""
+
+import pytest
+
+from repro.bench.loadgen import run_load
+from repro.bench.scenarios import build_scenario
+from repro.bench.workloads import Workload, WorkloadSpec
+
+OPERATIONS = 120
+MIXES = [0.0, 1 / 3, 2 / 3]
+
+
+def spec_for(aggregate_fraction: float) -> WorkloadSpec:
+    rest = (1.0 - aggregate_fraction) / 2
+    return WorkloadSpec(
+        operations=OPERATIONS,
+        insert_fraction=rest,
+        search_fraction=rest,
+        aggregate_fraction=aggregate_fraction,
+        seed=31,
+    )
+
+
+def run_mix(fresh_deployment, aggregate_fraction: float):
+    _, transport = fresh_deployment()
+    app = build_scenario("S_B", transport)
+    result = run_load(app, Workload(spec_for(aggregate_fraction)),
+                      users=4)
+    assert not result.errors, result.errors[:3]
+    return result.report
+
+
+@pytest.mark.parametrize("aggregate_fraction", MIXES)
+def test_throughput_per_mix(benchmark, fresh_deployment,
+                            aggregate_fraction):
+    benchmark.group = "aggregate-mix"
+    report = benchmark.pedantic(
+        run_mix, args=(fresh_deployment, aggregate_fraction),
+        rounds=1, iterations=1,
+    )
+    assert report.per_operation["overall"].count == OPERATIONS
+
+
+def test_mix_sweep_shape(fresh_deployment):
+    reports = {
+        fraction: run_mix(fresh_deployment, fraction)
+        for fraction in MIXES
+    }
+    print()
+    print("ABL-MIX protected (S_B) throughput vs aggregate share:")
+    for fraction, report in reports.items():
+        overall = report.per_operation["overall"]
+        agg = report.per_operation.get("aggregate")
+        agg_ms = f"{agg.mean_ms:7.1f}" if agg else "      -"
+        print(f"  {fraction:4.0%} aggregates: {overall.throughput:7.1f} "
+              f"ops/s overall, aggregate mean {agg_ms} ms")
+
+    # Every mix keeps inserts Paillier-bearing, so the sweep measures the
+    # *query-side* HE share: per-operation aggregate cost must exceed the
+    # search cost at every mix with aggregates present.
+    for fraction in MIXES[1:]:
+        per_op = reports[fraction].per_operation
+        assert per_op["aggregate"].mean_ms > per_op["eq_search"].mean_ms

@@ -1,0 +1,57 @@
+"""ABL-NET — network model sweep: gateway/cloud link cost vs throughput.
+
+The paper's deployment crosses a private-cloud -> public-cloud link;
+every tactic protocol round pays it.  This ablation sweeps the one-way
+latency of the in-process transport (with real sleeping) and reports the
+overall throughput of the DataBlinder scenario, showing where the system
+flips from compute-bound (crypto) to network-bound (protocol rounds) —
+the regime difference that separates our measured S_A/S_B ratio from the
+paper's testbed (see EXPERIMENTS.md).
+"""
+
+import pytest
+
+from repro.bench.loadgen import run_load
+from repro.bench.scenarios import MiddlewareApp
+from repro.bench.workloads import Workload, WorkloadSpec
+from repro.cloud.server import CloudZone
+from repro.net.latency import NetworkModel
+from repro.net.transport import InProcTransport
+
+LATENCIES_MS = [0.0, 0.5, 2.0]
+OPERATIONS = 60
+USERS = 4
+
+
+def run_with_latency(registry, one_way_ms):
+    cloud = CloudZone(registry)
+    transport = InProcTransport(
+        cloud.host, NetworkModel(one_way_latency_ms=one_way_ms, sleep=True)
+    )
+    app = MiddlewareApp(transport, application=f"net{one_way_ms}")
+    workload = Workload(WorkloadSpec(operations=OPERATIONS, seed=5))
+    result = run_load(app, workload, users=USERS)
+    assert not result.errors, result.errors[:3]
+    return result.report.per_operation["overall"].throughput
+
+
+@pytest.mark.parametrize("one_way_ms", LATENCIES_MS)
+def test_throughput_under_latency(benchmark, registry, one_way_ms):
+    benchmark.group = "network-sweep"
+    throughput = benchmark.pedantic(
+        run_with_latency, args=(registry, one_way_ms), rounds=1,
+        iterations=1,
+    )
+    assert throughput > 0
+
+
+def test_latency_sweep_shape(registry):
+    throughputs = {
+        ms: run_with_latency(registry, ms) for ms in LATENCIES_MS
+    }
+    print()
+    print("ABL-NET overall throughput vs one-way link latency:")
+    for ms, ops in throughputs.items():
+        print(f"  {ms:>5.1f} ms  {ops:8.1f} ops/s")
+    # More latency, less throughput (closed loop, fixed users).
+    assert throughputs[0.0] > throughputs[2.0]

@@ -1,0 +1,66 @@
+"""ABL-RANGE — OPE vs ORE: encryption cost, ciphertext size, query cost.
+
+Both sit in class 5 (order leakage) and the selector prefers OPE; this
+ablation quantifies why and what ORE buys instead:
+
+* OPE encryption walks a hypergeometric sampling recursion (slow), ORE
+  is one PRF per plaintext bit (fast);
+* OPE ciphertexts are plain integers the server compares natively, ORE
+  ciphertexts are digit vectors needing the public comparator per probe
+  — so OPE queries are cheaper;
+* ORE reveals strictly less to a snapshot adversary (raw ORE bytes do
+  not sort in plaintext order — asserted in the crypto tests).
+"""
+
+import pytest
+
+from repro.gateway.service import GatewayRuntime
+
+CORPUS = 80
+
+
+def make_gateway(fresh_deployment, registry, tactic):
+    _, transport = fresh_deployment()
+    runtime = GatewayRuntime("abl", transport, registry)
+    return runtime.tactic(f"doc.{tactic}", tactic)
+
+
+@pytest.mark.parametrize("tactic", ["ope", "ore"])
+def test_encrypt_cost(benchmark, fresh_deployment, registry, tactic):
+    gateway = make_gateway(fresh_deployment, registry, tactic)
+    counter = iter(range(10**9))
+
+    benchmark.group = "range-insert"
+    benchmark(lambda: gateway.insert(f"d{next(counter)}",
+                                     float(next(counter) % 10_000)))
+
+
+@pytest.mark.parametrize("tactic", ["ope", "ore"])
+def test_query_cost(benchmark, fresh_deployment, registry, tactic):
+    gateway = make_gateway(fresh_deployment, registry, tactic)
+    for i in range(CORPUS):
+        gateway.insert(f"d{i}", float(i))
+
+    benchmark.group = "range-query"
+    result = benchmark(lambda: gateway.range_query(20.0, 39.0))
+    assert len(result) == 20
+
+
+def test_ciphertext_sizes(fresh_deployment, registry):
+    from repro.crypto.ope import Ope
+    from repro.crypto.ore import Ore
+
+    ope = Ope(b"k" * 16, domain_bits=40, range_bits=56)
+    ore = Ore(b"k" * 16, bits=40)
+
+    ope_bytes = (ope.encrypt(123456).bit_length() + 7) // 8
+    ore_bytes = len(ore.encrypt(123456).to_bytes())
+
+    print()
+    print("ABL-RANGE ciphertext sizes (40-bit domain):")
+    print(f"  OPE  {ope_bytes:>4} bytes (an ordered integer)")
+    print(f"  ORE  {ore_bytes:>4} bytes (ternary digit vector)")
+
+    # ORE ciphertexts are materially larger: 2 bits per plaintext bit
+    # plus header vs a 56-bit integer.
+    assert ore_bytes > ope_bytes

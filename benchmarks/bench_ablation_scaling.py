@@ -1,0 +1,86 @@
+"""ABL-SCALE — search cost vs corpus size: sub-linear vs linear tactics.
+
+§1 of the paper: "among them, there are some with sub-linear search
+complexity".  This ablation makes the complexity classes visible: search
+latency as the corpus grows for
+
+* DET — O(1) token lookup plus result transfer;
+* Mitra — O(u_w): proportional to the *keyword's* history, flat in the
+  total corpus;
+* RND — O(n): the exhaustive scan transfers every ciphertext (the
+  Table 2 'Inefficiency').
+"""
+
+import time
+
+import pytest
+
+from repro.gateway.service import GatewayRuntime
+
+SIZES = [40, 80, 160]
+DISTINCT_KEYWORDS = 8  # result size stays fixed: corpus/8 per keyword? no:
+# keyword 'kw0' frequency is held constant below so per-tactic result
+# sizes do not grow with the corpus.
+TARGET_HITS = 5
+
+
+def build(fresh_deployment, registry, tactic, size):
+    _, transport = fresh_deployment()
+    runtime = GatewayRuntime("scale", transport, registry)
+    gateway = runtime.tactic(f"doc.{tactic}", tactic)
+    # TARGET_HITS docs match the probe keyword; the rest are filler with
+    # unique keywords, so only total corpus size varies.
+    for i in range(TARGET_HITS):
+        gateway.insert(f"hit{i}", "probe")
+    for i in range(size - TARGET_HITS):
+        gateway.insert(f"fill{i}", f"filler-{i}")
+    return gateway
+
+
+def timed_search(gateway, repeats=5):
+    start = time.perf_counter()
+    for _ in range(repeats):
+        result = gateway.resolve_eq(gateway.eq_query("probe"))
+    elapsed = (time.perf_counter() - start) / repeats
+    assert len(result) == TARGET_HITS
+    return elapsed
+
+
+@pytest.mark.parametrize("tactic", ["det", "mitra", "rnd"])
+@pytest.mark.parametrize("size", SIZES)
+def test_search_scaling(benchmark, fresh_deployment, registry, tactic,
+                        size):
+    gateway = build(fresh_deployment, registry, tactic, size)
+    benchmark.group = f"search-scaling-n{size}"
+    result = benchmark(
+        lambda: gateway.resolve_eq(gateway.eq_query("probe"))
+    )
+    assert len(result) == TARGET_HITS
+
+
+def test_scaling_shape(fresh_deployment, registry):
+    """RND grows with n; DET and Mitra stay flat at fixed result size."""
+    latencies = {}
+    for tactic in ("det", "mitra", "rnd"):
+        latencies[tactic] = [
+            timed_search(build(fresh_deployment, registry, tactic, size))
+            for size in SIZES
+        ]
+
+    print()
+    print("ABL-SCALE search latency (ms) at fixed result size "
+          f"({TARGET_HITS} hits):")
+    header = f"{'tactic':<8}" + "".join(f"n={s:<10}" for s in SIZES)
+    print(header)
+    for tactic, samples in latencies.items():
+        row = f"{tactic:<8}" + "".join(
+            f"{1000 * value:<12.3f}" for value in samples
+        )
+        print(row)
+
+    # Linear tactic: 4x corpus -> clearly more work.
+    assert latencies["rnd"][-1] > 2.0 * latencies["rnd"][0]
+    # Sub-linear tactics: no comparable blow-up (generous 3x guard
+    # against timer noise on a loaded machine).
+    assert latencies["det"][-1] < 3.0 * max(latencies["det"][0], 1e-4)
+    assert latencies["mitra"][-1] < 3.0 * max(latencies["mitra"][0], 1e-4)

@@ -1,0 +1,64 @@
+"""ABL-STATELESS — gateway-state SSE (Mitra) vs stateless SSE.
+
+Quantifies the trade of the paper's concluding research direction
+(stateless gateways for cloud-native deployment): per-insert and
+per-search cost, and — the actual point — gateway-resident state as the
+keyword universe grows.
+"""
+
+import pytest
+
+from repro.gateway.service import GatewayRuntime
+
+KEYWORDS = 50
+ENTRIES = 200
+
+
+def make_gateway(fresh_deployment, registry, tactic):
+    _, transport = fresh_deployment()
+    runtime = GatewayRuntime("abl", transport, registry)
+    return runtime, runtime.tactic(f"doc.{tactic}", tactic)
+
+
+@pytest.mark.parametrize("tactic", ["mitra", "sse-stateless"])
+def test_insert_cost(benchmark, fresh_deployment, registry, tactic):
+    _, gateway = make_gateway(fresh_deployment, registry, tactic)
+    counter = iter(range(10**9))
+
+    benchmark.group = "stateless-insert"
+    benchmark(lambda: gateway.insert(f"d{next(counter)}",
+                                     f"kw{next(counter) % KEYWORDS}"))
+
+
+@pytest.mark.parametrize("tactic", ["mitra", "sse-stateless"])
+def test_search_cost(benchmark, fresh_deployment, registry, tactic):
+    _, gateway = make_gateway(fresh_deployment, registry, tactic)
+    for i in range(ENTRIES):
+        gateway.insert(f"d{i}", f"kw{i % KEYWORDS}")
+
+    benchmark.group = "stateless-search"
+    result = benchmark(
+        lambda: gateway.resolve_eq(gateway.eq_query("kw7"))
+    )
+    assert len(result) == ENTRIES // KEYWORDS
+
+
+def test_gateway_state_growth(fresh_deployment, registry):
+    """Mitra's gateway state grows with the keyword universe; the
+    stateless tactic's stays at zero."""
+    sizes = {}
+    for tactic in ("mitra", "sse-stateless"):
+        runtime, gateway = make_gateway(fresh_deployment, registry, tactic)
+        baseline = runtime.local_kv.size_in_bytes()
+        for i in range(ENTRIES):
+            gateway.insert(f"d{i}", f"kw{i % KEYWORDS}")
+        sizes[tactic] = runtime.local_kv.size_in_bytes() - baseline
+
+    print()
+    print(f"ABL-STATELESS gateway state after {ENTRIES} inserts over "
+          f"{KEYWORDS} keywords (bytes):")
+    for tactic, size in sizes.items():
+        print(f"  {tactic:<14} {size:>8,}")
+
+    assert sizes["sse-stateless"] == 0
+    assert sizes["mitra"] > 0

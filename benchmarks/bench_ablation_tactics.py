@@ -1,0 +1,76 @@
+"""ABL-TACTIC — per-tactic microbenchmarks of the equality schemes.
+
+Decomposes the Figure 5 overhead: insert and search cost of each
+equality tactic in isolation (DET, RND, Mitra, Sophos), against the same
+cloud zone.  Shape expectations:
+
+* DET search is the cheapest (token lookup, no per-result crypto).
+* RND search is the most expensive per corpus size (exhaustive transfer
+  and gateway-side decryption of *every* ciphertext — the Table 2
+  'Inefficiency' challenge).
+* Sophos insertion is the most expensive insert (one RSA inversion per
+  entry — the private-key trapdoor step that buys forward privacy).
+"""
+
+import pytest
+
+from repro.gateway.service import GatewayRuntime
+
+CORPUS = 40
+
+
+def make_gateway(fresh_deployment, registry, tactic):
+    _, transport = fresh_deployment()
+    runtime = GatewayRuntime("abl", transport, registry)
+    return runtime.tactic(f"doc.{tactic}", tactic)
+
+
+@pytest.mark.parametrize("tactic", ["det", "rnd", "mitra", "sophos"])
+def test_insert_cost(benchmark, fresh_deployment, registry, tactic):
+    gateway = make_gateway(fresh_deployment, registry, tactic)
+    counter = iter(range(10**9))
+
+    benchmark.group = "equality-insert"
+    benchmark(lambda: gateway.insert(f"d{next(counter)}", "keyword"))
+
+
+@pytest.mark.parametrize("tactic", ["det", "rnd", "mitra", "sophos"])
+def test_search_cost(benchmark, fresh_deployment, registry, tactic):
+    gateway = make_gateway(fresh_deployment, registry, tactic)
+    for i in range(CORPUS):
+        gateway.insert(f"d{i}", f"kw{i % 4}")
+
+    benchmark.group = "equality-search"
+    result = benchmark(
+        lambda: gateway.resolve_eq(gateway.eq_query("kw1"))
+    )
+    assert len(result) == CORPUS // 4
+
+
+def test_search_cost_ordering(fresh_deployment, registry):
+    """DET < Mitra on search; Sophos > Mitra on insert; RND search is
+    linear in the corpus, the others are not."""
+    import time
+
+    def timed_search(tactic, corpus):
+        gateway = make_gateway(fresh_deployment, registry, tactic)
+        for i in range(corpus):
+            gateway.insert(f"d{i}", f"kw{i % 4}")
+        start = time.perf_counter()
+        for _ in range(5):
+            gateway.resolve_eq(gateway.eq_query("kw1"))
+        return (time.perf_counter() - start) / 5
+
+    small_rnd = timed_search("rnd", 20)
+    large_rnd = timed_search("rnd", 120)
+    # Exhaustive search grows with the corpus even at fixed result size.
+    assert large_rnd > 2.5 * small_rnd
+
+    det = timed_search("det", 120)
+    rnd = timed_search("rnd", 120)
+    assert det < rnd
+
+    print()
+    print("ABL-TACTIC search means (120-doc corpus, 30 hits):")
+    print(f"  det    {det * 1000:8.2f} ms")
+    print(f"  rnd    {rnd * 1000:8.2f} ms  (exhaustive)")

@@ -1,0 +1,105 @@
+"""EXP-T2 — Table 2: the implemented tactic catalog.
+
+Regenerates the paper's Table 2 — scheme, protection class, leakage,
+gateway/cloud SPI counts, challenge, implementation provenance — from the
+live registry.  Counts are derived by introspecting the implementation
+classes, so this table cannot drift from the code.  Asserts the paper's
+exact numbers.
+"""
+
+import pytest
+
+from repro.spi.descriptors import Operation, spi_counts
+from repro.tactics import BUILTIN_TACTICS
+
+# Scheme -> (class, leakage label, gateway SPI, cloud SPI) from the paper.
+PAPER_TABLE2 = {
+    "det": (4, "Equalities", 9, 6),
+    "mitra": (2, "Identifiers", 7, 5),
+    "sophos": (2, "Identifiers", 6, 4),
+    "rnd": (1, "Structure", 6, 4),
+    "biex-2lev": (3, "Predicates", 8, 5),
+    "biex-zmf": (3, "Predicates", 8, 5),
+    "ope": (5, "Order", 3, 3),
+    "ore": (5, "Order", 3, 3),
+    "paillier": (None, "-", 3, 3),
+}
+
+_OPERATION_LABEL = {
+    frozenset({Operation.EQUALITY}): "Equality Search",
+    frozenset({Operation.BOOLEAN}): "Boolean Search",
+    frozenset({Operation.RANGE}): "Range Query",
+}
+
+
+def _operation_label(descriptor) -> str:
+    if descriptor.aggregates:
+        return "/".join(sorted(
+            a.value.capitalize() for a in descriptor.aggregates
+            if a.value != "count"
+        ))
+    for ops, label in _OPERATION_LABEL.items():
+        if ops & descriptor.operations:
+            if Operation.BOOLEAN in descriptor.operations:
+                return "Boolean Search"
+            if Operation.RANGE in descriptor.operations:
+                return "Range Query"
+            return label
+    return "Equality Search"
+
+
+def render_table2() -> str:
+    header = (f"{'Operation':<17}{'Scheme':<11}{'Class':<7}{'Leakage':<13}"
+              f"{'GW':>4}{'Cloud':>7}  {'Challenge':<26}Implementation")
+    lines = ["Table 2 — implemented cryptographic constructions", "",
+             header, "-" * len(header)]
+    for descriptor, gateway_cls, cloud_cls in BUILTIN_TACTICS:
+        gateway_count, cloud_count = spi_counts(gateway_cls, cloud_cls)
+        cls = ("-" if descriptor.protection_class is None
+               else str(int(descriptor.protection_class)))
+        leakage = ("-" if descriptor.protection_class is None
+                   else descriptor.leakage.level.label)
+        lines.append(
+            f"{_operation_label(descriptor):<17}"
+            f"{descriptor.display_name:<11}{cls:<7}{leakage:<13}"
+            f"{gateway_count:>4}{cloud_count:>7}  "
+            f"{descriptor.challenge:<26}{descriptor.implementation}"
+        )
+    return "\n".join(lines)
+
+
+def test_table2_catalog(benchmark):
+    rows = benchmark(
+        lambda: {
+            d.name: spi_counts(g, c) for d, g, c in BUILTIN_TACTICS
+        }
+    )
+    for name, (cls, leakage, gw, cloud) in PAPER_TABLE2.items():
+        descriptor = next(d for d, _, _ in BUILTIN_TACTICS
+                          if d.name == name)
+        assert rows[name] == (gw, cloud), name
+        if cls is None:
+            assert descriptor.protection_class is None
+        else:
+            assert int(descriptor.protection_class) == cls
+            assert descriptor.leakage.level.label == leakage
+
+    print()
+    print(render_table2())
+
+
+def test_table2_challenges_match_paper(benchmark):
+    expected = {
+        "det": "-",
+        "mitra": "Local storage",
+        "sophos": "Key management",
+        "rnd": "Inefficiency",
+        "biex-2lev": "Storage impl. complexity",
+        "biex-zmf": "Storage impl. complexity",
+        "paillier": "Key management",
+    }
+    challenges = benchmark(
+        lambda: {d.name: d.challenge for d, _, _ in BUILTIN_TACTICS}
+    )
+    for name, challenge in expected.items():
+        assert challenges[name] == challenge

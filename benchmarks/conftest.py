@@ -1,0 +1,34 @@
+"""Shared benchmark fixtures.
+
+Every benchmark regenerates one artifact of the paper's evaluation
+(tables, figures) or one ablation DESIGN.md calls out.  Output is printed
+— run with ``pytest benchmarks/ --benchmark-only -s`` to see the tables —
+and the key *shape* claims are asserted so CI notices regressions.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cloud.server import CloudZone
+from repro.core.registry import TacticRegistry
+from repro.net.transport import InProcTransport
+from repro.tactics import register_builtin_tactics
+
+
+@pytest.fixture(scope="session")
+def registry() -> TacticRegistry:
+    registry = TacticRegistry()
+    register_builtin_tactics(registry)
+    return registry
+
+
+@pytest.fixture()
+def fresh_deployment(registry):
+    """A new cloud zone + transport per benchmark."""
+
+    def factory():
+        cloud = CloudZone(registry)
+        return cloud, InProcTransport(cloud.host)
+
+    return factory

@@ -1,0 +1,151 @@
+"""Crypto agility: plugging a new tactic in without touching the app.
+
+Run:  python examples/crypto_agility.py
+
+The paper's differentiating claim: tactic providers extend the system
+through the SPI, and the middleware adopts new schemes adaptively.  This
+example implements a small third-party equality tactic (HMAC tags over a
+KV set index), registers it with a better performance rank than DET, and
+shows the *same application code* transparently switching tactics — then
+rolls it back by unregistering.
+"""
+
+from typing import Any
+
+from repro import (
+    CloudZone,
+    DataBlinder,
+    Eq,
+    FieldAnnotation,
+    InProcTransport,
+    Schema,
+    TacticRegistry,
+)
+from repro.crypto.encoding import Value, encode_value
+from repro.crypto.primitives.hmac_prf import prf
+from repro.spi import interfaces as spi
+from repro.spi.descriptors import (
+    Operation,
+    PerformanceMetrics,
+    TacticDescriptor,
+)
+from repro.spi.leakage import (
+    LeakageLevel,
+    LeakageProfile,
+    OperationLeakage,
+    ProtectionClass,
+)
+from repro.tactics import register_builtin_tactics
+from repro.tactics.base import CloudTactic, GatewayTactic
+
+
+# --- A third-party tactic, written against the SPI ------------------------
+
+
+class FastTagGateway(
+    GatewayTactic,
+    spi.GatewaySetup,
+    spi.GatewayInsertion,
+    spi.GatewayEqQuery,
+    spi.GatewayEqResolution,
+):
+    """Keyed-hash equality tags — a minimal DET-class scheme."""
+
+    def setup(self) -> None:
+        self._key = self.ctx.derive_key("fasttag")
+        self.ctx.call("setup")
+
+    def _tag(self, value: Value) -> bytes:
+        return prf(self._key, b"tag", encode_value(value))
+
+    def insert(self, doc_id: str, value: Value) -> None:
+        self.ctx.call("insert", doc_id=doc_id, tag=self._tag(value))
+
+    def eq_query(self, value: Value) -> Any:
+        return self.ctx.call("eq_query", tag=self._tag(value))
+
+    def resolve_eq(self, raw: Any) -> set[str]:
+        return set(raw)
+
+
+class FastTagCloud(
+    CloudTactic,
+    spi.CloudSetup,
+    spi.CloudInsertion,
+    spi.CloudEqQuery,
+):
+    def setup(self, **params: Any) -> None:
+        self._ns = self.ctx.state_key(b"tags")
+
+    def insert(self, doc_id: str, tag: bytes) -> None:
+        self.ctx.kv.set_add(self._ns + b"/" + tag, doc_id.encode())
+
+    def eq_query(self, tag: bytes) -> list[str]:
+        members = self.ctx.kv.set_members(self._ns + b"/" + tag)
+        return sorted(m.decode() for m in members)
+
+
+FASTTAG = TacticDescriptor(
+    name="fasttag",
+    display_name="FastTag",
+    operations=frozenset({Operation.INSERT, Operation.EQUALITY}),
+    aggregates=frozenset(),
+    leakage=LeakageProfile({
+        "insert": OperationLeakage(LeakageLevel.EQUALITIES),
+        "eq_search": OperationLeakage(LeakageLevel.EQUALITIES),
+    }),
+    performance=PerformanceMetrics(rank=0, notes="single PRF per token"),
+    protection_class=ProtectionClass.C4,
+    challenge="third-party plugin",
+    implementation="this example",
+)
+
+
+# --- The application (never changes) ---------------------------------------
+
+
+def run_application(registry: TacticRegistry, label: str) -> None:
+    cloud = CloudZone(registry)
+    blinder = DataBlinder(f"agile-{label}", InProcTransport(cloud.host),
+                          registry=registry)
+    schema = Schema.define(
+        "invoice",
+        id="string",
+        account=("string", FieldAnnotation.parse("C4", "I,EQ")),
+    )
+    reports = blinder.register_schema(schema)
+    chosen = reports[0].tactics[0]
+    print(f"[{label}] account field protected by: {chosen}")
+
+    invoices = blinder.entities("invoice")
+    invoices.insert({"id": "i1", "account": "ACC-1"})
+    invoices.insert({"id": "i2", "account": "ACC-2"})
+    invoices.insert({"id": "i3", "account": "ACC-1"})
+    hits = invoices.find_ids(Eq("account", "ACC-1"))
+    print(f"[{label}] equality search found {len(hits)} invoices "
+          f"(same results, different cryptography)\n")
+
+
+def main() -> None:
+    # Baseline registry: built-in tactics only -> DET wins at C4.
+    baseline = TacticRegistry()
+    register_builtin_tactics(baseline)
+    run_application(baseline, "built-ins only")
+
+    # A security team ships FastTag as a plugin: same class, better rank.
+    agile = TacticRegistry()
+    register_builtin_tactics(agile)
+    agile.register(FASTTAG, FastTagGateway, FastTagCloud)
+    summary = agile.get("fasttag").spi_summary()
+    print(f"plugin registered: gateway SPIs {summary['gateway']}, "
+          f"cloud SPIs {summary['cloud']}\n")
+    run_application(agile, "with fasttag plugin")
+
+    # The scheme is later deprecated (e.g. broken by cryptanalysis):
+    # unregister and the selector falls back — again, no app change.
+    agile.unregister("fasttag")
+    run_application(agile, "plugin retired")
+
+
+if __name__ == "__main__":
+    main()

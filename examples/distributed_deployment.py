@@ -1,0 +1,76 @@
+"""A real two-process deployment: the cloud zone behind a TCP socket.
+
+Run:  python examples/distributed_deployment.py
+
+Spawns the untrusted zone as a *separate OS process* serving the RPC
+protocol over TCP (the paper's gateway-mode / cloud-mode split, Fig. 3),
+then drives it from a gateway in this process.  Everything that crosses
+the socket is ciphertext, trapdoors or encrypted index entries.
+"""
+
+import multiprocessing
+import time
+
+from repro import DataBlinder, Eq, TcpTransport
+from repro.fhir import MedicalDataGenerator, observation_schema
+
+
+def cloud_process(port_queue) -> None:
+    """The untrusted zone: runs in its own process."""
+    from repro.cloud.server import CloudZone
+    from repro.net.tcp import TcpRpcServer
+
+    zone = CloudZone()
+    server = TcpRpcServer(zone.host, ("127.0.0.1", 0))
+    port_queue.put(server.endpoint[1])
+    server.serve_forever()
+
+
+def main() -> None:
+    port_queue = multiprocessing.Queue()
+    cloud = multiprocessing.Process(target=cloud_process,
+                                    args=(port_queue,), daemon=True)
+    cloud.start()
+    port = port_queue.get(timeout=10)
+    print(f"Cloud zone listening on 127.0.0.1:{port} "
+          f"(pid {cloud.pid})\n")
+
+    transport = TcpTransport(("127.0.0.1", port))
+    blinder = DataBlinder("distributed-ehealth", transport)
+    blinder.register_schema(observation_schema())
+    observations = blinder.entities("observation")
+
+    generator = MedicalDataGenerator(7)
+    docs = generator.observations(25, cohort_size=6)
+
+    start = time.perf_counter()
+    for observation in docs:
+        observations.insert(observation.to_document())
+    insert_time = time.perf_counter() - start
+    print(f"Inserted {len(docs)} observations over TCP "
+          f"in {insert_time:.2f}s "
+          f"({len(docs) / insert_time:.1f} docs/s)")
+
+    subject = docs[0].subject
+    start = time.perf_counter()
+    hits = observations.find(Eq("subject", subject))
+    search_time = time.perf_counter() - start
+    print(f"Equality search for one patient: {len(hits)} hits "
+          f"in {search_time * 1000:.1f} ms")
+
+    average = observations.average("value", where=Eq("subject", subject))
+    print(f"Homomorphic average for that patient: {average:.2f}")
+
+    stats = transport.stats()
+    print(f"\nSocket traffic: {stats.messages_sent} frames, "
+          f"{stats.bytes_sent:,} bytes sent, "
+          f"{stats.bytes_received:,} bytes received")
+
+    transport.close()
+    cloud.terminate()
+    cloud.join(timeout=5)
+    print("Cloud process stopped.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+"""Why protection classes exist: attacking a snapshot of the cloud.
+
+Run:  python examples/leakage_analysis.py
+
+Deploys a medical schema protecting the same kind of data at different
+classes, dumps the untrusted zone the way a data-breach attacker would
+(the paper's snapshot model), and mounts the inference attacks the paper
+cites: frequency analysis against DET (class 4) and the dense-domain
+sorting attack against OPE (class 5).  The same attacks find nothing to
+work with on the Mitra- (class 2) and RND- (class 1) protected fields.
+"""
+
+import random
+
+from repro import CloudZone, DataBlinder, FieldAnnotation, InProcTransport, Schema
+from repro.analysis import (
+    SnapshotAdversary,
+    auxiliary_distribution,
+    frequency_attack,
+    sorting_attack,
+)
+
+
+def main() -> None:
+    cloud = CloudZone()
+    blinder = DataBlinder("breach-demo", InProcTransport(cloud.host))
+    schema = Schema.define(
+        "record",
+        id="string",
+        diagnosis=("string", FieldAnnotation.parse("C4", "I,EQ")),  # DET
+        patient=("string", FieldAnnotation.parse("C2", "I,EQ")),   # Mitra
+        age=("int", FieldAnnotation.parse("C5", "I,RG")),          # OPE
+    )
+    blinder.register_schema(schema)
+    records = blinder.entities("record")
+
+    # A realistically skewed diagnosis distribution (public knowledge).
+    rng = random.Random(42)
+    diagnoses = (["hypertension"] * 40 + ["diabetes"] * 25
+                 + ["asthma"] * 12 + ["copd"] * 6 + ["gastric-cancer"] * 2)
+    rng.shuffle(diagnoses)
+    truth_age = {}
+    for index, diagnosis in enumerate(diagnoses):
+        doc_id = records.insert({
+            "id": f"r{index}", "diagnosis": diagnosis,
+            "patient": f"patient-{index}", "age": 20 + index,
+        })
+        truth_age[doc_id] = 20 + index
+
+    print("The cloud provider is breached: the attacker dumps the zone.\n")
+    adversary = SnapshotAdversary(cloud, "breach-demo")
+    print(adversary.report().render())
+
+    # --- Attack 1: frequency analysis against the DET field ----------------
+    histogram = adversary.det_token_histogram("diagnosis", schema="record")
+    auxiliary = auxiliary_distribution(diagnoses)
+    result = frequency_attack(histogram, auxiliary)
+    print("\n[class 4 / DET] diagnosis tokens and frequency-matched "
+          "guesses:")
+    for token, guess in sorted(result.guesses.items(),
+                               key=lambda kv: -histogram[kv[0]]):
+        print(f"  token {token[:8].hex()}…  seen {histogram[token]:>3}x  "
+              f"-> guessed '{guess}'")
+    print("  (with skewed public distributions the ranking is exact — "
+          "the Naveed et al. attack the paper cites)")
+
+    # --- Attack 2: sorting attack against the OPE field --------------------
+    order = adversary.ope_ciphertext_order("age", schema="record")
+    sort_result = sorting_attack(order, list(truth_age.values()),
+                                 truth_age)
+    print(f"\n[class 5 / OPE] dense-domain sorting attack on 'age': "
+          f"{sort_result.render()}")
+
+    # --- The stronger classes give the attacker nothing --------------------
+    mitra_view = adversary.sse_visible_structure("patient",
+                                                 schema="record")
+    print(f"\n[class 2 / Mitra] 'patient' index as seen in the snapshot: "
+          f"{mitra_view['entries']} opaque entries at pseudorandom "
+          f"addresses, {mitra_view['bytes']:,} bytes — no frequencies, "
+          f"no order, nothing to rank.")
+    print("\nThis is the trade the Fig. 2 annotation model prices: "
+          "class 4/5 buy cheap, expressive queries by leaking exactly "
+          "what these attacks consume.")
+
+
+if __name__ == "__main__":
+    main()

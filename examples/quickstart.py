@@ -1,0 +1,84 @@
+"""Quickstart: protect a schema, store documents, query encrypted data.
+
+Run:  python examples/quickstart.py
+
+Demonstrates the minimal DataBlinder flow: deploy a cloud zone and a
+gateway, annotate a schema with protection classes and required
+operations (the Fig. 2 model), and use the Entities interface for CRUD,
+boolean search and a cloud-side homomorphic average — without touching a
+single key or ciphertext.
+"""
+
+from repro import (
+    CloudZone,
+    DataBlinder,
+    Eq,
+    FieldAnnotation,
+    InProcTransport,
+    Range,
+    Schema,
+)
+
+
+def main() -> None:
+    # 1. The untrusted zone: document store + secure-index store + RPC.
+    cloud = CloudZone()
+
+    # 2. The trusted zone: the DataBlinder gateway for one application.
+    blinder = DataBlinder("quickstart-app", InProcTransport(cloud.host))
+
+    # 3. Annotate a schema: protection class + required operations per
+    #    sensitive field.  The middleware selects tactics adaptively.
+    schema = Schema.define(
+        "ticket",
+        id="string",
+        title="string",  # not sensitive: stored in plaintext
+        customer=("string", FieldAnnotation.parse("C2", "I,EQ")),
+        category=("string", FieldAnnotation.parse("C3", "I,EQ,BL")),
+        severity=("string", FieldAnnotation.parse("C3", "I,EQ,BL")),
+        created=("int", FieldAnnotation.parse("C5", "I,EQ,RG")),
+        hours_spent=("float", FieldAnnotation.parse("C4", "I,EQ",
+                                                    "sum,avg")),
+    )
+    reports = blinder.register_schema(schema)
+
+    print("Selected tactics per field:")
+    for report in reports:
+        print(f"  {report.field:<12} -> {', '.join(report.tactics)}")
+    print()
+
+    # 4. CRUD through the Entities interface.
+    tickets = blinder.entities("ticket")
+    tickets.insert({"id": "t1", "title": "Login fails",
+                    "customer": "acme", "category": "auth",
+                    "severity": "high", "created": 100,
+                    "hours_spent": 3.5})
+    tickets.insert({"id": "t2", "title": "Slow dashboard",
+                    "customer": "acme", "category": "performance",
+                    "severity": "low", "created": 200,
+                    "hours_spent": 8.0})
+    tickets.insert({"id": "t3", "title": "Data export broken",
+                    "customer": "globex", "category": "auth",
+                    "severity": "high", "created": 300,
+                    "hours_spent": 1.5})
+
+    # 5. Search on encrypted data.
+    print("High-severity auth tickets (boolean search):")
+    for doc in tickets.find(Eq("category", "auth") & Eq("severity", "high")):
+        print(f"  {doc['id']}: {doc['title']}")
+
+    print("\nTickets created in [150, 400] (range over OPE):")
+    for doc in tickets.find(Range("created", 150, 400)):
+        print(f"  {doc['id']}: created={doc['created']}")
+
+    # 6. Computation on encrypted data: the cloud sums Paillier
+    #    ciphertexts it cannot read; the gateway decrypts the total.
+    average = tickets.average("hours_spent", where=Eq("customer", "acme"))
+    print(f"\nAverage hours for 'acme' (homomorphic): {average:.2f}")
+
+    total = tickets.sum("hours_spent")
+    print(f"Total hours across all tickets (homomorphic): {total:.2f}")
+
+
+if __name__ == "__main__":
+    main()

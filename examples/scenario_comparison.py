@@ -1,0 +1,49 @@
+"""A miniature Figure 5: S_A vs S_B vs S_C on your machine.
+
+Run:  python examples/scenario_comparison.py [operations]
+
+Replays the paper's balanced read/write/aggregate workload against the
+three evaluation scenarios — no protection (S_A), hard-coded tactics
+(S_B), DataBlinder (S_C) — and prints the throughput chart plus the
+latency percentile table.  The headline comparison is the S_B -> S_C
+delta: what the middleware layer itself costs (paper: 1.4%).
+"""
+
+import sys
+
+from repro import CloudZone, InProcTransport
+from repro.bench import (
+    Workload,
+    WorkloadSpec,
+    build_scenario,
+    render_figure5,
+    render_latency_table,
+    run_load,
+)
+
+
+def main() -> None:
+    operations = int(sys.argv[1]) if len(sys.argv) > 1 else 150
+    spec = WorkloadSpec(operations=operations, seed=2019)
+    print(f"Workload: {operations} operations, mix "
+          f"{Workload(spec).mix()}\n")
+
+    reports = {}
+    for name in ("S_A", "S_B", "S_C"):
+        cloud = CloudZone()
+        app = build_scenario(name, InProcTransport(cloud.host))
+        result = run_load(app, Workload(spec), users=4)
+        if result.errors:
+            raise SystemExit(f"{name} failed: {result.errors[:3]}")
+        reports[name] = result.report
+        overall = result.report.per_operation["overall"]
+        print(f"{name} done: {overall.throughput:8.1f} ops/s overall")
+
+    print()
+    print(render_figure5(reports))
+    print()
+    print(render_latency_table(reports))
+
+
+if __name__ == "__main__":
+    main()

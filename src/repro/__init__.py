@@ -1,0 +1,69 @@
+"""DataBlinder reproduction: a distributed data protection middleware
+supporting search and computation on encrypted data.
+
+Reproduces Heydari Beni et al., "DataBlinder" (Middleware Industry '19):
+crypto-agile, fine-grained field-level data protection with adaptive
+runtime tactic selection and a pluggable SPI architecture, together with
+every substrate the paper depends on (crypto schemes, SSE constructions,
+document/KV stores, gateway-cloud transport, load generator).
+
+Quickstart::
+
+    from repro import (
+        CloudZone, DataBlinder, Eq, FieldAnnotation, InProcTransport,
+        Schema,
+    )
+
+    cloud = CloudZone()
+    blinder = DataBlinder("ehealth", InProcTransport(cloud.host))
+    schema = Schema.define(
+        "observation",
+        id="string",
+        status=("string", FieldAnnotation.parse("C3", "I,EQ,BL")),
+        value=("float", FieldAnnotation.parse("C3", "I,EQ,BL", "avg")),
+    )
+    blinder.register_schema(schema)
+    observations = blinder.entities("observation")
+    doc_id = observations.insert({"status": "final", "value": 6.3})
+    assert observations.find(Eq("status", "final"))[0]["_id"] == doc_id
+"""
+
+from repro.cloud.server import CloudZone
+from repro.core.entities import Entities
+from repro.core.middleware import DataBlinder
+from repro.core.query import AggregateQuery, And, Eq, Not, Or, Range
+from repro.core.registry import TacticRegistry, default_registry
+from repro.core.schema import FieldAnnotation, FieldSpec, Schema
+from repro.net.latency import NetworkModel
+from repro.net.tcp import TcpRpcServer, TcpTransport
+from repro.net.transport import DirectTransport, InProcTransport
+from repro.spi.descriptors import Aggregate, Operation
+from repro.spi.leakage import LeakageLevel, ProtectionClass
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "Aggregate",
+    "AggregateQuery",
+    "And",
+    "CloudZone",
+    "DataBlinder",
+    "DirectTransport",
+    "Entities",
+    "Eq",
+    "FieldAnnotation",
+    "FieldSpec",
+    "InProcTransport",
+    "LeakageLevel",
+    "NetworkModel",
+    "Not",
+    "Operation",
+    "Or",
+    "ProtectionClass",
+    "Range",
+    "Schema",
+    "TacticRegistry",
+    "TcpRpcServer",
+    "TcpTransport",
+    "default_registry",
+]

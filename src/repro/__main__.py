@@ -1,0 +1,104 @@
+"""Command-line entry point: ``python -m repro <command>``.
+
+Commands:
+
+* ``tables``    — print the paper's Table 1 and Table 2 from the code.
+* ``selection`` — print the §5.1 use-case tactic-selection table.
+* ``leakage``   — print the per-operation leakage matrix (§3.1).
+* ``demo``      — run a miniature end-to-end healthcare demo.
+* ``compare [N]`` — run the S_A/S_B/S_C throughput comparison.
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def cmd_tables() -> None:
+    from repro.core.registry import default_registry
+    from repro.spi.descriptors import spi_counts
+    from repro.spi.interfaces import TABLE1
+
+    print("Table 1 — SPI interfaces per high-level operation\n")
+    width = max(len(op) for op in TABLE1) + 2
+    print(f"{'Operation':<{width}}{'Gateway':<44}Cloud")
+    print("-" * (width + 56))
+    for operation, sides in TABLE1.items():
+        print(f"{operation:<{width}}{', '.join(sides['gateway']):<44}"
+              f"{', '.join(sides['cloud'])}")
+
+    print("\nTable 2 — registered tactic catalog\n")
+    registry = default_registry()
+    header = (f"{'Scheme':<14}{'Class':<7}{'Leakage':<13}{'GW':>4}"
+              f"{'Cloud':>7}  Challenge")
+    print(header)
+    print("-" * len(header))
+    for registration in registry.all():
+        descriptor = registration.descriptor
+        gateway_count, cloud_count = spi_counts(
+            registration.gateway_cls, registration.cloud_cls
+        )
+        cls = ("-" if descriptor.protection_class is None
+               else f"C{int(descriptor.protection_class)}")
+        leakage = ("-" if descriptor.protection_class is None
+                   else descriptor.leakage.level.label)
+        print(f"{descriptor.display_name:<14}{cls:<7}{leakage:<13}"
+              f"{gateway_count:>4}{cloud_count:>7}  "
+              f"{descriptor.challenge}")
+
+
+def cmd_selection() -> None:
+    from repro.core.policy import audit_plans, render_policy_table
+    from repro.core.registry import default_registry
+    from repro.core.selection import TacticSelector
+    from repro.fhir.model import observation_schema
+
+    registry = default_registry()
+    plans = TacticSelector(registry).plan_schema(observation_schema())
+    print("Use case §5.1 — FHIR Observation tactic selection\n")
+    print(render_policy_table(audit_plans(plans, registry)))
+
+
+def cmd_leakage() -> None:
+    from repro.core.policy import render_leakage_matrix
+    from repro.core.registry import default_registry
+
+    print(render_leakage_matrix(default_registry()))
+
+
+def cmd_demo() -> None:
+    import importlib
+
+    module = importlib.import_module("examples.healthcare_fhir")
+    module.main()
+
+
+def cmd_compare(argv: list[str]) -> None:
+    import importlib
+
+    sys.argv = ["scenario_comparison"] + argv
+    module = importlib.import_module("examples.scenario_comparison")
+    module.main()
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    command = argv[0] if argv else "tables"
+    if command == "tables":
+        cmd_tables()
+    elif command == "selection":
+        cmd_selection()
+    elif command == "leakage":
+        cmd_leakage()
+    elif command == "demo":
+        cmd_demo()
+    elif command == "compare":
+        cmd_compare(argv[1:])
+    else:
+        print(__doc__)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,37 @@
+"""Leakage analysis: snapshot-adversary extraction and inference attacks.
+
+Materialises the paper's threat discussion: what a data-breach (snapshot)
+adversary reads off each tactic's cloud structures, and the cited
+inference attacks (frequency analysis on DET, sorting on OPE) that
+motivate the five-level protection-class ladder.
+"""
+
+from repro.analysis.attacks import (
+    AttackResult,
+    frequency_attack,
+    rank_correlation,
+    sorting_attack,
+)
+from repro.analysis.observer import (
+    ObservedCall,
+    ObservedTransport,
+    TranscriptAnalysis,
+)
+from repro.analysis.snapshot import (
+    SnapshotAdversary,
+    SnapshotReport,
+    auxiliary_distribution,
+)
+
+__all__ = [
+    "AttackResult",
+    "ObservedCall",
+    "ObservedTransport",
+    "TranscriptAnalysis",
+    "SnapshotAdversary",
+    "SnapshotReport",
+    "auxiliary_distribution",
+    "frequency_attack",
+    "rank_correlation",
+    "sorting_attack",
+]

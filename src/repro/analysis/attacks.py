@@ -1,0 +1,134 @@
+"""Inference attacks against property-preserving tactics.
+
+Implements (simplified forms of) the attacks the paper cites as the
+reason property-preserving encryption sits at the weak end of the
+protection ladder:
+
+* :func:`frequency_attack` — Naveed–Kamara–Wright style frequency
+  analysis against deterministic encryption [43 in the paper]: rank DET
+  tokens by frequency, rank an auxiliary plaintext distribution by
+  frequency, and match.  Effective exactly when value distributions are
+  skewed and public — the situation of medical attributes.
+* :func:`sorting_attack` — the dense-domain sorting attack against
+  order-preserving encryption [29, 37]: when the attacker knows the set
+  of plaintext values, sorting the ciphertexts recovers the full mapping.
+
+Both return an :class:`AttackResult` whose accuracy is measured against
+ground truth supplied by the caller (tests/benchmarks know the real
+data), quantifying what class 4/5 leakage means in practice — and, by
+failing against Mitra/RND deployments, what paying for class 1/2 buys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class AttackResult:
+    """Outcome of one inference attack."""
+
+    attack: str
+    recovered: int
+    total: int
+    #: mapping from ciphertext artifact -> guessed plaintext
+    guesses: dict
+
+    @property
+    def accuracy(self) -> float:
+        return self.recovered / self.total if self.total else 0.0
+
+    def render(self) -> str:
+        return (f"{self.attack}: recovered {self.recovered}/{self.total} "
+                f"({100 * self.accuracy:.0f}%)")
+
+
+def frequency_attack(
+    token_histogram: dict[bytes, int],
+    auxiliary: Sequence[tuple[object, int]],
+    ground_truth: dict[bytes, object] | None = None,
+) -> AttackResult:
+    """Match DET tokens to plaintexts by frequency rank.
+
+    ``token_histogram`` is what the snapshot adversary reads off the DET
+    index; ``auxiliary`` is the attacker's public distribution (value,
+    frequency) ranked descending.  With ``ground_truth`` (token -> true
+    value) the result carries a measured recovery rate; without it only
+    the guesses are returned.
+    """
+    ranked_tokens = sorted(
+        token_histogram.items(), key=lambda kv: (-kv[1], kv[0])
+    )
+    ranked_values = [value for value, _ in auxiliary]
+
+    guesses = {
+        token: ranked_values[index]
+        for index, (token, _) in enumerate(ranked_tokens)
+        if index < len(ranked_values)
+    }
+    recovered = 0
+    if ground_truth:
+        recovered = sum(
+            1 for token, guess in guesses.items()
+            if ground_truth.get(token) == guess
+        )
+    return AttackResult(
+        attack="frequency-analysis(DET)",
+        recovered=recovered,
+        total=len(token_histogram),
+        guesses=guesses,
+    )
+
+
+def sorting_attack(
+    ciphertext_order: Sequence[tuple[int, str]],
+    known_values: Sequence,
+    ground_truth: dict[str, object] | None = None,
+) -> AttackResult:
+    """Dense-domain sorting attack against OPE.
+
+    ``ciphertext_order`` is the snapshot's sorted (ciphertext, doc_id)
+    index; ``known_values`` is the attacker's knowledge of the plaintext
+    multiset (e.g. all ages 0..100 present).  Sorting both and aligning
+    recovers the per-document values.
+    """
+    sorted_values = sorted(known_values)
+    guesses = {}
+    for index, (_, doc_id) in enumerate(ciphertext_order):
+        if index < len(sorted_values):
+            guesses[doc_id] = sorted_values[index]
+    recovered = 0
+    if ground_truth:
+        recovered = sum(
+            1 for doc_id, guess in guesses.items()
+            if ground_truth.get(doc_id) == guess
+        )
+    return AttackResult(
+        attack="sorting(OPE)",
+        recovered=recovered,
+        total=len(ciphertext_order),
+        guesses=guesses,
+    )
+
+
+def rank_correlation(frequencies_a: Sequence[int],
+                     frequencies_b: Sequence[int]) -> float:
+    """Crude similarity of two ranked frequency profiles in [0, 1].
+
+    Used to check whether a snapshot exposes a recognisable frequency
+    profile at all: DET indexes correlate strongly with the plaintext
+    distribution, Mitra/RND expose nothing rankable.
+    """
+    if not frequencies_a or not frequencies_b:
+        return 0.0
+    length = min(len(frequencies_a), len(frequencies_b))
+    a = list(frequencies_a)[:length]
+    b = list(frequencies_b)[:length]
+    total_a, total_b = sum(a), sum(b)
+    if not total_a or not total_b:
+        return 0.0
+    overlap = sum(
+        min(x / total_a, y / total_b) for x, y in zip(a, b)
+    )
+    return overlap

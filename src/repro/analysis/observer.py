@@ -1,0 +1,133 @@
+"""Persistent-adversary observation: watching the wire, not the disk.
+
+§2's second model: "the persistent model assumes that the adversary can
+observe all operations of the cloud server but without any interference".
+:class:`ObservedTransport` wraps any transport and records the transcript
+an honest-but-curious provider accumulates — per-service requests with
+the opaque artifacts they carry (addresses, tokens, tags).
+
+:class:`TranscriptAnalysis` then computes the statistics such an
+adversary actually exploits:
+
+* **query linkability** — do two searches reuse identical artifacts?
+  (Mitra re-sends the same PRF addresses for a repeated keyword: equal
+  queries are linkable, a known property of most SSE.)
+* **forward privacy, observed** — do the artifacts of an *update* ever
+  collide with artifacts seen in earlier *searches*?  For Mitra/Sophos
+  they must not (fresh counters / token-chain steps); for the stateless
+  extension the keyword tag repeats, which is exactly its documented
+  trade.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.net.latency import NetworkStats
+from repro.net.transport import Transport
+
+
+def _artifacts(value: Any) -> set[bytes]:
+    """Collect every bytes-valued artifact in a payload, recursively."""
+    found: set[bytes] = set()
+    if isinstance(value, (bytes, bytearray)):
+        found.add(bytes(value))
+    elif isinstance(value, dict):
+        for item in value.values():
+            found |= _artifacts(item)
+    elif isinstance(value, (list, tuple, set)):
+        for item in value:
+            found |= _artifacts(item)
+    return found
+
+
+@dataclass(frozen=True)
+class ObservedCall:
+    sequence: int
+    service: str
+    method: str
+    artifacts: frozenset[bytes]
+
+
+@dataclass
+class TranscriptAnalysis:
+    calls: list[ObservedCall] = field(default_factory=list)
+
+    def for_service(self, suffix: str) -> list[ObservedCall]:
+        return [c for c in self.calls if c.service.endswith(suffix)]
+
+    def queries(self, suffix: str,
+                methods: tuple[str, ...] = ("eq_query", "bool_query",
+                                            "range_query")
+                ) -> list[ObservedCall]:
+        return [c for c in self.for_service(suffix)
+                if c.method in methods]
+
+    def updates(self, suffix: str,
+                methods: tuple[str, ...] = ("insert", "update", "delete")
+                ) -> list[ObservedCall]:
+        return [c for c in self.for_service(suffix)
+                if c.method in methods]
+
+    # -- the statistics a persistent adversary computes --------------------
+
+    def linkable_query_pairs(self, suffix: str) -> int:
+        """Pairs of queries sharing at least one artifact — repeated
+        searches for the same keyword are linkable in most SSE."""
+        queries = self.queries(suffix)
+        count = 0
+        for i, a in enumerate(queries):
+            for b in queries[i + 1:]:
+                if a.artifacts & b.artifacts:
+                    count += 1
+        return count
+
+    def update_artifacts_predictable_from(self, suffix: str,
+                                          before_sequence: int) -> int:
+        """Artifacts of updates issued *after* ``before_sequence`` that
+        already appeared in earlier traffic — zero means the adversary's
+        accumulated state says nothing about future updates (forward
+        privacy, observed on the wire)."""
+        seen_before: set[bytes] = set()
+        for call in self.for_service(suffix):
+            if call.sequence <= before_sequence:
+                seen_before |= call.artifacts
+        collisions = 0
+        for call in self.updates(suffix):
+            if call.sequence > before_sequence:
+                collisions += len(call.artifacts & seen_before)
+        return collisions
+
+
+class ObservedTransport(Transport):
+    """A wiretap: forwards calls, records the transcript."""
+
+    def __init__(self, inner: Transport):
+        self._inner = inner
+        self.transcript = TranscriptAnalysis()
+        self._lock = threading.Lock()
+        self._sequence = 0
+
+    def call(self, service: str, method: str, **kwargs: Any) -> Any:
+        with self._lock:
+            self._sequence += 1
+            self.transcript.calls.append(ObservedCall(
+                sequence=self._sequence,
+                service=service,
+                method=method,
+                artifacts=frozenset(_artifacts(kwargs)),
+            ))
+        return self._inner.call(service, method, **kwargs)
+
+    @property
+    def last_sequence(self) -> int:
+        with self._lock:
+            return self._sequence
+
+    def stats(self) -> NetworkStats:
+        return self._inner.stats()
+
+    def close(self) -> None:
+        self._inner.close()

@@ -1,0 +1,132 @@
+"""Snapshot-adversary view extraction.
+
+§2 of the paper defines the *snapshot model*: "the adversary obtains a
+snapshot of the secure index and the database, a well-motivated model for
+data breaches in the industry".  This module materialises that adversary:
+given a :class:`repro.cloud.server.CloudZone`, it extracts exactly what a
+database-dump attacker would see for each tactic's structures — and
+nothing the trusted zone holds.
+
+The extracted artifacts feed :mod:`repro.analysis.attacks`, which mounts
+the inference attacks the paper cites (frequency analysis against
+deterministic encryption, sorting attacks against order-preserving
+encryption) and shows *why* the protection-class ladder exists.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.cloud.server import CloudZone
+from repro.spi.context import service_name
+
+
+@dataclass
+class SnapshotReport:
+    """Aggregate statistics a snapshot adversary reads off one zone."""
+
+    applications: list[str] = field(default_factory=list)
+    documents: int = 0
+    document_bytes: int = 0
+    kv_entries: int = 0
+    kv_bytes: int = 0
+
+    def render(self) -> str:
+        return (
+            f"snapshot: {self.documents} encrypted documents "
+            f"({self.document_bytes:,} B), {self.kv_entries} index "
+            f"entries ({self.kv_bytes:,} B) across "
+            f"{len(self.applications)} application(s)"
+        )
+
+
+class SnapshotAdversary:
+    """Reads the untrusted zone the way a data-breach attacker would."""
+
+    def __init__(self, cloud: CloudZone, application: str):
+        self.cloud = cloud
+        self.application = application
+        self.kv, self.documents = cloud.application_stores(application)
+
+    # -- generic statistics -------------------------------------------------
+
+    def report(self) -> SnapshotReport:
+        stats = self.kv.stats()
+        return SnapshotReport(
+            applications=[self.application],
+            documents=len(self.documents),
+            document_bytes=self.documents.size_in_bytes(),
+            kv_entries=(stats["strings"] + stats["map_entries"]
+                        + stats["set_members"]),
+            kv_bytes=stats["bytes"],
+        )
+
+    # -- DET: ciphertext equality structure ------------------------------------
+
+    def det_token_histogram(self, field_name: str,
+                            schema: str = "observation",
+                            tactic: str = "det") -> dict[bytes, int]:
+        """Frequency of each DET token — visible in a raw snapshot.
+
+        The DET cloud half keeps one KV *set* per token holding the
+        matching document ids; set sizes are exactly the plaintext value
+        frequencies, which is the *equalities* leakage of class 4.
+        """
+        service = service_name(self.application,
+                               f"{schema}.{field_name}", tactic)
+        prefix = service.encode() + b"/token/"
+        histogram: dict[bytes, int] = {}
+        for name, members in self.kv._sets.items():  # noqa: SLF001
+            if name.startswith(prefix):
+                histogram[name[len(prefix):]] = len(members)
+        return histogram
+
+    # -- OPE: total order over ciphertexts ---------------------------------------
+
+    def ope_ciphertext_order(self, field_name: str,
+                             schema: str = "observation",
+                             tactic: str = "ope") -> list[tuple[int, str]]:
+        """The sorted (ciphertext, doc_id) sequence — order leakage."""
+        instance = self.cloud.tactic_instance(
+            self.application, f"{schema}.{field_name}", tactic
+        )
+        return list(instance._sorted)  # noqa: SLF001
+
+    # -- SSE: what is (not) visible ------------------------------------------------
+
+    def sse_visible_structure(self, field_name: str,
+                              schema: str = "observation",
+                              tactic: str = "mitra") -> dict[str, int]:
+        """What a snapshot shows for an SSE index: only entry counts.
+
+        For Mitra every entry sits at an independent pseudorandom
+        address, so the only statistic available is the total size — the
+        *structure*-ish snapshot face of a class-2 scheme (identifiers
+        leak only at query time, which a snapshot never sees).
+        """
+        service = service_name(self.application,
+                               f"{schema}.{field_name}", tactic)
+        prefix = service.encode()
+        entries = 0
+        byte_size = 0
+        for name, bucket in self.kv._maps.items():  # noqa: SLF001
+            if name.startswith(prefix):
+                entries += len(bucket)
+                byte_size += sum(len(k) + len(v) for k, v in bucket.items())
+        return {"entries": entries, "bytes": byte_size}
+
+    def value_frequencies_via_det(self, field_name: str,
+                                  schema: str = "observation"
+                                  ) -> list[int]:
+        """Ranked (descending) value frequencies read off DET tokens."""
+        histogram = self.det_token_histogram(field_name, schema)
+        return sorted(histogram.values(), reverse=True)
+
+
+def auxiliary_distribution(values: list) -> list[tuple[object, int]]:
+    """Build the attacker's auxiliary knowledge: a public distribution of
+    plaintext values ranked by frequency (census-style data in the
+    Naveed et al. attacks)."""
+    counts = Counter(values)
+    return sorted(counts.items(), key=lambda kv: (-kv[1], repr(kv[0])))

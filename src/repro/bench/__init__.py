@@ -1,0 +1,44 @@
+"""Benchmark harness: the Locust role of the paper's testbed.
+
+Workload generation (balanced read/write/aggregate mix), the three
+evaluation scenarios (S_A no protection, S_B hard-coded tactics, S_C
+DataBlinder), a closed-loop multi-user load generator, and renderers for
+Figure 5 and the latency table.
+"""
+
+from repro.bench.loadgen import LoadResult, run_load
+from repro.bench.metrics import MetricsRecorder, OperationStats, RunReport
+from repro.bench.report import (
+    HeadlineRatios,
+    headline_ratios,
+    render_figure5,
+    render_latency_table,
+    render_run,
+)
+from repro.bench.scenarios import (
+    HardcodedApp,
+    MiddlewareApp,
+    NoProtectionApp,
+    build_scenario,
+)
+from repro.bench.workloads import Operation, Workload, WorkloadSpec
+
+__all__ = [
+    "HardcodedApp",
+    "HeadlineRatios",
+    "LoadResult",
+    "MetricsRecorder",
+    "MiddlewareApp",
+    "NoProtectionApp",
+    "Operation",
+    "OperationStats",
+    "RunReport",
+    "Workload",
+    "WorkloadSpec",
+    "build_scenario",
+    "headline_ratios",
+    "render_figure5",
+    "render_latency_table",
+    "render_run",
+    "run_load",
+]

@@ -1,0 +1,108 @@
+"""Renderers for the paper's evaluation artifacts.
+
+ASCII equivalents of Figure 5 (per-operation and overall throughput bars
+for S_A/S_B/S_C) and the §5.2 latency percentile table, plus the derived
+headline ratios: tactic cost (S_A vs S_B) and middleware cost (S_B vs
+S_C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bench.metrics import RunReport
+
+_BAR_WIDTH = 40
+_OPERATIONS = ("insert", "eq_search", "aggregate", "overall")
+
+
+@dataclass(frozen=True)
+class HeadlineRatios:
+    """The paper's two headline numbers, recomputed from measurements."""
+
+    #: overall throughput loss of hard-coded tactics vs no protection
+    #: (paper: ~44%).
+    tactic_loss_percent: float
+    #: additional overall throughput loss of the middleware vs hard-coded
+    #: tactics (paper: ~1.4%).
+    middleware_loss_percent: float
+
+
+def headline_ratios(reports: dict[str, RunReport]) -> HeadlineRatios:
+    t_a = reports["S_A"].per_operation["overall"].throughput
+    t_b = reports["S_B"].per_operation["overall"].throughput
+    t_c = reports["S_C"].per_operation["overall"].throughput
+    tactic_loss = 100.0 * (1 - t_b / t_a) if t_a else 0.0
+    middleware_loss = 100.0 * (1 - t_c / t_b) if t_b else 0.0
+    return HeadlineRatios(tactic_loss, middleware_loss)
+
+
+def render_figure5(reports: dict[str, RunReport]) -> str:
+    """ASCII bar chart of per-operation and overall throughput."""
+    lines = ["Figure 5 — per-operation and overall throughput (ops/s)", ""]
+    maxima = {}
+    for operation in _OPERATIONS:
+        maxima[operation] = max(
+            (r.per_operation[operation].throughput
+             for r in reports.values() if operation in r.per_operation),
+            default=0.0,
+        )
+    for operation in _OPERATIONS:
+        lines.append(f"{operation}:")
+        for scenario in ("S_A", "S_B", "S_C"):
+            report = reports.get(scenario)
+            if report is None or operation not in report.per_operation:
+                continue
+            value = report.per_operation[operation].throughput
+            top = maxima[operation] or 1.0
+            bar = "#" * max(1, round(_BAR_WIDTH * value / top))
+            lines.append(f"  {scenario}  {bar:<{_BAR_WIDTH}} {value:8.1f}")
+        lines.append("")
+    ratios = headline_ratios(reports)
+    lines.append(
+        f"tactic throughput loss (S_A -> S_B): "
+        f"{ratios.tactic_loss_percent:.1f}%  (paper: ~44%)"
+    )
+    lines.append(
+        f"middleware throughput loss (S_B -> S_C): "
+        f"{ratios.middleware_loss_percent:.1f}%  (paper: ~1.4%)"
+    )
+    return "\n".join(lines)
+
+
+def render_latency_table(reports: dict[str, RunReport]) -> str:
+    """The §5.2 latency table: avg, p50, p75, p99 (milliseconds)."""
+    header = (
+        f"{'scenario':<10}{'ops':>8}{'avg ms':>10}{'p50 ms':>10}"
+        f"{'p75 ms':>10}{'p99 ms':>10}"
+    )
+    lines = ["Latency (overall, milliseconds)", header,
+             "-" * len(header)]
+    for scenario in ("S_A", "S_B", "S_C"):
+        report = reports.get(scenario)
+        if report is None:
+            continue
+        stats = report.per_operation["overall"]
+        lines.append(
+            f"{scenario:<10}{stats.count:>8}{stats.mean_ms:>10.2f}"
+            f"{stats.p50_ms:>10.2f}{stats.p75_ms:>10.2f}"
+            f"{stats.p99_ms:>10.2f}"
+        )
+    return "\n".join(lines)
+
+
+def render_run(report: RunReport) -> str:
+    """Per-operation breakdown of one run."""
+    header = (
+        f"{'operation':<12}{'count':>7}{'ops/s':>10}{'avg ms':>10}"
+        f"{'p50':>9}{'p75':>9}{'p99':>9}"
+    )
+    lines = [f"scenario {report.scenario} "
+             f"({report.elapsed_seconds:.2f}s)", header, "-" * len(header)]
+    for name, stats in sorted(report.per_operation.items()):
+        lines.append(
+            f"{name:<12}{stats.count:>7}{stats.throughput:>10.1f}"
+            f"{stats.mean_ms:>10.2f}{stats.p50_ms:>9.2f}"
+            f"{stats.p75_ms:>9.2f}{stats.p99_ms:>9.2f}"
+        )
+    return "\n".join(lines)

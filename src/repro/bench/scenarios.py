@@ -1,0 +1,225 @@
+"""The three §5.2 evaluation scenarios.
+
+* **S_A** — the application "only does data operations and does not use
+  the middleware or any tactic": plaintext documents to the cloud
+  document store, searches as plaintext filters, averages computed
+  client-side over fetched values.
+* **S_B** — "the data protection tactics are implemented hard-coded into
+  the application without using the middleware": the same 8 tactic
+  instances the benchmark schema selects (5×DET, Mitra, RND, Paillier),
+  wired by hand against the SPI implementations — the crypto work of S_C
+  without schema validation, policy, selection or dispatch.
+* **S_C** — the application uses DataBlinder.
+
+All three expose the same minimal application interface (insert /
+equality search / average), so the load generator drives them
+identically.  The S_B/S_C pair shares the exact same tactic classes and
+cloud services; the measured difference is purely the middleware layer —
+the paper's headline 1.4%.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from repro.cloud.server import CloudZone
+from repro.core.middleware import DataBlinder
+from repro.core.query import Eq
+from repro.crypto.encoding import Value
+from repro.crypto.symmetric import Aead
+from repro.fhir.model import benchmark_observation_schema
+from repro.gateway.service import GatewayRuntime
+from repro.net import message
+from repro.net.transport import Transport
+from repro.spi.descriptors import Aggregate
+from repro.core.query import AggregateQuery
+from repro.tactics.base import random_doc_id
+
+SCENARIO_NO_PROTECTION = "S_A"
+SCENARIO_HARDCODED = "S_B"
+SCENARIO_MIDDLEWARE = "S_C"
+
+#: field -> hard-coded tactic of the §5.2 benchmark (8 instances).
+HARDCODED_TACTICS = {
+    "status": "det",
+    "code": "det",
+    "effective": "det",
+    "issued": "det",
+    "value": "det",
+    "subject": "mitra",
+    "performer": "rnd",
+}
+HARDCODED_AGGREGATE_FIELD = "value"
+
+_SENSITIVE_FIELDS = tuple(HARDCODED_TACTICS)
+
+
+class ScenarioApp(Protocol):
+    """What the load generator needs from an application under test."""
+
+    name: str
+
+    def insert(self, document: dict[str, Value]) -> str: ...
+
+    def eq_search(self, field: str, value: Value) -> list[dict]: ...
+
+    def average(self, field: str, where_field: str,
+                where_value: Value) -> float | None: ...
+
+
+class NoProtectionApp:
+    """S_A: plaintext storage, no tactics, no middleware."""
+
+    name = SCENARIO_NO_PROTECTION
+
+    def __init__(self, transport: Transport, application: str = "bench-a"):
+        self._transport = transport
+        self._application = application
+        transport.call("admin", "provision_application",
+                       application=application)
+        self._docs = f"docs/{application}"
+
+    def insert(self, document: dict[str, Value]) -> str:
+        doc_id = document.get("_id") or random_doc_id()
+        payload = {k: v for k, v in document.items() if k != "_id"}
+        self._transport.call(self._docs, "insert", document={
+            "_id": doc_id, "schema": "observation", "plain": payload,
+            "body": b"",
+        })
+        return doc_id
+
+    def eq_search(self, field: str, value: Value) -> list[dict]:
+        ids = self._transport.call(self._docs, "find_plain", query={
+            f"plain.{field}": value,
+        })
+        stored = self._transport.call(self._docs, "get_many", doc_ids=ids)
+        return [dict(item["plain"], _id=item["_id"]) for item in stored]
+
+    def average(self, field: str, where_field: str,
+                where_value: Value) -> float | None:
+        matches = self.eq_search(where_field, where_value)
+        values = [m[field] for m in matches if m.get(field) is not None]
+        if not values:
+            return None
+        return sum(values) / len(values)
+
+
+class HardcodedApp:
+    """S_B: the 8 benchmark tactics wired by hand, no middleware layer.
+
+    This is what an application team would write directly against the
+    tactic implementations: fixed tactic choices, fixed field wiring,
+    explicit body encryption — and none of DataBlinder's schema
+    validation, selection, policy audit or dispatch.
+    """
+
+    name = SCENARIO_HARDCODED
+
+    def __init__(self, transport: Transport, application: str = "bench-b"):
+        self._runtime = GatewayRuntime(application, transport)
+        self._body = Aead(
+            self._runtime.keystore.derive("observation._body", "app", "aead")
+        )
+        # Hard-coded tactic instances (the inflexibility DataBlinder
+        # removes): one per field, plus Paillier on `value`.
+        self._tactics = {
+            field: self._runtime.tactic(f"observation.{field}", tactic)
+            for field, tactic in HARDCODED_TACTICS.items()
+        }
+        self._paillier = self._runtime.tactic(
+            f"observation.{HARDCODED_AGGREGATE_FIELD}", "paillier"
+        )
+
+    def insert(self, document: dict[str, Value]) -> str:
+        doc_id = document.get("_id") or random_doc_id()
+        sensitive = {
+            f: document[f] for f in _SENSITIVE_FIELDS if f in document
+        }
+        plain = {
+            k: v for k, v in document.items()
+            if k not in _SENSITIVE_FIELDS and k != "_id"
+        }
+        for field, value in sensitive.items():
+            self._tactics[field].insert(doc_id, value)
+        if HARDCODED_AGGREGATE_FIELD in sensitive:
+            self._paillier.insert(
+                doc_id, sensitive[HARDCODED_AGGREGATE_FIELD]
+            )
+        self._runtime.docs("insert", document={
+            "_id": doc_id,
+            "schema": "observation",
+            "body": self._body.encrypt(message.encode(sensitive)),
+            "plain": plain,
+        })
+        return doc_id
+
+    def _search_ids(self, field: str, value: Value) -> list[str]:
+        tactic = self._tactics[field]
+        return sorted(tactic.resolve_eq(tactic.eq_query(value)))
+
+    def eq_search(self, field: str, value: Value) -> list[dict]:
+        ids = self._search_ids(field, value)
+        stored = self._runtime.docs("get_many", doc_ids=ids)
+        documents = []
+        for item in stored:
+            document = dict(item.get("plain", {}))
+            document.update(message.decode(self._body.decrypt(item["body"])))
+            document["_id"] = item["_id"]
+            documents.append(document)
+        return documents
+
+    def average(self, field: str, where_field: str,
+                where_value: Value) -> float | None:
+        if field != HARDCODED_AGGREGATE_FIELD:
+            raise ValueError(
+                f"hard-coded application only aggregates "
+                f"{HARDCODED_AGGREGATE_FIELD!r}"
+            )
+        ids = self._search_ids(where_field, where_value)
+        if not ids:
+            return None
+        return self._paillier.aggregate("avg", ids)
+
+
+class MiddlewareApp:
+    """S_C: the same workload through DataBlinder."""
+
+    name = SCENARIO_MIDDLEWARE
+
+    def __init__(self, transport: Transport, application: str = "bench-c",
+                 verify_results: bool = False):
+        # Verification is disabled to match S_B's behaviour exactly: the
+        # hard-coded app trusts its tactics' result sets, so the fair
+        # comparison has the middleware do the same.
+        self._blinder = DataBlinder(
+            application, transport, verify_results=verify_results
+        )
+        self._blinder.register_schema(benchmark_observation_schema())
+        self._entities = self._blinder.entities("observation")
+
+    @property
+    def middleware(self) -> DataBlinder:
+        return self._blinder
+
+    def insert(self, document: dict[str, Value]) -> str:
+        return self._entities.insert(document)
+
+    def eq_search(self, field: str, value: Value) -> list[dict]:
+        return self._entities.find(Eq(field, value))
+
+    def average(self, field: str, where_field: str,
+                where_value: Value) -> float | None:
+        return self._entities.aggregate(AggregateQuery(
+            Aggregate.AVG, field, where=Eq(where_field, where_value)
+        ))
+
+
+def build_scenario(name: str, transport: Transport) -> ScenarioApp:
+    """Instantiate a scenario application by its paper name."""
+    if name == SCENARIO_NO_PROTECTION:
+        return NoProtectionApp(transport)
+    if name == SCENARIO_HARDCODED:
+        return HardcodedApp(transport)
+    if name == SCENARIO_MIDDLEWARE:
+        return MiddlewareApp(transport)
+    raise ValueError(f"unknown scenario {name!r}")

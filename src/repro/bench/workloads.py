@@ -1,0 +1,134 @@
+"""Workload generation: the §5.2 benchmark mix.
+
+The paper's experiments balance *read* (equality search protocols),
+*write* (insertions and secure indexing) and *aggregate* operations
+(search + homomorphic averages) over FHIR Observation documents.  A
+:class:`Workload` is a deterministic, seeded sequence of operations the
+load generator replays against any scenario application.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.crypto.encoding import Value
+from repro.fhir.generator import MedicalDataGenerator
+
+OP_INSERT = "insert"
+OP_EQ_SEARCH = "eq_search"
+OP_AGGREGATE = "aggregate"
+
+#: fields an equality search may target in the benchmark schema, with the
+#: hard-coded scenario's tactic for each (searchable fields only).
+SEARCHABLE_FIELDS = ("status", "code", "subject", "effective", "issued",
+                     "value")
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One replayable workload step."""
+
+    kind: str
+    document: dict[str, Value] | None = None     # insert
+    field: str = ""                              # eq_search target
+    value: Value = None                          # eq_search argument
+    agg_field: str = ""                          # aggregate target
+    where_field: str = ""                        # aggregate filter
+    where_value: Value = None
+
+
+@dataclass
+class WorkloadSpec:
+    """Mix proportions and size of one run.
+
+    Defaults mirror the paper's balance between reads, writes and
+    aggregates (a third each).
+    """
+
+    operations: int = 300
+    insert_fraction: float = 1 / 3
+    search_fraction: float = 1 / 3
+    aggregate_fraction: float = 1 / 3
+    cohort_size: int = 20
+    seed: int = 2019
+
+    def __post_init__(self) -> None:
+        total = (self.insert_fraction + self.search_fraction
+                 + self.aggregate_fraction)
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError("workload fractions must sum to 1")
+
+
+class Workload:
+    """A concrete, fully materialised operation sequence."""
+
+    def __init__(self, spec: WorkloadSpec):
+        self.spec = spec
+        self.operations: list[Operation] = []
+        self._build()
+
+    def _build(self) -> None:
+        rng = random.Random(self.spec.seed)
+        generator = MedicalDataGenerator(self.spec.seed)
+        cohort = [generator.patient() for _ in range(self.spec.cohort_size)]
+        inserted_values: dict[str, list[Value]] = {
+            field: [] for field in SEARCHABLE_FIELDS
+        }
+        subjects: list[str] = []
+
+        def remember(document: dict[str, Value]) -> None:
+            for field in SEARCHABLE_FIELDS:
+                if document.get(field) is not None:
+                    inserted_values[field].append(document[field])
+            subjects.append(document["subject"])
+
+        # Seed a few documents so early searches have data to hit.
+        seed_inserts = max(3, int(self.spec.operations
+                                  * self.spec.insert_fraction * 0.1))
+        for _ in range(seed_inserts):
+            document = generator.observation(rng.choice(cohort)).to_document()
+            remember(document)
+            self.operations.append(Operation(OP_INSERT, document=document))
+
+        remaining = self.spec.operations - seed_inserts
+        choices = [OP_INSERT, OP_EQ_SEARCH, OP_AGGREGATE]
+        weights = [self.spec.insert_fraction, self.spec.search_fraction,
+                   self.spec.aggregate_fraction]
+        for _ in range(remaining):
+            kind = rng.choices(choices, weights=weights)[0]
+            if kind == OP_INSERT:
+                document = generator.observation(
+                    rng.choice(cohort)
+                ).to_document()
+                remember(document)
+                self.operations.append(
+                    Operation(OP_INSERT, document=document)
+                )
+            elif kind == OP_EQ_SEARCH:
+                field = rng.choice(SEARCHABLE_FIELDS)
+                values = inserted_values[field]
+                value = rng.choice(values) if values else "final"
+                self.operations.append(
+                    Operation(OP_EQ_SEARCH, field=field, value=value)
+                )
+            else:
+                self.operations.append(Operation(
+                    OP_AGGREGATE,
+                    agg_field="value",
+                    where_field="subject",
+                    where_value=rng.choice(subjects),
+                ))
+
+    def __len__(self) -> int:
+        return len(self.operations)
+
+    def __iter__(self) -> Iterator[Operation]:
+        return iter(self.operations)
+
+    def mix(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for operation in self.operations:
+            counts[operation.kind] = counts.get(operation.kind, 0) + 1
+        return counts

@@ -1,0 +1,5 @@
+"""Untrusted-zone services: the cloud side of the deployment view."""
+
+from repro.cloud.server import CloudAdminService, CloudZone, DocumentService
+
+__all__ = ["CloudAdminService", "CloudZone", "DocumentService"]

@@ -1,0 +1,194 @@
+"""The untrusted zone: cloud-side services.
+
+A :class:`CloudZone` owns the cloud resources of the deployment view
+(Fig. 3) — the document store ("MongoDB"), the KV secure-index store
+("Redis") — and a :class:`repro.net.rpc.ServiceHost` exposing:
+
+* ``admin`` — provisioning: create per-application stores, instantiate
+  cloud tactic halves from the registry (the cloud side of the strategy
+  pattern's dynamic loading).
+* ``docs/<application>`` — encrypted-document CRUD.
+* ``tactic/<application>/<field>/<tactic>`` — one service per provisioned
+  cloud tactic instance.
+
+The zone is transport-agnostic: wrap ``zone.host`` in an
+:class:`repro.net.InProcTransport` for single-process runs or serve it
+with :class:`repro.net.TcpRpcServer` for a real two-process deployment.
+"""
+
+from __future__ import annotations
+
+import threading
+from pathlib import Path
+from typing import Any
+
+from repro.errors import TransportError
+from repro.net.rpc import ServiceHost
+from repro.spi.context import CloudTacticContext, service_name
+from repro.stores.docstore import Document, DocumentStore
+from repro.stores.inverted import InvertedIndex
+from repro.stores.kv import KeyValueStore
+
+
+class DocumentService:
+    """Encrypted-document CRUD over one application's docstore.
+
+    Plaintext (non-sensitive) string fields are additionally fed into an
+    inverted text index (the Elasticsearch role), so applications get
+    ranked full-text search over the data they chose *not* to protect —
+    sensitive fields never reach the index by construction (they arrive
+    as an opaque encrypted body).
+    """
+
+    def __init__(self, store: DocumentStore):
+        self._store = store
+        self._text_index = InvertedIndex()
+
+    def _index_text(self, document: Document) -> None:
+        plain = document.get("plain") or {}
+        text = " ".join(
+            value for value in plain.values() if isinstance(value, str)
+        )
+        if text.strip():
+            self._text_index.index(document["_id"], text)
+        else:
+            self._text_index.remove(document["_id"])
+
+    def insert(self, document: Document) -> str:
+        doc_id = self._store.insert(document)
+        self._index_text(document)
+        return doc_id
+
+    def insert_many(self, documents: list[Document]) -> list[str]:
+        """Bulk insert: one RPC for a whole batch of encrypted bodies."""
+        return [self.insert(document) for document in documents]
+
+    def get(self, doc_id: str) -> Document:
+        return self._store.get(doc_id)
+
+    def get_many(self, doc_ids: list[str]) -> list[Document]:
+        return self._store.get_many(doc_ids)
+
+    def replace(self, document: Document) -> None:
+        self._store.replace(document)
+        self._index_text(document)
+
+    def delete(self, doc_id: str) -> bool:
+        existed = self._store.delete(doc_id)
+        if existed:
+            self._text_index.remove(doc_id)
+        return existed
+
+    def count(self, query: Document | None = None) -> int:
+        return self._store.count(query)
+
+    def all_ids(self, schema: str | None = None) -> list[str]:
+        if schema is None:
+            return self._store.all_ids()
+        return [d["_id"] for d in self._store.find({"schema": schema})]
+
+    def find_plain(self, query: Document,
+                   limit: int | None = None) -> list[str]:
+        """Filter scan over plaintext (non-sensitive) sub-fields."""
+        return [d["_id"] for d in self._store.find(query, limit=limit)]
+
+    def find_text(self, query: str, limit: int = 10,
+                  require_all: bool = False) -> list[tuple[str, float]]:
+        """Ranked full-text search over plaintext string fields."""
+        return [
+            (hit.doc_id, hit.score)
+            for hit in self._text_index.search(query, limit=limit,
+                                               require_all=require_all)
+        ]
+
+
+class CloudAdminService:
+    """Provisioning endpoint the gateway drives at schema registration."""
+
+    def __init__(self, zone: "CloudZone"):
+        self._zone = zone
+
+    def provision_application(self, application: str) -> str:
+        self._zone.application_stores(application)
+        return f"docs/{application}"
+
+    def provision_tactic(self, application: str, field: str,
+                         tactic: str) -> str:
+        return self._zone.provision_tactic(application, field, tactic)
+
+    def list_services(self) -> list[str]:
+        return self._zone.host.service_names()
+
+
+class CloudZone:
+    """The whole untrusted zone in one object."""
+
+    def __init__(self, registry=None, data_dir: str | Path | None = None):
+        if registry is None:
+            from repro.core.registry import default_registry
+
+            registry = default_registry()
+        self.registry = registry
+        self.host = ServiceHost()
+        self._data_dir = Path(data_dir) if data_dir else None
+        self._kv: dict[str, KeyValueStore] = {}
+        self._documents: dict[str, DocumentStore] = {}
+        self._lock = threading.RLock()
+        self.host.register("admin", CloudAdminService(self))
+
+    # -- per-application resources ---------------------------------------------
+
+    def application_stores(self, application: str
+                           ) -> tuple[KeyValueStore, DocumentStore]:
+        with self._lock:
+            if application not in self._kv:
+                if self._data_dir is not None:
+                    base = self._data_dir / application
+                    kv = KeyValueStore(base, name="index")
+                    documents = DocumentStore(base, name="documents")
+                else:
+                    kv = KeyValueStore()
+                    documents = DocumentStore()
+                self._kv[application] = kv
+                self._documents[application] = documents
+                self.host.register(
+                    f"docs/{application}", DocumentService(documents)
+                )
+            return self._kv[application], self._documents[application]
+
+    # -- tactic provisioning -------------------------------------------------------
+
+    def provision_tactic(self, application: str, field: str,
+                         tactic: str) -> str:
+        """Instantiate and expose one cloud tactic half (idempotent)."""
+        name = service_name(application, field, tactic)
+        with self._lock:
+            try:
+                self.host.get(name)
+                return name  # already provisioned
+            except TransportError:
+                pass
+            kv, documents = self.application_stores(application)
+            registration = self.registry.get(tactic)
+            context = CloudTacticContext(
+                application=application,
+                field=field,
+                tactic=tactic,
+                kv=kv,
+                documents=documents,
+            )
+            instance = registration.cloud_cls(context)
+            self.host.register(name, instance)
+            return name
+
+    def tactic_instance(self, application: str, field: str,
+                        tactic: str) -> Any:
+        """Direct access to a provisioned instance (tests, metrics)."""
+        return self.host.get(service_name(application, field, tactic))
+
+    def close(self) -> None:
+        with self._lock:
+            for store in self._kv.values():
+                store.close()
+            for store in self._documents.values():
+                store.close()

@@ -1,0 +1,39 @@
+"""Middleware core: the paper's primary contribution.
+
+Schemas and annotations (Fig. 2), adaptive tactic selection, policy
+enforcement, the query executor and the DataBlinder facade.
+"""
+
+from repro.core.entities import Entities
+from repro.core.middleware import DataBlinder
+from repro.core.query import (
+    AggregateQuery,
+    And,
+    Eq,
+    Not,
+    Or,
+    Predicate,
+    Range,
+)
+from repro.core.registry import TacticRegistry, default_registry
+from repro.core.schema import FieldAnnotation, FieldSpec, Schema
+from repro.core.selection import FieldPlan, TacticSelector
+
+__all__ = [
+    "AggregateQuery",
+    "And",
+    "DataBlinder",
+    "Entities",
+    "Eq",
+    "FieldAnnotation",
+    "FieldPlan",
+    "FieldSpec",
+    "Not",
+    "Or",
+    "Predicate",
+    "Range",
+    "Schema",
+    "TacticRegistry",
+    "TacticSelector",
+    "default_registry",
+]

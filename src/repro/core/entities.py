@@ -1,0 +1,137 @@
+"""The *Entities* interface: the data-access API applications program to.
+
+Fig. 3 exposes three gateway interfaces to the trusted-zone applications;
+``Entities`` is the data one — regular CRUD plus the search and aggregate
+operations of the Fig. 2 model.  It is a thin façade over the
+:class:`repro.core.executor.SchemaExecutor`; applications never touch
+keys, tactics or ciphertexts.
+"""
+
+from __future__ import annotations
+
+from repro.core.executor import SchemaExecutor
+from repro.core.query import AggregateQuery, Eq, Predicate, Range
+from repro.crypto.encoding import Value
+from repro.spi.descriptors import Aggregate
+
+
+class Entities:
+    """CRUD + search + aggregates over one registered schema.
+
+    >>> entities = middleware.entities("observation")   # doctest: +SKIP
+    >>> doc_id = entities.insert({"status": "final", "value": 6.3})
+    >>> entities.find(Eq("status", "final"))
+    """
+
+    def __init__(self, executor: SchemaExecutor):
+        self._executor = executor
+
+    @property
+    def schema_name(self) -> str:
+        return self._executor.schema.name
+
+    # -- CRUD -----------------------------------------------------------------
+
+    def insert(self, document: dict[str, Value]) -> str:
+        """Insert a document; returns its (possibly generated) id."""
+        return self._executor.insert(document)
+
+    def insert_many(self, documents: list[dict[str, Value]]) -> list[str]:
+        """Bulk insert; encrypted bodies ship in one round trip."""
+        return self._executor.insert_many(documents)
+
+    def get(self, doc_id: str) -> dict[str, Value]:
+        """Fetch and decrypt one document by id."""
+        return self._executor.get(doc_id)
+
+    def update(self, doc_id: str, changes: dict[str, Value]) -> None:
+        """Merge ``changes`` into the stored document and re-index."""
+        self._executor.update(doc_id, changes)
+
+    def delete(self, doc_id: str) -> bool:
+        """Delete a document; returns whether it existed."""
+        return self._executor.delete(doc_id)
+
+    # -- search ------------------------------------------------------------------
+
+    def find(self, predicate: Predicate | None = None,
+             verify: bool | None = None,
+             limit: int | None = None) -> list[dict[str, Value]]:
+        """Search; returns decrypted documents.
+
+        With ``verify`` left at its default, candidates are re-checked
+        against the plaintext predicate after decryption, so results are
+        exact regardless of tactic approximations.  ``limit`` bounds both
+        the result set and the candidate transfer.
+        """
+        return self._executor.find(predicate, verify=verify, limit=limit)
+
+    def find_one(self, predicate: Predicate) -> dict[str, Value] | None:
+        results = self._executor.find(predicate, limit=1)
+        return results[0] if results else None
+
+    def find_ids(self, predicate: Predicate | None = None) -> set[str]:
+        return self._executor.find_ids(predicate)
+
+    def count(self, predicate: Predicate | None = None) -> int:
+        return self._executor.count(predicate)
+
+    # -- aggregates ----------------------------------------------------------------
+
+    def aggregate(self, query: AggregateQuery) -> Value:
+        """Run an aggregate (cloud-side homomorphic evaluation)."""
+        return self._executor.aggregate(query)
+
+    def average(self, field: str,
+                where: Predicate | None = None) -> Value:
+        return self.aggregate(AggregateQuery(Aggregate.AVG, field, where))
+
+    def sum(self, field: str, where: Predicate | None = None) -> Value:
+        return self.aggregate(AggregateQuery(Aggregate.SUM, field, where))
+
+    def min(self, field: str, where: Predicate | None = None) -> Value:
+        """Smallest value, served off the order tactic's sorted index."""
+        return self.aggregate(AggregateQuery(Aggregate.MIN, field, where))
+
+    def max(self, field: str, where: Predicate | None = None) -> Value:
+        """Largest value, served off the order tactic's sorted index."""
+        return self.aggregate(AggregateQuery(Aggregate.MAX, field, where))
+
+    def find_sorted(self, field: str, limit: int | None = None,
+                    descending: bool = False) -> list[dict[str, Value]]:
+        """Documents ordered by a range-annotated field (ORDER BY)."""
+        return self._executor.find_sorted(field, limit=limit,
+                                          descending=descending)
+
+    def text_search(self, query: str, limit: int = 10,
+                    require_all: bool = False) -> list[dict[str, Value]]:
+        """Ranked full-text search over *non-sensitive* string fields.
+
+        Sensitive fields never reach the cloud's text index (they travel
+        as an opaque encrypted body), so this searches exactly what the
+        schema chose to leave public.
+        """
+        hits = self._executor.runtime.docs(
+            "find_text", query=query, limit=limit,
+            require_all=require_all,
+        )
+        ids = [doc_id for doc_id, _ in hits]
+        stored = self._executor.runtime.docs("get_many", doc_ids=ids)
+        by_id = {item["_id"]: item for item in stored}
+        results = []
+        for doc_id in ids:
+            item = by_id.get(doc_id)
+            if item is None or item.get("schema") != self.schema_name:
+                continue
+            results.append(self._executor._decrypt_stored(item))
+        return results
+
+    # -- convenience predicates -------------------------------------------------------
+
+    @staticmethod
+    def eq(field: str, value: Value) -> Eq:
+        return Eq(field, value)
+
+    @staticmethod
+    def between(field: str, low: Value, high: Value) -> Range:
+        return Range(field, low, high)

@@ -1,0 +1,548 @@
+"""Query planning and execution over one registered schema.
+
+The executor is the middleware-core's "abstract execution of the
+persistence logic" (§4.1): it binds a schema's field plans to live tactic
+instances, routes every CRUD and search operation to the right gateway
+SPI, and performs the gateway-side resolution steps — combining per-tactic
+id sets, decrypting document bodies, and verifying candidates against the
+plaintext predicate (the *<Read>* interfaces Table 1 folds into every
+search operation).
+
+Verification makes the whole pipeline sound under the approximations the
+tactics are allowed: BIEX-ZMF false positives, stale entries from
+insert-as-upsert range tactics and addition-only Sophos updates are all
+trimmed here, so ``find`` always returns exactly the matching documents.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.query import (
+    AggregateQuery,
+    And,
+    Eq,
+    Not,
+    Or,
+    Predicate,
+    Range,
+    evaluate_plain,
+    to_cnf,
+)
+from repro.core.schema import Schema
+from repro.core.selection import FieldPlan
+from repro.crypto.encoding import Value
+from repro.crypto.symmetric import Aead
+from repro.errors import (
+    DocumentNotFound,
+    QueryError,
+    RemoteError,
+    UnsupportedOperation,
+)
+from repro.gateway.service import GatewayRuntime
+from repro.net import message
+from repro.spi.interfaces import (
+    GatewayDeletion,
+    GatewayDocIDGen,
+    GatewayInsertion,
+    GatewayUpdate,
+)
+from repro.tactics.base import random_doc_id
+from repro.tactics.biex import BiexGateway
+
+BOOL_SCOPE_SUFFIX = "._bool"
+
+
+class SchemaExecutor:
+    """All persistence logic for one (application, schema) binding."""
+
+    def __init__(self, runtime: GatewayRuntime, schema: Schema,
+                 plans: dict[str, FieldPlan], verify_results: bool = True,
+                 pad_bucket: int = 0):
+        self.runtime = runtime
+        self.schema = schema
+        self.plans = plans
+        self.verify_results = verify_results
+        #: When positive, body plaintexts are padded up to a multiple of
+        #: this many bytes before encryption, hiding exact value lengths
+        #: from a snapshot adversary (the taxonomy's "things which can be
+        #: hidden by padding").
+        self.pad_bucket = pad_bucket
+        self._body_aead = Aead(
+            runtime.keystore.derive(f"{schema.name}._body", "core", "aead")
+        )
+        self._instances: dict[str, dict[str, Any]] = {}
+        self._bool_instance: BiexGateway | None = None
+        self._load_instances()
+
+    # -- instance wiring ---------------------------------------------------------
+
+    def _bool_scope(self) -> str:
+        return self.schema.name + BOOL_SCOPE_SUFFIX
+
+    def _load_instances(self) -> None:
+        registry = self.runtime.registry
+        for field, plan in self.plans.items():
+            by_role: dict[str, Any] = {}
+            for role, tactic_name in plan.roles.items():
+                if issubclass(registry.get(tactic_name).gateway_cls,
+                              BiexGateway):
+                    # Boolean tactics index cross-field terms, so a single
+                    # instance is shared by every BL field of the schema.
+                    scope = self._bool_scope()
+                else:
+                    scope = f"{self.schema.name}.{field}"
+                instance = self.runtime.tactic(scope, tactic_name)
+                by_role[role] = instance
+                if isinstance(instance, BiexGateway):
+                    self._bool_instance = instance
+            self._instances[field] = by_role
+
+    def _role_instance(self, field: str, role: str) -> Any | None:
+        return self._instances.get(field, {}).get(role)
+
+    def _field_instances(self, field: str) -> list[Any]:
+        """Distinct tactic instances bound to a field."""
+        seen: list[Any] = []
+        for role in sorted(self._instances.get(field, {})):
+            instance = self._instances[field][role]
+            if all(instance is not s for s in seen):
+                seen.append(instance)
+        return seen
+
+    # -- body encryption ------------------------------------------------------------
+
+    def _seal_body(self, sensitive: dict[str, Value]) -> bytes:
+        payload = message.encode(sensitive)
+        if self.pad_bucket > 0:
+            framed = len(payload).to_bytes(4, "big") + payload
+            padded_length = -(-len(framed) // self.pad_bucket) * (
+                self.pad_bucket
+            )
+            payload = framed + bytes(padded_length - len(framed))
+        return self._body_aead.encrypt(payload)
+
+    def _open_body(self, blob: bytes) -> dict[str, Value]:
+        payload = self._body_aead.decrypt(blob)
+        if self.pad_bucket > 0:
+            length = int.from_bytes(payload[:4], "big")
+            payload = payload[4:4 + length]
+        return message.decode(payload)
+
+    def _split_document(self, document: dict[str, Value]
+                        ) -> tuple[dict[str, Value], dict[str, Value]]:
+        sensitive: dict[str, Value] = {}
+        plain: dict[str, Value] = {}
+        for name, value in document.items():
+            if name == "_id":
+                continue
+            spec = self.schema.fields.get(name)
+            if spec is not None and spec.sensitive:
+                sensitive[name] = value
+            else:
+                plain[name] = value
+        return sensitive, plain
+
+    # -- CRUD --------------------------------------------------------------------------
+
+    def insert(self, document: dict[str, Value]) -> str:
+        self.schema.validate(document)
+        doc_id = document.get("_id") or self._generate_doc_id()
+        sensitive, plain = self._split_document(document)
+        bool_terms: list[bytes] = []
+        for field, value in sensitive.items():
+            if value is None:
+                continue
+            for instance in self._field_instances(field):
+                if instance is self._bool_instance:
+                    bool_terms.append(instance.term(field, value))
+                elif isinstance(instance, GatewayInsertion):
+                    instance.insert(doc_id, value)
+        if bool_terms and self._bool_instance is not None:
+            self._bool_instance.insert_terms(doc_id, bool_terms)
+        self.runtime.docs("insert", document={
+            "_id": doc_id,
+            "schema": self.schema.name,
+            "body": self._seal_body(sensitive),
+            "plain": plain,
+        })
+        return doc_id
+
+    def insert_many(self, documents: list[dict[str, Value]]) -> list[str]:
+        """Bulk insert: tactic protocols run per document, but all the
+        encrypted bodies ship to the document store in one round trip."""
+        stored = []
+        doc_ids = []
+        for document in documents:
+            self.schema.validate(document)
+            doc_id = document.get("_id") or self._generate_doc_id()
+            sensitive, plain = self._split_document(document)
+            bool_terms: list[bytes] = []
+            for field, value in sensitive.items():
+                if value is None:
+                    continue
+                for instance in self._field_instances(field):
+                    if instance is self._bool_instance:
+                        bool_terms.append(instance.term(field, value))
+                    elif isinstance(instance, GatewayInsertion):
+                        instance.insert(doc_id, value)
+            if bool_terms and self._bool_instance is not None:
+                self._bool_instance.insert_terms(doc_id, bool_terms)
+            stored.append({
+                "_id": doc_id,
+                "schema": self.schema.name,
+                "body": self._seal_body(sensitive),
+                "plain": plain,
+            })
+            doc_ids.append(doc_id)
+        if stored:
+            self.runtime.docs("insert_many", documents=stored)
+        return doc_ids
+
+    def _generate_doc_id(self) -> str:
+        for by_role in self._instances.values():
+            for instance in by_role.values():
+                if isinstance(instance, GatewayDocIDGen):
+                    return instance.generate_doc_id()
+        return random_doc_id()
+
+    def get(self, doc_id: str) -> dict[str, Value]:
+        stored = self.runtime.docs("get", doc_id=doc_id)
+        return self._decrypt_stored(stored)
+
+    def _decrypt_stored(self, stored: dict) -> dict[str, Value]:
+        if stored.get("schema") != self.schema.name:
+            raise DocumentNotFound(
+                f"{stored.get('_id')!r} belongs to schema "
+                f"{stored.get('schema')!r}"
+            )
+        document = dict(stored.get("plain", {}))
+        document.update(self._open_body(stored["body"]))
+        document["_id"] = stored["_id"]
+        return document
+
+    def update(self, doc_id: str, changes: dict[str, Value]) -> None:
+        old = self.get(doc_id)
+        new = {k: v for k, v in old.items() if k != "_id"}
+        new.update({k: v for k, v in changes.items() if k != "_id"})
+        self.schema.validate(new)
+
+        old_sensitive, _ = self._split_document(old)
+        new_sensitive, new_plain = self._split_document(new)
+
+        bool_changed = False
+        for field in set(old_sensitive) | set(new_sensitive):
+            old_value = old_sensitive.get(field)
+            new_value = new_sensitive.get(field)
+            if old_value == new_value:
+                continue
+            for instance in self._field_instances(field):
+                if instance is self._bool_instance:
+                    bool_changed = True
+                elif isinstance(instance, GatewayUpdate) and (
+                    old_value is not None and new_value is not None
+                ):
+                    instance.update(doc_id, old_value, new_value)
+                elif new_value is not None and isinstance(
+                    instance, GatewayInsertion
+                ):
+                    if old_value is not None and isinstance(
+                        instance, GatewayDeletion
+                    ):
+                        instance.delete(doc_id, old_value)
+                    instance.insert(doc_id, new_value)
+                elif new_value is None and old_value is not None and (
+                    isinstance(instance, GatewayDeletion)
+                ):
+                    instance.delete(doc_id, old_value)
+        if bool_changed and self._bool_instance is not None:
+            self._bool_instance.update_terms(
+                doc_id,
+                self._bool_terms(old_sensitive),
+                self._bool_terms(new_sensitive),
+            )
+        self.runtime.docs("replace", document={
+            "_id": doc_id,
+            "schema": self.schema.name,
+            "body": self._seal_body(new_sensitive),
+            "plain": new_plain,
+        })
+
+    def _bool_terms(self, sensitive: dict[str, Value]) -> list[bytes]:
+        terms = []
+        if self._bool_instance is None:
+            return terms
+        for field, value in sensitive.items():
+            if value is None:
+                continue
+            if any(
+                instance is self._bool_instance
+                for instance in self._field_instances(field)
+            ):
+                terms.append(self._bool_instance.term(field, value))
+        return terms
+
+    def delete(self, doc_id: str) -> bool:
+        try:
+            old = self.get(doc_id)
+        except (DocumentNotFound, RemoteError):
+            return False
+        old_sensitive, _ = self._split_document(old)
+        for field, value in old_sensitive.items():
+            if value is None:
+                continue
+            for instance in self._field_instances(field):
+                if instance is self._bool_instance:
+                    continue
+                if isinstance(instance, GatewayDeletion):
+                    instance.delete(doc_id, value)
+        if self._bool_instance is not None:
+            terms = self._bool_terms(old_sensitive)
+            if terms:
+                self._bool_instance.delete_terms(doc_id, terms)
+        return bool(self.runtime.docs("delete", doc_id=doc_id))
+
+    # -- search ------------------------------------------------------------------------
+
+    def find(self, predicate: Predicate | None = None,
+             verify: bool | None = None,
+             limit: int | None = None) -> list[dict[str, Value]]:
+        verify = self.verify_results if verify is None else verify
+        if predicate is None:
+            ids = set(self.runtime.docs("all_ids", schema=self.schema.name))
+        else:
+            ids = self._candidate_ids(predicate)
+        documents: list[dict[str, Value]] = []
+        candidate_ids = sorted(ids)
+        # Fetch in chunks so a small limit does not pull the whole
+        # candidate set across the wire.
+        chunk_size = 64 if limit is None else max(limit * 2, 16)
+        for offset in range(0, len(candidate_ids), chunk_size):
+            chunk = candidate_ids[offset:offset + chunk_size]
+            stored = self.runtime.docs("get_many", doc_ids=chunk)
+            for item in stored:
+                if item.get("schema") != self.schema.name:
+                    continue
+                document = self._decrypt_stored(item)
+                if verify and predicate is not None and not evaluate_plain(
+                    predicate, document
+                ):
+                    continue
+                documents.append(document)
+                if limit is not None and len(documents) >= limit:
+                    return documents
+        return documents
+
+    def find_ids(self, predicate: Predicate | None = None,
+                 verify: bool | None = None) -> set[str]:
+        verify = self.verify_results if verify is None else verify
+        if verify or predicate is None:
+            return {d["_id"] for d in self.find(predicate, verify=verify)}
+        return self._candidate_ids(predicate)
+
+    def count(self, predicate: Predicate | None = None) -> int:
+        if predicate is None:
+            return self.runtime.docs(
+                "count", query={"schema": self.schema.name}
+            )
+        return len(self.find_ids(predicate))
+
+    # -- candidate generation ------------------------------------------------------------
+
+    def _candidate_ids(self, predicate: Predicate) -> set[str]:
+        cnf = to_cnf(predicate)
+        boolean_clauses: list[list[Eq]] = []
+        other_clauses: list[list[Predicate]] = []
+        for clause in cnf:
+            if self._bool_instance is not None and all(
+                isinstance(literal, Eq)
+                and self._uses_bool_tactic(literal.field)
+                for literal in clause
+            ):
+                boolean_clauses.append(clause)  # type: ignore[arg-type]
+            else:
+                other_clauses.append(clause)
+
+        result: set[str] | None = None
+        if boolean_clauses:
+            cnf_terms = [
+                [
+                    self._bool_instance.term(literal.field, literal.value)
+                    for literal in clause
+                ]
+                for clause in boolean_clauses
+            ]
+            raw = self._bool_instance.bool_query_terms(cnf_terms)
+            result = self._bool_instance.resolve_bool(raw)
+        for clause in other_clauses:
+            if result is not None and not result:
+                return set()  # short-circuit: intersection already empty
+            union: set[str] = set()
+            for literal in clause:
+                union |= self._literal_ids(literal)
+            result = union if result is None else result & union
+        return result if result is not None else set()
+
+    def _uses_bool_tactic(self, field: str) -> bool:
+        by_role = self._instances.get(field, {})
+        return any(
+            by_role.get(role) is self._bool_instance
+            for role in ("bool", "eq")
+        )
+
+    def _literal_ids(self, literal: Predicate) -> set[str]:
+        if isinstance(literal, Not):
+            all_ids = set(
+                self.runtime.docs("all_ids", schema=self.schema.name)
+            )
+            return all_ids - self._literal_ids(literal.part)
+        if isinstance(literal, Eq):
+            return self._eq_ids(literal)
+        if isinstance(literal, Range):
+            return self._range_ids(literal)
+        raise QueryError(
+            f"cannot execute literal of type {type(literal).__name__}"
+        )
+
+    def _eq_ids(self, literal: Eq) -> set[str]:
+        spec = self.schema.fields.get(literal.field)
+        if spec is None:
+            raise QueryError(
+                f"unknown field {literal.field!r} in schema "
+                f"{self.schema.name!r}"
+            )
+        if not spec.sensitive:
+            return set(self.runtime.docs("find_plain", query={
+                "schema": self.schema.name,
+                f"plain.{literal.field}": literal.value,
+            }))
+        instance = self._role_instance(literal.field, "eq")
+        if instance is None:
+            raise UnsupportedOperation(
+                f"field {literal.field!r} is not annotated for equality "
+                f"search (op EQ)"
+            )
+        if isinstance(instance, BiexGateway):
+            # BIEX serves equality through its boolean protocol (it has no
+            # separate EqResolution interface — Table 2 SPI surface), and
+            # the shared cross-field instance needs the literal's field to
+            # build the term.
+            raw = instance.bool_query_terms(
+                [[instance.term(literal.field, literal.value)]]
+            )
+            return instance.resolve_bool(raw)
+        return instance.resolve_eq(instance.eq_query(literal.value))
+
+    def _range_ids(self, literal: Range) -> set[str]:
+        spec = self.schema.fields.get(literal.field)
+        if spec is None:
+            raise QueryError(
+                f"unknown field {literal.field!r} in schema "
+                f"{self.schema.name!r}"
+            )
+        if not spec.sensitive:
+            bounds: dict[str, Value] = {}
+            if literal.low is not None:
+                bounds["$gte"] = literal.low
+            if literal.high is not None:
+                bounds["$lte"] = literal.high
+            return set(self.runtime.docs("find_plain", query={
+                "schema": self.schema.name,
+                f"plain.{literal.field}": bounds,
+            }))
+        instance = self._role_instance(literal.field, "range")
+        if instance is None:
+            raise UnsupportedOperation(
+                f"field {literal.field!r} is not annotated for range "
+                f"search (op RG)"
+            )
+        return instance.range_query(literal.low, literal.high)
+
+    # -- aggregates ---------------------------------------------------------------------------
+
+    def aggregate(self, query: AggregateQuery) -> Value:
+        role = f"agg:{query.function.value}"
+        instance = self._role_instance(query.field, role)
+        if instance is None:
+            if query.function.value == "count":
+                return self.count(query.where)
+            raise UnsupportedOperation(
+                f"field {query.field!r} is not annotated for aggregate "
+                f"{query.function.value!r}"
+            )
+        if query.function.value in ("min", "max"):
+            return self._extreme(query, instance)
+        if query.where is None:
+            doc_ids = sorted(
+                self.runtime.docs("all_ids", schema=self.schema.name)
+            )
+        else:
+            doc_ids = sorted(self.find_ids(query.where))
+        return instance.aggregate(query.function.value, doc_ids)
+
+    def _extreme(self, query: AggregateQuery, instance: Any) -> Value:
+        """Min/max off the order tactic's sorted index.
+
+        Candidates stream in value order; each is fetched, decrypted and
+        verified (stale upsert entries or a filter predicate may discard
+        the head of the list), and the first surviving value wins.
+        """
+        descending = query.function.value == "max"
+        allowed: set[str] | None = None
+        if query.where is not None:
+            allowed = self.find_ids(query.where)
+            if not allowed:
+                return None
+        offset = 0
+        batch = 16
+        ordered = instance.ordered_ids(descending=descending)
+        while offset < len(ordered):
+            chunk = ordered[offset:offset + batch]
+            offset += batch
+            candidates = [
+                doc_id for doc_id in chunk
+                if allowed is None or doc_id in allowed
+            ]
+            if not candidates:
+                continue
+            stored = self.runtime.docs("get_many", doc_ids=candidates)
+            by_id = {item["_id"]: item for item in stored}
+            for doc_id in candidates:
+                item = by_id.get(doc_id)
+                if item is None or item.get("schema") != self.schema.name:
+                    continue
+                document = self._decrypt_stored(item)
+                value = document.get(query.field)
+                if value is None:
+                    continue
+                # The index is insert-as-upsert, so live documents are
+                # current; deleted ones were skipped by get_many above.
+                return value
+        return None
+
+    def find_sorted(self, field: str, limit: int | None = None,
+                    descending: bool = False) -> list[dict[str, Value]]:
+        """Documents ordered by a range-annotated field (ORDER BY)."""
+        instance = self._role_instance(field, "range")
+        if instance is None:
+            raise UnsupportedOperation(
+                f"field {field!r} is not annotated for range/order "
+                f"operations (op RG)"
+            )
+        ordered = instance.ordered_ids(descending=descending)
+        results: list[dict[str, Value]] = []
+        offset = 0
+        while offset < len(ordered) and (limit is None
+                                         or len(results) < limit):
+            chunk = ordered[offset:offset + 32]
+            offset += 32
+            stored = self.runtime.docs("get_many", doc_ids=chunk)
+            by_id = {item["_id"]: item for item in stored}
+            for doc_id in chunk:
+                item = by_id.get(doc_id)
+                if item is None or item.get("schema") != self.schema.name:
+                    continue
+                results.append(self._decrypt_stored(item))
+                if limit is not None and len(results) >= limit:
+                    break
+        return results

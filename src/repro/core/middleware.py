@@ -1,0 +1,192 @@
+"""The DataBlinder facade: wiring the four subsystems together.
+
+One :class:`DataBlinder` per application, deployed in the trusted zone
+(the data protection gateway of Fig. 3).  It exposes the three gateway
+interfaces of the deployment view:
+
+* **Schema** — :meth:`register_schema` annotates a schema, runs adaptive
+  tactic selection, audits the resulting plans against the weakest-link
+  policy, provisions both zones, and persists the metadata.
+* **Entities** — :meth:`entities` returns the data-access API bound to a
+  registered schema.
+* **Keys** — the :class:`repro.keys.keystore.KeyStore` (HSM-backed) is
+  owned here and injected into every tactic.
+
+Typical use::
+
+    cloud = CloudZone()
+    transport = InProcTransport(cloud.host)
+    blinder = DataBlinder("ehealth", transport)
+    blinder.register_schema(observation_schema)
+    observations = blinder.entities("observation")
+    observations.insert({...})
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.core.entities import Entities
+from repro.core.executor import SchemaExecutor
+from repro.core.metadata import MetadataRepository
+from repro.core.policy import (
+    FieldPolicyReport,
+    audit_plans,
+    render_policy_table,
+)
+from repro.core.registry import TacticRegistry, default_registry
+from repro.core.schema import Schema
+from repro.core.selection import TacticSelector
+from repro.errors import SchemaError
+from repro.gateway.service import GatewayRuntime
+from repro.keys.keystore import KeyStore
+from repro.net.transport import Transport
+from repro.stores.kv import KeyValueStore
+
+
+class DataBlinder:
+    """Distributed data protection middleware, gateway side."""
+
+    def __init__(self, application: str, transport: Transport,
+                 registry: TacticRegistry | None = None,
+                 keystore: KeyStore | None = None,
+                 local_kv: KeyValueStore | None = None,
+                 verify_results: bool = True,
+                 pad_bucket: int = 0):
+        self.registry = registry or default_registry()
+        self.runtime = GatewayRuntime(
+            application, transport, self.registry, keystore, local_kv
+        )
+        self.metadata = MetadataRepository(self.runtime.local_kv)
+        self.selector = TacticSelector(self.registry)
+        self.verify_results = verify_results
+        #: Optional body padding bucket (bytes); 0 disables padding.
+        self.pad_bucket = pad_bucket
+        self._executors: dict[str, SchemaExecutor] = {}
+        self._lock = threading.RLock()
+
+    @property
+    def application(self) -> str:
+        return self.runtime.application
+
+    # -- Schema interface ---------------------------------------------------------
+
+    def register_schema(self, schema: Schema) -> list[FieldPolicyReport]:
+        """Plan, audit, provision and persist one schema.
+
+        Returns the per-field policy reports (the §5.1 table); raises
+        :class:`repro.errors.PolicyError` if any selected tactic set
+        would leak above its field's annotated class.
+        """
+        with self._lock:
+            if schema.name in self._executors:
+                raise SchemaError(
+                    f"schema {schema.name!r} is already registered"
+                )
+            plans = self.selector.plan_schema(schema)
+            reports = audit_plans(plans, self.registry)
+            executor = SchemaExecutor(
+                self.runtime, schema, plans,
+                verify_results=self.verify_results,
+                pad_bucket=self.pad_bucket,
+            )
+            self.metadata.save_schema(schema, plans)
+            self._executors[schema.name] = executor
+            return reports
+
+    def restore_schema(self, name: str) -> list[FieldPolicyReport]:
+        """Reload a previously registered schema from stored metadata."""
+        with self._lock:
+            if name in self._executors:
+                raise SchemaError(f"schema {name!r} is already registered")
+            schema = self.metadata.load_schema(name)
+            plans = self.metadata.load_plans(name)
+            reports = audit_plans(plans, self.registry)
+            self._executors[name] = SchemaExecutor(
+                self.runtime, schema, plans,
+                verify_results=self.verify_results,
+                pad_bucket=self.pad_bucket,
+            )
+            return reports
+
+    def schema_names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._executors)
+
+    def migrate_schema(self, schema_name: str,
+                       new_schema: Schema | None = None
+                       ) -> list[FieldPolicyReport]:
+        """Re-plan a schema and re-encrypt/re-index its corpus.
+
+        The operational half of crypto agility: after a registry change
+        (a scheme retired or a better one registered) or an annotation
+        change (``new_schema``), this re-runs adaptive selection, audits
+        the new plans, and migrates every stored document — each is read
+        and decrypted under the old configuration, its old index entries
+        are removed, and it is re-inserted under the new plans with the
+        same document id.  Cloud services of retired tactics remain
+        provisioned but hold no live entries afterwards.
+
+        The migration is a stop-the-world drill (documents are briefly
+        absent between delete and re-insert); run it in a maintenance
+        window, as an operator would.
+        """
+        with self._lock:
+            old_executor = self._executor(schema_name)
+            schema = new_schema if new_schema is not None else (
+                old_executor.schema
+            )
+            if schema.name != schema_name:
+                raise SchemaError(
+                    "migration cannot rename a schema "
+                    f"({schema.name!r} != {schema_name!r})"
+                )
+            plans = self.selector.plan_schema(schema)
+            reports = audit_plans(plans, self.registry)
+            new_executor = SchemaExecutor(
+                self.runtime, schema, plans,
+                verify_results=self.verify_results,
+                pad_bucket=self.pad_bucket,
+            )
+            doc_ids = self.runtime.docs("all_ids", schema=schema_name)
+            for doc_id in doc_ids:
+                document = old_executor.get(doc_id)
+                old_executor.delete(doc_id)
+                document["_id"] = doc_id
+                new_executor.insert(document)
+            self.metadata.save_schema(schema, plans)
+            self._executors[schema_name] = new_executor
+            return reports
+
+    def policy_report(self, schema_name: str) -> str:
+        """Human-readable policy table for a registered schema."""
+        executor = self._executor(schema_name)
+        reports = audit_plans(executor.plans, self.registry)
+        return render_policy_table(reports)
+
+    # -- Entities interface ------------------------------------------------------------
+
+    def entities(self, schema_name: str) -> Entities:
+        return Entities(self._executor(schema_name))
+
+    def _executor(self, schema_name: str) -> SchemaExecutor:
+        with self._lock:
+            executor = self._executors.get(schema_name)
+        if executor is None:
+            raise SchemaError(
+                f"schema {schema_name!r} is not registered; call "
+                f"register_schema or restore_schema first"
+            )
+        return executor
+
+    # -- Keys interface -------------------------------------------------------------------
+
+    @property
+    def keystore(self) -> KeyStore:
+        return self.runtime.keystore
+
+    # -- Telemetry --------------------------------------------------------------------------
+
+    def metrics_report(self) -> str:
+        """Per-tactic runtime cost report (Fig. 1 performance metrics)."""
+        return self.runtime.metrics.render()

@@ -1,0 +1,114 @@
+"""Data protection policy validation and reporting.
+
+The gateway enforces that every deployed field plan keeps the weakest-link
+protection level within the annotated class, and can render the §5.1-style
+policy report (annotation, selected tactics, reason) used by the use-case
+benchmark and the examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.registry import TacticRegistry
+from repro.core.selection import FieldPlan
+from repro.errors import PolicyError
+from repro.spi.leakage import LeakageLevel, ProtectionClass, weakest_link
+
+
+@dataclass(frozen=True)
+class FieldPolicyReport:
+    field: str
+    annotation: str
+    tactics: list[str]
+    effective_level: LeakageLevel | None
+    effective_class: ProtectionClass | None
+    reasons: dict[str, str]
+    compliant: bool
+
+
+def audit_plan(plan: FieldPlan, registry: TacticRegistry
+               ) -> FieldPolicyReport:
+    """Audit one field plan against its annotation."""
+    levels = []
+    for name in plan.tactic_names:
+        descriptor = registry.descriptor(name)
+        if descriptor.protection_class is not None:
+            levels.append(descriptor.leakage.level)
+    effective = weakest_link(levels) if levels else None
+    compliant = (
+        effective is None
+        or plan.annotation.protection_class.tolerates(effective)
+    )
+    return FieldPolicyReport(
+        field=plan.field,
+        annotation=plan.annotation.describe(),
+        tactics=plan.tactic_names,
+        effective_level=effective,
+        effective_class=(
+            ProtectionClass(int(effective)) if effective else None
+        ),
+        reasons=plan.reasons,
+        compliant=compliant,
+    )
+
+
+def audit_plans(plans: dict[str, FieldPlan], registry: TacticRegistry
+                ) -> list[FieldPolicyReport]:
+    reports = [audit_plan(plan, registry) for plan in plans.values()]
+    violations = [r.field for r in reports if not r.compliant]
+    if violations:
+        raise PolicyError(
+            f"policy violation on fields {violations}: selected tactics "
+            f"leak above the annotated class"
+        )
+    return reports
+
+
+def render_leakage_matrix(registry: TacticRegistry) -> str:
+    """Per-operation leakage matrix (§3.1: leakage is reified *per
+    operation*, not just per tactic).
+
+    Rows are tactics, columns the protocol operations; cells show the
+    leakage level (1=structure .. 5=order), with ``f`` marking
+    forward-private update paths.
+    """
+    operations = ["insert", "update", "delete", "eq_search",
+                  "bool_search", "range_search", "aggregate", "read"]
+    header = f"{'tactic':<14}" + "".join(f"{op:<13}" for op in operations)
+    lines = ["Per-operation leakage (1=structure .. 5=order, "
+             "f=forward private)", header, "-" * len(header)]
+    for registration in registry.all():
+        descriptor = registration.descriptor
+        cells = []
+        for operation in operations:
+            leakage = descriptor.leakage.for_operation(operation)
+            if leakage is None:
+                cells.append(f"{'-':<13}")
+            else:
+                marker = f"{int(leakage.level)}"
+                if leakage.forward_private:
+                    marker += "f"
+                cells.append(f"{marker:<13}")
+        lines.append(f"{descriptor.name:<14}" + "".join(cells))
+    return "\n".join(lines)
+
+
+def render_policy_table(reports: list[FieldPolicyReport]) -> str:
+    """ASCII rendering of the §5.1 'Sensitives / Tactic Selection / Reason'
+    table."""
+    rows = [("Sensitives", "Tactic Selection", "Reason")]
+    for report in sorted(reports, key=lambda r: r.field):
+        reason = "; ".join(
+            report.reasons.get(t, "") for t in report.tactics
+        ).strip("; ")
+        rows.append((report.field, ", ".join(report.tactics), reason))
+    widths = [max(len(row[i]) for row in rows) for i in range(3)]
+    lines = []
+    for index, row in enumerate(rows):
+        lines.append(
+            "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+        )
+        if index == 0:
+            lines.append("-" * (sum(widths) + 4))
+    return "\n".join(lines)

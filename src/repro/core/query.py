@@ -1,0 +1,208 @@
+"""Query AST: predicates and aggregates of the data-access model (§3.2).
+
+Applications express searches as combinator trees — ``Eq``, ``And``,
+``Or``, ``Not``, ``Range`` — optionally wrapped in an aggregate function.
+The executor normalises predicate trees to CNF (the form the boolean
+tactics consume) and maps each component onto a selected tactic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.crypto.encoding import Value
+from repro.errors import QueryError
+from repro.spi.descriptors import Aggregate
+
+
+class Predicate:
+    """Base class of all search predicates."""
+
+    def fields(self) -> set[str]:
+        raise NotImplementedError
+
+    def __and__(self, other: "Predicate") -> "And":
+        return And([self, other])
+
+    def __or__(self, other: "Predicate") -> "Or":
+        return Or([self, other])
+
+    def __invert__(self) -> "Not":
+        return Not(self)
+
+
+@dataclass(frozen=True)
+class Eq(Predicate):
+    """``field == value`` (equality search)."""
+
+    field: str
+    value: Value
+
+    def fields(self) -> set[str]:
+        return {self.field}
+
+
+@dataclass(frozen=True)
+class Range(Predicate):
+    """``low <= field <= high``; either bound may be None (open)."""
+
+    field: str
+    low: Value = None
+    high: Value = None
+
+    def __post_init__(self) -> None:
+        if self.low is None and self.high is None:
+            raise QueryError("range predicate needs at least one bound")
+
+    def fields(self) -> set[str]:
+        return {self.field}
+
+
+@dataclass(frozen=True)
+class And(Predicate):
+    parts: tuple[Predicate, ...]
+
+    def __init__(self, parts: list[Predicate] | tuple[Predicate, ...]):
+        if not parts:
+            raise QueryError("empty conjunction")
+        object.__setattr__(self, "parts", tuple(parts))
+
+    def fields(self) -> set[str]:
+        return set().union(*(p.fields() for p in self.parts))
+
+
+@dataclass(frozen=True)
+class Or(Predicate):
+    parts: tuple[Predicate, ...]
+
+    def __init__(self, parts: list[Predicate] | tuple[Predicate, ...]):
+        if not parts:
+            raise QueryError("empty disjunction")
+        object.__setattr__(self, "parts", tuple(parts))
+
+    def fields(self) -> set[str]:
+        return set().union(*(p.fields() for p in self.parts))
+
+
+@dataclass(frozen=True)
+class Not(Predicate):
+    part: Predicate
+
+    def fields(self) -> set[str]:
+        return self.part.fields()
+
+
+@dataclass(frozen=True)
+class AggregateQuery:
+    """An aggregate function over a field, optionally filtered.
+
+    Example: *the average heart rate of a patient* is
+    ``AggregateQuery(Aggregate.AVG, "value", where=Eq("subject", ...))``.
+    """
+
+    function: Aggregate
+    field: str
+    where: Predicate | None = None
+
+
+# ---------------------------------------------------------------------------
+# Normalisation
+# ---------------------------------------------------------------------------
+
+
+def push_negations(predicate: Predicate) -> Predicate:
+    """Rewrite to negation normal form (NNF).
+
+    Negations of equalities cannot be pushed into a search tactic; they
+    survive as ``Not(Eq)`` leaves and are applied by the executor as a
+    gateway-side set difference.
+    """
+    if isinstance(predicate, Not):
+        inner = predicate.part
+        if isinstance(inner, Not):
+            return push_negations(inner.part)
+        if isinstance(inner, And):
+            return Or([push_negations(Not(p)) for p in inner.parts])
+        if isinstance(inner, Or):
+            return And([push_negations(Not(p)) for p in inner.parts])
+        return predicate  # Not(Eq) / Not(Range) leaf
+    if isinstance(predicate, And):
+        return And([push_negations(p) for p in predicate.parts])
+    if isinstance(predicate, Or):
+        return Or([push_negations(p) for p in predicate.parts])
+    return predicate
+
+
+def to_cnf(predicate: Predicate) -> list[list[Predicate]]:
+    """Convert an NNF predicate into CNF clauses (lists of literal leaves).
+
+    Distribution can blow up exponentially for adversarial inputs; typical
+    application queries (the paper's boolean search examples) are shallow.
+    """
+    predicate = push_negations(predicate)
+
+    def cnf(p: Predicate) -> list[list[Predicate]]:
+        if isinstance(p, And):
+            clauses: list[list[Predicate]] = []
+            for part in p.parts:
+                clauses.extend(cnf(part))
+            return clauses
+        if isinstance(p, Or):
+            product: list[list[Predicate]] = [[]]
+            for part in p.parts:
+                part_clauses = cnf(part)
+                product = [
+                    existing + clause
+                    for existing in product
+                    for clause in part_clauses
+                ]
+                if len(product) > 512:
+                    raise QueryError("boolean query too complex to normalise")
+            return product
+        return [[p]]
+
+    # Deduplicate literals inside each clause.
+    normalised = []
+    for clause in cnf(predicate):
+        unique: list[Predicate] = []
+        for literal in clause:
+            if literal not in unique:
+                unique.append(literal)
+        normalised.append(unique)
+    return normalised
+
+
+def iter_literals(predicate: Predicate) -> Iterator[Predicate]:
+    """Yield the leaf literals (Eq/Range/Not-leaf) of a predicate tree."""
+    if isinstance(predicate, (And, Or)):
+        for part in predicate.parts:
+            yield from iter_literals(part)
+    elif isinstance(predicate, Not) and isinstance(predicate.part,
+                                                   (And, Or, Not)):
+        yield from iter_literals(push_negations(predicate))
+    else:
+        yield predicate
+
+
+def evaluate_plain(predicate: Predicate, document: dict) -> bool:
+    """Reference evaluation over a plaintext document (baseline S_A and
+    result verification in tests)."""
+    if isinstance(predicate, Eq):
+        return document.get(predicate.field) == predicate.value
+    if isinstance(predicate, Range):
+        value = document.get(predicate.field)
+        if value is None:
+            return False
+        if predicate.low is not None and value < predicate.low:
+            return False
+        if predicate.high is not None and value > predicate.high:
+            return False
+        return True
+    if isinstance(predicate, And):
+        return all(evaluate_plain(p, document) for p in predicate.parts)
+    if isinstance(predicate, Or):
+        return any(evaluate_plain(p, document) for p in predicate.parts)
+    if isinstance(predicate, Not):
+        return not evaluate_plain(predicate.part, document)
+    raise QueryError(f"unknown predicate {type(predicate).__name__}")

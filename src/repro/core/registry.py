@@ -1,0 +1,122 @@
+"""Tactic registry: the pluggable architecture's loading point.
+
+Tactic providers register a :class:`repro.spi.descriptors.TacticDescriptor`
+together with their gateway and cloud implementation classes.  The
+middleware looks implementations up here and instantiates them lazily per
+``(application, field, tactic)`` — the strategy-pattern "dynamic loading
+at runtime" of §4.2.  The registry validates at registration time that
+implementation classes actually implement the mandatory Setup SPI, so a
+broken plugin fails fast rather than at first query.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from repro.errors import RegistryError
+from repro.spi.descriptors import (
+    Aggregate,
+    Operation,
+    TacticDescriptor,
+    implemented_interfaces,
+)
+from repro.spi.interfaces import CloudSetup, GatewaySetup
+
+
+@dataclass(frozen=True)
+class TacticRegistration:
+    descriptor: TacticDescriptor
+    gateway_cls: type
+    cloud_cls: type
+
+    @property
+    def name(self) -> str:
+        return self.descriptor.name
+
+    def spi_summary(self) -> dict[str, list[str]]:
+        return {
+            "gateway": implemented_interfaces(self.gateway_cls, "gateway"),
+            "cloud": implemented_interfaces(self.cloud_cls, "cloud"),
+        }
+
+
+class TacticRegistry:
+    """Thread-safe name -> registration mapping."""
+
+    def __init__(self) -> None:
+        self._registrations: dict[str, TacticRegistration] = {}
+        self._lock = threading.RLock()
+
+    def register(self, descriptor: TacticDescriptor, gateway_cls: type,
+                 cloud_cls: type, replace: bool = False) -> None:
+        if not issubclass(gateway_cls, GatewaySetup):
+            raise RegistryError(
+                f"{gateway_cls.__name__} does not implement the mandatory "
+                f"gateway Setup interface"
+            )
+        if not issubclass(cloud_cls, CloudSetup):
+            raise RegistryError(
+                f"{cloud_cls.__name__} does not implement the mandatory "
+                f"cloud Setup interface"
+            )
+        with self._lock:
+            if descriptor.name in self._registrations and not replace:
+                raise RegistryError(
+                    f"tactic {descriptor.name!r} already registered"
+                )
+            self._registrations[descriptor.name] = TacticRegistration(
+                descriptor, gateway_cls, cloud_cls
+            )
+
+    def unregister(self, name: str) -> None:
+        with self._lock:
+            if self._registrations.pop(name, None) is None:
+                raise RegistryError(f"tactic {name!r} is not registered")
+
+    def get(self, name: str) -> TacticRegistration:
+        with self._lock:
+            registration = self._registrations.get(name)
+        if registration is None:
+            raise RegistryError(f"tactic {name!r} is not registered")
+        return registration
+
+    def descriptor(self, name: str) -> TacticDescriptor:
+        return self.get(name).descriptor
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._registrations)
+
+    def all(self) -> list[TacticRegistration]:
+        with self._lock:
+            return [self._registrations[n] for n in sorted(self._registrations)]
+
+    def supporting(self, operation: Operation) -> list[TacticDescriptor]:
+        return [
+            r.descriptor for r in self.all()
+            if r.descriptor.supports(operation)
+        ]
+
+    def supporting_aggregate(self, aggregate: Aggregate
+                             ) -> list[TacticDescriptor]:
+        return [
+            r.descriptor for r in self.all()
+            if r.descriptor.supports_aggregate(aggregate)
+        ]
+
+
+_default_registry: TacticRegistry | None = None
+_default_lock = threading.Lock()
+
+
+def default_registry() -> TacticRegistry:
+    """The process-wide registry with all built-in tactics loaded."""
+    global _default_registry
+    with _default_lock:
+        if _default_registry is None:
+            _default_registry = TacticRegistry()
+            from repro.tactics import register_builtin_tactics
+
+            register_builtin_tactics(_default_registry)
+        return _default_registry

@@ -1,0 +1,233 @@
+"""Schemas and field annotations: the *Schema* interface of the gateway.
+
+Applications "define and annotate data schemas and data protection
+metadata" (§4).  A :class:`Schema` names the document type, declares its
+fields, and attaches a :class:`FieldAnnotation` to each sensitive field —
+the Fig. 2 model: a protection class plus the required data-access
+operations and aggregate functions.
+
+The §5.1 FHIR Observation example annotates, e.g.::
+
+    value: C3, op [I, EQ, BL], agg [avg]
+
+which this module spells::
+
+    FieldAnnotation.parse("C3", ops="I,EQ,BL", aggs="avg")
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dataclass_field
+
+from repro.crypto.encoding import Value
+from repro.errors import SchemaError, SchemaValidationError
+from repro.spi.descriptors import Aggregate, Operation
+from repro.spi.leakage import ProtectionClass
+
+_SCALAR_TYPES = {
+    "string": str,
+    "int": int,
+    "float": (int, float),
+    "bool": bool,
+    "bytes": bytes,
+}
+
+
+@dataclass(frozen=True)
+class FieldAnnotation:
+    """Protection requirements of one sensitive field (Fig. 2)."""
+
+    protection_class: ProtectionClass
+    operations: frozenset[Operation]
+    aggregates: frozenset[Aggregate] = frozenset()
+
+    @classmethod
+    def parse(cls, protection_class: ProtectionClass | int | str,
+              ops: str | list[str] = "I",
+              aggs: str | list[str] = ()) -> "FieldAnnotation":
+        """Parse the paper's compact annotation notation."""
+        if isinstance(ops, str):
+            ops = [o for o in ops.replace(" ", "").split(",") if o]
+        if isinstance(aggs, str):
+            aggs = [a for a in aggs.replace(" ", "").split(",") if a]
+        operations = frozenset(Operation.parse(o) for o in ops)
+        if Operation.INSERT not in operations:
+            raise SchemaError(
+                "every sensitive field must allow insertion (op I)"
+            )
+        return cls(
+            protection_class=ProtectionClass.parse(protection_class),
+            operations=operations,
+            aggregates=frozenset(Aggregate.parse(a) for a in aggs),
+        )
+
+    def requires(self, operation: Operation) -> bool:
+        return operation in self.operations
+
+    def describe(self) -> str:
+        ops = ",".join(sorted(o.value for o in self.operations))
+        text = f"C{int(self.protection_class)}, op [{ops}]"
+        if self.aggregates:
+            aggs = ",".join(sorted(a.value for a in self.aggregates))
+            text += f", agg [{aggs}]"
+        return text
+
+
+@dataclass(frozen=True)
+class FieldSpec:
+    """One declared document field."""
+
+    name: str
+    field_type: str = "string"
+    required: bool = False
+    annotation: FieldAnnotation | None = None
+
+    def __post_init__(self) -> None:
+        if self.field_type not in _SCALAR_TYPES:
+            raise SchemaError(
+                f"field {self.name!r}: unknown type {self.field_type!r} "
+                f"(expected one of {sorted(_SCALAR_TYPES)})"
+            )
+
+    @property
+    def sensitive(self) -> bool:
+        return self.annotation is not None
+
+    def validate_value(self, value: Value) -> None:
+        if value is None:
+            if self.required:
+                raise SchemaValidationError(
+                    f"required field {self.name!r} is missing"
+                )
+            return
+        expected = _SCALAR_TYPES[self.field_type]
+        if isinstance(value, bool) and self.field_type != "bool":
+            raise SchemaValidationError(
+                f"field {self.name!r}: expected {self.field_type}, got bool"
+            )
+        if not isinstance(value, expected):
+            raise SchemaValidationError(
+                f"field {self.name!r}: expected {self.field_type}, "
+                f"got {type(value).__name__}"
+            )
+
+
+class Schema:
+    """A named document schema with per-field protection annotations."""
+
+    def __init__(self, name: str, fields: list[FieldSpec]):
+        if not name:
+            raise SchemaError("schema name must be non-empty")
+        if not fields:
+            raise SchemaError("schema must declare at least one field")
+        names = [f.name for f in fields]
+        if len(set(names)) != len(names):
+            raise SchemaError("duplicate field names in schema")
+        self.name = name
+        self.fields: dict[str, FieldSpec] = {f.name: f for f in fields}
+
+    # -- construction helpers ------------------------------------------------
+
+    @classmethod
+    def define(cls, name: str, /,
+               **fields: "FieldSpec | tuple | str") -> "Schema":
+        """Compact schema construction.
+
+        Values may be a :class:`FieldSpec`, a bare type string for
+        non-sensitive fields, or ``(type, FieldAnnotation)`` for sensitive
+        ones::
+
+            Schema.define(
+                "observation",
+                id="string",
+                value=("float", FieldAnnotation.parse("C3", "I,EQ,BL",
+                                                      "avg")),
+            )
+        """
+        specs = []
+        for field_name, spec in fields.items():
+            if isinstance(spec, FieldSpec):
+                specs.append(spec)
+            elif isinstance(spec, str):
+                specs.append(FieldSpec(field_name, spec))
+            elif isinstance(spec, tuple) and len(spec) == 2:
+                field_type, annotation = spec
+                specs.append(
+                    FieldSpec(field_name, field_type, annotation=annotation)
+                )
+            else:
+                raise SchemaError(
+                    f"field {field_name!r}: cannot interpret spec {spec!r}"
+                )
+        return cls(name, specs)
+
+    # -- queries over the schema ------------------------------------------------
+
+    def sensitive_fields(self) -> list[FieldSpec]:
+        return [f for f in self.fields.values() if f.sensitive]
+
+    def plain_fields(self) -> list[FieldSpec]:
+        return [f for f in self.fields.values() if not f.sensitive]
+
+    def annotation(self, field_name: str) -> FieldAnnotation:
+        spec = self.fields.get(field_name)
+        if spec is None:
+            raise SchemaError(
+                f"schema {self.name!r} has no field {field_name!r}"
+            )
+        if spec.annotation is None:
+            raise SchemaError(f"field {field_name!r} is not sensitive")
+        return spec.annotation
+
+    # -- document validation ------------------------------------------------------
+
+    def validate(self, document: dict[str, Value]) -> None:
+        """Check a document against the schema (schema management's
+        validation duty, §4.1)."""
+        unknown = set(document) - set(self.fields) - {"_id"}
+        if unknown:
+            raise SchemaValidationError(
+                f"unknown fields {sorted(unknown)} for schema {self.name!r}"
+            )
+        for spec in self.fields.values():
+            spec.validate_value(document.get(spec.name))
+
+    # -- (de)serialisation for the metadata subsystem ---------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "fields": [
+                {
+                    "name": f.name,
+                    "type": f.field_type,
+                    "required": f.required,
+                    "annotation": None if f.annotation is None else {
+                        "class": int(f.annotation.protection_class),
+                        "ops": sorted(
+                            o.value for o in f.annotation.operations
+                        ),
+                        "aggs": sorted(
+                            a.value for a in f.annotation.aggregates
+                        ),
+                    },
+                }
+                for f in self.fields.values()
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Schema":
+        specs = []
+        for item in data["fields"]:
+            annotation = None
+            if item.get("annotation"):
+                raw = item["annotation"]
+                annotation = FieldAnnotation.parse(
+                    raw["class"], raw["ops"], raw.get("aggs", ())
+                )
+            specs.append(
+                FieldSpec(item["name"], item["type"],
+                          item.get("required", False), annotation)
+            )
+        return cls(data["name"], specs)

@@ -1,0 +1,91 @@
+"""Canonical byte encoding of field values.
+
+Deterministic tactics (DET, SSE token derivation, OPE/ORE) need a stable,
+injective mapping from application-level values to bytes: two equal values
+must encode identically, and distinct values must never collide.  JSON is
+unsuitable (key ordering, float formatting), so a small tagged binary codec
+is used instead.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.errors import CryptoError
+
+Value = None | bool | int | float | str | bytes
+
+_TAG_NONE = b"N"
+_TAG_TRUE = b"T"
+_TAG_FALSE = b"F"
+_TAG_INT = b"I"
+_TAG_FLOAT = b"D"
+_TAG_STR = b"S"
+_TAG_BYTES = b"B"
+
+
+def encode_value(value: Value) -> bytes:
+    """Encode a scalar field value into canonical tagged bytes."""
+    if value is None:
+        return _TAG_NONE
+    if value is True:
+        return _TAG_TRUE
+    if value is False:
+        return _TAG_FALSE
+    if isinstance(value, int):
+        length = max(1, (value.bit_length() + 8) // 8)  # room for sign
+        return _TAG_INT + value.to_bytes(length, "big", signed=True)
+    if isinstance(value, float):
+        return _TAG_FLOAT + struct.pack(">d", value)
+    if isinstance(value, str):
+        return _TAG_STR + value.encode("utf-8")
+    if isinstance(value, (bytes, bytearray)):
+        return _TAG_BYTES + bytes(value)
+    raise CryptoError(f"cannot encode value of type {type(value).__name__}")
+
+
+def decode_value(data: bytes) -> Value:
+    """Inverse of :func:`encode_value`."""
+    if not data:
+        raise CryptoError("empty encoded value")
+    tag, body = data[:1], data[1:]
+    if tag == _TAG_NONE:
+        return None
+    if tag == _TAG_TRUE:
+        return True
+    if tag == _TAG_FALSE:
+        return False
+    if tag == _TAG_INT:
+        return int.from_bytes(body, "big", signed=True)
+    if tag == _TAG_FLOAT:
+        return struct.unpack(">d", body)[0]
+    if tag == _TAG_STR:
+        return body.decode("utf-8")
+    if tag == _TAG_BYTES:
+        return body
+    raise CryptoError(f"unknown value tag {tag!r}")
+
+
+def value_to_ordered_int(value: int | float, *, bits: int = 64) -> int:
+    """Map a numeric value onto a non-negative order-preserving integer.
+
+    OPE/ORE operate over an integer domain; signed integers and floats are
+    mapped into ``[0, 2**bits)`` such that ``a < b`` iff ``map(a) < map(b)``
+    across the mixed int/float domain (both are routed through the IEEE-754
+    total order on doubles).
+    """
+    as_float = float(value)
+    if as_float == 0.0:
+        as_float = 0.0  # collapse -0.0 onto +0.0 (they compare equal)
+    packed = struct.unpack(">Q", struct.pack(">d", as_float))[0]
+    # IEEE-754 trick: setting the sign bit on non-negatives and inverting
+    # all bits on negatives yields an unsigned order-preserving image.
+    if packed >> 63:  # negative float: invert everything
+        ordered = (1 << 64) - 1 - packed
+    else:
+        ordered = packed | (1 << 63)
+    if bits < 64:
+        ordered >>= 64 - bits
+    elif bits > 64:
+        ordered <<= bits - 64
+    return ordered

@@ -1,0 +1,179 @@
+"""The Paillier partially homomorphic cryptosystem (Paillier, 1999).
+
+Replaces the Javallier library the paper's prototype used.  Supports:
+
+* additive homomorphism: ``E(a) * E(b) = E(a + b)``;
+* scalar multiplication: ``E(a) ** k = E(a * k)``;
+* signed integers (two's-complement style embedding in Z_n);
+* fixed-point reals via :class:`FixedPointCodec`, which the Paillier
+  aggregate tactic uses to average heart rates / glucose values.
+
+The simplified variant with generator ``g = n + 1`` is implemented, which
+reduces encryption to one modular exponentiation of the random mask.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.primitives.numbers import (
+    RandBelow,
+    egcd,
+    generate_distinct_primes,
+    invmod,
+    lcm,
+)
+from repro.errors import CryptoError
+
+DEFAULT_KEY_BITS = 1024
+
+
+@dataclass(frozen=True)
+class PaillierPublicKey:
+    n: int
+
+    @property
+    def n_squared(self) -> int:
+        return self.n * self.n
+
+    @property
+    def max_plaintext(self) -> int:
+        """Largest magnitude representable after the signed embedding."""
+        return (self.n - 1) // 3
+
+
+@dataclass(frozen=True)
+class PaillierPrivateKey:
+    public: PaillierPublicKey
+    lam: int  # lcm(p-1, q-1)
+    mu: int   # (L(g^lam mod n^2))^-1 mod n
+
+
+@dataclass(frozen=True)
+class Ciphertext:
+    """A Paillier ciphertext bound to its public key.
+
+    Arithmetic operators implement the homomorphic operations so calling
+    code reads like plaintext arithmetic: ``e1 + e2``, ``e1 * 3``.
+    """
+
+    public: PaillierPublicKey
+    value: int
+
+    def __add__(self, other: "Ciphertext") -> "Ciphertext":
+        if not isinstance(other, Ciphertext):
+            return NotImplemented
+        if other.public != self.public:
+            raise CryptoError("cannot add ciphertexts under different keys")
+        return Ciphertext(
+            self.public, self.value * other.value % self.public.n_squared
+        )
+
+    def add_plain(self, scalar: int) -> "Ciphertext":
+        g_m = pow(self.public.n + 1, scalar % self.public.n_squared,
+                  self.public.n_squared)
+        return Ciphertext(
+            self.public, self.value * g_m % self.public.n_squared
+        )
+
+    def __mul__(self, scalar: int) -> "Ciphertext":
+        if not isinstance(scalar, int):
+            return NotImplemented
+        if scalar < 0:
+            inverted = invmod(self.value, self.public.n_squared)
+            return Ciphertext(
+                self.public,
+                pow(inverted, -scalar, self.public.n_squared),
+            )
+        return Ciphertext(
+            self.public, pow(self.value, scalar, self.public.n_squared)
+        )
+
+    __rmul__ = __mul__
+
+    def to_int(self) -> int:
+        return self.value
+
+
+def generate_keypair(bits: int = DEFAULT_KEY_BITS,
+                     randbelow: RandBelow | None = None) -> PaillierPrivateKey:
+    """Generate a Paillier keypair with an (approximately) ``bits``-bit n."""
+    if bits < 64:
+        raise CryptoError("key too small")
+    while True:
+        p, q = generate_distinct_primes(bits // 2, 2, randbelow)
+        if egcd(p * q, (p - 1) * (q - 1))[0] != 1:
+            continue
+        n = p * q
+        public = PaillierPublicKey(n)
+        lam = lcm(p - 1, q - 1)
+        # With g = n + 1: L(g^lam mod n^2) = lam mod n, so mu = lam^-1.
+        mu = invmod(lam, n)
+        return PaillierPrivateKey(public=public, lam=lam, mu=mu)
+
+
+def _embed_signed(public: PaillierPublicKey, message: int) -> int:
+    if abs(message) > public.max_plaintext:
+        raise CryptoError("plaintext magnitude exceeds key capacity")
+    return message % public.n
+
+
+def _unembed_signed(public: PaillierPublicKey, residue: int) -> int:
+    # Values in the upper third of Z_n decode as negatives.
+    if residue > public.n - public.max_plaintext - 1:
+        return residue - public.n
+    return residue
+
+
+def encrypt(public: PaillierPublicKey, message: int,
+            randbelow: RandBelow | None = None) -> Ciphertext:
+    """Encrypt a signed integer."""
+    import secrets
+
+    randbelow = randbelow or secrets.randbelow
+    m = _embed_signed(public, message)
+    n = public.n
+    n_sq = public.n_squared
+    while True:
+        r = randbelow(n - 1) + 1
+        if egcd(r, n)[0] == 1:
+            break
+    # g = n + 1 => g^m = 1 + m*n (mod n^2), avoiding one exponentiation.
+    c = (1 + m * n) % n_sq * pow(r, n, n_sq) % n_sq
+    return Ciphertext(public, c)
+
+
+def decrypt(private: PaillierPrivateKey, ciphertext: Ciphertext) -> int:
+    public = private.public
+    if ciphertext.public != public:
+        raise CryptoError("ciphertext was produced under a different key")
+    n = public.n
+    u = pow(ciphertext.value, private.lam, public.n_squared)
+    l_value = (u - 1) // n
+    residue = l_value * private.mu % n
+    return _unembed_signed(public, residue)
+
+
+class FixedPointCodec:
+    """Fixed-point embedding of reals into the Paillier plaintext space.
+
+    ``scale`` decimal digits of precision are kept.  Averages computed over
+    homomorphic sums divide the decoded sum by the count at the gateway —
+    exactly the AggFunctionResolution step of the paper's SPI (Table 1).
+    """
+
+    def __init__(self, scale: int = 6):
+        if scale < 0 or scale > 18:
+            raise CryptoError("scale out of supported range")
+        self.factor = 10 ** scale
+
+    def encode(self, value: float | int) -> int:
+        return round(value * self.factor)
+
+    def decode(self, encoded: int) -> float:
+        return encoded / self.factor
+
+    def decode_mean(self, encoded_sum: int, count: int) -> float:
+        if count <= 0:
+            raise CryptoError("mean over empty population")
+        return encoded_sum / self.factor / count

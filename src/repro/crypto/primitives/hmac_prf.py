@@ -1,0 +1,88 @@
+"""Keyed hashing: PRF, HKDF and pseudorandom generation.
+
+HMAC-SHA256 serves as the pseudorandom function underlying every searchable
+encryption tactic (token derivation, label derivation, per-keyword keys)
+and as the extract/expand core of HKDF (RFC 5869), which the key
+management subsystem uses to derive per-field, per-tactic keys from a
+master key.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+
+from repro.errors import CryptoError
+
+DIGEST_SIZE = hashlib.sha256().digest_size  # 32
+
+
+def prf(key: bytes, *parts: bytes) -> bytes:
+    """HMAC-SHA256 PRF over the unambiguous concatenation of ``parts``.
+
+    Each part is length-prefixed so that ``prf(k, b"ab", b"c")`` and
+    ``prf(k, b"a", b"bc")`` differ.
+    """
+    if not key:
+        raise CryptoError("PRF key must be non-empty")
+    mac = hmac.new(key, digestmod=hashlib.sha256)
+    for part in parts:
+        mac.update(len(part).to_bytes(8, "big"))
+        mac.update(part)
+    return mac.digest()
+
+
+def prf_int(key: bytes, *parts: bytes, bits: int = 64) -> int:
+    """PRF output truncated to a ``bits``-bit non-negative integer."""
+    if bits < 1 or bits > 8 * DIGEST_SIZE:
+        raise CryptoError("bits out of range for a single PRF block")
+    value = int.from_bytes(prf(key, *parts), "big")
+    return value >> (8 * DIGEST_SIZE - bits)
+
+
+def hkdf_extract(salt: bytes, ikm: bytes) -> bytes:
+    return hmac.new(salt or bytes(DIGEST_SIZE), ikm, hashlib.sha256).digest()
+
+
+def hkdf_expand(prk: bytes, info: bytes, length: int) -> bytes:
+    if length > 255 * DIGEST_SIZE:
+        raise CryptoError("HKDF output too long")
+    blocks = []
+    previous = b""
+    counter = 1
+    while sum(len(b) for b in blocks) < length:
+        previous = hmac.new(
+            prk, previous + info + bytes([counter]), hashlib.sha256
+        ).digest()
+        blocks.append(previous)
+        counter += 1
+    return b"".join(blocks)[:length]
+
+
+def hkdf(ikm: bytes, info: bytes, length: int = 32,
+         salt: bytes = b"") -> bytes:
+    """RFC 5869 HKDF-SHA256 (extract then expand)."""
+    return hkdf_expand(hkdf_extract(salt, ikm), info, length)
+
+
+def prg(seed: bytes, length: int, label: bytes = b"prg") -> bytes:
+    """Deterministic pseudorandom byte stream expanded from ``seed``.
+
+    Counter-mode HMAC expansion; used wherever a tactic needs many
+    pseudorandom bytes from one PRF output (e.g. OPE coin streams).
+    """
+    out = bytearray()
+    counter = 0
+    while len(out) < length:
+        out += prf(seed, label, counter.to_bytes(8, "big"))
+        counter += 1
+    return bytes(out[:length])
+
+
+def hash_bytes(*parts: bytes) -> bytes:
+    """Plain SHA-256 over length-prefixed parts (collision-resistant id)."""
+    digest = hashlib.sha256()
+    for part in parts:
+        digest.update(len(part).to_bytes(8, "big"))
+        digest.update(part)
+    return digest.digest()

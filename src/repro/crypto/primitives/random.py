@@ -1,0 +1,62 @@
+"""Randomness abstraction.
+
+Production code paths draw from the operating system CSPRNG via
+:mod:`secrets`; tests and reproducible benchmarks inject a
+:class:`DeterministicRandom` seeded from a PRF stream so that every run of
+an experiment sees the same coins without weakening the default.
+"""
+
+from __future__ import annotations
+
+import secrets
+
+from repro.crypto.primitives.hmac_prf import prf
+
+
+class SystemRandom:
+    """CSPRNG-backed source (the default)."""
+
+    def token_bytes(self, length: int) -> bytes:
+        return secrets.token_bytes(length)
+
+    def randbelow(self, upper: int) -> int:
+        return secrets.randbelow(upper)
+
+
+class DeterministicRandom:
+    """PRF-counter stream cipher as a reproducible randomness source.
+
+    Not a security weakening in tests only: instances are constructed
+    explicitly and never used by default.
+    """
+
+    def __init__(self, seed: bytes | str):
+        if isinstance(seed, str):
+            seed = seed.encode()
+        self._seed = seed or b"\x00"
+        self._counter = 0
+        self._buffer = b""
+
+    def token_bytes(self, length: int) -> bytes:
+        while len(self._buffer) < length:
+            self._buffer += prf(
+                self._seed, b"drbg", self._counter.to_bytes(8, "big")
+            )
+            self._counter += 1
+        out, self._buffer = self._buffer[:length], self._buffer[length:]
+        return out
+
+    def randbelow(self, upper: int) -> int:
+        if upper <= 0:
+            raise ValueError("upper must be positive")
+        nbytes = (upper.bit_length() + 7) // 8 + 8  # oversample: bias < 2^-64
+        return int.from_bytes(self.token_bytes(nbytes), "big") % upper
+
+
+RandomSource = SystemRandom | DeterministicRandom
+
+_default = SystemRandom()
+
+
+def default_random() -> SystemRandom:
+    return _default

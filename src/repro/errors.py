@@ -1,0 +1,81 @@
+"""Exception hierarchy for the DataBlinder reproduction.
+
+All library-raised exceptions derive from :class:`DataBlinderError` so that
+applications can catch middleware failures with a single ``except`` clause
+while still distinguishing subsystem-specific failures.
+"""
+
+from __future__ import annotations
+
+
+class DataBlinderError(Exception):
+    """Base class of every exception raised by this library."""
+
+
+class CryptoError(DataBlinderError):
+    """A cryptographic operation failed (bad key, bad parameters, ...)."""
+
+
+class IntegrityError(CryptoError):
+    """Authenticated decryption failed: the ciphertext was tampered with."""
+
+
+class KeyManagementError(DataBlinderError):
+    """A key could not be created, derived, wrapped or resolved."""
+
+
+class StoreError(DataBlinderError):
+    """A storage backend rejected an operation."""
+
+
+class DocumentNotFound(StoreError):
+    """A document id did not resolve to a stored document."""
+
+
+class TransportError(DataBlinderError):
+    """A message could not be delivered between gateway and cloud."""
+
+
+class RemoteError(TransportError):
+    """The remote endpoint raised while servicing an RPC.
+
+    Carries the remote exception type name and message so the caller can
+    log a faithful trace without unpickling arbitrary remote state.
+    """
+
+    def __init__(self, remote_type: str, message: str):
+        super().__init__(f"{remote_type}: {message}")
+        self.remote_type = remote_type
+        self.remote_message = message
+
+
+class SchemaError(DataBlinderError):
+    """A document schema or field annotation is invalid."""
+
+
+class SchemaValidationError(SchemaError):
+    """A document does not conform to its configured schema."""
+
+
+class PolicyError(DataBlinderError):
+    """A data protection policy is inconsistent or violated."""
+
+
+class SelectionError(PolicyError):
+    """No registered tactic satisfies a field's protection annotation."""
+
+
+class QueryError(DataBlinderError):
+    """A query is malformed or not supported by the selected tactics."""
+
+
+class UnsupportedOperation(QueryError):
+    """The field's annotation does not allow the requested operation."""
+
+
+class TacticError(DataBlinderError):
+    """A data protection tactic failed while executing its protocol."""
+
+
+class RegistryError(DataBlinderError):
+    """Tactic registration or SPI lookup failed."""

@@ -1,0 +1,28 @@
+"""FHIR substrate: resource models and synthetic medical data.
+
+Replaces the industry partner's FHIR-compliant documents with synthetic
+equivalents of the same shape (paper Section 5.1).
+"""
+
+from repro.fhir.generator import MedicalDataGenerator, MedicalDataset
+from repro.fhir.model import (
+    MedicationDispense,
+    Observation,
+    Patient,
+    benchmark_observation_schema,
+    medication_dispense_schema,
+    observation_schema,
+    patient_schema,
+)
+
+__all__ = [
+    "MedicalDataGenerator",
+    "MedicalDataset",
+    "MedicationDispense",
+    "Observation",
+    "Patient",
+    "benchmark_observation_schema",
+    "medication_dispense_schema",
+    "observation_schema",
+    "patient_schema",
+]

@@ -1,0 +1,151 @@
+"""Synthetic FHIR-shaped medical data.
+
+The paper's experiments run on FHIR-compliant documents from an industry
+partner; those are not available, so this generator produces synthetic
+populations with the same shape and realistic distributions: a patient
+cohort, per-patient observation streams (glucose, heart rate, blood
+pressure, ...), and medication dispense events.  Seeded, so every
+benchmark run sees the same data.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.fhir.model import MedicationDispense, Observation, Patient
+
+_FIRST_NAMES = [
+    "John", "Jane", "Alex", "Maria", "Wei", "Fatima", "Liam", "Nora",
+    "Pieter", "Ingrid", "Tom", "Els", "Jan", "An", "Bart", "Sofie",
+]
+_LAST_NAMES = [
+    "Doe", "Roe", "Peeters", "Janssens", "Maes", "Jacobs", "Mertens",
+    "Willems", "Claes", "Goossens", "Wouters", "DeSmet",
+]
+_CITIES = [
+    "Leuven", "Ghent", "Antwerp", "Brussels", "Bruges", "Hasselt",
+    "Mechelen", "Namur",
+]
+_CONDITIONS = [
+    "diabetes-type-2", "hypertension", "asthma", "gastric-cancer",
+    "arrhythmia", "healthy", "copd", "anemia",
+]
+_PRACTITIONERS = [
+    "Dr. Smith", "Dr. Jones", "Dr. Vermeulen", "Nurse Adams",
+    "Nurse Peters", "Dr. Laurent",
+]
+_MEDICATIONS = [
+    "Doxycycline", "Metformin", "Lisinopril", "Salbutamol",
+    "Atorvastatin", "Amoxicillin",
+]
+_STATUSES = ["registered", "preliminary", "final", "amended"]
+
+#: observation code -> (mean, stddev, unit-ish plausible bounds)
+_OBSERVATION_CODES = {
+    "glucose": (5.5, 1.4, 2.0, 20.0),
+    "heart-rate": (75.0, 12.0, 35.0, 190.0),
+    "systolic-bp": (125.0, 15.0, 80.0, 220.0),
+    "body-temperature": (36.8, 0.5, 34.0, 42.0),
+    "bmi": (24.5, 4.0, 14.0, 55.0),
+}
+
+_EPOCH_2012 = 1325376000  # 2012-01-01
+_YEAR = 365 * 24 * 3600
+
+
+@dataclass
+class MedicalDataset:
+    """A generated cohort plus its event streams."""
+
+    patients: list[Patient] = field(default_factory=list)
+    observations: list[Observation] = field(default_factory=list)
+    dispenses: list[MedicationDispense] = field(default_factory=list)
+
+
+class MedicalDataGenerator:
+    """Seeded generator of FHIR-shaped synthetic data."""
+
+    def __init__(self, seed: int = 2019):
+        self._rng = random.Random(seed)
+        self._sequence = 0
+
+    def _next_id(self, prefix: str) -> str:
+        self._sequence += 1
+        return f"{prefix}{self._sequence:07d}"
+
+    # -- resources -------------------------------------------------------------
+
+    def patient(self) -> Patient:
+        rng = self._rng
+        name = f"{rng.choice(_FIRST_NAMES)} {rng.choice(_LAST_NAMES)}"
+        year = rng.randint(1930, 2010)
+        return Patient(
+            id=self._next_id("p"),
+            name=name,
+            birth_date=f"{year:04d}-{rng.randint(1, 12):02d}-"
+                       f"{rng.randint(1, 28):02d}",
+            gender=rng.choice(["male", "female"]),
+            address_city=rng.choice(_CITIES),
+            condition=rng.choice(_CONDITIONS),
+        )
+
+    def observation(self, patient: Patient,
+                    code: str | None = None) -> Observation:
+        rng = self._rng
+        if code is None:
+            code = rng.choice(list(_OBSERVATION_CODES))
+        mean, std, low, high = _OBSERVATION_CODES[code]
+        value = min(max(rng.gauss(mean, std), low), high)
+        effective = _EPOCH_2012 + rng.randint(0, 6 * _YEAR)
+        interpretation = (
+            "high" if value > mean + std
+            else "low" if value < mean - std
+            else "normal"
+        )
+        return Observation(
+            id=self._next_id("f"),
+            identifier=rng.randint(1000, 99999),
+            status=rng.choices(_STATUSES, weights=[1, 2, 9, 1])[0],
+            code=code,
+            subject=patient.name,
+            effective=effective,
+            issued=effective + rng.randint(3600, 30 * 24 * 3600),
+            performer=rng.choice(_PRACTITIONERS),
+            value=round(value, 2),
+            interpretation=interpretation,
+        )
+
+    def dispense(self, patient: Patient) -> MedicationDispense:
+        rng = self._rng
+        return MedicationDispense(
+            id=self._next_id("m"),
+            patient=patient.name,
+            medication=rng.choice(_MEDICATIONS),
+            performer=rng.choice(_PRACTITIONERS),
+            quantity=rng.randint(1, 90),
+            when_handed_over=_EPOCH_2012 + rng.randint(0, 6 * _YEAR),
+        )
+
+    # -- datasets ----------------------------------------------------------------
+
+    def dataset(self, patients: int = 100,
+                observations_per_patient: int = 10,
+                dispenses_per_patient: int = 3) -> MedicalDataset:
+        data = MedicalDataset()
+        for _ in range(patients):
+            patient = self.patient()
+            data.patients.append(patient)
+            for _ in range(observations_per_patient):
+                data.observations.append(self.observation(patient))
+            for _ in range(dispenses_per_patient):
+                data.dispenses.append(self.dispense(patient))
+        return data
+
+    def observations(self, count: int,
+                     cohort_size: int = 50) -> list[Observation]:
+        """A flat observation stream over a fixed-size cohort."""
+        cohort = [self.patient() for _ in range(cohort_size)]
+        return [
+            self.observation(self._rng.choice(cohort)) for _ in range(count)
+        ]

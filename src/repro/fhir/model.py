@@ -1,0 +1,165 @@
+"""FHIR-shaped resource models (HL7 Fast Healthcare Interoperability
+Resources).
+
+The paper validates DataBlinder on FHIR-compliant medical documents; its
+§5.1 example is an *Observation* (the amount of glucose observed in a
+blood test).  This module provides flattened Python representations of
+the resources the use case touches — Observation, Patient, Practitioner,
+MedicationDispense — plus the annotated DataBlinder schemas matching the
+paper's protection table.
+
+Values are flat scalars because DataBlinder annotates *fields*; the
+``to_document``/``from_document`` pair maps between resource objects and
+middleware documents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, fields as dataclass_fields
+
+from repro.core.schema import FieldAnnotation, Schema
+
+
+@dataclass
+class Observation:
+    """A measurement or assertion about a patient (FHIR Observation).
+
+    Mirrors the paper's example document: glucose amount in a blood
+    test, with `effective`/`issued` as Unix timestamps.
+    """
+
+    id: str
+    identifier: int
+    status: str          # registered | preliminary | final | amended
+    code: str            # what was observed, e.g. "glucose"
+    subject: str         # patient reference
+    effective: int       # clinically relevant time (Unix seconds)
+    issued: int          # time made available (Unix seconds)
+    performer: str       # who made the observation
+    value: float         # the measured quantity
+    interpretation: str = ""  # high / low / normal
+
+    def to_document(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_document(cls, document: dict) -> "Observation":
+        names = {f.name for f in dataclass_fields(cls)}
+        return cls(**{k: v for k, v in document.items() if k in names})
+
+
+@dataclass
+class Patient:
+    """Demographics and administrative information (FHIR Patient)."""
+
+    id: str
+    name: str
+    birth_date: str      # ISO date
+    gender: str
+    address_city: str
+    condition: str       # dominant active condition, flattened
+
+    def to_document(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_document(cls, document: dict) -> "Patient":
+        names = {f.name for f in dataclass_fields(cls)}
+        return cls(**{k: v for k, v in document.items() if k in names})
+
+
+@dataclass
+class MedicationDispense:
+    """Supply of a medication to a patient (FHIR MedicationDispense).
+
+    Backs the paper's third motivating query: *the number of times that
+    the nurses refilled Doxycycline for a patient* (aggregated search).
+    """
+
+    id: str
+    patient: str
+    medication: str
+    performer: str
+    quantity: int
+    when_handed_over: int  # Unix seconds
+
+    def to_document(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_document(cls, document: dict) -> "MedicationDispense":
+        names = {f.name for f in dataclass_fields(cls)}
+        return cls(**{k: v for k, v in document.items() if k in names})
+
+
+def observation_schema() -> Schema:
+    """The paper's §5.1 annotated Observation schema, verbatim.
+
+    status/code: C3 [I,EQ,BL]; subject: C2 [I,EQ];
+    effective/issued: C5 [I,EQ,BL,RG]; performer: C1 [I];
+    value: C3 [I,EQ,BL] agg [avg].  ``id``/``identifier``/
+    ``interpretation`` are left unannotated (non-sensitive) as in the
+    example document.
+    """
+    return Schema.define(
+        "observation",
+        id="string",
+        identifier="int",
+        status=("string", FieldAnnotation.parse("C3", "I,EQ,BL")),
+        code=("string", FieldAnnotation.parse("C3", "I,EQ,BL")),
+        subject=("string", FieldAnnotation.parse("C2", "I,EQ")),
+        effective=("int", FieldAnnotation.parse("C5", "I,EQ,BL,RG")),
+        issued=("int", FieldAnnotation.parse("C5", "I,EQ,BL,RG")),
+        performer=("string", FieldAnnotation.parse("C1", "I")),
+        value=("float", FieldAnnotation.parse("C3", "I,EQ,BL", "avg")),
+        interpretation="string",
+    )
+
+
+def benchmark_observation_schema() -> Schema:
+    """The §5.2 benchmark annotation: 8 tactic instances.
+
+    The throughput experiment (Figure 5) involves "in total 8 tactics ...
+    namely Mitra, RND, Paillier, and five times DET": DET on status,
+    code, effective, issued and value; Mitra on subject; RND on
+    performer; Paillier on value.
+    """
+    return Schema.define(
+        "observation",
+        id="string",
+        identifier="int",
+        status=("string", FieldAnnotation.parse("C4", "I,EQ")),
+        code=("string", FieldAnnotation.parse("C4", "I,EQ")),
+        subject=("string", FieldAnnotation.parse("C2", "I,EQ")),
+        effective=("int", FieldAnnotation.parse("C4", "I,EQ")),
+        issued=("int", FieldAnnotation.parse("C4", "I,EQ")),
+        performer=("string", FieldAnnotation.parse("C1", "I")),
+        value=("float", FieldAnnotation.parse("C4", "I,EQ", "avg")),
+        interpretation="string",
+    )
+
+
+def patient_schema() -> Schema:
+    """An annotated Patient schema for the e-health examples."""
+    return Schema.define(
+        "patient",
+        id="string",
+        name=("string", FieldAnnotation.parse("C2", "I,EQ")),
+        birth_date=("string", FieldAnnotation.parse("C4", "I,EQ")),
+        gender=("string", FieldAnnotation.parse("C3", "I,EQ,BL")),
+        address_city=("string", FieldAnnotation.parse("C3", "I,EQ,BL")),
+        condition=("string", FieldAnnotation.parse("C3", "I,EQ,BL")),
+    )
+
+
+def medication_dispense_schema() -> Schema:
+    """An annotated MedicationDispense schema (aggregated search)."""
+    return Schema.define(
+        "medication_dispense",
+        id="string",
+        patient=("string", FieldAnnotation.parse("C2", "I,EQ")),
+        medication=("string", FieldAnnotation.parse("C3", "I,EQ,BL")),
+        performer=("string", FieldAnnotation.parse("C3", "I,EQ,BL")),
+        quantity=("int", FieldAnnotation.parse("C4", "I,EQ", "sum,avg")),
+        when_handed_over=("int", FieldAnnotation.parse("C5", "I,EQ,RG")),
+    )

@@ -1,0 +1,5 @@
+"""Trusted-zone runtime: gateway-side tactic loading and resources."""
+
+from repro.gateway.service import GatewayRuntime
+
+__all__ = ["GatewayRuntime"]

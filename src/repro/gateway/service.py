@@ -1,0 +1,89 @@
+"""The trusted zone: gateway runtime.
+
+Owns the per-application trusted-zone resources — keystore, local state
+store, the transport into the untrusted zone — and instantiates gateway
+tactic halves on demand (the trusted side of the strategy pattern's
+runtime loading).  Instances are cached per ``(field-scope, tactic)``;
+provisioning is idempotent and drives the cloud admin service first so
+the RPC peer exists before ``setup`` runs.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+from repro.keys.keystore import KeyStore
+from repro.net.transport import Transport
+from repro.spi.context import GatewayTacticContext
+from repro.spi.metrics import TacticMetrics
+from repro.stores.kv import KeyValueStore
+
+
+class GatewayRuntime:
+    """Trusted-zone tactic loader and resource holder."""
+
+    def __init__(self, application: str, transport: Transport,
+                 registry=None, keystore: KeyStore | None = None,
+                 local_kv: KeyValueStore | None = None):
+        if registry is None:
+            from repro.core.registry import default_registry
+
+            registry = default_registry()
+        self.application = application
+        self.transport = transport
+        self.registry = registry
+        self.keystore = keystore or KeyStore(application)
+        self.local_kv = local_kv or KeyValueStore()
+        self.metrics = TacticMetrics()
+        self._instances: dict[tuple[str, str], Any] = {}
+        self._lock = threading.RLock()
+        self.transport.call(
+            "admin", "provision_application", application=application
+        )
+
+    @property
+    def documents_service(self) -> str:
+        return f"docs/{self.application}"
+
+    def docs(self, method: str, **kwargs: Any) -> Any:
+        """Call the application's cloud document service."""
+        return self.transport.call(self.documents_service, method, **kwargs)
+
+    def tactic(self, field_scope: str, tactic_name: str) -> Any:
+        """Get-or-create the gateway half of one tactic instance.
+
+        ``field_scope`` is the instance key: usually ``<schema>.<field>``,
+        or ``<schema>._bool`` for the schema-wide boolean tactic shared
+        across its BL-annotated fields.
+        """
+        key = (field_scope, tactic_name)
+        with self._lock:
+            instance = self._instances.get(key)
+            if instance is not None:
+                return instance
+            registration = self.registry.get(tactic_name)
+            self.transport.call(
+                "admin",
+                "provision_tactic",
+                application=self.application,
+                field=field_scope,
+                tactic=tactic_name,
+            )
+            context = GatewayTacticContext(
+                application=self.application,
+                field=field_scope,
+                tactic=tactic_name,
+                keystore=self.keystore,
+                transport=self.transport,
+                local_kv=self.local_kv,
+                metrics=self.metrics,
+            )
+            instance = registration.gateway_cls(context)
+            instance.setup()
+            self._instances[key] = instance
+            return instance
+
+    def loaded_tactics(self) -> list[tuple[str, str]]:
+        with self._lock:
+            return sorted(self._instances)

@@ -1,0 +1,6 @@
+"""Key management: the middleware's Keys interface (HSM + keystore)."""
+
+from repro.keys.hsm import SimulatedHsm
+from repro.keys.keystore import KeyStore
+
+__all__ = ["KeyStore", "SimulatedHsm"]

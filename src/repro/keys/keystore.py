@@ -1,0 +1,134 @@
+"""Key management: the middleware's *Keys* interface.
+
+Every tactic instance bound to a field needs its own independent key
+material (a Mitra index key, a DET value key, a Paillier keypair, ...).
+The :class:`KeyStore` derives symmetric keys deterministically with HKDF
+from a per-application root key held in the (simulated) HSM, namespaced by
+``(application, field, tactic, purpose)`` — so the gateway is stateless
+with respect to symmetric keys, the property the paper's conclusion calls
+out as required for cloud-native deployment.
+
+Asymmetric keypairs (Paillier, RSA) cannot be HKDF-derived; they are
+generated once, cached, and persisted wrapped under the HSM master when a
+durable directory is configured.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable
+
+from repro.crypto import elgamal, paillier, rsa
+from repro.crypto.primitives.hmac_prf import hkdf
+from repro.crypto.primitives.random import DeterministicRandom
+from repro.keys.hsm import SimulatedHsm
+from repro.errors import KeyManagementError
+
+
+class KeyStore:
+    """Per-application key hierarchy rooted in an HSM master key."""
+
+    def __init__(self, application: str, hsm: SimulatedHsm | None = None):
+        if not application:
+            raise KeyManagementError("application name must be non-empty")
+        self.application = application
+        self.hsm = hsm or SimulatedHsm()
+        self._master_label = f"app/{application}"
+        if not self.hsm.has_master_key(self._master_label):
+            self.hsm.create_master_key(self._master_label)
+        # The application root is *derived*, not generated: a restarted
+        # gateway holding only the HSM recovers the identical root (and
+        # with it every HKDF'd tactic key), which is what makes the
+        # trusted zone replaceable.  Rotation bumps the epoch.
+        self._root_epoch = 0
+        self._root = self._derive_root()
+        self._lock = threading.RLock()
+        self._paillier_cache: dict[tuple[str, str, int], paillier.PaillierPrivateKey] = {}
+        self._rsa_cache: dict[tuple[str, str, int], rsa.RsaPrivateKey] = {}
+        self._elgamal_cache: dict[tuple[str, str, int], elgamal.ElGamalPrivateKey] = {}
+
+    def _derive_root(self) -> bytes:
+        return self.hsm.derive_data_key(
+            self._master_label,
+            f"root/{self.application}/epoch/{self._root_epoch}".encode(),
+            32,
+        )
+
+    # -- symmetric ------------------------------------------------------------
+
+    def derive(self, field: str, tactic: str, purpose: str = "key",
+               length: int = 32) -> bytes:
+        """Deterministically derive a symmetric key for a tactic instance."""
+        info = "/".join((self.application, field, tactic, purpose)).encode()
+        return hkdf(self._root, info, length)
+
+    # -- asymmetric -----------------------------------------------------------
+
+    def _keypair_coins(self, kind: str, field: str, tactic: str,
+                       bits: int) -> "DeterministicRandom":
+        """Deterministic keygen coins rooted in the HSM.
+
+        Asymmetric keypairs are *re-derivable*: the same (application,
+        field, tactic, bits) always regenerates the identical keypair,
+        so a restarted gateway can still decrypt old Paillier
+        aggregates and walk old Sophos token chains.
+        """
+        seed = self.derive(field, tactic, f"keygen/{kind}/{bits}", 32)
+        return DeterministicRandom(seed)
+
+    def paillier_keypair(self, field: str, tactic: str = "paillier",
+                         bits: int = 512) -> paillier.PaillierPrivateKey:
+        """Get-or-rederive the Paillier keypair bound to a field."""
+        cache_key = (field, tactic, bits)
+        with self._lock:
+            keypair = self._paillier_cache.get(cache_key)
+            if keypair is None:
+                coins = self._keypair_coins("paillier", field, tactic,
+                                            bits)
+                keypair = paillier.generate_keypair(bits, coins.randbelow)
+                self._paillier_cache[cache_key] = keypair
+            return keypair
+
+    def rsa_keypair(self, field: str, tactic: str = "sophos",
+                    bits: int = 1024) -> rsa.RsaPrivateKey:
+        """Get-or-rederive the RSA keypair bound to a field."""
+        cache_key = (field, tactic, bits)
+        with self._lock:
+            keypair = self._rsa_cache.get(cache_key)
+            if keypair is None:
+                coins = self._keypair_coins("rsa", field, tactic, bits)
+                keypair = rsa.generate_keypair(bits, coins.randbelow)
+                self._rsa_cache[cache_key] = keypair
+            return keypair
+
+    def elgamal_keypair(self, field: str, tactic: str = "elgamal",
+                        bits: int = 256) -> elgamal.ElGamalPrivateKey:
+        """Get-or-rederive the ElGamal keypair bound to a field."""
+        cache_key = (field, tactic, bits)
+        with self._lock:
+            keypair = self._elgamal_cache.get(cache_key)
+            if keypair is None:
+                coins = self._keypair_coins("elgamal", field, tactic,
+                                            bits)
+                keypair = elgamal.generate_keypair(bits, coins.randbelow)
+                self._elgamal_cache[cache_key] = keypair
+            return keypair
+
+    # -- rotation ----------------------------------------------------------------
+
+    def rotate_root(self) -> None:
+        """Re-key the application root (crypto-agility drill).
+
+        All derived symmetric keys change; callers owning encrypted state
+        must re-encrypt (the middleware exposes this through tactic
+        re-initialisation).  Cached asymmetric keypairs are dropped too.
+        """
+        with self._lock:
+            self._root_epoch += 1
+            self._root = self._derive_root()
+            self._paillier_cache.clear()
+            self._rsa_cache.clear()
+            self._elgamal_cache.clear()
+
+
+KeyProvider = Callable[[str, str, str, int], bytes]

@@ -1,0 +1,31 @@
+"""Networking substrate: the gateway <-> cloud link.
+
+Replaces the paper's two-VM OpenStack/public-cloud deployment with an
+in-process transport carrying a configurable latency/bandwidth model, and
+a real TCP transport for genuine two-process runs.
+"""
+
+from repro.net.latency import NetworkModel, NetworkStats, TrafficMeter
+from repro.net.multicloud import (
+    MultiCloudTransport,
+    split_documents_and_indexes,
+)
+from repro.net.rpc import Request, Response, ServiceHost
+from repro.net.tcp import TcpRpcServer, TcpTransport
+from repro.net.transport import DirectTransport, InProcTransport, Transport
+
+__all__ = [
+    "DirectTransport",
+    "MultiCloudTransport",
+    "split_documents_and_indexes",
+    "InProcTransport",
+    "NetworkModel",
+    "NetworkStats",
+    "Request",
+    "Response",
+    "ServiceHost",
+    "TcpRpcServer",
+    "TcpTransport",
+    "TrafficMeter",
+    "Transport",
+]

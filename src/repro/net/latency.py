@@ -1,0 +1,97 @@
+"""Network model: latency/bandwidth simulation and byte accounting.
+
+The paper's testbed puts the gateway in a private OpenStack cloud and the
+cloud components on a public provider; every tactic protocol round-trip
+crosses that link.  The in-process transport reproduces the link with this
+model: a configurable one-way latency plus a serialization delay derived
+from bandwidth, and counters feeding the *network overhead* performance
+metrics of the tactic abstraction model (Fig. 1).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class NetworkStats:
+    """Cumulative traffic counters for one endpoint pair."""
+
+    messages_sent: int = 0
+    messages_received: int = 0
+    bytes_sent: int = 0
+    bytes_received: int = 0
+    simulated_delay_seconds: float = 0.0
+
+    def merge(self, other: "NetworkStats") -> "NetworkStats":
+        return NetworkStats(
+            self.messages_sent + other.messages_sent,
+            self.messages_received + other.messages_received,
+            self.bytes_sent + other.bytes_sent,
+            self.bytes_received + other.bytes_received,
+            self.simulated_delay_seconds + other.simulated_delay_seconds,
+        )
+
+
+@dataclass
+class NetworkModel:
+    """One-way delay model for a gateway<->cloud link.
+
+    ``one_way_latency_ms`` is applied per direction; ``bandwidth_mbps``
+    adds a size-proportional serialization delay.  ``sleep`` controls
+    whether the delay is actually slept (wall-clock experiments) or only
+    accounted (fast unit tests).
+    """
+
+    one_way_latency_ms: float = 0.0
+    bandwidth_mbps: float = 0.0  # 0 means infinite
+    sleep: bool = True
+
+    def one_way_delay(self, nbytes: int) -> float:
+        delay = self.one_way_latency_ms / 1000.0
+        if self.bandwidth_mbps > 0:
+            delay += nbytes * 8 / (self.bandwidth_mbps * 1_000_000)
+        return delay
+
+    def apply(self, nbytes: int) -> float:
+        """Apply the one-way delay for a message of ``nbytes`` bytes."""
+        delay = self.one_way_delay(nbytes)
+        if delay > 0 and self.sleep:
+            time.sleep(delay)
+        return delay
+
+
+class TrafficMeter:
+    """Thread-safe accumulator of :class:`NetworkStats`."""
+
+    def __init__(self) -> None:
+        self._stats = NetworkStats()
+        self._lock = threading.Lock()
+
+    def record_send(self, nbytes: int, delay: float = 0.0) -> None:
+        with self._lock:
+            self._stats.messages_sent += 1
+            self._stats.bytes_sent += nbytes
+            self._stats.simulated_delay_seconds += delay
+
+    def record_receive(self, nbytes: int, delay: float = 0.0) -> None:
+        with self._lock:
+            self._stats.messages_received += 1
+            self._stats.bytes_received += nbytes
+            self._stats.simulated_delay_seconds += delay
+
+    def snapshot(self) -> NetworkStats:
+        with self._lock:
+            return NetworkStats(
+                self._stats.messages_sent,
+                self._stats.messages_received,
+                self._stats.bytes_sent,
+                self._stats.bytes_received,
+                self._stats.simulated_delay_seconds,
+            )
+
+    def reset(self) -> None:
+        with self._lock:
+            self._stats = NetworkStats()

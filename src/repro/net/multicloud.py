@@ -1,0 +1,108 @@
+"""Multi-cloud routing: spreading the untrusted zone across providers.
+
+The deployment view (Fig. 3) draws the untrusted zone as *several* cloud
+providers.  Routing different services to different providers is a
+leakage-partitioning tactic in itself: placing the encrypted documents
+with one provider and the secure indexes with another means neither
+snapshot alone correlates index structure with ciphertext objects — an
+adversary needs both providers to mount the §2 snapshot attacks against
+the combined view.
+
+:class:`MultiCloudTransport` implements the standard
+:class:`repro.net.transport.Transport` interface, so the middleware is
+oblivious to the split: it routes each RPC by service-name rule to one
+of the underlying transports (each typically an
+:class:`InProcTransport` or :class:`TcpTransport` to a distinct
+:class:`repro.cloud.server.CloudZone`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.errors import TransportError
+from repro.net.latency import NetworkStats
+from repro.net.transport import Transport
+
+Rule = Callable[[str], bool]
+
+
+def prefix_rule(prefix: str) -> Rule:
+    return lambda service: service.startswith(prefix)
+
+
+def documents_rule(service: str) -> bool:
+    """Route document storage (the ``docs/<app>`` services)."""
+    return service.startswith("docs/")
+
+
+def indexes_rule(service: str) -> bool:
+    """Route secure indexes (the ``tactic/...`` services)."""
+    return service.startswith("tactic/")
+
+
+class MultiCloudTransport(Transport):
+    """Service-name router over several provider transports.
+
+    ``routes`` is an ordered list of ``(rule, transport)`` pairs; the
+    first matching rule wins.  ``admin`` provisioning calls are fanned
+    out to *every* provider (each zone must know the application and its
+    tactic services; zones that never receive traffic for a service
+    simply hold empty structures).
+    """
+
+    def __init__(self, routes: list[tuple[Rule, Transport]]):
+        if not routes:
+            raise TransportError("multi-cloud transport needs providers")
+        self._routes = list(routes)
+
+    def _route(self, service: str) -> Transport:
+        for rule, transport in self._routes:
+            if rule(service):
+                return transport
+        raise TransportError(
+            f"no provider route matches service {service!r}"
+        )
+
+    def call(self, service: str, method: str, **kwargs: Any) -> Any:
+        if service == "admin":
+            # Fan out provisioning so every provider can serve its share.
+            result: Any = None
+            seen: list[Transport] = []
+            for _, transport in self._routes:
+                if any(transport is t for t in seen):
+                    continue
+                seen.append(transport)
+                result = transport.call(service, method, **kwargs)
+            return result
+        return self._route(service).call(service, method, **kwargs)
+
+    def stats(self) -> NetworkStats:
+        total = NetworkStats()
+        seen: list[Transport] = []
+        for _, transport in self._routes:
+            if any(transport is t for t in seen):
+                continue
+            seen.append(transport)
+            total = total.merge(transport.stats())
+        return total
+
+    def close(self) -> None:
+        seen: list[Transport] = []
+        for _, transport in self._routes:
+            if any(transport is t for t in seen):
+                continue
+            seen.append(transport)
+            transport.close()
+
+
+def split_documents_and_indexes(document_provider: Transport,
+                                index_provider: Transport
+                                ) -> MultiCloudTransport:
+    """The canonical two-provider split: documents with one provider,
+    every secure index with another."""
+    return MultiCloudTransport([
+        (documents_rule, document_provider),
+        (indexes_rule, index_provider),
+        (lambda service: True, index_provider),  # admin et al.
+    ])

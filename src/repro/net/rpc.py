@@ -1,0 +1,117 @@
+"""RPC dispatch: service hosting and typed request/response.
+
+A :class:`ServiceHost` lives in the untrusted zone (the cloud) and exposes
+named services — one per cloud-side tactic implementation plus the
+document store service.  Transports deliver ``Request`` frames to a host
+and carry ``Response`` frames back; remote exceptions are re-raised at the
+caller as :class:`repro.errors.RemoteError` with the remote type name
+preserved.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import DataBlinderError, RemoteError, TransportError
+
+
+@dataclass(frozen=True)
+class Request:
+    service: str
+    method: str
+    kwargs: dict[str, Any]
+
+    def to_payload(self) -> dict[str, Any]:
+        return {"service": self.service, "method": self.method,
+                "kwargs": self.kwargs}
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, Any]) -> "Request":
+        try:
+            return cls(payload["service"], payload["method"],
+                       dict(payload["kwargs"]))
+        except (KeyError, TypeError) as exc:
+            raise TransportError(f"malformed request frame: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class Response:
+    ok: bool
+    result: Any = None
+    error_type: str = ""
+    error_message: str = ""
+
+    def to_payload(self) -> dict[str, Any]:
+        if self.ok:
+            return {"ok": True, "result": self.result}
+        return {"ok": False, "error_type": self.error_type,
+                "error_message": self.error_message}
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, Any]) -> "Response":
+        if payload.get("ok"):
+            return cls(ok=True, result=payload.get("result"))
+        return cls(ok=False, error_type=payload.get("error_type", "Error"),
+                   error_message=payload.get("error_message", ""))
+
+    def unwrap(self) -> Any:
+        if self.ok:
+            return self.result
+        raise RemoteError(self.error_type, self.error_message)
+
+
+class ServiceHost:
+    """A registry of callable services with uniform dispatch.
+
+    Services are plain objects; any public method (no leading underscore)
+    is callable remotely with keyword arguments.
+    """
+
+    def __init__(self) -> None:
+        self._services: dict[str, Any] = {}
+        self._lock = threading.RLock()
+
+    def register(self, name: str, service: Any) -> None:
+        with self._lock:
+            if name in self._services:
+                raise TransportError(f"service {name!r} already registered")
+            self._services[name] = service
+
+    def unregister(self, name: str) -> None:
+        with self._lock:
+            self._services.pop(name, None)
+
+    def get(self, name: str) -> Any:
+        with self._lock:
+            service = self._services.get(name)
+        if service is None:
+            raise TransportError(f"unknown service {name!r}")
+        return service
+
+    def service_names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._services)
+
+    def dispatch(self, request: Request) -> Response:
+        try:
+            service = self.get(request.service)
+            if request.method.startswith("_"):
+                raise TransportError(
+                    f"method {request.method!r} is not remotely callable"
+                )
+            method = getattr(service, request.method, None)
+            if method is None or not callable(method):
+                raise TransportError(
+                    f"service {request.service!r} has no method "
+                    f"{request.method!r}"
+                )
+            result = method(**request.kwargs)
+            return Response(ok=True, result=result)
+        except DataBlinderError as exc:
+            return Response(ok=False, error_type=type(exc).__name__,
+                            error_message=str(exc))
+        except Exception as exc:  # noqa: BLE001 - must cross the wire
+            return Response(ok=False, error_type=type(exc).__name__,
+                            error_message=str(exc))

@@ -1,0 +1,149 @@
+"""TCP transport: a real two-process gateway/cloud deployment.
+
+Frames are length-prefixed (4-byte big-endian) wire-codec payloads.  The
+server hosts a :class:`repro.net.rpc.ServiceHost` behind a threading TCP
+server; the client implements :class:`repro.net.transport.Transport` with
+one pooled connection per thread.  ``examples/distributed_deployment.py``
+uses this pair to run the cloud zone as an actual separate process.
+"""
+
+from __future__ import annotations
+
+import socket
+import socketserver
+import struct
+import threading
+from typing import Any
+
+from repro.errors import TransportError
+from repro.net.latency import NetworkStats, TrafficMeter
+from repro.net.message import decode, encode
+from repro.net.rpc import Request, Response, ServiceHost
+
+_HEADER = struct.Struct(">I")
+MAX_FRAME = 64 * 1024 * 1024
+
+
+def send_frame(sock: socket.socket, payload: bytes) -> None:
+    if len(payload) > MAX_FRAME:
+        raise TransportError("frame exceeds maximum size")
+    sock.sendall(_HEADER.pack(len(payload)) + payload)
+
+
+def recv_frame(sock: socket.socket) -> bytes:
+    header = _recv_exact(sock, _HEADER.size)
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME:
+        raise TransportError("incoming frame exceeds maximum size")
+    return _recv_exact(sock, length)
+
+
+def _recv_exact(sock: socket.socket, count: int) -> bytes:
+    chunks = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            raise TransportError("connection closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+class _RpcHandler(socketserver.BaseRequestHandler):
+    def handle(self) -> None:
+        host: ServiceHost = self.server.service_host  # type: ignore[attr-defined]
+        while True:
+            try:
+                frame = recv_frame(self.request)
+            except TransportError:
+                return  # client went away
+            try:
+                request = Request.from_payload(decode(frame))
+                response = host.dispatch(request)
+            except Exception as exc:  # noqa: BLE001 - keep the server alive
+                response = Response(ok=False, error_type=type(exc).__name__,
+                                    error_message=str(exc))
+            send_frame(self.request, encode(response.to_payload()))
+
+
+class TcpRpcServer(socketserver.ThreadingTCPServer):
+    """Threaded RPC server for the untrusted zone."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, host: ServiceHost, address: tuple[str, int] = ("127.0.0.1", 0)):
+        super().__init__(address, _RpcHandler)
+        self.service_host = host
+
+    @property
+    def endpoint(self) -> tuple[str, int]:
+        return self.socket.getsockname()
+
+    def serve_in_background(self) -> threading.Thread:
+        thread = threading.Thread(target=self.serve_forever, daemon=True)
+        thread.start()
+        return thread
+
+
+class TcpTransport:
+    """Client side: one pooled connection per calling thread."""
+
+    def __init__(self, address: tuple[str, int], timeout: float = 30.0):
+        self._address = address
+        self._timeout = timeout
+        self._local = threading.local()
+        self._meter = TrafficMeter()
+        self._closed = False
+
+    def _connection(self) -> socket.socket:
+        sock = getattr(self._local, "sock", None)
+        if sock is None:
+            sock = socket.create_connection(self._address, self._timeout)
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            self._local.sock = sock
+        return sock
+
+    def call(self, service: str, method: str, **kwargs: Any) -> Any:
+        if self._closed:
+            raise TransportError("transport is closed")
+        request = Request(service, method, kwargs)
+        frame = encode(request.to_payload())
+        # One transparent reconnect: a pooled connection may have died
+        # between calls (server restart, idle timeout); retrying on a
+        # fresh socket is safe because no reply was consumed yet.
+        for attempt in (1, 2):
+            sock = self._connection()
+            try:
+                send_frame(sock, frame)
+                reply = recv_frame(sock)
+                break
+            except (OSError, TransportError) as exc:
+                self._drop_connection()
+                if attempt == 2:
+                    raise TransportError(
+                        f"rpc transport failure: {exc}"
+                    ) from exc
+        self._meter.record_send(len(frame))
+        self._meter.record_receive(len(reply))
+        return Response.from_payload(decode(reply)).unwrap()
+
+    def _drop_connection(self) -> None:
+        sock = getattr(self._local, "sock", None)
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:
+                pass
+        self._local.sock = None
+
+    def stats(self) -> NetworkStats:
+        return self._meter.snapshot()
+
+    def close(self) -> None:
+        self._closed = True
+        sock = getattr(self._local, "sock", None)
+        if sock is not None:
+            sock.close()
+            self._local.sock = None

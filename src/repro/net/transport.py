@@ -1,0 +1,88 @@
+"""Transports: how the gateway reaches cloud services.
+
+:class:`InProcTransport` keeps both zones in one process but routes every
+call through the full serialize -> latency-model -> dispatch -> serialize
+path, so message counts, byte counts and (optionally slept) delays match a
+two-host deployment.  :class:`repro.net.tcp.TcpTransport` swaps the middle
+for a real socket.  Application code never sees the difference: both
+implement :class:`Transport`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any
+
+from repro.net.latency import NetworkModel, NetworkStats, TrafficMeter
+from repro.net.message import decode, encode
+from repro.net.rpc import Request, Response, ServiceHost
+
+
+class Transport(ABC):
+    """A channel from the trusted zone to one untrusted endpoint."""
+
+    @abstractmethod
+    def call(self, service: str, method: str, **kwargs: Any) -> Any:
+        """Invoke ``service.method(**kwargs)`` remotely, return its result."""
+
+    @abstractmethod
+    def stats(self) -> NetworkStats:
+        """Traffic counters accumulated by this transport."""
+
+    def close(self) -> None:
+        """Release any underlying resources (default: none)."""
+
+
+class InProcTransport(Transport):
+    """Gateway->cloud channel within one process.
+
+    Every request and response is round-tripped through the wire codec so
+    that only wire-encodable data crosses the zone boundary, and the
+    network model charges both directions.
+    """
+
+    def __init__(self, host: ServiceHost,
+                 network: NetworkModel | None = None):
+        self._host = host
+        self._network = network or NetworkModel(sleep=False)
+        self._meter = TrafficMeter()
+
+    def call(self, service: str, method: str, **kwargs: Any) -> Any:
+        request = Request(service, method, kwargs)
+        frame = encode(request.to_payload())
+        delay_up = self._network.apply(len(frame))
+        self._meter.record_send(len(frame), delay_up)
+
+        response = self._host.dispatch(Request.from_payload(decode(frame)))
+
+        reply = encode(response.to_payload())
+        delay_down = self._network.apply(len(reply))
+        self._meter.record_receive(len(reply), delay_down)
+        return Response.from_payload(decode(reply)).unwrap()
+
+    def stats(self) -> NetworkStats:
+        return self._meter.snapshot()
+
+    def reset_stats(self) -> None:
+        self._meter.reset()
+
+
+class DirectTransport(Transport):
+    """Zero-copy dispatch without serialization or latency accounting.
+
+    Used by the S_A baseline scenario (no protection, no middleware cost
+    attribution) and by unit tests that do not exercise the wire.
+    """
+
+    def __init__(self, host: ServiceHost):
+        self._host = host
+        self._meter = TrafficMeter()
+
+    def call(self, service: str, method: str, **kwargs: Any) -> Any:
+        response = self._host.dispatch(Request(service, method, kwargs))
+        self._meter.record_send(0)
+        self._meter.record_receive(0)
+        return response.unwrap()
+
+    def stats(self) -> NetworkStats:
+        return self._meter.snapshot()

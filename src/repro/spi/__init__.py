@@ -1,0 +1,45 @@
+"""The tactics SPI subsystem: abstraction models and plugin interfaces.
+
+This package reifies the paper's two conceptual models -- the data
+protection tactic model (Fig. 1: operations, leakage profile, performance
+metrics) and the Service Provider Interfaces of Table 1 through which
+tactic providers plug new cryptographic schemes into the middleware.
+"""
+
+from repro.spi.context import (
+    CloudTacticContext,
+    GatewayTacticContext,
+    service_name,
+)
+from repro.spi.descriptors import (
+    Aggregate,
+    Operation,
+    PerformanceMetrics,
+    TacticDescriptor,
+    implemented_interfaces,
+    spi_counts,
+)
+from repro.spi.leakage import (
+    LeakageLevel,
+    LeakageProfile,
+    OperationLeakage,
+    ProtectionClass,
+    weakest_link,
+)
+
+__all__ = [
+    "Aggregate",
+    "CloudTacticContext",
+    "GatewayTacticContext",
+    "LeakageLevel",
+    "LeakageProfile",
+    "Operation",
+    "OperationLeakage",
+    "PerformanceMetrics",
+    "ProtectionClass",
+    "TacticDescriptor",
+    "implemented_interfaces",
+    "service_name",
+    "spi_counts",
+    "weakest_link",
+]

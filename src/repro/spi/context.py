@@ -1,0 +1,97 @@
+"""Dependency contexts injected into tactic implementations.
+
+§4.2 lists the commonalities every tactic receives from the framework:
+(1) gateway and cloud implementations per operation, (2) cryptographic
+primitives, (3) key management integration, (4) communication channels,
+and (5) data repository services on both sides.  These two dataclasses are
+exactly that injection: a gateway tactic gets keys + a channel to its
+cloud peer + local storage; a cloud tactic gets the shared untrusted-zone
+stores.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any
+
+from repro.keys.keystore import KeyStore
+from repro.net.transport import Transport
+from repro.spi.metrics import TacticMetrics
+from repro.stores.docstore import DocumentStore
+from repro.stores.kv import KeyValueStore
+
+
+def service_name(application: str, field: str, tactic: str) -> str:
+    """Canonical RPC service name of one cloud tactic instance."""
+    return f"tactic/{application}/{field}/{tactic}"
+
+
+@dataclass
+class GatewayTacticContext:
+    """Trusted-zone dependencies of one tactic instance bound to a field."""
+
+    application: str
+    field: str
+    tactic: str
+    keystore: KeyStore
+    transport: Transport
+    #: Gateway-side state repository (e.g. Sophos search tokens, Mitra
+    #: counters) — the paper's 'local storage' challenge for Mitra.
+    local_kv: KeyValueStore
+    #: Per-deployment performance-metric sink (Fig. 1); optional so bare
+    #: tactic harnesses stay lightweight.
+    metrics: TacticMetrics | None = None
+
+    @property
+    def service(self) -> str:
+        return service_name(self.application, self.field, self.tactic)
+
+    def call(self, method: str, **kwargs: Any) -> Any:
+        """Invoke the cloud-side counterpart of this tactic.
+
+        When a metrics sink is attached, the protocol round is accounted:
+        wall time plus the bytes the transport moved in each direction.
+        """
+        if self.metrics is None:
+            return self.transport.call(self.service, method, **kwargs)
+        before = self.transport.stats()
+        start = time.perf_counter()
+        result = self.transport.call(self.service, method, **kwargs)
+        elapsed = time.perf_counter() - start
+        after = self.transport.stats()
+        self.metrics.record_call(
+            self.service, method, elapsed,
+            after.bytes_sent - before.bytes_sent,
+            after.bytes_received - before.bytes_received,
+        )
+        return result
+
+    def derive_key(self, purpose: str, length: int = 32) -> bytes:
+        return self.keystore.derive(self.field, self.tactic, purpose, length)
+
+    def state_key(self, *parts: bytes) -> bytes:
+        """Namespaced gateway-state key for this tactic instance."""
+        prefix = self.service.encode()
+        return b"/".join((prefix,) + parts)
+
+
+@dataclass
+class CloudTacticContext:
+    """Untrusted-zone dependencies of one cloud tactic instance."""
+
+    application: str
+    field: str
+    tactic: str
+    #: Secure-index repository (the Redis role in the paper's deployment).
+    kv: KeyValueStore
+    #: Encrypted document repository (the MongoDB role).
+    documents: DocumentStore
+
+    @property
+    def service(self) -> str:
+        return service_name(self.application, self.field, self.tactic)
+
+    def state_key(self, *parts: bytes) -> bytes:
+        prefix = self.service.encode()
+        return b"/".join((prefix,) + parts)

@@ -1,0 +1,109 @@
+"""Leakage profiles and protection classes.
+
+The paper adopts the five-level leakage taxonomy of Fuller et al. (SoK:
+Cryptographically Protected Database Search, IEEE S&P 2017) and reifies it
+per *operation* on the tactic-provider side (§3.1) and per *field* as five
+protection classes on the application side (§3.2).  A field's protection
+level equals the weakest (most-leaking) tactic applied to it — "a chain is
+only as strong as its weakest link".
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import PolicyError
+
+
+class LeakageLevel(enum.IntEnum):
+    """What an adversary observing the cloud learns, least to most."""
+
+    #: Only the size of the entire data structure (or things hidden by
+    #: padding) is leaked.
+    STRUCTURE = 1
+    #: Past and future access patterns of document identifiers leak.
+    IDENTIFIERS = 2
+    #: Complex query predicates leak (e.g. the intersection of a boolean
+    #: query with a known range).
+    PREDICATES = 3
+    #: Which objects have the same value leaks.
+    EQUALITIES = 4
+    #: The numerical / lexicographic order of objects leaks.
+    ORDER = 5
+
+    @property
+    def label(self) -> str:
+        return self.name.capitalize()
+
+
+class ProtectionClass(enum.IntEnum):
+    """Application-facing protection guarantee (C1 strongest)."""
+
+    C1 = 1
+    C2 = 2
+    C3 = 3
+    C4 = 4
+    C5 = 5
+
+    @classmethod
+    def parse(cls, value: "ProtectionClass | int | str") -> "ProtectionClass":
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, int):
+            return cls(value)
+        text = value.strip().upper().replace("CLASS", "C").replace(" ", "")
+        if text.startswith("C"):
+            return cls(int(text[1:]))
+        raise PolicyError(f"cannot parse protection class {value!r}")
+
+    def tolerates(self, leakage: LeakageLevel) -> bool:
+        """Whether a field of this class may use a tactic leaking this much.
+
+        Class k corresponds to leakage level k; a field annotated C_k
+        accepts tactics whose leakage is at most level k.
+        """
+        return int(leakage) <= int(self)
+
+
+@dataclass(frozen=True)
+class OperationLeakage:
+    """Leakage of one tactic operation, on a per-operation basis (§3.1).
+
+    ``setup_leakage`` captures what a snapshot adversary learns from the
+    provisioned structures alone; ``query_leakage`` what a persistent
+    adversary learns per invocation; ``forward_private`` marks update
+    operations that leak nothing about past queries (e.g. Sophos, Mitra).
+    """
+
+    level: LeakageLevel
+    setup_leakage: str = ""
+    query_leakage: str = ""
+    forward_private: bool = False
+
+
+@dataclass(frozen=True)
+class LeakageProfile:
+    """Per-operation leakage of one tactic; the max level classifies it."""
+
+    operations: dict[str, OperationLeakage] = field(default_factory=dict)
+
+    @property
+    def level(self) -> LeakageLevel:
+        if not self.operations:
+            return LeakageLevel.STRUCTURE
+        return max(op.level for op in self.operations.values())
+
+    @property
+    def protection_class(self) -> ProtectionClass:
+        return ProtectionClass(int(self.level))
+
+    def for_operation(self, operation: str) -> OperationLeakage | None:
+        return self.operations.get(operation)
+
+
+def weakest_link(levels: list[LeakageLevel]) -> LeakageLevel:
+    """The field-level leakage of a set of applied tactics (§3.2)."""
+    if not levels:
+        raise PolicyError("weakest_link of an empty tactic set")
+    return max(levels)

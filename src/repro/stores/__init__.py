@@ -1,0 +1,18 @@
+"""Storage substrates: the Redis-like KV store and Mongo-like docstore.
+
+The paper's prototype uses MongoDB/Elasticsearch for documents and Redis
+(semi-durable) for custom secure indexes; these modules replace them with
+from-scratch equivalents exercising the same code paths.
+"""
+
+from repro.stores.docstore import DocumentStore, matches
+from repro.stores.kv import KeyValueStore
+from repro.stores.persistence import SnapshotStore, WriteAheadLog
+
+__all__ = [
+    "DocumentStore",
+    "KeyValueStore",
+    "SnapshotStore",
+    "WriteAheadLog",
+    "matches",
+]

@@ -1,0 +1,278 @@
+"""Redis-like key-value store.
+
+The paper uses Redis "in a semi-persistent durability mode to take
+advantage of basic constructions such as persistent sets, maps, and so on,
+to build custom indexes" — on both the gateway and the cloud.  This module
+is that substrate: a namespaced store of strings (bytes), hashes (maps),
+sets and counters, optionally backed by the write-ahead log in
+:mod:`repro.stores.persistence`.
+
+Keys and values are ``bytes`` throughout, matching how the secure-index
+tactics use it (PRF labels in, ciphertext blobs out).  All operations are
+thread-safe; the SSE tactics issue concurrent updates during the load
+tests.
+"""
+
+from __future__ import annotations
+
+import threading
+from pathlib import Path
+from typing import Iterator
+
+from repro.errors import StoreError
+from repro.stores.persistence import Record, SnapshotStore, WriteAheadLog
+
+
+def _hex(data: bytes) -> str:
+    return data.hex()
+
+
+def _unhex(text: str) -> bytes:
+    return bytes.fromhex(text)
+
+
+class KeyValueStore(SnapshotStore):
+    """In-memory KV store with optional semi-durable persistence.
+
+    >>> store = KeyValueStore()
+    >>> store.put(b"k", b"v")
+    >>> store.get(b"k")
+    b'v'
+    """
+
+    def __init__(self, directory: str | Path | None = None,
+                 name: str = "kv"):
+        wal = WriteAheadLog(directory, name) if directory else None
+        super().__init__(wal)
+        self._strings: dict[bytes, bytes] = {}
+        self._maps: dict[bytes, dict[bytes, bytes]] = {}
+        self._sets: dict[bytes, set[bytes]] = {}
+        self._counters: dict[bytes, int] = {}
+        self._lock = threading.RLock()
+        self.recover()
+
+    # -- strings ------------------------------------------------------------
+
+    def put(self, key: bytes, value: bytes) -> None:
+        with self._lock:
+            self._strings[key] = value
+            self.record({"op": "put", "k": key, "v": value})
+
+    def get(self, key: bytes, default: bytes | None = None) -> bytes | None:
+        with self._lock:
+            return self._strings.get(key, default)
+
+    def delete(self, key: bytes) -> bool:
+        with self._lock:
+            existed = self._strings.pop(key, None) is not None
+            if existed:
+                self.record({"op": "del", "k": key})
+            return existed
+
+    def exists(self, key: bytes) -> bool:
+        with self._lock:
+            return key in self._strings
+
+    def keys(self) -> list[bytes]:
+        with self._lock:
+            return list(self._strings)
+
+    # -- hashes (maps) -------------------------------------------------------
+
+    def map_put(self, name: bytes, field: bytes, value: bytes) -> None:
+        with self._lock:
+            self._maps.setdefault(name, {})[field] = value
+            self.record({"op": "mput", "n": name, "f": field, "v": value})
+
+    def map_get(self, name: bytes, field: bytes) -> bytes | None:
+        with self._lock:
+            return self._maps.get(name, {}).get(field)
+
+    def map_delete(self, name: bytes, field: bytes) -> bool:
+        with self._lock:
+            bucket = self._maps.get(name)
+            if bucket is None or field not in bucket:
+                return False
+            del bucket[field]
+            if not bucket:
+                del self._maps[name]
+            self.record({"op": "mdel", "n": name, "f": field})
+            return True
+
+    def map_items(self, name: bytes) -> list[tuple[bytes, bytes]]:
+        with self._lock:
+            return list(self._maps.get(name, {}).items())
+
+    def map_size(self, name: bytes) -> int:
+        with self._lock:
+            return len(self._maps.get(name, {}))
+
+    # -- sets ----------------------------------------------------------------
+
+    def set_add(self, name: bytes, member: bytes) -> bool:
+        with self._lock:
+            bucket = self._sets.setdefault(name, set())
+            if member in bucket:
+                return False
+            bucket.add(member)
+            self.record({"op": "sadd", "n": name, "m": member})
+            return True
+
+    def set_remove(self, name: bytes, member: bytes) -> bool:
+        with self._lock:
+            bucket = self._sets.get(name)
+            if bucket is None or member not in bucket:
+                return False
+            bucket.discard(member)
+            if not bucket:
+                del self._sets[name]
+            self.record({"op": "srem", "n": name, "m": member})
+            return True
+
+    def set_members(self, name: bytes) -> set[bytes]:
+        with self._lock:
+            return set(self._sets.get(name, set()))
+
+    def set_contains(self, name: bytes, member: bytes) -> bool:
+        with self._lock:
+            return member in self._sets.get(name, set())
+
+    def set_size(self, name: bytes) -> int:
+        with self._lock:
+            return len(self._sets.get(name, set()))
+
+    # -- counters -------------------------------------------------------------
+
+    def counter_increment(self, name: bytes, delta: int = 1) -> int:
+        with self._lock:
+            value = self._counters.get(name, 0) + delta
+            self._counters[name] = value
+            self.record({"op": "incr", "n": name, "d": delta})
+            return value
+
+    def counter_get(self, name: bytes) -> int:
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def counter_set(self, name: bytes, value: int) -> None:
+        with self._lock:
+            self._counters[name] = value
+            self.record({"op": "cset", "n": name, "v": value})
+
+    # -- introspection ---------------------------------------------------------
+
+    def flush_all(self) -> None:
+        """Drop everything (test/benchmark reset)."""
+        with self._lock:
+            self._strings.clear()
+            self._maps.clear()
+            self._sets.clear()
+            self._counters.clear()
+            self.record({"op": "flush"})
+
+    def size_in_bytes(self) -> int:
+        """Approximate resident size: sum of key and value lengths.
+
+        This feeds the *storage overhead* performance metric of the tactic
+        abstraction model (Fig. 1 of the paper).
+        """
+        with self._lock:
+            total = sum(len(k) + len(v) for k, v in self._strings.items())
+            for name, bucket in self._maps.items():
+                total += len(name)
+                total += sum(len(f) + len(v) for f, v in bucket.items())
+            for name, members in self._sets.items():
+                total += len(name) + sum(len(m) for m in members)
+            total += sum(len(n) + 8 for n in self._counters)
+            return total
+
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "strings": len(self._strings),
+                "maps": len(self._maps),
+                "map_entries": sum(len(m) for m in self._maps.values()),
+                "sets": len(self._sets),
+                "set_members": sum(len(s) for s in self._sets.values()),
+                "counters": len(self._counters),
+                "bytes": self.size_in_bytes(),
+            }
+
+    def scan(self, prefix: bytes = b"") -> Iterator[tuple[bytes, bytes]]:
+        """Iterate string entries whose key starts with ``prefix``."""
+        with self._lock:
+            snapshot = [
+                (k, v) for k, v in self._strings.items()
+                if k.startswith(prefix)
+            ]
+        yield from snapshot
+
+    # -- persistence hooks ------------------------------------------------------
+
+    def snapshot_state(self) -> Record:
+        with self._lock:
+            return {
+                "strings": {_hex(k): _hex(v)
+                            for k, v in self._strings.items()},
+                "maps": {
+                    _hex(n): {_hex(f): _hex(v) for f, v in bucket.items()}
+                    for n, bucket in self._maps.items()
+                },
+                "sets": {
+                    _hex(n): [_hex(m) for m in members]
+                    for n, members in self._sets.items()
+                },
+                "counters": {_hex(n): v for n, v in self._counters.items()},
+            }
+
+    def restore_state(self, state: Record) -> None:
+        with self._lock:
+            self._strings = {
+                _unhex(k): _unhex(v) for k, v in state["strings"].items()
+            }
+            self._maps = {
+                _unhex(n): {_unhex(f): _unhex(v) for f, v in bucket.items()}
+                for n, bucket in state["maps"].items()
+            }
+            self._sets = {
+                _unhex(n): {_unhex(m) for m in members}
+                for n, members in state["sets"].items()
+            }
+            self._counters = {
+                _unhex(n): v for n, v in state["counters"].items()
+            }
+
+    def apply_record(self, record: Record) -> None:
+        op = record.get("op")
+        if op == "put":
+            self._strings[record["k"]] = record["v"]
+        elif op == "del":
+            self._strings.pop(record["k"], None)
+        elif op == "mput":
+            self._maps.setdefault(record["n"], {})[record["f"]] = record["v"]
+        elif op == "mdel":
+            bucket = self._maps.get(record["n"], {})
+            bucket.pop(record["f"], None)
+            if not bucket:
+                self._maps.pop(record["n"], None)
+        elif op == "sadd":
+            self._sets.setdefault(record["n"], set()).add(record["m"])
+        elif op == "srem":
+            bucket = self._sets.get(record["n"])
+            if bucket is not None:
+                bucket.discard(record["m"])
+                if not bucket:
+                    del self._sets[record["n"]]
+        elif op == "incr":
+            self._counters[record["n"]] = (
+                self._counters.get(record["n"], 0) + record["d"]
+            )
+        elif op == "cset":
+            self._counters[record["n"]] = record["v"]
+        elif op == "flush":
+            self._strings.clear()
+            self._maps.clear()
+            self._sets.clear()
+            self._counters.clear()
+        else:
+            raise StoreError(f"unknown log record op {op!r}")

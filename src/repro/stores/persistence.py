@@ -1,0 +1,189 @@
+"""Append-only-log persistence with snapshots ("semi-durable" mode).
+
+The paper deploys Redis "in a semi-persistent durability mode" on both the
+gateway and the cloud to hold custom secure indexes.  This module provides
+the equivalent durability substrate for :mod:`repro.stores.kv` and
+:mod:`repro.stores.docstore`: mutations are appended to a JSON-lines log,
+and a snapshot compacts the log when it grows past a threshold.  Stores
+replay snapshot + log on open.
+
+Durability is *semi* in the same sense as Redis AOF with relaxed fsync:
+the log is buffered and flushed on :meth:`WriteAheadLog.sync`, close, or
+every ``flush_every`` records — a crash may lose the tail.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Callable, Iterator
+
+from repro.errors import StoreError
+
+Record = dict[str, Any]
+
+
+def _encode_bytes(obj: Any) -> Any:
+    """Make a record JSON-safe: bytes become tagged hex strings."""
+    if isinstance(obj, bytes):
+        return {"__bytes__": obj.hex()}
+    if isinstance(obj, dict):
+        return {k: _encode_bytes(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_encode_bytes(v) for v in obj]
+    return obj
+
+
+def _decode_bytes(obj: Any) -> Any:
+    if isinstance(obj, dict):
+        if set(obj) == {"__bytes__"}:
+            return bytes.fromhex(obj["__bytes__"])
+        return {k: _decode_bytes(v) for k, v in obj.items()}
+    if isinstance(obj, list):
+        return [_decode_bytes(v) for v in obj]
+    return obj
+
+
+class WriteAheadLog:
+    """JSON-lines append log with snapshot compaction."""
+
+    def __init__(self, directory: str | Path, name: str = "store",
+                 flush_every: int = 256, compact_after: int = 10_000):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.log_path = self.directory / f"{name}.log"
+        self.snapshot_path = self.directory / f"{name}.snapshot"
+        self.flush_every = flush_every
+        self.compact_after = compact_after
+        self._pending = 0
+        self._records_since_snapshot = 0
+        self._handle = None
+
+    # -- write path ---------------------------------------------------------
+
+    def append(self, record: Record) -> None:
+        if self._handle is None:
+            self._handle = open(self.log_path, "a", encoding="utf-8")
+        json.dump(_encode_bytes(record), self._handle,
+                  separators=(",", ":"))
+        self._handle.write("\n")
+        self._pending += 1
+        self._records_since_snapshot += 1
+        if self._pending >= self.flush_every:
+            self.sync()
+
+    def sync(self) -> None:
+        if self._handle is not None:
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+            self._pending = 0
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self.sync()
+            self._handle.close()
+            self._handle = None
+
+    @property
+    def needs_compaction(self) -> bool:
+        return self._records_since_snapshot >= self.compact_after
+
+    # -- read path ----------------------------------------------------------
+
+    def replay(self) -> Iterator[Record]:
+        """Yield every logged record after the latest snapshot."""
+        if not self.log_path.exists():
+            return
+        with open(self.log_path, encoding="utf-8") as handle:
+            for line_number, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    yield _decode_bytes(json.loads(line))
+                except json.JSONDecodeError:
+                    # A torn tail write is the expected crash artifact in
+                    # semi-durable mode; everything before it is intact.
+                    break
+
+    def load_snapshot(self) -> Record | None:
+        if not self.snapshot_path.exists():
+            return None
+        try:
+            with open(self.snapshot_path, encoding="utf-8") as handle:
+                return _decode_bytes(json.load(handle))
+        except (json.JSONDecodeError, OSError) as exc:
+            raise StoreError(f"corrupt snapshot: {exc}") from exc
+
+    def write_snapshot(self, state: Record) -> None:
+        """Atomically replace the snapshot and truncate the log."""
+        self.close()
+        temp_path = self.snapshot_path.with_suffix(".tmp")
+        with open(temp_path, "w", encoding="utf-8") as handle:
+            json.dump(_encode_bytes(state), handle, separators=(",", ":"))
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp_path, self.snapshot_path)
+        if self.log_path.exists():
+            os.remove(self.log_path)
+        self._records_since_snapshot = 0
+
+
+class SnapshotStore:
+    """Mixin-style helper binding a store to an optional WAL.
+
+    Stores call :meth:`record` on every mutation and implement
+    ``snapshot_state``/``restore_state``/``apply_record``; the helper takes
+    care of replay-on-open and compaction.
+    """
+
+    def __init__(self, wal: WriteAheadLog | None = None):
+        self._wal = wal
+        self._replaying = False
+
+    def recover(self) -> None:
+        if self._wal is None:
+            return
+        self._replaying = True
+        try:
+            snapshot = self._wal.load_snapshot()
+            if snapshot is not None:
+                self.restore_state(snapshot)
+            for record in self._wal.replay():
+                self.apply_record(record)
+        finally:
+            self._replaying = False
+
+    def record(self, record: Record) -> None:
+        if self._wal is None or self._replaying:
+            return
+        self._wal.append(record)
+        if self._wal.needs_compaction:
+            self._wal.write_snapshot(self.snapshot_state())
+
+    def sync(self) -> None:
+        if self._wal is not None:
+            self._wal.sync()
+
+    def close(self) -> None:
+        if self._wal is not None:
+            self._wal.write_snapshot(self.snapshot_state())
+            self._wal.close()
+
+    # Subclass responsibilities ------------------------------------------
+
+    def snapshot_state(self) -> Record:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def restore_state(self, state: Record) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def apply_record(self, record: Record) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,65 @@
+"""Shared machinery for tactic implementations.
+
+Tactics are distributed protocols: a gateway half (trusted zone, holds
+keys) and a cloud half (untrusted zone, holds encrypted structures).  Both
+halves receive their dependency context (§4.2 commonalities) at
+construction.  This module adds the pieces nearly every tactic needs:
+
+* :class:`GatewayTactic` / :class:`CloudTactic` — context-holding bases.
+* :class:`IdCipher` — encryption of document identifiers stored inside
+  secure indexes (AEAD, so index values are IND-CPA blobs).
+* :func:`canonical_term` — the ``field=value`` keyword encoding used by
+  the SSE tactics, built on the canonical value codec.
+* :func:`random_doc_id` — the DocIDGen implementation shared by tactics
+  that generate unlinkable identifiers.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.encoding import Value, encode_value
+from repro.crypto.primitives.hmac_prf import prf
+from repro.crypto.primitives.random import default_random
+from repro.crypto.symmetric import Aead
+from repro.spi.context import CloudTacticContext, GatewayTacticContext
+
+
+class GatewayTactic:
+    """Base for gateway-side tactic halves."""
+
+    def __init__(self, ctx: GatewayTacticContext):
+        self.ctx = ctx
+
+
+class CloudTactic:
+    """Base for cloud-side tactic halves."""
+
+    def __init__(self, ctx: CloudTacticContext):
+        self.ctx = ctx
+
+
+class IdCipher:
+    """Encrypts/decrypts document ids stored in secure indexes."""
+
+    def __init__(self, key: bytes):
+        self._aead = Aead(key[:16])
+
+    def seal(self, doc_id: str) -> bytes:
+        return self._aead.encrypt(doc_id.encode("utf-8"))
+
+    def open(self, blob: bytes) -> str:
+        return self._aead.decrypt(blob).decode("utf-8")
+
+
+def canonical_term(field: str, value: Value) -> bytes:
+    """The keyword bytes for a ``field == value`` term."""
+    return field.encode("utf-8") + b"\x00" + encode_value(value)
+
+
+def keyword_key(master: bytes, term: bytes, purpose: bytes = b"kw") -> bytes:
+    """Per-keyword subkey derivation used by the SSE tactics."""
+    return prf(master, purpose, term)
+
+
+def random_doc_id() -> str:
+    """Generate an unlinkable 128-bit document identifier."""
+    return default_random().token_bytes(16).hex()

@@ -1,0 +1,305 @@
+"""BIEX: boolean SSE with sub-linear conjunctions (Kamara–Moataz,
+Eurocrypt 2017), in its 2Lev and ZMF flavours.
+
+Protection class 3 (*predicates*): queries over the encrypted structures
+reveal co-occurrence patterns between blinded terms (the intersection
+structure of the boolean query), but not equalities or order.
+
+Structure.  Keywords are cross-field ``field=value`` terms.  A *global*
+encrypted multimap maps each term to its matching documents; a *local*
+pairwise structure encodes, for every ordered term pair ``(t1, t2)``,
+which documents match both.  A conjunctive query anchors on its first
+clause: the cloud streams the anchor term's global bucket and keeps the
+documents whose tag co-occurs — per the pairwise structure — with some
+term of every other clause.  Disjunctions inside clauses are unions over
+anchor terms; the query is CNF, the form the executor normalises to.
+
+The two registered variants differ only in the local structure:
+
+* **BIEX-2Lev** — pairwise buckets in a second 2Lev multimap.  Exact
+  membership, read-efficient, but quadratic index growth per document
+  (the 'Storage impl. complexity' challenge of Table 2).
+* **BIEX-ZMF** — one shared counting Bloom filter; pair keys select the
+  probe positions.  Space-efficient, but probabilistic: false positives
+  are filtered by the middleware's gateway-side verification.
+
+SPI surface (Table 2 rows: 8 gateway / 5 cloud): Setup, Insertion,
+DocIDGen, Update, Deletion, BoolQuery, BoolResolution, EqQuery // Setup,
+Insertion, Update, Deletion, BoolQuery.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.crypto.encoding import Value
+from repro.crypto.primitives.hmac_prf import prf
+from repro.errors import TacticError
+from repro.spi import interfaces as spi
+from repro.tactics.base import (
+    CloudTactic,
+    GatewayTactic,
+    IdCipher,
+    canonical_term,
+    random_doc_id,
+)
+from repro.tactics.twolev import TwoLevClient, TwoLevStore
+from repro.tactics.zmf import CountingBloomFilter
+
+_PAIR_SEP = b"\x00|\x00"
+
+Term = bytes
+CnfTerms = list[list[Term]]
+
+
+class BiexGateway(
+    GatewayTactic,
+    spi.GatewaySetup,
+    spi.GatewayInsertion,
+    spi.GatewayDocIDGen,
+    spi.GatewayUpdate,
+    spi.GatewayDeletion,
+    spi.GatewayBoolQuery,
+    spi.GatewayBoolResolution,
+    spi.GatewayEqQuery,
+):
+    """Trusted-zone half, shared by both variants."""
+
+    variant = "2lev"
+
+    def setup(self) -> None:
+        master = self.ctx.derive_key("index")
+        self._global = TwoLevClient(master, b"global")
+        self._pairs = TwoLevClient(master, b"pairs")
+        self._ids = IdCipher(self.ctx.derive_key("ids"))
+        self._tag_key = prf(master, b"tag")
+        self.ctx.call("setup", variant=self.variant)
+
+    def generate_doc_id(self) -> str:
+        return random_doc_id()
+
+    # -- term helpers -----------------------------------------------------------
+
+    def term(self, field: str, value: Value) -> Term:
+        return canonical_term(field, value)
+
+    def _tag(self, doc_id: str) -> bytes:
+        return prf(self._tag_key, doc_id.encode())[:16]
+
+    def _pair_token(self, t1: Term, t2: Term) -> bytes:
+        return self._pairs.token(t1 + _PAIR_SEP + t2)
+
+    # -- document-level protocol (used by the executor) ---------------------------
+
+    def insert_terms(self, doc_id: str, terms: list[Term]) -> None:
+        self._apply_terms(doc_id, terms, delta=1)
+
+    def delete_terms(self, doc_id: str, terms: list[Term]) -> None:
+        self._apply_terms(doc_id, terms, delta=-1)
+
+    def update_terms(self, doc_id: str, old_terms: list[Term],
+                     new_terms: list[Term]) -> None:
+        if old_terms:
+            self.delete_terms(doc_id, old_terms)
+        if new_terms:
+            self.insert_terms(doc_id, new_terms)
+
+    def _apply_terms(self, doc_id: str, terms: list[Term],
+                     delta: int) -> None:
+        if not terms:
+            return
+        tag = self._tag(doc_id)
+        enc_id = self._ids.seal(doc_id)
+        globals_payload = [
+            (self._global.token(term), enc_id if delta > 0 else b"")
+            for term in terms
+        ]
+        pair_tokens = [
+            self._pair_token(t1, t2)
+            for t1 in terms
+            for t2 in terms
+            if t1 != t2
+        ]
+        method = "insert" if delta > 0 else "delete"
+        self.ctx.call(
+            method, tag=tag, globals=globals_payload, pairs=pair_tokens
+        )
+
+    # -- SPI single-field conformance ------------------------------------------------
+
+    def insert(self, doc_id: str, value: Value) -> None:
+        self.insert_terms(doc_id, [self.term(self.ctx.field, value)])
+
+    def delete(self, doc_id: str, value: Value) -> None:
+        self.delete_terms(doc_id, [self.term(self.ctx.field, value)])
+
+    def update(self, doc_id: str, old_value: Value,
+               new_value: Value) -> None:
+        self.update_terms(
+            doc_id,
+            [self.term(self.ctx.field, old_value)],
+            [self.term(self.ctx.field, new_value)],
+        )
+
+    # -- boolean query protocol ----------------------------------------------------------
+
+    def bool_query_terms(self, cnf: CnfTerms) -> Any:
+        """Run the protocol over pre-built terms (executor entry point)."""
+        if not cnf or not all(cnf):
+            raise TacticError("BIEX query needs at least one non-empty clause")
+        anchors = []
+        for anchor_term in cnf[0]:
+            pairs = []
+            for clause in cnf[1:]:
+                if anchor_term in clause:
+                    # A document matching the anchor term satisfies this
+                    # clause by definition; no pairwise check needed (the
+                    # index stores no (t, t) self-pairs).
+                    continue
+                pairs.append([
+                    self._pair_token(anchor_term, other) for other in clause
+                ])
+            anchors.append({
+                "token": self._global.token(anchor_term),
+                "pairs": pairs,
+            })
+        response = self.ctx.call("bool_query", anchors=anchors)
+        return {"anchor_terms": cnf[0], "per_anchor": response}
+
+    def bool_query(self, cnf: list[list[tuple[str, Value]]]) -> Any:
+        terms = [
+            [self.term(field, value) for field, value in clause]
+            for clause in cnf
+        ]
+        return self.bool_query_terms(terms)
+
+    def resolve_bool(self, raw: Any) -> set[str]:
+        results: set[str] = set()
+        for blobs in raw["per_anchor"]:
+            for blob in blobs:
+                results.add(self._ids.open(blob))
+        return results
+
+    def eq_query(self, value: Value) -> Any:
+        """Equality search = single-term, single-clause boolean query."""
+        return self.bool_query_terms([[self.term(self.ctx.field, value)]])
+
+
+class Biex2LevGateway(BiexGateway):
+    variant = "2lev"
+
+
+class BiexZmfGateway(BiexGateway):
+    variant = "zmf"
+
+
+class BiexCloud(
+    CloudTactic,
+    spi.CloudSetup,
+    spi.CloudInsertion,
+    spi.CloudUpdate,
+    spi.CloudDeletion,
+    spi.CloudBoolQuery,
+):
+    """Untrusted-zone half, shared by both variants.
+
+    The global structure is always a 2Lev bucket store; ``variant``
+    decides whether the pairwise co-occurrence structure is a second
+    bucket store (exact) or a counting Bloom filter (compact).
+    """
+
+    def setup(self, variant: str = "2lev", filter_cells: int = 1 << 18,
+              filter_probes: int = 7) -> None:
+        if variant not in ("2lev", "zmf"):
+            raise TacticError(f"unknown BIEX variant {variant!r}")
+        self.variant = variant
+        self._global = TwoLevStore(self.ctx.kv, self.ctx.state_key(b"g"))
+        if variant == "2lev":
+            self._pair_store = TwoLevStore(
+                self.ctx.kv, self.ctx.state_key(b"p")
+            )
+            self._filter = None
+        else:
+            self._pair_store = None
+            self._filter = CountingBloomFilter(
+                self.ctx.kv, self.ctx.state_key(b"f"),
+                cells=filter_cells, probes=filter_probes,
+            )
+
+    # -- updates -------------------------------------------------------------
+
+    def _apply(self, tag: bytes, globals: list[tuple[bytes, bytes]],
+               pairs: list[bytes], delta: int) -> None:
+        for token, enc_id in globals:
+            self._global.upsert(token, tag, enc_id, delta)
+        for pair_token in pairs:
+            if self._pair_store is not None:
+                self._pair_store.upsert(pair_token, tag, b"", delta)
+            elif delta > 0:
+                self._filter.add(pair_token, tag)
+            else:
+                self._filter.remove(pair_token, tag)
+
+    def insert(self, tag: bytes, globals: list[tuple[bytes, bytes]],
+               pairs: list[bytes]) -> None:
+        self._apply(tag, globals, pairs, +1)
+
+    def delete(self, tag: bytes, globals: list[tuple[bytes, bytes]],
+               pairs: list[bytes]) -> None:
+        self._apply(tag, globals, pairs, -1)
+
+    def update(self, tag: bytes, old_globals: list[tuple[bytes, bytes]],
+               old_pairs: list[bytes],
+               new_globals: list[tuple[bytes, bytes]],
+               new_pairs: list[bytes]) -> None:
+        self._apply(tag, old_globals, old_pairs, -1)
+        self._apply(tag, new_globals, new_pairs, +1)
+
+    # -- query ------------------------------------------------------------------
+
+    def _pair_match(self, pair_token: bytes, tag: bytes) -> bool:
+        if self._pair_store is not None:
+            return self._pair_store.contains(pair_token, tag)
+        return self._filter.contains(pair_token, tag)
+
+    def bool_query(self, anchors: list[dict]) -> list[list[bytes]]:
+        """Per anchor term: the encrypted ids surviving every clause."""
+        per_anchor: list[list[bytes]] = []
+        seen_tags: set[bytes] = set()
+        for anchor in anchors:
+            survivors: list[bytes] = []
+            for tag, enc_id in self._global.lookup(anchor["token"]):
+                if tag in seen_tags:
+                    continue
+                if all(
+                    any(self._pair_match(token, tag) for token in clause)
+                    for clause in anchor["pairs"]
+                ):
+                    seen_tags.add(tag)
+                    survivors.append(enc_id)
+            per_anchor.append(survivors)
+        return per_anchor
+
+    # -- metrics -------------------------------------------------------------------
+
+    def index_size(self) -> int:
+        """Bytes used by the local (pairwise) structure — the space side
+        of the 2Lev vs ZMF trade-off."""
+        if self._filter is not None:
+            return self._filter.size_in_bytes()
+        # Sum the pair-store namespace usage out of the shared KV store.
+        prefix = self.ctx.state_key(b"p")
+        total = 0
+        for name, bucket in self.ctx.kv._maps.items():  # noqa: SLF001
+            if name.startswith(prefix):
+                total += len(name)
+                total += sum(len(f) + len(v) for f, v in bucket.items())
+        return total
+
+
+class Biex2LevCloud(BiexCloud):
+    pass
+
+
+class BiexZmfCloud(BiexCloud):
+    pass

@@ -1,0 +1,175 @@
+"""Mitra: forward- and backward-private SSE (Chamani et al., CCS 2018).
+
+Protection class 2 (*identifiers*).  The gateway keeps a per-keyword
+counter (the paper's 'Local storage' challenge for this tactic); each
+update stores one entry at the pseudorandom address ``PRF(k_w, c)`` whose
+payload — document id plus an add/delete flag — is masked with an
+independent PRF pad.  Because addresses of future updates are
+unpredictable without the counter, inserts leak nothing about past
+queries (forward privacy), and because deletions are masked tombstones
+resolved only at the gateway, the server never learns which entries
+cancelled out (backward privacy of type II).
+
+Search sends the ``c`` addresses; the cloud returns the masked payloads
+and the gateway unmasks, replays tombstones and yields the surviving ids.
+
+SPI surface (Table 2 row: 7 gateway / 5 cloud): Setup, Insertion,
+DocIDGen, Update, Deletion, EqQuery, EqResolution // Setup, Insertion,
+Update, Deletion, EqQuery.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.crypto.encoding import Value, encode_value
+from repro.crypto.primitives.hmac_prf import prf, prg
+from repro.errors import TacticError
+from repro.spi import interfaces as spi
+from repro.tactics.base import (
+    CloudTactic,
+    GatewayTactic,
+    keyword_key,
+    random_doc_id,
+)
+
+_ADD = 0
+_DELETE = 1
+
+
+def _mask_payload(pad_seed: bytes, op: int, doc_id: str) -> bytes:
+    body = bytes([op]) + doc_id.encode("utf-8")
+    pad = prg(pad_seed, len(body), label=b"mitra-pad")
+    return bytes(a ^ b for a, b in zip(body, pad))
+
+
+def _unmask_payload(pad_seed: bytes, masked: bytes) -> tuple[int, str]:
+    pad = prg(pad_seed, len(masked), label=b"mitra-pad")
+    body = bytes(a ^ b for a, b in zip(masked, pad))
+    return body[0], body[1:].decode("utf-8")
+
+
+class MitraGateway(
+    GatewayTactic,
+    spi.GatewaySetup,
+    spi.GatewayInsertion,
+    spi.GatewayDocIDGen,
+    spi.GatewayUpdate,
+    spi.GatewayDeletion,
+    spi.GatewayEqQuery,
+    spi.GatewayEqResolution,
+):
+    """Trusted-zone half: counters, trapdoors and tombstone resolution."""
+
+    def setup(self) -> None:
+        self._master = self.ctx.derive_key("index")
+        self.ctx.call("setup")
+
+    def generate_doc_id(self) -> str:
+        return random_doc_id()
+
+    # -- keyword state ---------------------------------------------------------
+
+    def _keyword(self, value: Value) -> bytes:
+        return encode_value(value)
+
+    def _counter_key(self, keyword: bytes) -> bytes:
+        # Hash the keyword so plaintext values never sit in gateway state.
+        return self.ctx.state_key(b"cnt", prf(self._master, b"cnt", keyword))
+
+    def _count(self, keyword: bytes) -> int:
+        return self.ctx.local_kv.counter_get(self._counter_key(keyword))
+
+    # -- update protocol ----------------------------------------------------------
+
+    def _append(self, op: int, doc_id: str, value: Value) -> None:
+        keyword = self._keyword(value)
+        k_w = keyword_key(self._master, keyword)
+        count = self.ctx.local_kv.counter_increment(
+            self._counter_key(keyword)
+        )
+        counter_bytes = count.to_bytes(8, "big")
+        address = prf(k_w, b"addr", counter_bytes)
+        pad_seed = prf(k_w, b"pad", counter_bytes)
+        self.ctx.call(
+            "insert",
+            address=address,
+            payload=_mask_payload(pad_seed, op, doc_id),
+        )
+
+    def insert(self, doc_id: str, value: Value) -> None:
+        self._append(_ADD, doc_id, value)
+
+    def delete(self, doc_id: str, value: Value) -> None:
+        self._append(_DELETE, doc_id, value)
+
+    def update(self, doc_id: str, old_value: Value,
+               new_value: Value) -> None:
+        self.delete(doc_id, old_value)
+        self.insert(doc_id, new_value)
+
+    # -- search protocol -------------------------------------------------------------
+
+    def eq_query(self, value: Value) -> Any:
+        keyword = self._keyword(value)
+        k_w = keyword_key(self._master, keyword)
+        count = self._count(keyword)
+        addresses = [
+            prf(k_w, b"addr", c.to_bytes(8, "big"))
+            for c in range(1, count + 1)
+        ]
+        masked = self.ctx.call("eq_query", addresses=addresses)
+        return {"keyword": keyword, "masked": masked}
+
+    def resolve_eq(self, raw: Any) -> set[str]:
+        keyword = raw["keyword"]
+        k_w = keyword_key(self._master, keyword)
+        alive: set[str] = set()
+        for index, masked in enumerate(raw["masked"], start=1):
+            if masked is None:
+                raise TacticError("cloud lost a Mitra index entry")
+            pad_seed = prf(k_w, b"pad", index.to_bytes(8, "big"))
+            op, doc_id = _unmask_payload(pad_seed, masked)
+            if op == _ADD:
+                alive.add(doc_id)
+            elif op == _DELETE:
+                alive.discard(doc_id)
+            else:
+                raise TacticError(f"invalid Mitra op byte {op}")
+        return alive
+
+
+class MitraCloud(
+    CloudTactic,
+    spi.CloudSetup,
+    spi.CloudInsertion,
+    spi.CloudUpdate,
+    spi.CloudDeletion,
+    spi.CloudEqQuery,
+):
+    """Untrusted-zone half: a flat pseudorandom-address store.
+
+    Adds, deletes and updates are indistinguishable entries; the cloud
+    routes them all through the same append path.
+    """
+
+    def setup(self, **params: Any) -> None:
+        self._map_name = self.ctx.state_key(b"index")
+
+    def insert(self, address: bytes, payload: bytes) -> None:
+        if not isinstance(address, bytes) or not isinstance(payload, bytes):
+            raise TacticError("Mitra entries are byte blobs")
+        self.ctx.kv.map_put(self._map_name, address, payload)
+
+    # Deletion and update are masked appends: same wire shape on purpose.
+    def update(self, address: bytes, payload: bytes) -> None:
+        self.insert(address=address, payload=payload)
+
+    def delete(self, address: bytes, payload: bytes) -> None:
+        self.insert(address=address, payload=payload)
+
+    def eq_query(self, addresses: list[bytes]) -> list[bytes | None]:
+        return [
+            self.ctx.kv.map_get(self._map_name, address)
+            for address in addresses
+        ]

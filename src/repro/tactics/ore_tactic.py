@@ -1,0 +1,141 @@
+"""ORE range tactic, protection class 5 (*order*).
+
+Same role as the OPE tactic, built on CLWW order-revealing encryption:
+ciphertexts are not numbers, so the cloud cannot read order off the
+stored values directly — it must invoke the public ``compare`` routine.
+The cloud index is kept sorted under that comparator, so range queries
+are still two binary searches, each comparison costing a pass over the
+ternary digit vectors.  The ablation benchmark contrasts this with OPE's
+cheaper comparisons and larger per-encryption cost.
+
+Insert-as-upsert, like the OPE tactic, keeps the SPI surface at the
+3/3 interfaces of Table 2: Setup, Insertion, RangeQuery on both sides.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.crypto.encoding import Value, value_to_ordered_int
+from repro.crypto.ore import Ore, OreCiphertext, compare
+from repro.errors import TacticError
+from repro.spi import interfaces as spi
+from repro.tactics.base import CloudTactic, GatewayTactic
+
+PLAINTEXT_BITS = 40
+
+
+class OreGateway(
+    GatewayTactic,
+    spi.GatewaySetup,
+    spi.GatewayInsertion,
+    spi.GatewayRangeQuery,
+):
+    """Trusted-zone half: CLWW encryption of numeric codes."""
+
+    def setup(self) -> None:
+        self._ore = Ore(self.ctx.derive_key("ore"), bits=PLAINTEXT_BITS)
+        self.ctx.call("setup")
+
+    def _encode(self, value: Value) -> bytes:
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise TacticError(
+                f"ORE protects numeric fields only, got "
+                f"{type(value).__name__}"
+            )
+        return self._ore.encrypt(
+            value_to_ordered_int(value, bits=PLAINTEXT_BITS)
+        ).to_bytes()
+
+    def insert(self, doc_id: str, value: Value) -> None:
+        self.ctx.call("insert", doc_id=doc_id, ciphertext=self._encode(value))
+
+    def range_query(self, low: Value, high: Value) -> set[str]:
+        low_ct = None if low is None else self._encode(low)
+        high_ct = None if high is None else self._encode(high)
+        return set(
+            self.ctx.call("range_query", low=low_ct, high=high_ct)
+        )
+
+    def ordered_ids(self, low: Value = None, high: Value = None,
+                    limit: int | None = None,
+                    descending: bool = False) -> list[str]:
+        """Document ids in value order (extension beyond the Table 1 SPI:
+        the order tactics can serve ORDER BY and min/max for free)."""
+        low_ct = None if low is None else self._encode(low)
+        high_ct = None if high is None else self._encode(high)
+        return self.ctx.call("ordered_range", low=low_ct, high=high_ct,
+                             limit=limit, descending=descending)
+
+
+class OreCloud(
+    CloudTactic,
+    spi.CloudSetup,
+    spi.CloudInsertion,
+    spi.CloudRangeQuery,
+):
+    """Untrusted-zone half: a comparator-sorted ciphertext index."""
+
+    def setup(self, **params: Any) -> None:
+        self._map_name = self.ctx.state_key(b"ct")
+        # Rebuild the comparator-sorted view from the durable KV map.
+        self._sorted: list[tuple[OreCiphertext, str]] = []
+        self._by_doc: dict[str, OreCiphertext] = {}
+        for key, blob in self.ctx.kv.map_items(self._map_name):
+            parsed = OreCiphertext.from_bytes(blob)
+            self._sorted.insert(self._bisect(parsed, right=True),
+                                (parsed, key.decode()))
+            self._by_doc[key.decode()] = parsed
+
+    def _bisect(self, ciphertext: OreCiphertext, right: bool) -> int:
+        """Binary search with the public ORE comparator."""
+        lo, hi = 0, len(self._sorted)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            ordering = compare(self._sorted[mid][0], ciphertext)
+            if ordering < 0 or (right and ordering == 0):
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    def insert(self, doc_id: str, ciphertext: bytes) -> None:
+        if not isinstance(ciphertext, bytes):
+            raise TacticError("ORE ciphertext must be bytes")
+        parsed = OreCiphertext.from_bytes(ciphertext)
+        self.ctx.kv.map_put(self._map_name, doc_id.encode(), ciphertext)
+        previous = self._by_doc.get(doc_id)
+        if previous is not None:
+            index = self._bisect(previous, right=False)
+            while index < len(self._sorted):
+                entry_ct, entry_id = self._sorted[index]
+                if compare(entry_ct, previous) != 0:
+                    break
+                if entry_id == doc_id:
+                    self._sorted.pop(index)
+                    break
+                index += 1
+        self._sorted.insert(self._bisect(parsed, right=True),
+                            (parsed, doc_id))
+        self._by_doc[doc_id] = parsed
+
+    def _slice(self, low: bytes | None, high: bytes | None) -> list[str]:
+        start = 0 if low is None else self._bisect(
+            OreCiphertext.from_bytes(low), right=False
+        )
+        end = len(self._sorted) if high is None else self._bisect(
+            OreCiphertext.from_bytes(high), right=True
+        )
+        return [doc_id for _, doc_id in self._sorted[start:end]]
+
+    def range_query(self, low: bytes | None,
+                    high: bytes | None) -> list[str]:
+        return self._slice(low, high)
+
+    def ordered_range(self, low: bytes | None, high: bytes | None,
+                      limit: int | None = None,
+                      descending: bool = False) -> list[str]:
+        ids = self._slice(low, high)
+        if descending:
+            ids.reverse()
+        return ids if limit is None else ids[:limit]

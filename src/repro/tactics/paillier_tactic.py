@@ -1,0 +1,126 @@
+"""Paillier aggregate tactic: blind sums and averages in the cloud.
+
+No protection class / leakage row in Table 2 ('-'): this tactic answers no
+search queries, it only stores additively homomorphic ciphertexts and
+multiplies them on demand.  The cloud computes ``E(sum)`` as the modular
+product of the selected ciphertexts; the gateway's
+``AggFunctionResolution`` decrypts and — for averages — divides by the
+count (the paper's example: *the average heart rate of a patient*).
+
+Table 2's 'Key management' challenge applies: the Paillier private key
+must stay in the trusted zone; only ``n`` crosses to the cloud at setup.
+
+SPI surface (Table 2 rows Sum/Average: 3 gateway / 3 cloud): Setup,
+Insertion, AggFunctionResolution // Setup, Insertion, AggFunction.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.crypto import paillier
+from repro.crypto.encoding import Value
+from repro.errors import TacticError
+from repro.spi import interfaces as spi
+from repro.tactics.base import CloudTactic, GatewayTactic
+
+KEY_BITS = 1024
+FIXED_POINT_SCALE = 6
+
+
+class PaillierGateway(
+    GatewayTactic,
+    spi.GatewaySetup,
+    spi.GatewayInsertion,
+    spi.GatewayAggFunctionResolution,
+):
+    """Trusted-zone half: encryption and aggregate resolution."""
+
+    def setup(self) -> None:
+        self._private = self.ctx.keystore.paillier_keypair(
+            self.ctx.field, self.ctx.tactic, KEY_BITS
+        )
+        self._codec = paillier.FixedPointCodec(FIXED_POINT_SCALE)
+        self.ctx.call("setup", n=self._private.public.n)
+
+    def insert(self, doc_id: str, value: Value) -> None:
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise TacticError(
+                f"Paillier protects numeric fields only, got "
+                f"{type(value).__name__}"
+            )
+        ciphertext = paillier.encrypt(
+            self._private.public, self._codec.encode(value)
+        )
+        self.ctx.call("insert", doc_id=doc_id, ciphertext=ciphertext.value)
+
+    # -- aggregate protocol -------------------------------------------------------
+
+    def aggregate(self, function: str,
+                  doc_ids: list[str] | None = None) -> Value:
+        """Run the full protocol: blind cloud evaluation + resolution."""
+        raw = self.ctx.call("aggregate", doc_ids=doc_ids)
+        return self.resolve_aggregate(function, raw, raw["count"])
+
+    def resolve_aggregate(self, function: str, raw: Any,
+                          count: int) -> Value:
+        if function == "count":
+            return count
+        if count == 0:
+            return None
+        encrypted_sum = paillier.Ciphertext(self._private.public, raw["ct"])
+        decoded_sum = paillier.decrypt(self._private, encrypted_sum)
+        if function == "sum":
+            return self._codec.decode(decoded_sum)
+        if function == "avg":
+            return self._codec.decode_mean(decoded_sum, count)
+        raise TacticError(f"Paillier cannot resolve aggregate {function!r}")
+
+
+class PaillierCloud(
+    CloudTactic,
+    spi.CloudSetup,
+    spi.CloudInsertion,
+    spi.CloudAggFunction,
+):
+    """Untrusted-zone half: ciphertext storage and blind multiplication."""
+
+    def setup(self, n: int) -> None:
+        self._public = paillier.PaillierPublicKey(n)
+        self._map_name = self.ctx.state_key(b"ct")
+
+    def insert(self, doc_id: str, ciphertext: int) -> None:
+        if not isinstance(ciphertext, int):
+            raise TacticError("Paillier ciphertext must be an integer")
+        length = (ciphertext.bit_length() + 7) // 8 or 1
+        self.ctx.kv.map_put(
+            self._map_name, doc_id.encode(),
+            ciphertext.to_bytes(length, "big"),
+        )
+
+    def _get(self, doc_id: str) -> int | None:
+        blob = self.ctx.kv.map_get(self._map_name, doc_id.encode())
+        return None if blob is None else int.from_bytes(blob, "big")
+
+    def aggregate(self, doc_ids: list[str] | None = None) -> dict:
+        """Homomorphically sum the selected values.
+
+        ``doc_ids`` of None aggregates everything stored; unknown ids are
+        skipped (they may have been deleted from the document store).
+        """
+        if doc_ids is None:
+            selected = [
+                int.from_bytes(blob, "big")
+                for _, blob in self.ctx.kv.map_items(self._map_name)
+            ]
+        else:
+            selected = [
+                ciphertext for ciphertext in
+                (self._get(d) for d in doc_ids)
+                if ciphertext is not None
+            ]
+        n_squared = self._public.n_squared
+        product = 1
+        for ciphertext in selected:
+            product = product * ciphertext % n_squared
+        return {"ct": product, "count": len(selected)}

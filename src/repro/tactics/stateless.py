@@ -1,0 +1,174 @@
+"""Stateless-gateway SSE: the paper's concluding research direction.
+
+The conclusion of the paper observes that a cloud-native DataBlinder
+wants a *stateless* gateway, but tactics like Sophos and Mitra keep
+per-keyword state (token chains, counters) in the trusted zone.  This
+tactic implements the trade the conclusion hints at: move all state to
+the cloud and pay for it with leakage.
+
+Construction.  Keywords are blinded to a PRF tag; the cloud keeps an
+append-only list per tag.  Each entry is ``(salt, payload)`` where the
+payload — document id plus add/delete flag — is masked with
+``PRG(PRF(k_w, salt))`` under a fresh random salt, so entries are
+position-independent and the gateway needs no counter.  Search sends the
+tag; the gateway unmasks the returned entries and replays tombstones.
+
+Cost/benefit vs Mitra:
+
+* gateway state: **zero** (vs one counter per keyword) — the gateway can
+  be replicated/restarted freely (the ORM-like deployment of §7);
+* rounds: identical (one per update, one per search);
+* leakage: the cloud sees which (blinded) keyword every update touches
+  at *insert time*, i.e. **forward privacy is lost** — updates to a
+  previously searched keyword are linkable.  Still class 2
+  (*identifiers*): values and ids stay hidden.
+
+``benchmarks/bench_ablation_stateless.py`` quantifies the trade.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.crypto.encoding import Value, encode_value
+from repro.crypto.primitives.hmac_prf import prf, prg
+from repro.crypto.primitives.random import default_random
+from repro.errors import TacticError
+from repro.spi import interfaces as spi
+from repro.tactics.base import (
+    CloudTactic,
+    GatewayTactic,
+    keyword_key,
+    random_doc_id,
+)
+
+_ADD = 0
+_DELETE = 1
+_SALT_SIZE = 16
+
+
+def _mask(k_w: bytes, salt: bytes, op: int, doc_id: str) -> bytes:
+    body = bytes([op]) + doc_id.encode("utf-8")
+    pad = prg(prf(k_w, b"pad", salt), len(body), label=b"stateless-pad")
+    return bytes(a ^ b for a, b in zip(body, pad))
+
+
+def _unmask(k_w: bytes, salt: bytes, masked: bytes) -> tuple[int, str]:
+    pad = prg(prf(k_w, b"pad", salt), len(masked), label=b"stateless-pad")
+    body = bytes(a ^ b for a, b in zip(masked, pad))
+    return body[0], body[1:].decode("utf-8")
+
+
+class StatelessSseGateway(
+    GatewayTactic,
+    spi.GatewaySetup,
+    spi.GatewayInsertion,
+    spi.GatewayDocIDGen,
+    spi.GatewayUpdate,
+    spi.GatewayDeletion,
+    spi.GatewayEqQuery,
+    spi.GatewayEqResolution,
+):
+    """Trusted-zone half: keys only, no per-keyword state."""
+
+    def setup(self) -> None:
+        self._master = self.ctx.derive_key("index")
+        self.ctx.call("setup")
+
+    def generate_doc_id(self) -> str:
+        return random_doc_id()
+
+    def _keyword(self, value: Value) -> bytes:
+        return encode_value(value)
+
+    def _tag(self, keyword: bytes) -> bytes:
+        return prf(self._master, b"tag", keyword)
+
+    # -- updates ---------------------------------------------------------------
+
+    def _append(self, op: int, doc_id: str, value: Value) -> None:
+        keyword = self._keyword(value)
+        k_w = keyword_key(self._master, keyword)
+        salt = default_random().token_bytes(_SALT_SIZE)
+        self.ctx.call(
+            "insert",
+            tag=self._tag(keyword),
+            salt=salt,
+            payload=_mask(k_w, salt, op, doc_id),
+        )
+
+    def insert(self, doc_id: str, value: Value) -> None:
+        self._append(_ADD, doc_id, value)
+
+    def delete(self, doc_id: str, value: Value) -> None:
+        self._append(_DELETE, doc_id, value)
+
+    def update(self, doc_id: str, old_value: Value,
+               new_value: Value) -> None:
+        self.delete(doc_id, old_value)
+        self.insert(doc_id, new_value)
+
+    # -- search -------------------------------------------------------------------
+
+    def eq_query(self, value: Value) -> Any:
+        keyword = self._keyword(value)
+        entries = self.ctx.call("eq_query", tag=self._tag(keyword))
+        return {"keyword": keyword, "entries": entries}
+
+    def resolve_eq(self, raw: Any) -> set[str]:
+        k_w = keyword_key(self._master, raw["keyword"])
+        alive: set[str] = set()
+        for salt, masked in raw["entries"]:
+            op, doc_id = _unmask(k_w, salt, masked)
+            if op == _ADD:
+                alive.add(doc_id)
+            elif op == _DELETE:
+                alive.discard(doc_id)
+            else:
+                raise TacticError(f"invalid op byte {op}")
+        return alive
+
+
+class StatelessSseCloud(
+    CloudTactic,
+    spi.CloudSetup,
+    spi.CloudInsertion,
+    spi.CloudUpdate,
+    spi.CloudDeletion,
+    spi.CloudEqQuery,
+):
+    """Untrusted-zone half: per-tag append lists.
+
+    The per-tag grouping is exactly the leakage this scheme pays: the
+    server links every update of one (blinded) keyword as it arrives.
+    """
+
+    def setup(self, **params: Any) -> None:
+        self._namespace = self.ctx.state_key(b"entries")
+
+    def _list_key(self, tag: bytes) -> bytes:
+        return self._namespace + b"/" + tag
+
+    def insert(self, tag: bytes, salt: bytes, payload: bytes) -> None:
+        if not all(isinstance(x, bytes) for x in (tag, salt, payload)):
+            raise TacticError("stateless SSE entries are byte blobs")
+        counter = self.ctx.kv.counter_increment(self._list_key(tag))
+        self.ctx.kv.map_put(
+            self._list_key(tag), counter.to_bytes(8, "big"), salt + payload
+        )
+
+    # Deletion/update are masked appends, same wire shape as Mitra.
+    def update(self, tag: bytes, salt: bytes, payload: bytes) -> None:
+        self.insert(tag=tag, salt=salt, payload=payload)
+
+    def delete(self, tag: bytes, salt: bytes, payload: bytes) -> None:
+        self.insert(tag=tag, salt=salt, payload=payload)
+
+    def eq_query(self, tag: bytes) -> list[tuple[bytes, bytes]]:
+        entries = sorted(
+            self.ctx.kv.map_items(self._list_key(tag)),
+            key=lambda kv: kv[0],
+        )
+        return [
+            (blob[:_SALT_SIZE], blob[_SALT_SIZE:]) for _, blob in entries
+        ]

@@ -1,0 +1,124 @@
+"""Matryoshka-filter machinery for BIEX-ZMF (Kamara–Moataz, Eurocrypt 2017).
+
+BIEX-ZMF trades the read-efficient pairwise multimaps of BIEX-2Lev for a
+space-efficient filter encoding of the same co-occurrence relation.  We
+realise the filter as a *counting Bloom filter* whose probe positions are
+PRF-derived from ``(pair_key, doc_tag)`` — the server can test membership
+when handed the pair key at query time, but learns nothing from the bit
+array beforehand.  Counting (rather than plain) cells make deletions
+possible, mirroring the dynamic variant.
+
+False positives are inherent to the filter encoding; the middleware's
+gateway-side result verification removes them, and the ablation benchmark
+``benchmarks/bench_ablation_biex.py`` measures the space/read trade-off
+against BIEX-2Lev.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.crypto.primitives.hmac_prf import prf
+from repro.errors import TacticError
+from repro.stores.kv import KeyValueStore
+
+DEFAULT_CELLS = 1 << 18  # 262,144 cells
+DEFAULT_PROBES = 7
+
+
+def filter_parameters(expected_items: int,
+                      false_positive_rate: float = 1e-6
+                      ) -> tuple[int, int]:
+    """Optimal (cells, probes) for an expected load and FP target."""
+    if expected_items <= 0:
+        raise TacticError("expected_items must be positive")
+    if not 0 < false_positive_rate < 1:
+        raise TacticError("false_positive_rate must be in (0, 1)")
+    cells = math.ceil(
+        -expected_items * math.log(false_positive_rate) / (math.log(2) ** 2)
+    )
+    probes = max(1, round(cells / expected_items * math.log(2)))
+    return cells, probes
+
+
+def probe_positions(pair_key: bytes, tag: bytes, cells: int,
+                    probes: int) -> list[int]:
+    """The PRF-derived cell indices for one (pair, document-tag) element."""
+    positions = []
+    for index in range(probes):
+        digest = prf(pair_key, b"probe", index.to_bytes(4, "big"), tag)
+        positions.append(int.from_bytes(digest[:8], "big") % cells)
+    return positions
+
+
+class CountingBloomFilter:
+    """A counting Bloom filter persisted in the cloud KV store.
+
+    Cells are 16-bit saturating counters stored as one contiguous byte
+    string per shard of 4096 cells, so incremental updates touch a single
+    KV entry rather than rewriting the whole array.
+    """
+
+    SHARD_CELLS = 4096
+
+    def __init__(self, kv: KeyValueStore, namespace: bytes,
+                 cells: int = DEFAULT_CELLS, probes: int = DEFAULT_PROBES):
+        if cells <= 0 or probes <= 0:
+            raise TacticError("filter needs positive cells and probes")
+        self._kv = kv
+        self._namespace = namespace
+        self.cells = cells
+        self.probes = probes
+
+    def _shard_key(self, shard: int) -> bytes:
+        return self._namespace + b"/shard/" + shard.to_bytes(4, "big")
+
+    def _load_shard(self, shard: int) -> bytearray:
+        blob = self._kv.get(self._shard_key(shard))
+        if blob is None:
+            return bytearray(2 * self.SHARD_CELLS)
+        return bytearray(blob)
+
+    def _adjust(self, position: int, delta: int) -> None:
+        shard, offset = divmod(position, self.SHARD_CELLS)
+        data = self._load_shard(shard)
+        index = 2 * offset
+        value = int.from_bytes(data[index:index + 2], "big") + delta
+        value = min(max(value, 0), 0xFFFF)
+        data[index:index + 2] = value.to_bytes(2, "big")
+        self._kv.put(self._shard_key(shard), bytes(data))
+
+    def _read(self, position: int) -> int:
+        shard, offset = divmod(position, self.SHARD_CELLS)
+        data = self._load_shard(shard)
+        index = 2 * offset
+        return int.from_bytes(data[index:index + 2], "big")
+
+    # -- element operations ---------------------------------------------------
+
+    def add(self, pair_key: bytes, tag: bytes) -> None:
+        for position in probe_positions(pair_key, tag, self.cells,
+                                        self.probes):
+            self._adjust(position, +1)
+
+    def remove(self, pair_key: bytes, tag: bytes) -> None:
+        for position in probe_positions(pair_key, tag, self.cells,
+                                        self.probes):
+            self._adjust(position, -1)
+
+    def contains(self, pair_key: bytes, tag: bytes) -> bool:
+        return all(
+            self._read(position) > 0
+            for position in probe_positions(pair_key, tag, self.cells,
+                                            self.probes)
+        )
+
+    def size_in_bytes(self) -> int:
+        """Bytes occupied by materialised shards (space-efficiency metric)."""
+        total = 0
+        shard_count = (self.cells + self.SHARD_CELLS - 1) // self.SHARD_CELLS
+        for shard in range(shard_count):
+            blob = self._kv.get(self._shard_key(shard))
+            if blob is not None:
+                total += len(blob)
+        return total

@@ -1,0 +1,107 @@
+"""Persistent-adversary observation: forward privacy on the wire."""
+
+import pytest
+
+from repro.analysis.observer import ObservedTransport
+from repro.cloud.server import CloudZone
+from repro.gateway.service import GatewayRuntime
+from repro.net.transport import InProcTransport
+
+
+@pytest.fixture()
+def observed(registry):
+    cloud = CloudZone(registry)
+    transport = ObservedTransport(InProcTransport(cloud.host))
+    runtime = GatewayRuntime("obsapp", transport, registry)
+    return transport, runtime
+
+
+def search(gateway, value):
+    return gateway.resolve_eq(gateway.eq_query(value))
+
+
+class TestQueryLinkability:
+    def test_repeated_searches_are_linkable(self, observed):
+        """Equal Mitra queries resend the same addresses — the standard
+        query-equality leakage of the persistent model."""
+        transport, runtime = observed
+        mitra = runtime.tactic("d.f", "mitra")
+        mitra.insert("d1", "kw")
+        search(mitra, "kw")
+        search(mitra, "kw")
+        assert transport.transcript.linkable_query_pairs("/mitra") >= 1
+
+    def test_distinct_keywords_are_not_linkable(self, observed):
+        transport, runtime = observed
+        mitra = runtime.tactic("d.f", "mitra")
+        mitra.insert("d1", "alpha")
+        mitra.insert("d2", "beta")
+        search(mitra, "alpha")
+        search(mitra, "beta")
+        assert transport.transcript.linkable_query_pairs("/mitra") == 0
+
+
+class TestForwardPrivacyObserved:
+    @pytest.mark.parametrize("tactic", ["mitra", "sophos"])
+    def test_forward_private_updates_are_unpredictable(self, observed,
+                                                       tactic):
+        """After watching inserts AND a search, the adversary's
+        accumulated artifacts say nothing about the next insert."""
+        transport, runtime = observed
+        gateway = runtime.tactic("d.f", tactic)
+        gateway.insert("d1", "kw")
+        gateway.insert("d2", "kw")
+        search(gateway, "kw")
+        checkpoint = transport.last_sequence
+        gateway.insert("d3", "kw")  # post-search update
+        collisions = (
+            transport.transcript.update_artifacts_predictable_from(
+                f"/{tactic}", checkpoint
+            )
+        )
+        assert collisions == 0
+
+    def test_stateless_sse_updates_are_linkable(self, observed):
+        """The stateless extension's documented trade: the keyword tag
+        repeats across updates, so post-search inserts collide with
+        observed artifacts."""
+        transport, runtime = observed
+        gateway = runtime.tactic("d.f", "sse-stateless")
+        gateway.insert("d1", "kw")
+        search(gateway, "kw")
+        checkpoint = transport.last_sequence
+        gateway.insert("d2", "kw")
+        collisions = (
+            transport.transcript.update_artifacts_predictable_from(
+                "/sse-stateless", checkpoint
+            )
+        )
+        assert collisions >= 1
+
+    def test_new_search_reaches_post_search_inserts(self, observed):
+        """Forward privacy hides future inserts from *old* tokens; a
+        fresh search still finds everything."""
+        transport, runtime = observed
+        gateway = runtime.tactic("d.f", "sophos")
+        gateway.insert("d1", "kw")
+        assert search(gateway, "kw") == {"d1"}
+        gateway.insert("d2", "kw")
+        assert search(gateway, "kw") == {"d1", "d2"}
+
+
+class TestTranscriptMechanics:
+    def test_transcript_records_sequence_and_services(self, observed):
+        transport, runtime = observed
+        det = runtime.tactic("d.f", "det")
+        det.insert("d1", "v")
+        calls = transport.transcript.for_service("/det")
+        assert calls
+        assert all(c.service.endswith("/det") for c in calls)
+        sequences = [c.sequence for c in transport.transcript.calls]
+        assert sequences == sorted(sequences)
+
+    def test_stats_pass_through(self, observed):
+        transport, runtime = observed
+        det = runtime.tactic("d.f", "det")
+        det.insert("d1", "v")
+        assert transport.stats().messages_sent > 0

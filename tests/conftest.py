@@ -1,0 +1,59 @@
+"""Shared fixtures: a full gateway+cloud deployment in one process."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cloud.server import CloudZone
+from repro.core.middleware import DataBlinder
+from repro.core.registry import TacticRegistry
+from repro.net.transport import InProcTransport
+from repro.spi.context import CloudTacticContext, GatewayTacticContext
+from repro.tactics import register_builtin_tactics
+
+
+@pytest.fixture()
+def registry() -> TacticRegistry:
+    registry = TacticRegistry()
+    register_builtin_tactics(registry)
+    return registry
+
+
+@pytest.fixture()
+def cloud(registry) -> CloudZone:
+    return CloudZone(registry)
+
+
+@pytest.fixture()
+def transport(cloud) -> InProcTransport:
+    return InProcTransport(cloud.host)
+
+
+@pytest.fixture()
+def blinder(transport, registry) -> DataBlinder:
+    return DataBlinder("testapp", transport, registry=registry)
+
+
+class TacticHarness:
+    """Instantiates one tactic's gateway half against a live cloud zone."""
+
+    def __init__(self, cloud: CloudZone, transport: InProcTransport,
+                 registry: TacticRegistry, application: str = "testapp"):
+        from repro.gateway.service import GatewayRuntime
+
+        self.cloud = cloud
+        self.registry = registry
+        self.runtime = GatewayRuntime(application, transport, registry)
+
+    def gateway(self, tactic: str, field: str = "doc.field"):
+        return self.runtime.tactic(field, tactic)
+
+    def cloud_instance(self, tactic: str, field: str = "doc.field"):
+        return self.cloud.tactic_instance(
+            self.runtime.application, field, tactic
+        )
+
+
+@pytest.fixture()
+def harness(cloud, transport, registry) -> TacticHarness:
+    return TacticHarness(cloud, transport, registry)

@@ -1,0 +1,34 @@
+"""The ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_tables(self, capsys):
+        assert main(["tables"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "Equality Search" in out
+        assert "DET" in out and "Paillier" in out
+
+    def test_selection(self, capsys):
+        assert main(["selection"]) == 0
+        out = capsys.readouterr().out
+        assert "biex-2lev" in out
+        assert "det, ope" in out
+
+    def test_leakage(self, capsys):
+        assert main(["leakage"]) == 0
+        out = capsys.readouterr().out
+        assert "Per-operation leakage" in out
+        assert "mitra" in out and "2f" in out
+
+    def test_default_is_tables(self, capsys):
+        assert main([]) == 0
+        assert "Table 1" in capsys.readouterr().out
+
+    def test_unknown_command(self, capsys):
+        assert main(["frobnicate"]) == 2
+        assert "Commands" in capsys.readouterr().out

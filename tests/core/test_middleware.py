@@ -1,0 +1,270 @@
+"""DataBlinder facade and the Entities interface over a live deployment."""
+
+import pytest
+
+from repro.core.middleware import DataBlinder
+from repro.core.query import AggregateQuery, Eq, Range
+from repro.core.schema import FieldAnnotation, Schema
+from repro.errors import (
+    PolicyError,
+    SchemaError,
+    SchemaValidationError,
+    UnsupportedOperation,
+)
+from repro.fhir.model import observation_schema
+from repro.spi.descriptors import Aggregate
+
+
+@pytest.fixture()
+def entities(blinder):
+    blinder.register_schema(observation_schema())
+    return blinder.entities("observation")
+
+
+def make_doc(i, status="final", code="glucose", subject="John Doe",
+             value=6.3):
+    return {
+        "id": f"f{i:03d}", "identifier": 6000 + i, "status": status,
+        "code": code, "subject": subject,
+        "effective": 1359966610 + i * 1000, "issued": 1362407410 + i,
+        "performer": "Dr. Smith", "value": value,
+    }
+
+
+class TestSchemaInterface:
+    def test_register_returns_reports(self, blinder):
+        reports = blinder.register_schema(observation_schema())
+        assert {r.field for r in reports} == {
+            "status", "code", "subject", "effective", "issued",
+            "performer", "value",
+        }
+        assert all(r.compliant for r in reports)
+
+    def test_double_registration_rejected(self, blinder):
+        blinder.register_schema(observation_schema())
+        with pytest.raises(SchemaError):
+            blinder.register_schema(observation_schema())
+
+    def test_unregistered_schema_rejected(self, blinder):
+        with pytest.raises(SchemaError):
+            blinder.entities("ghost")
+
+    def test_policy_report_rendering(self, blinder):
+        blinder.register_schema(observation_schema())
+        table = blinder.policy_report("observation")
+        assert "mitra" in table and "Reason" in table
+
+    def test_schema_names(self, blinder):
+        blinder.register_schema(observation_schema())
+        assert blinder.schema_names() == ["observation"]
+
+    def test_restore_schema_from_metadata(self, blinder, transport,
+                                          registry):
+        blinder.register_schema(observation_schema())
+        blinder.entities("observation").insert(make_doc(1))
+
+        # A second gateway sharing local state simulates a restart.
+        restarted = DataBlinder(
+            "testapp-2", transport, registry=registry,
+            keystore=blinder.keystore,
+            local_kv=blinder.runtime.local_kv,
+        )
+        reports = restarted.restore_schema("observation")
+        assert all(r.compliant for r in reports)
+        with pytest.raises(SchemaError):
+            restarted.restore_schema("observation")
+
+
+class TestCrud:
+    def test_insert_get(self, entities):
+        doc_id = entities.insert(make_doc(1))
+        document = entities.get(doc_id)
+        assert document["value"] == 6.3
+        assert document["performer"] == "Dr. Smith"
+        assert document["identifier"] == 6001
+        assert document["_id"] == doc_id
+
+    def test_explicit_id_preserved(self, entities):
+        doc = dict(make_doc(1), _id="custom-id")
+        assert entities.insert(doc) == "custom-id"
+
+    def test_schema_validation_on_insert(self, entities):
+        with pytest.raises(SchemaValidationError):
+            entities.insert({"bogus_field": 1})
+        with pytest.raises(SchemaValidationError):
+            entities.insert(dict(make_doc(1), value="not-a-number"))
+
+    def test_update_merges_changes(self, entities):
+        doc_id = entities.insert(make_doc(1, status="preliminary"))
+        entities.update(doc_id, {"status": "final", "value": 7.0})
+        document = entities.get(doc_id)
+        assert document["status"] == "final"
+        assert document["value"] == 7.0
+        assert document["code"] == "glucose"  # untouched field survives
+
+    def test_update_reindexes_search(self, entities):
+        doc_id = entities.insert(make_doc(1, subject="Old Name"))
+        entities.update(doc_id, {"subject": "New Name"})
+        assert entities.find_ids(Eq("subject", "New Name")) == {doc_id}
+        assert entities.find_ids(Eq("subject", "Old Name")) == set()
+
+    def test_update_validates(self, entities):
+        doc_id = entities.insert(make_doc(1))
+        with pytest.raises(SchemaValidationError):
+            entities.update(doc_id, {"value": "bad"})
+
+    def test_delete(self, entities):
+        doc_id = entities.insert(make_doc(1))
+        assert entities.delete(doc_id)
+        assert not entities.delete(doc_id)
+        assert entities.count() == 0
+        assert entities.find_ids(Eq("status", "final")) == set()
+
+
+class TestSearch:
+    @pytest.fixture()
+    def populated(self, entities):
+        ids = {}
+        ids["a"] = entities.insert(make_doc(1, status="final",
+                                            code="glucose", value=6.3))
+        ids["b"] = entities.insert(make_doc(2, status="final", code="hr",
+                                            subject="Jane Roe", value=72.0))
+        ids["c"] = entities.insert(make_doc(3, status="preliminary",
+                                            code="glucose",
+                                            subject="Jane Roe", value=5.1))
+        return entities, ids
+
+    def test_equality_biex(self, populated):
+        entities, ids = populated
+        assert entities.find_ids(Eq("status", "final")) == {ids["a"],
+                                                            ids["b"]}
+
+    def test_equality_mitra(self, populated):
+        entities, ids = populated
+        assert entities.find_ids(Eq("subject", "Jane Roe")) == {ids["b"],
+                                                                ids["c"]}
+
+    def test_equality_det(self, populated):
+        entities, ids = populated
+        assert entities.find_ids(Eq("effective", 1359967610)) == {ids["a"]}
+
+    def test_cross_field_boolean(self, populated):
+        entities, ids = populated
+        assert entities.find_ids(
+            Eq("status", "final") & Eq("code", "glucose")
+        ) == {ids["a"]}
+
+    def test_disjunction(self, populated):
+        entities, ids = populated
+        assert entities.find_ids(
+            Eq("code", "hr") | Eq("status", "preliminary")
+        ) == {ids["b"], ids["c"]}
+
+    def test_negation(self, populated):
+        entities, ids = populated
+        assert entities.find_ids(~Eq("status", "final")) == {ids["c"]}
+
+    def test_range_ope(self, populated):
+        entities, ids = populated
+        assert entities.find_ids(
+            Range("effective", 1359967000, 1359969000)
+        ) == {ids["a"], ids["b"]}
+
+    def test_mixed_predicate(self, populated):
+        entities, ids = populated
+        assert entities.find_ids(
+            Eq("subject", "Jane Roe") & Range("effective", None, 1359969000)
+        ) == {ids["b"]}
+
+    def test_plain_field_search(self, populated):
+        entities, ids = populated
+        assert entities.find_ids(Eq("identifier", 6002)) == {ids["b"]}
+
+    def test_find_returns_decrypted_documents(self, populated):
+        entities, ids = populated
+        results = entities.find(Eq("code", "hr"))
+        assert len(results) == 1
+        assert results[0]["value"] == 72.0
+
+    def test_find_one(self, populated):
+        entities, ids = populated
+        assert entities.find_one(Eq("code", "hr"))["_id"] == ids["b"]
+        assert entities.find_one(Eq("code", "nothing")) is None
+
+    def test_find_all(self, populated):
+        entities, _ = populated
+        assert len(entities.find()) == 3
+
+    def test_count_with_predicate(self, populated):
+        entities, _ = populated
+        assert entities.count(Eq("code", "glucose")) == 2
+
+    def test_unsupported_operation_rejected(self, populated):
+        entities, _ = populated
+        # performer is annotated op [I] only.
+        with pytest.raises(UnsupportedOperation):
+            entities.find(Eq("performer", "Dr. Smith"))
+        # status has no RG annotation.
+        with pytest.raises(UnsupportedOperation):
+            entities.find(Range("status", "a", "z"))
+
+    def test_unknown_field_rejected(self, populated):
+        entities, _ = populated
+        from repro.errors import QueryError
+
+        with pytest.raises(QueryError):
+            entities.find(Eq("ghost", 1))
+
+
+class TestAggregates:
+    def test_average_all(self, entities):
+        for i, value in enumerate([6.0, 7.0, 8.0]):
+            entities.insert(make_doc(i, value=value))
+        assert entities.average("value") == pytest.approx(7.0)
+
+    def test_average_filtered(self, entities):
+        entities.insert(make_doc(1, subject="A", value=4.0))
+        entities.insert(make_doc(2, subject="A", value=6.0))
+        entities.insert(make_doc(3, subject="B", value=100.0))
+        assert entities.average(
+            "value", where=Eq("subject", "A")
+        ) == pytest.approx(5.0)
+
+    def test_average_excludes_deleted(self, entities):
+        entities.insert(make_doc(1, value=10.0))
+        doomed = entities.insert(make_doc(2, value=90.0))
+        entities.delete(doomed)
+        assert entities.average("value") == pytest.approx(10.0)
+
+    def test_average_respects_updates(self, entities):
+        doc_id = entities.insert(make_doc(1, value=10.0))
+        entities.update(doc_id, {"value": 20.0})
+        assert entities.average("value") == pytest.approx(20.0)
+
+    def test_count_aggregate_without_tactic(self, entities):
+        entities.insert(make_doc(1))
+        assert entities.aggregate(
+            AggregateQuery(Aggregate.COUNT, "value")
+        ) == 1
+
+    def test_unsupported_aggregate(self, entities):
+        entities.insert(make_doc(1))
+        with pytest.raises(UnsupportedOperation):
+            entities.aggregate(AggregateQuery(Aggregate.SUM, "status"))
+
+    def test_empty_average_is_none(self, entities):
+        entities.insert(make_doc(1, subject="X"))
+        assert entities.average("value",
+                                where=Eq("subject", "Nobody")) is None
+
+
+class TestPolicyEnforcement:
+    def test_register_rejects_unsatisfiable_schema(self, blinder):
+        schema = Schema.define(
+            "impossible",
+            f=("int", FieldAnnotation.parse("C2", "I,RG")),  # range < C5
+        )
+        from repro.errors import SelectionError
+
+        with pytest.raises((PolicyError, SelectionError)):
+            blinder.register_schema(schema)

@@ -1,0 +1,125 @@
+"""Order-index features: min/max aggregates and ORDER BY (Fig. 2 lists
+minimum/maximum among the aggregate functions)."""
+
+import pytest
+
+from repro.core.query import Eq, Range
+from repro.core.schema import FieldAnnotation, Schema
+from repro.errors import SelectionError, UnsupportedOperation
+
+
+def reading_schema():
+    return Schema.define(
+        "reading",
+        id="string",
+        sensor=("string", FieldAnnotation.parse("C2", "I,EQ")),
+        ts=("int", FieldAnnotation.parse("C5", "I,RG", "min,max")),
+        level=("float", FieldAnnotation.parse("C5", "I,RG", "min,max")),
+    )
+
+
+@pytest.fixture()
+def readings(blinder):
+    blinder.register_schema(reading_schema())
+    entities = blinder.entities("reading")
+    data = [
+        ("s1", 100, 3.5), ("s2", 200, 1.25), ("s1", 300, 9.0),
+        ("s2", 400, -2.5), ("s1", 500, 4.75),
+    ]
+    ids = [
+        entities.insert({"id": f"r{i}", "sensor": sensor, "ts": ts,
+                         "level": level})
+        for i, (sensor, ts, level) in enumerate(data)
+    ]
+    return entities, ids, data
+
+
+class TestSelection:
+    def test_min_max_reuse_range_tactic(self, registry):
+        from repro.core.selection import TacticSelector
+
+        plan = TacticSelector(registry).plan_field(
+            "f", FieldAnnotation.parse("C5", "I,RG", "min,max")
+        )
+        assert plan.roles["range"] == "ope"
+        assert plan.roles["agg:min"] == "ope"
+        assert plan.roles["agg:max"] == "ope"
+
+    def test_min_without_range_annotation_still_selects_order_tactic(
+            self, registry):
+        from repro.core.selection import TacticSelector
+
+        plan = TacticSelector(registry).plan_field(
+            "f", FieldAnnotation.parse("C5", "I", "min")
+        )
+        assert plan.roles["agg:min"] == "ope"
+
+    def test_min_below_c5_rejected(self, registry):
+        from repro.core.selection import TacticSelector
+
+        with pytest.raises(SelectionError):
+            TacticSelector(registry).plan_field(
+                "f", FieldAnnotation.parse("C4", "I", "min")
+            )
+
+
+class TestMinMax:
+    def test_global_extremes(self, readings):
+        entities, _, _ = readings
+        assert entities.min("level") == -2.5
+        assert entities.max("level") == 9.0
+        assert entities.min("ts") == 100
+        assert entities.max("ts") == 500
+
+    def test_filtered_extremes(self, readings):
+        entities, _, _ = readings
+        assert entities.min("level", where=Eq("sensor", "s1")) == 3.5
+        assert entities.max("level", where=Eq("sensor", "s2")) == 1.25
+
+    def test_empty_filter_returns_none(self, readings):
+        entities, _, _ = readings
+        assert entities.min("level", where=Eq("sensor", "ghost")) is None
+
+    def test_extremes_respect_updates(self, readings):
+        entities, ids, _ = readings
+        entities.update(ids[3], {"level": 100.0})  # was the minimum
+        assert entities.min("level") == 1.25
+        assert entities.max("level") == 100.0
+
+    def test_extremes_respect_deletes(self, readings):
+        entities, ids, _ = readings
+        entities.delete(ids[2])  # was the level maximum
+        assert entities.max("level") == 4.75
+
+    def test_unannotated_aggregate_rejected(self, readings):
+        entities, _, _ = readings
+        with pytest.raises(UnsupportedOperation):
+            entities.min("sensor")
+
+
+class TestOrderBy:
+    def test_sorted_ascending(self, readings):
+        entities, _, data = readings
+        docs = entities.find_sorted("level")
+        assert [d["level"] for d in docs] == sorted(x[2] for x in data)
+
+    def test_sorted_descending_with_limit(self, readings):
+        entities, _, data = readings
+        docs = entities.find_sorted("ts", limit=2, descending=True)
+        assert [d["ts"] for d in docs] == [500, 400]
+
+    def test_sorted_skips_deleted(self, readings):
+        entities, ids, _ = readings
+        entities.delete(ids[0])
+        docs = entities.find_sorted("ts", limit=2)
+        assert [d["ts"] for d in docs] == [200, 300]
+
+    def test_sorted_on_unindexed_field_rejected(self, readings):
+        entities, _, _ = readings
+        with pytest.raises(UnsupportedOperation):
+            entities.find_sorted("sensor")
+
+    def test_combined_with_range_predicate(self, readings):
+        entities, _, _ = readings
+        in_range = entities.find(Range("ts", 150, 450))
+        assert {d["ts"] for d in in_range} == {200, 300, 400}

@@ -1,0 +1,143 @@
+"""Query AST: construction, normalisation, reference evaluation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.query import (
+    And,
+    Eq,
+    Not,
+    Or,
+    Range,
+    evaluate_plain,
+    iter_literals,
+    push_negations,
+    to_cnf,
+)
+from repro.errors import QueryError
+
+
+class TestConstruction:
+    def test_operators(self):
+        predicate = Eq("a", 1) & Eq("b", 2) | ~Eq("c", 3)
+        assert isinstance(predicate, Or)
+
+    def test_fields(self):
+        predicate = (Eq("a", 1) | Range("b", 0, 9)) & ~Eq("c", 3)
+        assert predicate.fields() == {"a", "b", "c"}
+
+    def test_empty_combinators_rejected(self):
+        with pytest.raises(QueryError):
+            And([])
+        with pytest.raises(QueryError):
+            Or([])
+
+    def test_unbounded_range_rejected(self):
+        with pytest.raises(QueryError):
+            Range("f")
+
+    def test_half_open_ranges_allowed(self):
+        assert Range("f", low=1).fields() == {"f"}
+        assert Range("f", high=9).fields() == {"f"}
+
+
+class TestNormalisation:
+    def test_double_negation(self):
+        assert push_negations(Not(Not(Eq("a", 1)))) == Eq("a", 1)
+
+    def test_de_morgan_and(self):
+        result = push_negations(Not(And([Eq("a", 1), Eq("b", 2)])))
+        assert isinstance(result, Or)
+        assert set(result.parts) == {Not(Eq("a", 1)), Not(Eq("b", 2))}
+
+    def test_de_morgan_or(self):
+        result = push_negations(Not(Or([Eq("a", 1), Eq("b", 2)])))
+        assert isinstance(result, And)
+
+    def test_cnf_of_literal(self):
+        assert to_cnf(Eq("a", 1)) == [[Eq("a", 1)]]
+
+    def test_cnf_of_conjunction(self):
+        cnf = to_cnf(And([Eq("a", 1), Or([Eq("b", 2), Eq("c", 3)])]))
+        assert [[Eq("a", 1)], [Eq("b", 2), Eq("c", 3)]] == cnf
+
+    def test_cnf_distributes_or_over_and(self):
+        # (a AND b) OR c => (a OR c) AND (b OR c)
+        cnf = to_cnf(Or([And([Eq("a", 1), Eq("b", 2)]), Eq("c", 3)]))
+        assert len(cnf) == 2
+        assert all(Eq("c", 3) in clause for clause in cnf)
+
+    def test_cnf_deduplicates_clause_literals(self):
+        cnf = to_cnf(Or([Eq("a", 1), Eq("a", 1)]))
+        assert cnf == [[Eq("a", 1)]]
+
+    def test_cnf_complexity_guard(self):
+        # 2^12 clauses would be produced by distributing this disjunction
+        # of conjunctions; the normaliser must refuse.
+        big = Or([And([Eq(f"f{i}", 1), Eq(f"g{i}", 2)])
+                  for i in range(12)])
+        with pytest.raises(QueryError):
+            to_cnf(big)
+
+    def test_iter_literals(self):
+        predicate = (Eq("a", 1) | Range("b", 0, 5)) & ~Eq("c", 2)
+        literals = list(iter_literals(predicate))
+        assert Eq("a", 1) in literals
+        assert Range("b", 0, 5) in literals
+        assert Not(Eq("c", 2)) in literals
+
+
+class TestEvaluation:
+    DOC = {"a": 1, "b": 5, "s": "x"}
+
+    @pytest.mark.parametrize("predicate,expected", [
+        (Eq("a", 1), True),
+        (Eq("a", 2), False),
+        (Eq("missing", None), True),  # absent field compares as None
+        (Range("b", 0, 10), True),
+        (Range("b", 6, 10), False),
+        (Range("b", None, 5), True),
+        (Range("missing", 0, 1), False),
+        (And([Eq("a", 1), Eq("s", "x")]), True),
+        (And([Eq("a", 1), Eq("s", "y")]), False),
+        (Or([Eq("a", 2), Eq("s", "x")]), True),
+        (Not(Eq("a", 2)), True),
+        (Not(Not(Eq("a", 1))), True),
+    ])
+    def test_evaluate_plain(self, predicate, expected):
+        assert evaluate_plain(predicate, self.DOC) is expected
+
+
+@st.composite
+def predicates(draw, depth=2):
+    if depth == 0:
+        field = draw(st.sampled_from(["x", "y", "z"]))
+        kind = draw(st.sampled_from(["eq", "range"]))
+        if kind == "eq":
+            return Eq(field, draw(st.integers(0, 5)))
+        low = draw(st.integers(0, 5))
+        return Range(field, low, low + draw(st.integers(0, 3)))
+    kind = draw(st.sampled_from(["leaf", "and", "or", "not"]))
+    if kind == "leaf":
+        return draw(predicates(depth=0))
+    if kind == "not":
+        return Not(draw(predicates(depth=depth - 1)))
+    parts = draw(st.lists(predicates(depth=depth - 1), min_size=1,
+                          max_size=3))
+    return And(parts) if kind == "and" else Or(parts)
+
+
+@given(predicate=predicates(),
+       doc=st.fixed_dictionaries({
+           "x": st.integers(0, 6),
+           "y": st.integers(0, 6),
+           "z": st.integers(0, 6),
+       }))
+def test_cnf_preserves_semantics(predicate, doc):
+    """Evaluating the CNF clause-wise must agree with the original tree."""
+    original = evaluate_plain(predicate, doc)
+    cnf = to_cnf(predicate)
+    via_cnf = all(
+        any(evaluate_plain(lit, doc) for lit in clause) for clause in cnf
+    )
+    assert via_cnf == original

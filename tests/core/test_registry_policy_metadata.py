@@ -1,0 +1,165 @@
+"""Registry, policy auditing and the metadata subsystem."""
+
+import pytest
+
+from repro.core.metadata import MetadataRepository
+from repro.core.policy import audit_plan, audit_plans, render_policy_table
+from repro.core.registry import TacticRegistry, default_registry
+from repro.core.schema import FieldAnnotation
+from repro.core.selection import FieldPlan, TacticSelector
+from repro.errors import PolicyError, RegistryError
+from repro.fhir.model import observation_schema
+from repro.spi.descriptors import Operation
+from repro.spi.leakage import LeakageLevel
+from repro.stores.kv import KeyValueStore
+from repro.tactics import DET_DESCRIPTOR, register_builtin_tactics
+from repro.tactics.det import DetCloud, DetGateway
+
+
+@pytest.fixture()
+def registry():
+    registry = TacticRegistry()
+    register_builtin_tactics(registry)
+    return registry
+
+
+class TestRegistry:
+    def test_builtin_names(self, registry):
+        assert set(registry.names()) == {
+            "det", "mitra", "sophos", "rnd", "biex-2lev", "biex-zmf",
+            "ope", "ore", "paillier", "elgamal", "sse-stateless",
+            "blind-index",
+        }
+
+    def test_get_unknown_raises(self, registry):
+        with pytest.raises(RegistryError):
+            registry.get("nope")
+
+    def test_duplicate_registration_rejected(self, registry):
+        with pytest.raises(RegistryError):
+            registry.register(DET_DESCRIPTOR, DetGateway, DetCloud)
+
+    def test_replace_allowed_when_requested(self, registry):
+        registry.register(DET_DESCRIPTOR, DetGateway, DetCloud,
+                          replace=True)
+
+    def test_unregister(self, registry):
+        registry.unregister("ore")
+        with pytest.raises(RegistryError):
+            registry.get("ore")
+        with pytest.raises(RegistryError):
+            registry.unregister("ore")
+
+    def test_setup_interface_is_mandatory(self, registry):
+        class NoSetupGateway:
+            pass
+
+        with pytest.raises(RegistryError):
+            registry.register(DET_DESCRIPTOR, NoSetupGateway, DetCloud,
+                              replace=True)
+        with pytest.raises(RegistryError):
+            registry.register(DET_DESCRIPTOR, DetGateway, NoSetupGateway,
+                              replace=True)
+
+    def test_supporting_queries(self, registry):
+        boolean = {d.name for d in registry.supporting(Operation.BOOLEAN)}
+        assert "biex-2lev" in boolean
+        assert "det" in boolean  # via equality
+        assert "ope" not in boolean
+
+    def test_spi_summary(self, registry):
+        summary = registry.get("det").spi_summary()
+        assert len(summary["gateway"]) == 9
+        assert len(summary["cloud"]) == 6
+
+    def test_default_registry_is_cached(self):
+        assert default_registry() is default_registry()
+
+
+class TestPolicy:
+    def test_audit_compliant_plan(self, registry):
+        selector = TacticSelector(registry)
+        plan = selector.plan_field(
+            "status", FieldAnnotation.parse("C3", "I,EQ,BL")
+        )
+        report = audit_plan(plan, registry)
+        assert report.compliant
+        assert report.effective_level is LeakageLevel.PREDICATES
+
+    def test_audit_detects_violation(self, registry):
+        # Hand-craft a plan that assigns DET (equalities) to a C2 field.
+        bad_plan = FieldPlan(
+            field="f",
+            annotation=FieldAnnotation.parse("C2", "I,EQ"),
+            roles={"eq": "det"},
+            reasons={},
+        )
+        report = audit_plan(bad_plan, registry)
+        assert not report.compliant
+        with pytest.raises(PolicyError):
+            audit_plans({"f": bad_plan}, registry)
+
+    def test_aggregate_only_plan_has_no_level(self, registry):
+        plan = FieldPlan(
+            field="f",
+            annotation=FieldAnnotation.parse("C1", "I", "avg"),
+            roles={"agg:avg": "paillier"},
+            reasons={},
+        )
+        report = audit_plan(plan, registry)
+        assert report.compliant and report.effective_level is None
+
+    def test_render_policy_table(self, registry):
+        selector = TacticSelector(registry)
+        plans = selector.plan_schema(observation_schema())
+        table = render_policy_table(audit_plans(plans, registry))
+        assert "Sensitives" in table
+        assert "biex-2lev" in table
+        assert "det, ope" in table
+
+
+class TestMetadata:
+    def test_schema_and_plan_roundtrip(self, registry):
+        repo = MetadataRepository(KeyValueStore())
+        schema = observation_schema()
+        plans = TacticSelector(registry).plan_schema(schema)
+        repo.save_schema(schema, plans)
+
+        restored_schema = repo.load_schema("observation")
+        assert set(restored_schema.fields) == set(schema.fields)
+        restored_plans = repo.load_plans("observation")
+        assert {
+            f: set(p.tactic_names) for f, p in restored_plans.items()
+        } == {f: set(p.tactic_names) for f, p in plans.items()}
+
+    def test_schema_names_listing(self, registry):
+        repo = MetadataRepository(KeyValueStore())
+        schema = observation_schema()
+        plans = TacticSelector(registry).plan_schema(schema)
+        repo.save_schema(schema, plans)
+        assert repo.schema_names() == ["observation"]
+        repo.delete_schema("observation")
+        assert repo.schema_names() == []
+
+    def test_load_missing_raises(self):
+        repo = MetadataRepository(KeyValueStore())
+        from repro.errors import SchemaError
+
+        with pytest.raises(SchemaError):
+            repo.load_schema("ghost")
+        with pytest.raises(SchemaError):
+            repo.load_plans("ghost")
+
+    def test_persistent_metadata_survives_restart(self, registry,
+                                                  tmp_path):
+        kv = KeyValueStore(tmp_path)
+        repo = MetadataRepository(kv)
+        schema = observation_schema()
+        repo.save_schema(schema,
+                        TacticSelector(registry).plan_schema(schema))
+        kv.close()
+
+        reloaded = MetadataRepository(KeyValueStore(tmp_path))
+        assert reloaded.schema_names() == ["observation"]
+        assert reloaded.load_plans("observation")["subject"].roles[
+            "eq"] == "mitra"

@@ -1,0 +1,137 @@
+"""Schemas, field annotations and document validation."""
+
+import pytest
+
+from repro.core.schema import FieldAnnotation, FieldSpec, Schema
+from repro.errors import SchemaError, SchemaValidationError
+from repro.spi.descriptors import Aggregate, Operation
+from repro.spi.leakage import ProtectionClass
+
+
+class TestFieldAnnotation:
+    def test_parse_paper_notation(self):
+        annotation = FieldAnnotation.parse("C3", "I,EQ,BL", "avg")
+        assert annotation.protection_class is ProtectionClass.C3
+        assert annotation.operations == frozenset(
+            {Operation.INSERT, Operation.EQUALITY, Operation.BOOLEAN}
+        )
+        assert annotation.aggregates == frozenset({Aggregate.AVG})
+
+    def test_parse_list_form(self):
+        annotation = FieldAnnotation.parse(5, ["I", "RG"], ["sum", "avg"])
+        assert annotation.protection_class is ProtectionClass.C5
+        assert Operation.RANGE in annotation.operations
+        assert annotation.aggregates == {Aggregate.SUM, Aggregate.AVG}
+
+    def test_insert_is_mandatory(self):
+        with pytest.raises(SchemaError):
+            FieldAnnotation.parse("C2", "EQ")
+
+    def test_requires(self):
+        annotation = FieldAnnotation.parse("C2", "I,EQ")
+        assert annotation.requires(Operation.EQUALITY)
+        assert not annotation.requires(Operation.RANGE)
+
+    def test_describe_roundtrips_notation(self):
+        annotation = FieldAnnotation.parse("C3", "I,EQ,BL", "avg")
+        assert annotation.describe() == "C3, op [BL,EQ,I], agg [avg]"
+
+
+class TestFieldSpec:
+    def test_unknown_type_rejected(self):
+        with pytest.raises(SchemaError):
+            FieldSpec("f", "decimal")
+
+    def test_sensitive_flag(self):
+        assert not FieldSpec("f", "string").sensitive
+        assert FieldSpec("f", "string",
+                         annotation=FieldAnnotation.parse("C1", "I")
+                         ).sensitive
+
+    @pytest.mark.parametrize("field_type,good,bad", [
+        ("string", "x", 5),
+        ("int", 5, "x"),
+        ("float", 2.5, "x"),
+        ("bool", True, 1),
+        ("bytes", b"x", "x"),
+    ])
+    def test_type_validation(self, field_type, good, bad):
+        spec = FieldSpec("f", field_type)
+        spec.validate_value(good)
+        with pytest.raises(SchemaValidationError):
+            spec.validate_value(bad)
+
+    def test_float_accepts_int(self):
+        FieldSpec("f", "float").validate_value(5)
+
+    def test_bool_not_accepted_as_int(self):
+        with pytest.raises(SchemaValidationError):
+            FieldSpec("f", "int").validate_value(True)
+
+    def test_required(self):
+        spec = FieldSpec("f", "string", required=True)
+        with pytest.raises(SchemaValidationError):
+            spec.validate_value(None)
+        FieldSpec("f", "string").validate_value(None)  # optional is fine
+
+
+class TestSchema:
+    def make(self):
+        return Schema.define(
+            "obs",
+            id="string",
+            status=("string", FieldAnnotation.parse("C3", "I,EQ")),
+            value=("float", FieldAnnotation.parse("C4", "I,EQ", "avg")),
+        )
+
+    def test_field_partition(self):
+        schema = self.make()
+        assert [f.name for f in schema.sensitive_fields()] == ["status",
+                                                               "value"]
+        assert [f.name for f in schema.plain_fields()] == ["id"]
+
+    def test_annotation_lookup(self):
+        schema = self.make()
+        assert schema.annotation("status").protection_class is (
+            ProtectionClass.C3
+        )
+        with pytest.raises(SchemaError):
+            schema.annotation("id")
+        with pytest.raises(SchemaError):
+            schema.annotation("missing")
+
+    def test_validate_accepts_conforming(self):
+        self.make().validate({"id": "x", "status": "final", "value": 1.5})
+
+    def test_validate_rejects_unknown_fields(self):
+        with pytest.raises(SchemaValidationError):
+            self.make().validate({"id": "x", "bogus": 1})
+
+    def test_validate_allows_id_passthrough(self):
+        self.make().validate({"_id": "abc", "id": "x"})
+
+    def test_validate_rejects_type_mismatch(self):
+        with pytest.raises(SchemaValidationError):
+            self.make().validate({"status": 42})
+
+    def test_duplicate_fields_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema("s", [FieldSpec("a"), FieldSpec("a")])
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema("s", [])
+        with pytest.raises(SchemaError):
+            Schema("", [FieldSpec("a")])
+
+    def test_define_rejects_bad_spec(self):
+        with pytest.raises(SchemaError):
+            Schema.define("s", f=123)
+
+    def test_serialization_roundtrip(self):
+        schema = self.make()
+        restored = Schema.from_dict(schema.to_dict())
+        assert restored.name == schema.name
+        assert set(restored.fields) == set(schema.fields)
+        assert restored.annotation("value").aggregates == {Aggregate.AVG}
+        assert restored.fields["id"].annotation is None

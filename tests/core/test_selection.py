@@ -1,0 +1,144 @@
+"""Adaptive tactic selection — including the paper's §5.1 use case."""
+
+import pytest
+
+from repro.core.registry import TacticRegistry
+from repro.core.schema import FieldAnnotation
+from repro.core.selection import TacticSelector
+from repro.errors import SelectionError
+from repro.fhir.model import benchmark_observation_schema, observation_schema
+from repro.tactics import register_builtin_tactics
+
+
+@pytest.fixture(scope="module")
+def selector():
+    registry = TacticRegistry()
+    register_builtin_tactics(registry)
+    return TacticSelector(registry)
+
+
+# The paper's §5.1 table: Sensitives -> Tactic Selection.
+PAPER_USE_CASE = {
+    "status": ("C3", "I,EQ,BL", "", {"biex-2lev"}),
+    "code": ("C3", "I,EQ,BL", "", {"biex-2lev"}),
+    "subject": ("C2", "I,EQ", "", {"mitra"}),
+    "effective": ("C5", "I,EQ,BL,RG", "", {"det", "ope"}),
+    "issued": ("C5", "I,EQ,BL,RG", "", {"det", "ope"}),
+    "performer": ("C1", "I", "", {"rnd"}),
+    "value": ("C3", "I,EQ,BL", "avg", {"biex-2lev", "paillier"}),
+}
+
+
+class TestPaperUseCase:
+    @pytest.mark.parametrize("field,config", sorted(PAPER_USE_CASE.items()))
+    def test_field_selection_matches_paper(self, selector, field, config):
+        cls, ops, aggs, expected = config
+        plan = selector.plan_field(
+            field, FieldAnnotation.parse(cls, ops, aggs)
+        )
+        assert set(plan.tactic_names) == expected
+
+    def test_full_schema_plan(self, selector):
+        plans = selector.plan_schema(observation_schema())
+        assert set(plans) == set(PAPER_USE_CASE)
+        for field, (_, _, _, expected) in PAPER_USE_CASE.items():
+            assert set(plans[field].tactic_names) == expected
+
+    def test_benchmark_schema_is_8_tactics(self, selector):
+        """§5.2: 'in total 8 tactics ... Mitra, RND, Paillier, and five
+        times DET'."""
+        plans = selector.plan_schema(benchmark_observation_schema())
+        instances = [t for plan in plans.values()
+                     for t in plan.tactic_names]
+        assert len(instances) == 8
+        assert instances.count("det") == 5
+        assert instances.count("mitra") == 1
+        assert instances.count("rnd") == 1
+        assert instances.count("paillier") == 1
+
+
+class TestSelectionRules:
+    def test_class_constrains_candidates(self, selector):
+        # C2 cannot use DET (equalities leakage): gets Mitra instead.
+        plan = selector.plan_field("f", FieldAnnotation.parse("C2", "I,EQ"))
+        assert plan.roles["eq"] == "mitra"
+
+    def test_c1_equality_is_rnd(self, selector):
+        plan = selector.plan_field("f", FieldAnnotation.parse("C1", "I,EQ"))
+        assert plan.roles["eq"] == "rnd"
+
+    def test_c4_equality_is_det(self, selector):
+        plan = selector.plan_field("f", FieldAnnotation.parse("C4", "I,EQ"))
+        assert plan.roles["eq"] == "det"
+
+    def test_boolean_at_c3_is_native_biex(self, selector):
+        plan = selector.plan_field("f",
+                                   FieldAnnotation.parse("C3", "I,BL"))
+        assert plan.roles["bool"] == "biex-2lev"
+
+    def test_boolean_at_c5_prefers_det_via_equality(self, selector):
+        plan = selector.plan_field(
+            "f", FieldAnnotation.parse("C5", "I,EQ,BL")
+        )
+        assert plan.roles["bool"] == "det"
+        assert plan.roles["eq"] == "det"
+
+    def test_range_prefers_ope_over_ore(self, selector):
+        plan = selector.plan_field("f", FieldAnnotation.parse("C5", "I,RG"))
+        assert plan.roles["range"] == "ope"
+
+    def test_range_below_c5_impossible(self, selector):
+        with pytest.raises(SelectionError):
+            selector.plan_field("f", FieldAnnotation.parse("C4", "I,RG"))
+
+    def test_boolean_reuses_eq_tactic(self, selector):
+        plan = selector.plan_field(
+            "f", FieldAnnotation.parse("C3", "I,EQ,BL")
+        )
+        assert plan.roles["eq"] == plan.roles["bool"] == "biex-2lev"
+        assert plan.tactic_names == ["biex-2lev"]
+
+    def test_product_aggregate_selects_elgamal(self, selector):
+        plan = selector.plan_field(
+            "f", FieldAnnotation.parse("C4", "I", "product")
+        )
+        assert plan.roles["agg:product"] == "elgamal"
+
+    def test_unsupported_aggregate_fails(self, selector):
+        with pytest.raises(SelectionError):
+            selector.plan_field("f", FieldAnnotation.parse("C4", "I", "min"))
+
+    def test_insert_only_picks_most_secure(self, selector):
+        plan = selector.plan_field("f", FieldAnnotation.parse("C5", "I"))
+        assert plan.roles["store"] == "rnd"
+
+    def test_empty_registry_fails(self):
+        selector = TacticSelector(TacticRegistry())
+        with pytest.raises(SelectionError):
+            selector.plan_field("f", FieldAnnotation.parse("C5", "I"))
+
+    def test_plan_reasons_populated(self, selector):
+        plan = selector.plan_field(
+            "value", FieldAnnotation.parse("C3", "I,EQ,BL", "avg")
+        )
+        assert set(plan.reasons) == {"biex-2lev", "paillier"}
+
+    def test_weakest_link_never_violated(self, selector):
+        """Every plan for every class/op combination respects the class."""
+        registry = selector._registry
+        for cls in ("C1", "C2", "C3", "C4", "C5"):
+            for ops in ("I", "I,EQ", "I,EQ,BL"):
+                try:
+                    plan = selector.plan_field(
+                        "f", FieldAnnotation.parse(cls, ops)
+                    )
+                except SelectionError:
+                    continue
+                levels = [
+                    int(registry.descriptor(t).leakage.level)
+                    for t in plan.tactic_names
+                    if registry.descriptor(t).protection_class is not None
+                ]
+                assert max(levels) <= int(
+                    plan.annotation.protection_class
+                )

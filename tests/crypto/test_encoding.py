@@ -1,0 +1,95 @@
+"""Canonical value codec and the order-preserving numeric embedding."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crypto.encoding import (
+    decode_value,
+    encode_value,
+    value_to_ordered_int,
+)
+from repro.errors import CryptoError
+
+scalar_values = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(10**30), max_value=10**30),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=80),
+    st.binary(max_size=80),
+)
+
+
+@given(value=scalar_values)
+def test_roundtrip(value):
+    assert decode_value(encode_value(value)) == value
+
+
+@given(value=scalar_values)
+def test_decoded_type_matches(value):
+    decoded = decode_value(encode_value(value))
+    assert type(decoded) is type(value)
+
+
+def test_encoding_is_injective_across_types():
+    """Values equal under Python `==` but of different types must not
+    collide: DET tokens distinguish 1 from 1.0 and from True."""
+    encodings = {encode_value(v) for v in (1, 1.0, True, "1", b"1")}
+    assert len(encodings) == 5
+
+
+def test_deterministic():
+    assert encode_value("hello") == encode_value("hello")
+
+
+def test_rejects_unencodable():
+    with pytest.raises(CryptoError):
+        encode_value(["list"])  # type: ignore[arg-type]
+    with pytest.raises(CryptoError):
+        decode_value(b"")
+    with pytest.raises(CryptoError):
+        decode_value(b"?junk")
+
+
+numerics = st.one_of(
+    st.integers(min_value=-(2**50), max_value=2**50),
+    st.floats(allow_nan=False, allow_infinity=False,
+              min_value=-1e15, max_value=1e15),
+)
+
+
+@given(a=numerics, b=numerics)
+def test_ordered_int_preserves_order(a, b):
+    fa, fb = float(a), float(b)
+    ia, ib = value_to_ordered_int(a), value_to_ordered_int(b)
+    if fa < fb:
+        assert ia < ib
+    elif fa > fb:
+        assert ia > ib
+    else:
+        assert ia == ib
+
+
+@given(a=numerics)
+def test_ordered_int_nonnegative_and_bounded(a):
+    value = value_to_ordered_int(a)
+    assert 0 <= value < (1 << 64)
+
+
+@given(a=numerics)
+def test_ordered_int_truncation_is_monotone(a):
+    full = value_to_ordered_int(a, bits=64)
+    narrow = value_to_ordered_int(a, bits=40)
+    assert narrow == full >> 24
+
+
+def test_ordered_int_sign_handling():
+    assert (value_to_ordered_int(-math.pi)
+            < value_to_ordered_int(-1)
+            < value_to_ordered_int(-0.001)
+            < value_to_ordered_int(0)
+            < value_to_ordered_int(1e-9)
+            < value_to_ordered_int(7)
+            < value_to_ordered_int(1e12))

@@ -1,0 +1,95 @@
+"""PRF / HKDF / PRG keyed-hashing layer."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crypto.primitives.hmac_prf import (
+    DIGEST_SIZE,
+    hash_bytes,
+    hkdf,
+    hkdf_expand,
+    hkdf_extract,
+    prf,
+    prf_int,
+    prg,
+)
+from repro.errors import CryptoError
+
+
+class TestPrf:
+    def test_deterministic(self):
+        assert prf(b"k", b"a", b"b") == prf(b"k", b"a", b"b")
+
+    def test_output_length(self):
+        assert len(prf(b"k", b"x")) == DIGEST_SIZE
+
+    def test_part_boundaries_are_unambiguous(self):
+        assert prf(b"k", b"ab", b"c") != prf(b"k", b"a", b"bc")
+        assert prf(b"k", b"ab") != prf(b"k", b"a", b"b")
+
+    def test_key_separation(self):
+        assert prf(b"k1", b"x") != prf(b"k2", b"x")
+
+    def test_rejects_empty_key(self):
+        with pytest.raises(CryptoError):
+            prf(b"", b"x")
+
+    @given(bits=st.integers(min_value=1, max_value=256))
+    def test_prf_int_range(self, bits):
+        value = prf_int(b"key", b"input", bits=bits)
+        assert 0 <= value < (1 << bits)
+
+    def test_prf_int_rejects_bad_bits(self):
+        with pytest.raises(CryptoError):
+            prf_int(b"k", b"x", bits=0)
+        with pytest.raises(CryptoError):
+            prf_int(b"k", b"x", bits=257)
+
+
+class TestHkdf:
+    def test_rfc5869_test_case_1(self):
+        ikm = bytes.fromhex("0b" * 22)
+        salt = bytes.fromhex("000102030405060708090a0b0c")
+        info = bytes.fromhex("f0f1f2f3f4f5f6f7f8f9")
+        okm = hkdf_expand(hkdf_extract(salt, ikm), info, 42)
+        assert okm.hex() == (
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5"
+            "bf34007208d5b887185865"
+        )
+
+    def test_rfc5869_test_case_3_zero_salt(self):
+        ikm = bytes.fromhex("0b" * 22)
+        okm = hkdf_expand(hkdf_extract(b"", ikm), b"", 42)
+        assert okm.hex() == (
+            "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d"
+            "9d201395faa4b61a96c8"
+        )
+
+    @given(length=st.integers(min_value=1, max_value=255))
+    def test_output_length(self, length):
+        assert len(hkdf(b"ikm", b"info", length)) == length
+
+    def test_info_separation(self):
+        assert hkdf(b"ikm", b"a") != hkdf(b"ikm", b"b")
+
+    def test_rejects_oversize(self):
+        with pytest.raises(CryptoError):
+            hkdf(b"ikm", b"info", 255 * 32 + 1)
+
+
+class TestPrg:
+    @given(length=st.integers(min_value=0, max_value=500))
+    def test_length(self, length):
+        assert len(prg(b"seed", length)) == length
+
+    def test_prefix_consistency(self):
+        # Expanding to different lengths yields a consistent prefix.
+        assert prg(b"s", 100)[:32] == prg(b"s", 32)
+
+    def test_label_separation(self):
+        assert prg(b"s", 32, label=b"a") != prg(b"s", 32, label=b"b")
+
+
+def test_hash_bytes_unambiguous():
+    assert hash_bytes(b"ab", b"c") != hash_bytes(b"a", b"bc")
+    assert len(hash_bytes(b"x")) == 32

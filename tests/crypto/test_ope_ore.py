@@ -1,0 +1,135 @@
+"""Order-preserving and order-revealing encryption."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.ope import Ope, _hypergeom_sample, _probit
+from repro.crypto.ore import Ore, OreCiphertext, compare
+from repro.errors import CryptoError
+
+
+class TestOpe:
+    @pytest.fixture(scope="class")
+    def scheme(self):
+        return Ope(b"ope-key-16-bytes", domain_bits=16, range_bits=28)
+
+    @given(a=st.integers(min_value=0, max_value=2**16 - 1),
+           b=st.integers(min_value=0, max_value=2**16 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_order_preservation(self, scheme, a, b):
+        ca, cb = scheme.encrypt(a), scheme.encrypt(b)
+        if a < b:
+            assert ca < cb
+        elif a > b:
+            assert ca > cb
+        else:
+            assert ca == cb
+
+    @given(m=st.integers(min_value=0, max_value=2**16 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_deterministic(self, scheme, m):
+        assert scheme.encrypt(m) == scheme.encrypt(m)
+
+    @given(m=st.integers(min_value=0, max_value=2**16 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_range_bounds(self, scheme, m):
+        assert 0 <= scheme.encrypt(m) < scheme.range_size
+
+    def test_key_separation(self):
+        s1 = Ope(b"a" * 16, domain_bits=12, range_bits=20)
+        s2 = Ope(b"b" * 16, domain_bits=12, range_bits=20)
+        values = [s1.encrypt(m) == s2.encrypt(m) for m in range(0, 4096, 97)]
+        assert not all(values)
+
+    def test_domain_edges(self, scheme):
+        low = scheme.encrypt(0)
+        high = scheme.encrypt(2**16 - 1)
+        assert 0 <= low < high < 2**28
+
+    def test_rejects_out_of_domain(self, scheme):
+        with pytest.raises(CryptoError):
+            scheme.encrypt(-1)
+        with pytest.raises(CryptoError):
+            scheme.encrypt(2**16)
+
+    def test_rejects_degenerate_parameters(self):
+        with pytest.raises(CryptoError):
+            Ope(b"k" * 16, domain_bits=16, range_bits=16)
+        with pytest.raises(CryptoError):
+            Ope(b"", domain_bits=8, range_bits=16)
+
+    def test_large_domain_still_ordered(self):
+        scheme = Ope(b"k" * 16, domain_bits=40, range_bits=56)
+        points = [0, 17, 2**20, 2**30, 2**39, 2**40 - 1]
+        encrypted = [scheme.encrypt(p) for p in points]
+        assert encrypted == sorted(encrypted)
+        assert len(set(encrypted)) == len(points)
+
+    def test_encrypt_many(self, scheme):
+        assert scheme.encrypt_many([3, 1]) == [scheme.encrypt(3),
+                                               scheme.encrypt(1)]
+
+
+class TestSampler:
+    @given(coin=st.floats(min_value=0.0, max_value=1.0,
+                          exclude_max=True),
+           population=st.integers(min_value=2, max_value=10**10),
+           marked=st.integers(min_value=1, max_value=100),
+           draws=st.integers(min_value=1, max_value=100))
+    @settings(max_examples=60, deadline=None)
+    def test_sample_in_support(self, coin, population, marked, draws):
+        marked = min(marked, population)
+        draws = min(draws, population)
+        value = _hypergeom_sample(coin, population, marked, draws)
+        assert max(0, draws - (population - marked)) <= value
+        assert value <= min(marked, draws)
+
+    def test_probit_symmetry(self):
+        assert _probit(0.5) == pytest.approx(0.0, abs=1e-9)
+        assert _probit(0.975) == pytest.approx(1.95996, abs=1e-3)
+        assert _probit(0.025) == pytest.approx(-1.95996, abs=1e-3)
+
+
+class TestOre:
+    @pytest.fixture(scope="class")
+    def scheme(self):
+        return Ore(b"ore-key", bits=32)
+
+    @given(a=st.integers(min_value=0, max_value=2**32 - 1),
+           b=st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_compare_matches_plaintext_order(self, scheme, a, b):
+        result = compare(scheme.encrypt(a), scheme.encrypt(b))
+        assert result == (a > b) - (a < b)
+
+    @given(m=st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_serialization_roundtrip(self, scheme, m):
+        ciphertext = scheme.encrypt(m)
+        assert OreCiphertext.from_bytes(ciphertext.to_bytes()) == ciphertext
+
+    def test_ciphertext_is_not_the_plaintext_order(self, scheme):
+        # Digit vectors are PRF-masked: sorting by raw bytes must not
+        # reproduce plaintext order for all inputs (else it would be OPE).
+        values = list(range(0, 2**16, 997))
+        raw_sorted = sorted(values,
+                            key=lambda v: scheme.encrypt(v).to_bytes())
+        assert raw_sorted != sorted(values)
+
+    def test_rejects_out_of_domain(self, scheme):
+        with pytest.raises(CryptoError):
+            scheme.encrypt(2**32)
+        with pytest.raises(CryptoError):
+            scheme.encrypt(-1)
+
+    def test_rejects_width_mismatch(self):
+        a = Ore(b"k", bits=16).encrypt(5)
+        b = Ore(b"k", bits=32).encrypt(5)
+        with pytest.raises(CryptoError):
+            compare(a, b)
+
+    def test_rejects_malformed_bytes(self):
+        with pytest.raises(CryptoError):
+            OreCiphertext.from_bytes(b"\x00")
+        with pytest.raises(CryptoError):
+            OreCiphertext.from_bytes(b"\x00\x10" + bytes(3))

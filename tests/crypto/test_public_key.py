@@ -1,0 +1,176 @@
+"""RSA (OAEP + trapdoor permutation), Paillier and ElGamal."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto import elgamal, paillier, rsa
+from repro.crypto.primitives.random import DeterministicRandom
+from repro.errors import CryptoError
+
+# Small keys keep the suite fast; size-related behaviour is tested
+# explicitly where it matters.
+RSA_BITS = 1024          # OAEP/SHA-256 needs >= 544-bit moduli
+PAILLIER_BITS = 256
+ELGAMAL_BITS = 160
+
+
+@pytest.fixture(scope="module")
+def rsa_key():
+    return rsa.generate_keypair(RSA_BITS,
+                                DeterministicRandom(b"rsa-test").randbelow)
+
+
+@pytest.fixture(scope="module")
+def paillier_key():
+    return paillier.generate_keypair(
+        PAILLIER_BITS, DeterministicRandom(b"paillier-test").randbelow
+    )
+
+
+@pytest.fixture(scope="module")
+def elgamal_key():
+    return elgamal.generate_keypair(
+        ELGAMAL_BITS, DeterministicRandom(b"elgamal-test").randbelow
+    )
+
+
+class TestRsa:
+    def test_keypair_shape(self, rsa_key):
+        assert rsa_key.n == rsa_key.p * rsa_key.q
+        assert rsa_key.n.bit_length() == RSA_BITS
+
+    def test_oaep_roundtrip(self, rsa_key):
+        message = b"wrap this data key"
+        assert rsa.oaep_decrypt(
+            rsa_key, rsa.oaep_encrypt(rsa_key.public, message)
+        ) == message
+
+    def test_oaep_label_binding(self, rsa_key):
+        sealed = rsa.oaep_encrypt(rsa_key.public, b"m", label=b"a")
+        with pytest.raises(CryptoError):
+            rsa.oaep_decrypt(rsa_key, sealed, label=b"b")
+
+    def test_oaep_is_probabilistic(self, rsa_key):
+        assert rsa.oaep_encrypt(rsa_key.public, b"m") != rsa.oaep_encrypt(
+            rsa_key.public, b"m"
+        )
+
+    def test_oaep_rejects_long_message(self, rsa_key):
+        too_long = bytes(rsa_key.byte_length - 2 * 32 - 1)
+        with pytest.raises(CryptoError):
+            rsa.oaep_encrypt(rsa_key.public, too_long)
+
+    def test_oaep_tamper_detection(self, rsa_key):
+        sealed = bytearray(rsa.oaep_encrypt(rsa_key.public, b"m"))
+        sealed[-1] ^= 1
+        with pytest.raises(CryptoError):
+            rsa.oaep_decrypt(rsa_key, bytes(sealed))
+
+    @given(x=st.integers(min_value=0, max_value=2**64))
+    def test_trapdoor_permutation_inverse(self, rsa_key, x):
+        x %= rsa_key.n
+        assert rsa_key.invert(rsa_key.public.apply(x)) == x
+        assert rsa_key.public.apply(rsa_key.invert(x)) == x
+
+    def test_permutation_rejects_out_of_range(self, rsa_key):
+        with pytest.raises(CryptoError):
+            rsa_key.public.apply(rsa_key.n)
+        with pytest.raises(CryptoError):
+            rsa_key.invert(-1)
+
+
+class TestPaillier:
+    @given(m=st.integers(min_value=-10**9, max_value=10**9))
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip_signed(self, paillier_key, m):
+        ciphertext = paillier.encrypt(paillier_key.public, m)
+        assert paillier.decrypt(paillier_key, ciphertext) == m
+
+    @given(a=st.integers(min_value=-10**6, max_value=10**6),
+           b=st.integers(min_value=-10**6, max_value=10**6))
+    @settings(max_examples=20, deadline=None)
+    def test_additive_homomorphism(self, paillier_key, a, b):
+        ea = paillier.encrypt(paillier_key.public, a)
+        eb = paillier.encrypt(paillier_key.public, b)
+        assert paillier.decrypt(paillier_key, ea + eb) == a + b
+
+    @given(a=st.integers(min_value=-10**5, max_value=10**5),
+           k=st.integers(min_value=-50, max_value=50))
+    @settings(max_examples=20, deadline=None)
+    def test_scalar_multiplication(self, paillier_key, a, k):
+        ea = paillier.encrypt(paillier_key.public, a)
+        assert paillier.decrypt(paillier_key, ea * k) == a * k
+
+    def test_add_plain(self, paillier_key):
+        ea = paillier.encrypt(paillier_key.public, 10)
+        assert paillier.decrypt(paillier_key, ea.add_plain(32)) == 42
+
+    def test_probabilistic(self, paillier_key):
+        e1 = paillier.encrypt(paillier_key.public, 5)
+        e2 = paillier.encrypt(paillier_key.public, 5)
+        assert e1.value != e2.value
+        assert paillier.decrypt(paillier_key, e1) == paillier.decrypt(
+            paillier_key, e2
+        )
+
+    def test_rejects_oversized_plaintext(self, paillier_key):
+        with pytest.raises(CryptoError):
+            paillier.encrypt(paillier_key.public,
+                             paillier_key.public.max_plaintext + 1)
+
+    def test_rejects_cross_key_addition(self, paillier_key):
+        other = paillier.generate_keypair(
+            PAILLIER_BITS, DeterministicRandom(b"other").randbelow
+        )
+        ea = paillier.encrypt(paillier_key.public, 1)
+        eb = paillier.encrypt(other.public, 1)
+        with pytest.raises(CryptoError):
+            _ = ea + eb
+        with pytest.raises(CryptoError):
+            paillier.decrypt(other, ea)
+
+    def test_fixed_point_codec(self):
+        codec = paillier.FixedPointCodec(3)
+        assert codec.decode(codec.encode(6.337)) == pytest.approx(6.337)
+        assert codec.decode_mean(codec.encode(6.3) + codec.encode(5.1),
+                                 2) == pytest.approx(5.7)
+        with pytest.raises(CryptoError):
+            codec.decode_mean(100, 0)
+        with pytest.raises(CryptoError):
+            paillier.FixedPointCodec(99)
+
+
+class TestElGamal:
+    @given(m=st.integers(min_value=1, max_value=10**6))
+    @settings(max_examples=20, deadline=None)
+    def test_roundtrip(self, elgamal_key, m):
+        ciphertext = elgamal.encrypt(elgamal_key.public, m)
+        assert elgamal.decrypt(elgamal_key, ciphertext) == m
+
+    @given(a=st.integers(min_value=1, max_value=10**4),
+           b=st.integers(min_value=1, max_value=10**4))
+    @settings(max_examples=20, deadline=None)
+    def test_multiplicative_homomorphism(self, elgamal_key, a, b):
+        ea = elgamal.encrypt(elgamal_key.public, a)
+        eb = elgamal.encrypt(elgamal_key.public, b)
+        assert elgamal.decrypt(elgamal_key, ea * eb) == a * b
+
+    def test_homomorphic_exponentiation(self, elgamal_key):
+        ciphertext = elgamal.encrypt(elgamal_key.public, 3)
+        assert elgamal.decrypt(elgamal_key, ciphertext.pow(4)) == 81
+
+    def test_rejects_non_positive(self, elgamal_key):
+        with pytest.raises(CryptoError):
+            elgamal.encrypt(elgamal_key.public, 0)
+
+    def test_rejects_oversized(self, elgamal_key):
+        with pytest.raises(CryptoError):
+            elgamal.encrypt(elgamal_key.public, elgamal_key.public.q)
+
+    def test_rejects_cross_key(self, elgamal_key):
+        other = elgamal.generate_keypair(
+            ELGAMAL_BITS, DeterministicRandom(b"other-eg").randbelow
+        )
+        ciphertext = elgamal.encrypt(elgamal_key.public, 2)
+        with pytest.raises(CryptoError):
+            elgamal.decrypt(other, ciphertext)

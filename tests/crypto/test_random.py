@@ -1,0 +1,52 @@
+"""Randomness sources."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crypto.primitives.random import (
+    DeterministicRandom,
+    SystemRandom,
+    default_random,
+)
+
+
+class TestSystemRandom:
+    def test_token_bytes_length(self):
+        assert len(SystemRandom().token_bytes(24)) == 24
+
+    def test_randbelow_range(self):
+        rng = SystemRandom()
+        assert all(0 <= rng.randbelow(10) < 10 for _ in range(100))
+
+    def test_default_is_singleton(self):
+        assert default_random() is default_random()
+
+
+class TestDeterministicRandom:
+    def test_same_seed_same_stream(self):
+        a = DeterministicRandom(b"seed")
+        b = DeterministicRandom(b"seed")
+        assert a.token_bytes(100) == b.token_bytes(100)
+        assert a.randbelow(10**9) == b.randbelow(10**9)
+
+    def test_different_seeds_differ(self):
+        assert DeterministicRandom(b"a").token_bytes(32) != (
+            DeterministicRandom(b"b").token_bytes(32)
+        )
+
+    def test_string_seed(self):
+        assert DeterministicRandom("s").token_bytes(8) == (
+            DeterministicRandom(b"s").token_bytes(8)
+        )
+
+    def test_stream_is_consumed(self):
+        rng = DeterministicRandom(b"seed")
+        assert rng.token_bytes(16) != rng.token_bytes(16)
+
+    @given(upper=st.integers(min_value=1, max_value=2**128))
+    def test_randbelow_range(self, upper):
+        assert 0 <= DeterministicRandom(b"x").randbelow(upper) < upper
+
+    def test_randbelow_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            DeterministicRandom(b"x").randbelow(0)

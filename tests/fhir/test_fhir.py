@@ -1,0 +1,148 @@
+"""FHIR models, annotated schemas and the synthetic data generator."""
+
+import pytest
+
+from repro.core.registry import TacticRegistry
+from repro.core.selection import TacticSelector
+from repro.fhir.generator import MedicalDataGenerator
+from repro.fhir.model import (
+    MedicationDispense,
+    Observation,
+    Patient,
+    benchmark_observation_schema,
+    medication_dispense_schema,
+    observation_schema,
+    patient_schema,
+)
+from repro.tactics import register_builtin_tactics
+
+
+@pytest.fixture(scope="module")
+def selector():
+    registry = TacticRegistry()
+    register_builtin_tactics(registry)
+    return TacticSelector(registry)
+
+
+class TestModels:
+    def test_observation_document_roundtrip(self):
+        observation = Observation(
+            id="f001", identifier=6323, status="final", code="glucose",
+            subject="John Doe", effective=1359966610, issued=1362407410,
+            performer="John Smith", value=6.3, interpretation="high",
+        )
+        document = observation.to_document()
+        assert document["value"] == 6.3
+        assert Observation.from_document(document) == observation
+
+    def test_from_document_ignores_extras(self):
+        document = Observation(
+            id="x", identifier=1, status="final", code="c", subject="s",
+            effective=0, issued=0, performer="p", value=1.0,
+        ).to_document()
+        document["_id"] = "storage-id"
+        assert Observation.from_document(document).id == "x"
+
+    def test_patient_roundtrip(self):
+        patient = Patient(id="p1", name="Jane Roe",
+                          birth_date="1980-01-01", gender="female",
+                          address_city="Leuven", condition="asthma")
+        assert Patient.from_document(patient.to_document()) == patient
+
+    def test_dispense_roundtrip(self):
+        dispense = MedicationDispense(
+            id="m1", patient="Jane Roe", medication="Doxycycline",
+            performer="Nurse Adams", quantity=30,
+            when_handed_over=1359966610,
+        )
+        assert MedicationDispense.from_document(
+            dispense.to_document()
+        ) == dispense
+
+
+class TestSchemas:
+    def test_observation_schema_matches_paper_annotations(self):
+        schema = observation_schema()
+        assert schema.annotation("status").describe() == "C3, op [BL,EQ,I]"
+        assert schema.annotation("effective").describe() == (
+            "C5, op [BL,EQ,I,RG]"
+        )
+        assert schema.annotation("performer").describe() == "C1, op [I]"
+        assert schema.annotation("value").describe() == (
+            "C3, op [BL,EQ,I], agg [avg]"
+        )
+
+    @pytest.mark.parametrize("factory", [
+        observation_schema, benchmark_observation_schema, patient_schema,
+        medication_dispense_schema,
+    ])
+    def test_all_schemas_are_plannable(self, factory, selector):
+        plans = selector.plan_schema(factory())
+        assert plans
+
+    def test_schemas_validate_generated_documents(self):
+        generator = MedicalDataGenerator(1)
+        dataset = generator.dataset(patients=3, observations_per_patient=2,
+                                    dispenses_per_patient=1)
+        obs_schema = observation_schema()
+        for observation in dataset.observations:
+            obs_schema.validate(observation.to_document())
+        pat_schema = patient_schema()
+        for patient in dataset.patients:
+            pat_schema.validate(patient.to_document())
+        med_schema = medication_dispense_schema()
+        for dispense in dataset.dispenses:
+            med_schema.validate(dispense.to_document())
+
+
+class TestGenerator:
+    def test_seed_reproducibility(self):
+        a = MedicalDataGenerator(42).dataset(patients=5)
+        b = MedicalDataGenerator(42).dataset(patients=5)
+        assert [p.name for p in a.patients] == [p.name for p in b.patients]
+        assert [o.value for o in a.observations] == [
+            o.value for o in b.observations
+        ]
+
+    def test_different_seeds_differ(self):
+        a = MedicalDataGenerator(1).dataset(patients=10)
+        b = MedicalDataGenerator(2).dataset(patients=10)
+        assert [o.value for o in a.observations] != [
+            o.value for o in b.observations
+        ]
+
+    def test_ids_are_unique(self):
+        dataset = MedicalDataGenerator(1).dataset(patients=20)
+        all_ids = ([p.id for p in dataset.patients]
+                   + [o.id for o in dataset.observations]
+                   + [m.id for m in dataset.dispenses])
+        assert len(set(all_ids)) == len(all_ids)
+
+    def test_observation_values_in_plausible_bounds(self):
+        generator = MedicalDataGenerator(3)
+        patient = generator.patient()
+        for _ in range(100):
+            observation = generator.observation(patient, code="glucose")
+            assert 2.0 <= observation.value <= 20.0
+            assert observation.issued > observation.effective
+            assert observation.interpretation in ("high", "low", "normal")
+
+    def test_observation_subject_links_patient(self):
+        generator = MedicalDataGenerator(4)
+        patient = generator.patient()
+        assert generator.observation(patient).subject == patient.name
+
+    def test_flat_observation_stream(self):
+        observations = MedicalDataGenerator(5).observations(
+            50, cohort_size=5
+        )
+        assert len(observations) == 50
+        assert len({o.subject for o in observations}) <= 5
+
+    def test_dataset_shape(self):
+        dataset = MedicalDataGenerator(6).dataset(
+            patients=4, observations_per_patient=3, dispenses_per_patient=2
+        )
+        assert len(dataset.patients) == 4
+        assert len(dataset.observations) == 12
+        assert len(dataset.dispenses) == 8

@@ -1,0 +1,187 @@
+"""Crypto agility: plugging a new tactic into the SPI at runtime.
+
+The paper's differentiating claim is that tactic providers can add
+schemes without touching applications.  This test implements a toy
+third-party tactic (keyed-hash equality tokens — a simplified DET), wires
+it through the SPI, registers it with a *better* performance rank, and
+checks the selector adopts it transparently.
+"""
+
+from typing import Any
+
+import pytest
+
+from repro.cloud.server import CloudZone
+from repro.core.middleware import DataBlinder
+from repro.core.query import Eq
+from repro.core.registry import TacticRegistry
+from repro.core.schema import FieldAnnotation, Schema
+from repro.crypto.encoding import Value, encode_value
+from repro.crypto.primitives.hmac_prf import prf
+from repro.errors import RegistryError
+from repro.net.transport import InProcTransport
+from repro.spi import interfaces as spi
+from repro.spi.descriptors import (
+    Operation,
+    PerformanceMetrics,
+    TacticDescriptor,
+)
+from repro.spi.leakage import (
+    LeakageLevel,
+    LeakageProfile,
+    OperationLeakage,
+    ProtectionClass,
+)
+from repro.tactics import register_builtin_tactics
+from repro.tactics.base import CloudTactic, GatewayTactic
+
+
+class HashTagGateway(
+    GatewayTactic,
+    spi.GatewaySetup,
+    spi.GatewayInsertion,
+    spi.GatewayEqQuery,
+    spi.GatewayEqResolution,
+):
+    """Third-party tactic: PRF tags as equality tokens."""
+
+    def setup(self) -> None:
+        self._key = self.ctx.derive_key("hashtag")
+        self.ctx.call("setup")
+
+    def _tag(self, value: Value) -> bytes:
+        return prf(self._key, b"tag", encode_value(value))
+
+    def insert(self, doc_id: str, value: Value) -> None:
+        self.ctx.call("insert", doc_id=doc_id, tag=self._tag(value))
+
+    def eq_query(self, value: Value) -> Any:
+        return self.ctx.call("eq_query", tag=self._tag(value))
+
+    def resolve_eq(self, raw: Any) -> set[str]:
+        return set(raw)
+
+
+class HashTagCloud(
+    CloudTactic,
+    spi.CloudSetup,
+    spi.CloudInsertion,
+    spi.CloudEqQuery,
+):
+    def setup(self, **params: Any) -> None:
+        self._ns = self.ctx.state_key(b"tags")
+
+    def insert(self, doc_id: str, tag: bytes) -> None:
+        self.ctx.kv.set_add(self._ns + b"/" + tag, doc_id.encode())
+
+    def eq_query(self, tag: bytes) -> list[str]:
+        return sorted(
+            m.decode() for m in self.ctx.kv.set_members(self._ns + b"/" + tag)
+        )
+
+
+HASHTAG_DESCRIPTOR = TacticDescriptor(
+    name="hashtag",
+    display_name="HashTag",
+    operations=frozenset({Operation.INSERT, Operation.EQUALITY}),
+    aggregates=frozenset(),
+    leakage=LeakageProfile({
+        "insert": OperationLeakage(LeakageLevel.EQUALITIES),
+        "eq_search": OperationLeakage(LeakageLevel.EQUALITIES),
+    }),
+    performance=PerformanceMetrics(rank=0),  # faster than DET
+    protection_class=ProtectionClass.C4,
+    challenge="third-party plugin",
+    implementation="test fixture",
+)
+
+
+@pytest.fixture()
+def agile_registry():
+    registry = TacticRegistry()
+    register_builtin_tactics(registry)
+    registry.register(HASHTAG_DESCRIPTOR, HashTagGateway, HashTagCloud)
+    return registry
+
+
+class TestPluginRegistration:
+    def test_plugin_is_listed(self, agile_registry):
+        assert "hashtag" in agile_registry.names()
+
+    def test_spi_counts_derived(self, agile_registry):
+        summary = agile_registry.get("hashtag").spi_summary()
+        assert summary["gateway"] == ["Setup", "Insertion", "EqQuery",
+                                      "EqResolution"]
+        assert summary["cloud"] == ["Setup", "Insertion", "EqQuery"]
+
+    def test_plugin_without_setup_rejected(self, agile_registry):
+        class Broken:
+            pass
+
+        with pytest.raises(RegistryError):
+            agile_registry.register(HASHTAG_DESCRIPTOR, Broken,
+                                    HashTagCloud, replace=True)
+
+
+class TestAdaptiveAdoption:
+    def test_selector_adopts_faster_plugin(self, agile_registry):
+        """A C4 equality field now selects the plugin (same class,
+        better rank) — no application change needed."""
+        from repro.core.selection import TacticSelector
+
+        plan = TacticSelector(agile_registry).plan_field(
+            "f", FieldAnnotation.parse("C4", "I,EQ")
+        )
+        assert plan.roles["eq"] == "hashtag"
+
+    def test_end_to_end_with_plugin(self, agile_registry):
+        cloud = CloudZone(agile_registry)
+        blinder = DataBlinder("agileapp", InProcTransport(cloud.host),
+                              registry=agile_registry)
+        schema = Schema.define(
+            "record",
+            id="string",
+            label=("string", FieldAnnotation.parse("C4", "I,EQ")),
+        )
+        reports = blinder.register_schema(schema)
+        assert any("hashtag" in r.tactics for r in reports)
+        records = blinder.entities("record")
+        doc_id = records.insert({"id": "r1", "label": "urgent"})
+        records.insert({"id": "r2", "label": "routine"})
+        assert records.find_ids(Eq("label", "urgent")) == {doc_id}
+
+    def test_builtin_behaviour_unchanged_without_plugin(self, registry):
+        """The same schema on a plugin-free registry falls back to DET —
+        the application code would not change either way."""
+        from repro.core.selection import TacticSelector
+
+        plan = TacticSelector(registry).plan_field(
+            "f", FieldAnnotation.parse("C4", "I,EQ")
+        )
+        assert plan.roles["eq"] == "det"
+
+
+class TestKeyRotationDrill:
+    def test_root_rotation_invalidates_old_tokens(self, agile_registry):
+        """Rotating the application root re-keys everything derived —
+        the crypto-agility maintenance scenario."""
+        cloud = CloudZone(agile_registry)
+        blinder = DataBlinder("rotapp", InProcTransport(cloud.host),
+                              registry=agile_registry)
+        schema = Schema.define(
+            "record",
+            id="string",
+            label=("string", FieldAnnotation.parse("C4", "I,EQ")),
+        )
+        blinder.register_schema(schema)
+        records = blinder.entities("record")
+        records.insert({"id": "r1", "label": "before-rotation"})
+
+        blinder.keystore.rotate_root()
+        # Old index entries no longer match tokens derived from the new
+        # root: the operator must re-index (re-insert) the corpus.
+        executor = blinder._executor("record")
+        for by_role in executor._instances.values():
+            for instance in by_role.values():
+                instance.setup()  # re-derive keys from the rotated root
+        assert records.find_ids(Eq("label", "before-rotation")) == set()

@@ -1,0 +1,164 @@
+"""Property-based equivalence: the encrypted middleware must answer every
+query exactly like a plaintext reference implementation.
+
+This is the strongest correctness statement in the suite: random document
+corpora, random mixed predicates, random updates/deletes — the
+middleware's result sets must equal brute-force plaintext evaluation.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.cloud.server import CloudZone
+from repro.core.middleware import DataBlinder
+from repro.core.query import And, Eq, Not, Or, Range, evaluate_plain
+from repro.core.registry import TacticRegistry
+from repro.core.schema import FieldAnnotation, Schema
+from repro.net.transport import InProcTransport
+from repro.tactics import register_builtin_tactics
+
+STATUSES = ["draft", "active", "done"]
+CODES = ["a", "b", "c"]
+SUBJECTS = ["s1", "s2"]
+
+
+def make_schema():
+    return Schema.define(
+        "rec",
+        status=("string", FieldAnnotation.parse("C3", "I,EQ,BL")),
+        code=("string", FieldAnnotation.parse("C3", "I,EQ,BL")),
+        subject=("string", FieldAnnotation.parse("C2", "I,EQ")),
+        when=("int", FieldAnnotation.parse("C5", "I,EQ,RG")),
+        score=("float", FieldAnnotation.parse("C4", "I,EQ", "sum,avg")),
+    )
+
+
+documents = st.builds(
+    dict,
+    status=st.sampled_from(STATUSES),
+    code=st.sampled_from(CODES),
+    subject=st.sampled_from(SUBJECTS),
+    when=st.integers(min_value=0, max_value=50),
+    score=st.sampled_from([1.0, 2.5, 4.0]),
+)
+
+
+@st.composite
+def predicates(draw, depth=2):
+    if depth == 0:
+        kind = draw(st.sampled_from(["status", "code", "subject", "when",
+                                     "range"]))
+        if kind == "range":
+            low = draw(st.integers(0, 50))
+            return Range("when", low, low + draw(st.integers(0, 25)))
+        if kind == "when":
+            return Eq("when", draw(st.integers(0, 50)))
+        if kind == "status":
+            return Eq("status", draw(st.sampled_from(STATUSES)))
+        if kind == "code":
+            return Eq("code", draw(st.sampled_from(CODES)))
+        return Eq("subject", draw(st.sampled_from(SUBJECTS)))
+    kind = draw(st.sampled_from(["leaf", "and", "or", "not"]))
+    if kind == "leaf":
+        return draw(predicates(depth=0))
+    if kind == "not":
+        return Not(draw(predicates(depth=depth - 1)))
+    parts = draw(st.lists(predicates(depth=depth - 1), min_size=2,
+                          max_size=3))
+    return And(parts) if kind == "and" else Or(parts)
+
+
+@pytest.fixture(scope="module")
+def shared_registry():
+    registry = TacticRegistry()
+    register_builtin_tactics(registry)
+    return registry
+
+
+@settings(max_examples=12, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(corpus=st.lists(documents, min_size=1, max_size=8),
+       predicate=predicates())
+def test_find_matches_plaintext_reference(shared_registry, corpus,
+                                          predicate):
+    cloud = CloudZone(shared_registry)
+    blinder = DataBlinder("eqvapp", InProcTransport(cloud.host),
+                          registry=shared_registry)
+    blinder.register_schema(make_schema())
+    records = blinder.entities("rec")
+
+    expected = set()
+    for index, document in enumerate(corpus):
+        doc_id = records.insert(dict(document))
+        if evaluate_plain(predicate, document):
+            expected.add(doc_id)
+
+    assert records.find_ids(predicate) == expected
+
+
+@settings(max_examples=8, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(corpus=st.lists(documents, min_size=2, max_size=6),
+       updates=st.lists(st.tuples(st.integers(0, 5), documents),
+                        max_size=3),
+       deletions=st.sets(st.integers(0, 5), max_size=2),
+       predicate=predicates(depth=1))
+def test_mutations_preserve_equivalence(shared_registry, corpus, updates,
+                                        deletions, predicate):
+    cloud = CloudZone(shared_registry)
+    blinder = DataBlinder("mutapp", InProcTransport(cloud.host),
+                          registry=shared_registry)
+    blinder.register_schema(make_schema())
+    records = blinder.entities("rec")
+
+    state = {}
+    ids = []
+    for document in corpus:
+        doc_id = records.insert(dict(document))
+        ids.append(doc_id)
+        state[doc_id] = dict(document)
+
+    for index, new_document in updates:
+        doc_id = ids[index % len(ids)]
+        if doc_id in state:
+            records.update(doc_id, dict(new_document))
+            state[doc_id].update(new_document)
+
+    for index in deletions:
+        doc_id = ids[index % len(ids)]
+        if doc_id in state:
+            records.delete(doc_id)
+            del state[doc_id]
+
+    expected = {
+        doc_id for doc_id, document in state.items()
+        if evaluate_plain(predicate, document)
+    }
+    assert records.find_ids(predicate) == expected
+
+
+@settings(max_examples=8, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(corpus=st.lists(documents, min_size=1, max_size=8),
+       status=st.sampled_from(STATUSES))
+def test_aggregates_match_plaintext_reference(shared_registry, corpus,
+                                              status):
+    cloud = CloudZone(shared_registry)
+    blinder = DataBlinder("aggapp", InProcTransport(cloud.host),
+                          registry=shared_registry)
+    blinder.register_schema(make_schema())
+    records = blinder.entities("rec")
+
+    for document in corpus:
+        records.insert(dict(document))
+
+    matching = [d["score"] for d in corpus if d["status"] == status]
+    measured_sum = records.sum("score", where=Eq("status", status))
+    measured_avg = records.average("score", where=Eq("status", status))
+    if not matching:
+        assert measured_sum is None and measured_avg is None
+    else:
+        assert measured_sum == pytest.approx(sum(matching))
+        assert measured_avg == pytest.approx(
+            sum(matching) / len(matching)
+        )

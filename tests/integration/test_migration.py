@@ -1,0 +1,132 @@
+"""Schema migration: re-planning and re-indexing a live corpus.
+
+The crypto-agility lifecycle beyond plugging tactics in: retiring a
+scheme from the registry or tightening a field's annotation, then
+migrating the stored documents to the new configuration without losing
+data or searchability.
+"""
+
+import pytest
+
+from repro.core.middleware import DataBlinder
+from repro.core.query import Eq
+from repro.core.registry import TacticRegistry
+from repro.core.schema import FieldAnnotation, Schema
+from repro.errors import SchemaError
+from repro.net.transport import InProcTransport
+from repro.tactics import register_builtin_tactics
+
+
+def schema_v1():
+    return Schema.define(
+        "record",
+        id="string",
+        code=("string", FieldAnnotation.parse("C4", "I,EQ")),   # -> DET
+        amount=("float", FieldAnnotation.parse("C4", "I,EQ", "sum")),
+    )
+
+
+def schema_v2_tightened():
+    # After a risk review: code may no longer leak equalities at rest.
+    return Schema.define(
+        "record",
+        id="string",
+        code=("string", FieldAnnotation.parse("C2", "I,EQ")),   # -> Mitra
+        amount=("float", FieldAnnotation.parse("C4", "I,EQ", "sum")),
+    )
+
+
+@pytest.fixture()
+def deployment(registry, cloud, transport):
+    blinder = DataBlinder("migrapp", transport, registry=registry)
+    blinder.register_schema(schema_v1())
+    records = blinder.entities("record")
+    ids = [
+        records.insert({"id": f"r{i}", "code": code, "amount": float(i)})
+        for i, code in enumerate(["a", "b", "a", "c", "a"])
+    ]
+    return blinder, records, ids
+
+
+class TestAnnotationMigration:
+    def test_tightened_annotation_switches_tactic(self, deployment):
+        blinder, records, ids = deployment
+        assert blinder._executor("record").plans["code"].roles["eq"] == "det"
+
+        reports = blinder.migrate_schema("record", schema_v2_tightened())
+        plan = blinder._executor("record").plans["code"]
+        assert plan.roles["eq"] == "mitra"
+        assert all(r.compliant for r in reports)
+
+        # Same data, same ids, searchable under the new tactic.
+        records = blinder.entities("record")
+        assert records.count() == 5
+        assert records.find_ids(Eq("code", "a")) == {ids[0], ids[2],
+                                                     ids[4]}
+        assert records.get(ids[1])["amount"] == 1.0
+        # Aggregates still work (Paillier state re-indexed).
+        assert records.sum("amount") == pytest.approx(10.0)
+
+    def test_old_index_is_emptied(self, deployment, cloud):
+        blinder, records, ids = deployment
+        blinder.migrate_schema("record", schema_v2_tightened())
+        # The retired DET instance's token sets hold no live ids.
+        det_cloud = cloud.tactic_instance("migrapp", "record.code", "det")
+        live = set()
+        for name in det_cloud.ctx.kv._sets:  # noqa: SLF001
+            if name.startswith(b"tactic/migrapp/record.code/det/token"):
+                live |= det_cloud.ctx.kv.set_members(name)
+        assert live == set()
+
+    def test_migration_is_idempotent(self, deployment):
+        blinder, records, ids = deployment
+        blinder.migrate_schema("record", schema_v2_tightened())
+        blinder.migrate_schema("record")  # re-plan with same config
+        records = blinder.entities("record")
+        assert records.count() == 5
+        assert len(records.find_ids(Eq("code", "a"))) == 3
+
+    def test_rename_rejected(self, deployment):
+        blinder, _, _ = deployment
+        other = Schema.define(
+            "renamed", code=("string", FieldAnnotation.parse("C2", "I,EQ"))
+        )
+        with pytest.raises(SchemaError):
+            blinder.migrate_schema("record", other)
+
+
+class TestRegistryMigration:
+    def test_retiring_a_scheme_then_migrating(self, cloud):
+        registry = TacticRegistry()
+        register_builtin_tactics(registry)
+        blinder = DataBlinder("retireapp", InProcTransport(cloud.host),
+                              registry=registry)
+        blinder.register_schema(schema_v1())
+        records = blinder.entities("record")
+        ids = [records.insert({"id": f"r{i}", "code": "x",
+                               "amount": 1.0}) for i in range(3)]
+
+        # DET is deemed broken and retired from the registry; migrate.
+        registry.unregister("det")
+        reports = blinder.migrate_schema("record")
+        new_tactic = blinder._executor("record").plans["code"].roles["eq"]
+        assert new_tactic != "det"
+
+        records = blinder.entities("record")
+        assert records.find_ids(Eq("code", "x")) == set(ids)
+
+    def test_migrated_metadata_survives_restart(self, registry, cloud,
+                                                transport):
+        blinder = DataBlinder("metamig", transport, registry=registry)
+        blinder.register_schema(schema_v1())
+        records = blinder.entities("record")
+        doc_id = records.insert({"id": "r0", "code": "z", "amount": 2.0})
+        blinder.migrate_schema("record", schema_v2_tightened())
+
+        restarted = DataBlinder(
+            "metamig-2", transport, registry=registry,
+            keystore=blinder.keystore, local_kv=blinder.runtime.local_kv,
+        )
+        restarted.restore_schema("record")
+        plan = restarted._executor("record").plans["code"]
+        assert plan.roles["eq"] == "mitra"

@@ -1,0 +1,94 @@
+"""Full-middleware deployment on the BIEX-ZMF variant.
+
+The default selection prefers BIEX-2Lev (read-efficient); this suite
+re-ranks the registry so ZMF wins, then runs the same correctness
+checks — including the false-positive path that only ZMF can exercise —
+proving the two variants are drop-in interchangeable behind the SPI.
+"""
+
+import pytest
+
+from repro.cloud.server import CloudZone
+from repro.core.middleware import DataBlinder
+from repro.core.query import Eq, evaluate_plain
+from repro.core.registry import TacticRegistry
+from repro.core.schema import FieldAnnotation, Schema
+from repro.net.transport import InProcTransport
+from repro.tactics import register_builtin_tactics
+
+
+@pytest.fixture()
+def zmf_blinder():
+    registry = TacticRegistry()
+    register_builtin_tactics(registry)
+    registry.unregister("biex-2lev")  # force the ZMF variant
+    cloud = CloudZone(registry)
+    blinder = DataBlinder("zmfapp", InProcTransport(cloud.host),
+                          registry=registry)
+    schema = Schema.define(
+        "rec",
+        status=("string", FieldAnnotation.parse("C3", "I,EQ,BL")),
+        code=("string", FieldAnnotation.parse("C3", "I,EQ,BL")),
+        city=("string", FieldAnnotation.parse("C3", "I,EQ,BL")),
+    )
+    reports = blinder.register_schema(schema)
+    assert all(r.tactics == ["biex-zmf"] for r in reports)
+    return blinder
+
+
+class TestZmfDeployment:
+    CORPUS = [
+        {"status": "final", "code": "glucose", "city": "leuven"},
+        {"status": "final", "code": "hr", "city": "ghent"},
+        {"status": "prelim", "code": "glucose", "city": "leuven"},
+        {"status": "final", "code": "glucose", "city": "ghent"},
+        {"status": "amended", "code": "bp", "city": "leuven"},
+    ]
+
+    def load(self, blinder):
+        records = blinder.entities("rec")
+        ids = [records.insert(dict(doc)) for doc in self.CORPUS]
+        return records, ids
+
+    def expected(self, predicate, ids):
+        return {
+            doc_id for doc_id, doc in zip(ids, self.CORPUS)
+            if evaluate_plain(predicate, doc)
+        }
+
+    @pytest.mark.parametrize("predicate_factory", [
+        lambda: Eq("status", "final"),
+        lambda: Eq("status", "final") & Eq("code", "glucose"),
+        lambda: (Eq("status", "final") | Eq("status", "prelim"))
+        & Eq("city", "leuven"),
+        lambda: Eq("code", "glucose") & Eq("city", "ghent")
+        & Eq("status", "final"),
+        lambda: ~Eq("city", "leuven"),
+    ])
+    def test_queries_match_reference(self, zmf_blinder, predicate_factory):
+        records, ids = self.load(zmf_blinder)
+        predicate = predicate_factory()
+        assert records.find_ids(predicate) == self.expected(predicate, ids)
+
+    def test_update_and_delete(self, zmf_blinder):
+        records, ids = self.load(zmf_blinder)
+        records.update(ids[2], {"status": "final"})
+        assert records.find_ids(
+            Eq("status", "final") & Eq("code", "glucose")
+        ) == {ids[0], ids[2], ids[3]}
+        records.delete(ids[0])
+        assert records.find_ids(
+            Eq("status", "final") & Eq("code", "glucose")
+        ) == {ids[2], ids[3]}
+
+    def test_verification_trims_filter_false_positives(self, zmf_blinder):
+        """Even if the Bloom filter reports a false positive, the
+        gateway's plaintext verification keeps results exact.  We force
+        the situation by saturating a tiny filter."""
+        records, ids = self.load(zmf_blinder)
+        # Saturate the filter by inserting many co-occurrence pairs.
+        for i in range(40):
+            records.insert({"status": f"s{i}", "code": f"c{i}",
+                            "city": f"x{i}"})
+        predicate = Eq("status", "final") & Eq("code", "bp")
+        assert records.find_ids(predicate) == set()  # exact despite load

@@ -1,0 +1,109 @@
+"""Protocol robustness: malformed frames and adversarial payloads."""
+
+import socket
+import struct
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.errors import TransportError
+from repro.net.message import decode, encode
+from repro.net.rpc import ServiceHost
+from repro.net.tcp import MAX_FRAME, TcpRpcServer, TcpTransport, send_frame
+
+
+class Echo:
+    def ping(self, x=None):
+        return x
+
+
+@pytest.fixture()
+def server():
+    host = ServiceHost()
+    host.register("echo", Echo())
+    server = TcpRpcServer(host)
+    server.serve_in_background()
+    yield server
+    server.shutdown()
+    server.server_close()
+
+
+class TestTcpRobustness:
+    def test_garbage_frame_gets_error_response_not_crash(self, server):
+        sock = socket.create_connection(server.endpoint, timeout=5)
+        try:
+            send_frame(sock, b"\xff\xfenot json at all")
+            header = sock.recv(4)
+            (length,) = struct.unpack(">I", header)
+            reply = b""
+            while len(reply) < length:
+                reply += sock.recv(length - len(reply))
+            response = decode(reply)
+            assert response["ok"] is False
+        finally:
+            sock.close()
+        # The server still serves well-formed clients afterwards.
+        transport = TcpTransport(server.endpoint)
+        assert transport.call("echo", "ping", x=1) == 1
+        transport.close()
+
+    def test_oversize_frame_rejected_client_side(self, server):
+        transport = TcpTransport(server.endpoint)
+        try:
+            with pytest.raises(TransportError):
+                transport.call("echo", "ping", x="a" * (MAX_FRAME + 1))
+        finally:
+            transport.close()
+
+    def test_half_frame_then_disconnect_is_survivable(self, server):
+        sock = socket.create_connection(server.endpoint, timeout=5)
+        sock.sendall(struct.pack(">I", 100) + b"only-a-few-bytes")
+        sock.close()
+        transport = TcpTransport(server.endpoint)
+        try:
+            assert transport.call("echo", "ping", x="still alive") == (
+                "still alive"
+            )
+        finally:
+            transport.close()
+
+    @given(junk=st.binary(min_size=1, max_size=64))
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[
+                  HealthCheck.function_scoped_fixture,
+              ])
+    def test_random_junk_never_hangs_the_server(self, server, junk):
+        sock = socket.create_connection(server.endpoint, timeout=5)
+        try:
+            sock.sendall(junk)
+        finally:
+            sock.close()
+        transport = TcpTransport(server.endpoint)
+        try:
+            assert transport.call("echo", "ping", x=0) == 0
+        finally:
+            transport.close()
+
+
+class TestCodecRobustness:
+    @given(junk=st.binary(max_size=80))
+    @settings(max_examples=50)
+    def test_decode_never_crashes_unexpectedly(self, junk):
+        try:
+            decode(junk)
+        except TransportError:
+            pass  # the only acceptable failure mode
+
+    def test_deeply_nested_payload_roundtrips(self):
+        payload = {"v": 0}
+        for _ in range(40):
+            payload = {"nested": payload, "blob": b"\x00"}
+        assert decode(encode(payload)) == payload
+
+    def test_spoofed_tag_collisions(self):
+        # Dicts that *look* like codec tags but carry extra keys must not
+        # be misinterpreted as bytes/tuples.
+        payload = {"__b__": "00", "extra": 1}
+        assert decode(encode(payload)) == payload
+        payload2 = {"__t__": [1, 2], "extra": 1}
+        assert decode(encode(payload2)) == payload2

@@ -1,0 +1,161 @@
+"""Mongo-like document store: CRUD, filter language, indexes."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import DocumentNotFound, StoreError
+from repro.stores.docstore import DocumentStore, matches
+
+
+@pytest.fixture()
+def store():
+    s = DocumentStore(indexed_fields=("tag",))
+    s.insert({"_id": "a", "tag": "red", "n": 1, "nested": {"x": 10}})
+    s.insert({"_id": "b", "tag": "red", "n": 5})
+    s.insert({"_id": "c", "tag": "blue", "n": 9})
+    return s
+
+
+class TestCrud:
+    def test_insert_get(self, store):
+        assert store.get("a")["n"] == 1
+
+    def test_get_returns_copy(self, store):
+        doc = store.get("a")
+        doc["n"] = 999
+        assert store.get("a")["n"] == 1
+
+    def test_missing_raises(self, store):
+        with pytest.raises(DocumentNotFound):
+            store.get("zz")
+
+    def test_duplicate_id_rejected(self, store):
+        with pytest.raises(StoreError):
+            store.insert({"_id": "a"})
+
+    def test_requires_string_id(self):
+        store = DocumentStore()
+        with pytest.raises(StoreError):
+            store.insert({"_id": 5})
+        with pytest.raises(StoreError):
+            store.insert({"no_id": True})
+
+    def test_replace(self, store):
+        store.replace({"_id": "a", "tag": "green", "n": 2})
+        assert store.get("a") == {"_id": "a", "tag": "green", "n": 2}
+
+    def test_replace_missing_raises(self, store):
+        with pytest.raises(DocumentNotFound):
+            store.replace({"_id": "zz"})
+
+    def test_delete(self, store):
+        assert store.delete("a")
+        assert not store.delete("a")
+        assert len(store) == 2
+
+    def test_get_many_skips_missing(self, store):
+        docs = store.get_many(["a", "zz", "c"])
+        assert [d["_id"] for d in docs] == ["a", "c"]
+
+    def test_contains(self, store):
+        assert store.contains("a") and not store.contains("zz")
+
+
+class TestQueries:
+    def test_equality(self, store):
+        assert {d["_id"] for d in store.find({"tag": "red"})} == {"a", "b"}
+
+    def test_comparison_operators(self, store):
+        assert {d["_id"] for d in store.find({"n": {"$gt": 1}})} == {"b", "c"}
+        assert {d["_id"] for d in store.find({"n": {"$gte": 5, "$lt": 9}})
+                } == {"b"}
+        assert {d["_id"] for d in store.find({"n": {"$in": [1, 9]}})
+                } == {"a", "c"}
+        assert {d["_id"] for d in store.find({"n": {"$ne": 5}})} == {"a", "c"}
+
+    def test_logical_operators(self, store):
+        assert {d["_id"] for d in store.find(
+            {"$or": [{"n": 1}, {"n": 9}]}
+        )} == {"a", "c"}
+        assert {d["_id"] for d in store.find(
+            {"$and": [{"tag": "red"}, {"n": {"$gt": 1}}]}
+        )} == {"b"}
+        assert {d["_id"] for d in store.find(
+            {"$not": {"tag": "red"}}
+        )} == {"c"}
+
+    def test_dotted_paths(self, store):
+        assert [d["_id"] for d in store.find({"nested.x": 10})] == ["a"]
+
+    def test_exists(self, store):
+        assert [d["_id"] for d in store.find({"nested": {"$exists": True}})
+                ] == ["a"]
+
+    def test_limit(self, store):
+        assert len(store.find({"tag": "red"}, limit=1)) == 1
+
+    def test_count(self, store):
+        assert store.count() == 3
+        assert store.count({"tag": "red"}) == 2
+
+    def test_unknown_operator_raises(self, store):
+        with pytest.raises(StoreError):
+            store.find({"n": {"$regex": "x"}})
+        with pytest.raises(StoreError):
+            store.find({"$bogus": []})
+
+    def test_type_mismatch_is_no_match(self, store):
+        assert store.find({"tag": {"$gt": 5}}) == []
+
+
+class TestIndexes:
+    def test_index_accelerated_candidates(self, store):
+        assert store._candidate_ids({"tag": "red"}) == ["a", "b"]
+
+    def test_index_maintained_on_replace(self, store):
+        store.replace({"_id": "a", "tag": "blue", "n": 1})
+        assert {d["_id"] for d in store.find({"tag": "blue"})} == {"a", "c"}
+
+    def test_index_maintained_on_delete(self, store):
+        store.delete("c")
+        assert store.find({"tag": "blue"}) == []
+
+    def test_bytes_values_are_indexable(self):
+        store = DocumentStore(indexed_fields=("token",))
+        store.insert({"_id": "x", "token": b"\x01\x02"})
+        assert [d["_id"] for d in store.find({"token": b"\x01\x02"})] == ["x"]
+
+
+class TestPersistence:
+    def test_restart_recovers_documents(self, tmp_path):
+        store = DocumentStore(tmp_path, indexed_fields=("tag",))
+        store.insert({"_id": "a", "tag": "red", "blob": b"\x00\xff"})
+        store.insert({"_id": "b", "tag": "blue"})
+        store.delete("b")
+        store.close()
+
+        recovered = DocumentStore(tmp_path, indexed_fields=("tag",))
+        assert len(recovered) == 1
+        assert recovered.get("a")["blob"] == b"\x00\xff"
+        assert [d["_id"] for d in recovered.find({"tag": "red"})] == ["a"]
+
+    def test_replay_without_snapshot(self, tmp_path):
+        store = DocumentStore(tmp_path)
+        store.insert({"_id": "a", "v": 1})
+        store.sync()
+        assert DocumentStore(tmp_path).get("a")["v"] == 1
+
+
+class TestMetrics:
+    def test_size_in_bytes(self, store):
+        assert store.size_in_bytes() > 0
+
+    def test_iter_documents(self, store):
+        assert len(list(store.iter_documents())) == 3
+
+
+@given(n=st.integers(min_value=-100, max_value=100))
+def test_matches_range_property(n):
+    doc = {"n": n}
+    assert matches(doc, {"n": {"$gte": 0}}) == (n >= 0)
+    assert matches(doc, {"n": {"$lt": 50}}) == (n < 50)

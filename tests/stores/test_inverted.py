@@ -1,0 +1,102 @@
+"""Inverted text index (the Elasticsearch role)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.stores.inverted import InvertedIndex, tokenize
+
+
+class TestTokenizer:
+    def test_basic(self):
+        assert tokenize("Hello, World! 42") == ["hello", "world", "42"]
+
+    def test_empty(self):
+        assert tokenize("") == []
+        assert tokenize("!!! ...") == []
+
+    @given(text=st.text(max_size=100))
+    def test_tokens_are_normalised(self, text):
+        for token in tokenize(text):
+            assert token == token.lower()
+            assert token.isalnum()
+
+
+@pytest.fixture()
+def index():
+    idx = InvertedIndex()
+    idx.index("d1", "patient admitted with gastric cancer")
+    idx.index("d2", "patient discharged, cancer in remission")
+    idx.index("d3", "routine checkup, blood pressure normal")
+    return idx
+
+
+class TestSearch:
+    def test_single_term(self, index):
+        hits = index.search("cancer")
+        assert {h.doc_id for h in hits} == {"d1", "d2"}
+
+    def test_ranking_prefers_rare_terms(self, index):
+        hits = index.search("patient gastric")
+        assert hits[0].doc_id == "d1"  # only d1 has the rare term
+
+    def test_disjunctive_by_default(self, index):
+        hits = index.search("cancer checkup")
+        assert {h.doc_id for h in hits} == {"d1", "d2", "d3"}
+
+    def test_require_all(self, index):
+        hits = index.search("patient cancer", require_all=True)
+        assert {h.doc_id for h in hits} == {"d1", "d2"}
+        assert index.search("patient blood", require_all=True) == []
+
+    def test_case_insensitive(self, index):
+        assert index.search("CANCER")
+
+    def test_limit(self, index):
+        assert len(index.search("patient cancer checkup", limit=2)) == 2
+
+    def test_no_match(self, index):
+        assert index.search("unicorn") == []
+        assert index.search("") == []
+
+    def test_scores_are_positive_and_sorted(self, index):
+        hits = index.search("patient cancer")
+        assert all(h.score > 0 for h in hits)
+        assert [h.score for h in hits] == sorted(
+            (h.score for h in hits), reverse=True
+        )
+
+
+class TestMaintenance:
+    def test_reindex_replaces(self, index):
+        index.index("d1", "completely different content now")
+        assert index.search("gastric") == []
+        assert {h.doc_id for h in index.search("different")} == {"d1"}
+
+    def test_remove(self, index):
+        assert index.remove("d2")
+        assert not index.remove("d2")
+        assert {h.doc_id for h in index.search("cancer")} == {"d1"}
+        assert len(index) == 2
+
+    def test_document_frequency(self, index):
+        assert index.document_frequency("cancer") == 2
+        assert index.document_frequency("CANCER") == 2
+        assert index.document_frequency("unicorn") == 0
+
+    def test_terms_listing(self, index):
+        assert "cancer" in index.terms()
+
+
+@given(corpus=st.dictionaries(
+    st.sampled_from(["a", "b", "c", "d"]),
+    st.lists(st.sampled_from(["apple", "banana", "cherry"]), min_size=1,
+             max_size=5),
+    min_size=1, max_size=4,
+))
+def test_search_matches_reference(corpus):
+    index = InvertedIndex()
+    for doc_id, words in corpus.items():
+        index.index(doc_id, " ".join(words))
+    for term in ("apple", "banana", "cherry"):
+        expected = {d for d, words in corpus.items() if term in words}
+        assert {h.doc_id for h in index.search(term, limit=100)} == expected

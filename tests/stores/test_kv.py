@@ -1,0 +1,163 @@
+"""Redis-like KV store: all four namespaces plus persistence."""
+
+import threading
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import StoreError
+from repro.stores.kv import KeyValueStore
+
+
+@pytest.fixture()
+def store():
+    return KeyValueStore()
+
+
+class TestStrings:
+    def test_put_get(self, store):
+        store.put(b"k", b"v")
+        assert store.get(b"k") == b"v"
+
+    def test_get_missing_returns_default(self, store):
+        assert store.get(b"nope") is None
+        assert store.get(b"nope", b"fallback") == b"fallback"
+
+    def test_overwrite(self, store):
+        store.put(b"k", b"v1")
+        store.put(b"k", b"v2")
+        assert store.get(b"k") == b"v2"
+
+    def test_delete(self, store):
+        store.put(b"k", b"v")
+        assert store.delete(b"k")
+        assert not store.delete(b"k")
+        assert not store.exists(b"k")
+
+    def test_keys_and_scan(self, store):
+        store.put(b"a/1", b"x")
+        store.put(b"a/2", b"y")
+        store.put(b"b/1", b"z")
+        assert sorted(store.keys()) == [b"a/1", b"a/2", b"b/1"]
+        assert sorted(k for k, _ in store.scan(b"a/")) == [b"a/1", b"a/2"]
+
+
+class TestMaps:
+    def test_put_get_delete(self, store):
+        store.map_put(b"m", b"f", b"v")
+        assert store.map_get(b"m", b"f") == b"v"
+        assert store.map_size(b"m") == 1
+        assert store.map_delete(b"m", b"f")
+        assert not store.map_delete(b"m", b"f")
+        assert store.map_get(b"m", b"f") is None
+
+    def test_items(self, store):
+        store.map_put(b"m", b"a", b"1")
+        store.map_put(b"m", b"b", b"2")
+        assert dict(store.map_items(b"m")) == {b"a": b"1", b"b": b"2"}
+
+    def test_empty_map_is_removed(self, store):
+        store.map_put(b"m", b"f", b"v")
+        store.map_delete(b"m", b"f")
+        assert store.stats()["maps"] == 0
+
+
+class TestSets:
+    def test_add_remove(self, store):
+        assert store.set_add(b"s", b"x")
+        assert not store.set_add(b"s", b"x")  # already present
+        assert store.set_contains(b"s", b"x")
+        assert store.set_members(b"s") == {b"x"}
+        assert store.set_remove(b"s", b"x")
+        assert not store.set_remove(b"s", b"x")
+        assert store.set_size(b"s") == 0
+
+
+class TestCounters:
+    def test_increment(self, store):
+        assert store.counter_increment(b"c") == 1
+        assert store.counter_increment(b"c", 5) == 6
+        assert store.counter_get(b"c") == 6
+
+    def test_set(self, store):
+        store.counter_set(b"c", 42)
+        assert store.counter_get(b"c") == 42
+
+    def test_missing_counter_is_zero(self, store):
+        assert store.counter_get(b"nope") == 0
+
+
+class TestMetricsAndReset:
+    def test_size_in_bytes_grows(self, store):
+        before = store.size_in_bytes()
+        store.put(b"key", b"x" * 100)
+        assert store.size_in_bytes() >= before + 100
+
+    def test_flush_all(self, store):
+        store.put(b"k", b"v")
+        store.set_add(b"s", b"m")
+        store.counter_increment(b"c")
+        store.flush_all()
+        stats = store.stats()
+        assert stats["strings"] == stats["sets"] == stats["counters"] == 0
+
+
+class TestPersistence:
+    def test_restart_recovers_everything(self, tmp_path):
+        store = KeyValueStore(tmp_path)
+        store.put(b"k", b"v")
+        store.map_put(b"m", b"f", b"v2")
+        store.set_add(b"s", b"member")
+        store.counter_increment(b"c", 7)
+        store.close()
+
+        recovered = KeyValueStore(tmp_path)
+        assert recovered.get(b"k") == b"v"
+        assert recovered.map_get(b"m", b"f") == b"v2"
+        assert recovered.set_contains(b"s", b"member")
+        assert recovered.counter_get(b"c") == 7
+
+    def test_log_replay_without_close(self, tmp_path):
+        store = KeyValueStore(tmp_path)
+        store.put(b"k", b"v")
+        store.sync()  # flush the WAL but do not snapshot
+        recovered = KeyValueStore(tmp_path)
+        assert recovered.get(b"k") == b"v"
+
+    def test_deletions_survive_restart(self, tmp_path):
+        store = KeyValueStore(tmp_path)
+        store.put(b"k", b"v")
+        store.delete(b"k")
+        store.close()
+        assert KeyValueStore(tmp_path).get(b"k") is None
+
+
+class TestConcurrency:
+    def test_parallel_counter_increments(self, store):
+        def bump():
+            for _ in range(200):
+                store.counter_increment(b"c")
+
+        threads = [threading.Thread(target=bump) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert store.counter_get(b"c") == 800
+
+
+@given(entries=st.dictionaries(st.binary(min_size=1, max_size=8),
+                               st.binary(max_size=16), max_size=20))
+def test_property_store_matches_dict(entries):
+    store = KeyValueStore()
+    for key, value in entries.items():
+        store.put(key, value)
+    for key, value in entries.items():
+        assert store.get(key) == value
+    assert sorted(store.keys()) == sorted(entries)
+
+
+def test_apply_record_rejects_unknown_op():
+    store = KeyValueStore()
+    with pytest.raises(StoreError):
+        store.apply_record({"op": "bogus"})

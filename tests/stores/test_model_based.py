@@ -1,0 +1,146 @@
+"""Model-based property tests: stores vs in-memory reference models.
+
+Hypothesis drives random operation sequences against the KV store and
+the document store, mirroring every operation onto a plain-dict model
+and checking observational equivalence — including across a simulated
+crash/restart cycle through the write-ahead log.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.stores.docstore import DocumentStore, matches
+from repro.stores.kv import KeyValueStore
+
+keys = st.binary(min_size=1, max_size=4)
+values = st.binary(max_size=6)
+
+kv_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("put"), keys, values),
+        st.tuples(st.just("del"), keys, st.just(b"")),
+        st.tuples(st.just("sadd"), keys, values),
+        st.tuples(st.just("srem"), keys, values),
+        st.tuples(st.just("incr"), keys, st.just(b"")),
+        st.tuples(st.just("mput"), keys, values),
+        st.tuples(st.just("mdel"), keys, values),
+    ),
+    max_size=40,
+)
+
+
+def apply_kv(store, model, op, key, value):
+    kind = op
+    if kind == "put":
+        store.put(key, value)
+        model.setdefault("str", {})[key] = value
+    elif kind == "del":
+        store.delete(key)
+        model.setdefault("str", {}).pop(key, None)
+    elif kind == "sadd":
+        store.set_add(key, value)
+        model.setdefault("set", {}).setdefault(key, set()).add(value)
+    elif kind == "srem":
+        store.set_remove(key, value)
+        bucket = model.setdefault("set", {}).get(key, set())
+        bucket.discard(value)
+        if not bucket:
+            model["set"].pop(key, None)
+    elif kind == "incr":
+        store.counter_increment(key)
+        model.setdefault("cnt", {})[key] = (
+            model.setdefault("cnt", {}).get(key, 0) + 1
+        )
+    elif kind == "mput":
+        store.map_put(key, value or b"f", value)
+        model.setdefault("map", {}).setdefault(key, {})[value or b"f"] = value
+    elif kind == "mdel":
+        store.map_delete(key, value or b"f")
+        bucket = model.setdefault("map", {}).get(key, {})
+        bucket.pop(value or b"f", None)
+        if not bucket:
+            model["map"].pop(key, None)
+
+
+def check_kv(store, model):
+    for key, value in model.get("str", {}).items():
+        assert store.get(key) == value
+    assert sorted(store.keys()) == sorted(model.get("str", {}))
+    for key, members in model.get("set", {}).items():
+        assert store.set_members(key) == members
+    for key, count in model.get("cnt", {}).items():
+        assert store.counter_get(key) == count
+    for key, bucket in model.get("map", {}).items():
+        assert dict(store.map_items(key)) == bucket
+
+
+@given(ops=kv_ops)
+@settings(max_examples=40, deadline=None)
+def test_kv_matches_model(ops):
+    store = KeyValueStore()
+    model: dict = {}
+    for op, key, value in ops:
+        apply_kv(store, model, op, key, value)
+    check_kv(store, model)
+
+
+@given(ops=kv_ops)
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_kv_survives_restart(ops, tmp_path_factory):
+    directory = tmp_path_factory.mktemp("kv")
+    store = KeyValueStore(directory)
+    model: dict = {}
+    for op, key, value in ops:
+        apply_kv(store, model, op, key, value)
+    store.close()
+    check_kv(KeyValueStore(directory), model)
+
+
+doc_fields = st.fixed_dictionaries({
+    "tag": st.sampled_from(["red", "blue", "green"]),
+    "n": st.integers(0, 9),
+})
+
+doc_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("insert"), st.integers(0, 9), doc_fields),
+        st.tuples(st.just("replace"), st.integers(0, 9), doc_fields),
+        st.tuples(st.just("delete"), st.integers(0, 9), doc_fields),
+    ),
+    max_size=30,
+)
+
+
+@given(ops=doc_ops, query_tag=st.sampled_from(["red", "blue"]),
+       query_n=st.integers(0, 9))
+@settings(max_examples=40, deadline=None)
+def test_docstore_matches_model(ops, query_tag, query_n):
+    store = DocumentStore(indexed_fields=("tag",))
+    model: dict[str, dict] = {}
+    for op, index, fields in ops:
+        doc_id = f"d{index}"
+        document = dict(fields, _id=doc_id)
+        if op == "insert":
+            if doc_id in model:
+                continue
+            store.insert(document)
+            model[doc_id] = document
+        elif op == "replace":
+            if doc_id not in model:
+                continue
+            store.replace(document)
+            model[doc_id] = document
+        else:
+            store.delete(doc_id)
+            model.pop(doc_id, None)
+
+    assert len(store) == len(model)
+    query = {"tag": query_tag, "n": {"$gte": query_n}}
+    expected = {d["_id"] for d in model.values() if matches(d, query)}
+    assert {d["_id"] for d in store.find(query)} == expected
+    # Index-accelerated equality agrees with the model too.
+    expected_tag = {d["_id"] for d in model.values()
+                    if d["tag"] == query_tag}
+    assert {d["_id"] for d in store.find({"tag": query_tag})
+            } == expected_tag

@@ -1,0 +1,202 @@
+"""BIEX boolean tactics (2Lev and ZMF variants) and their substrates."""
+
+import pytest
+
+from repro.stores.kv import KeyValueStore
+from repro.tactics.twolev import TwoLevClient, TwoLevStore
+from repro.tactics.zmf import (
+    CountingBloomFilter,
+    filter_parameters,
+    probe_positions,
+)
+
+
+class TestTwoLev:
+    @pytest.fixture()
+    def pair(self):
+        kv = KeyValueStore()
+        return TwoLevClient(b"master-key"), TwoLevStore(kv, b"test")
+
+    def test_insert_lookup_decrypt(self, pair):
+        client, store = pair
+        token = client.token(b"label")
+        store.upsert(token, b"tag1", client.seal_item(b"label", b"doc-1"))
+        store.upsert(token, b"tag2", client.seal_item(b"label", b"doc-2"))
+        items = store.lookup(token)
+        ids = {client.open_item(b"label", enc) for _, enc in items}
+        assert ids == {b"doc-1", b"doc-2"}
+
+    def test_refcount_deletion(self, pair):
+        client, store = pair
+        token = client.token(b"l")
+        store.upsert(token, b"t", client.seal_item(b"l", b"d"), +1)
+        store.upsert(token, b"t", b"", -1)
+        assert store.lookup(token) == []
+        assert not store.contains(token, b"t")
+
+    def test_reinsert_revives(self, pair):
+        client, store = pair
+        token = client.token(b"l")
+        enc = client.seal_item(b"l", b"d")
+        store.upsert(token, b"t", enc, +1)
+        store.upsert(token, b"t", b"", -1)
+        store.upsert(token, b"t", enc, +1)
+        assert store.contains(token, b"t")
+
+    def test_bucket_size(self, pair):
+        client, store = pair
+        token = client.token(b"l")
+        for i in range(5):
+            store.upsert(token, f"t{i}".encode(),
+                         client.seal_item(b"l", b"d"))
+        store.upsert(token, b"t0", b"", -1)
+        assert store.bucket_size(token) == 4
+
+    def test_tokens_hide_labels(self):
+        client = TwoLevClient(b"master-key")
+        assert b"label" not in client.token(b"label")
+        assert client.token(b"a") != client.token(b"b")
+
+    def test_per_label_value_keys(self):
+        client = TwoLevClient(b"master-key")
+        sealed = client.seal_item(b"label-a", b"data")
+        with pytest.raises(Exception):
+            client.open_item(b"label-b", sealed)
+
+
+class TestBloomFilter:
+    @pytest.fixture()
+    def bloom(self):
+        return CountingBloomFilter(KeyValueStore(), b"bf", cells=4096,
+                                   probes=5)
+
+    def test_add_contains_remove(self, bloom):
+        bloom.add(b"pair-key", b"tag-1")
+        assert bloom.contains(b"pair-key", b"tag-1")
+        assert not bloom.contains(b"pair-key", b"tag-2")
+        assert not bloom.contains(b"other-key", b"tag-1")
+        bloom.remove(b"pair-key", b"tag-1")
+        assert not bloom.contains(b"pair-key", b"tag-1")
+
+    def test_counting_handles_overlap(self, bloom):
+        bloom.add(b"k", b"t1")
+        bloom.add(b"k", b"t2")
+        bloom.remove(b"k", b"t1")
+        assert bloom.contains(b"k", b"t2")
+
+    def test_positions_deterministic_and_bounded(self):
+        positions = probe_positions(b"k", b"t", 1000, 7)
+        assert positions == probe_positions(b"k", b"t", 1000, 7)
+        assert all(0 <= p < 1000 for p in positions)
+        assert len(positions) == 7
+
+    def test_false_positive_rate_is_low(self):
+        bloom = CountingBloomFilter(KeyValueStore(), b"bf",
+                                    cells=1 << 14, probes=7)
+        for i in range(200):
+            bloom.add(b"key", f"member-{i}".encode())
+        false_positives = sum(
+            bloom.contains(b"key", f"absent-{i}".encode())
+            for i in range(500)
+        )
+        assert false_positives <= 2
+
+    def test_filter_parameters(self):
+        cells, probes = filter_parameters(1000, 1e-6)
+        assert cells > 1000
+        assert 1 <= probes <= 40
+
+    def test_size_in_bytes(self, bloom):
+        assert bloom.size_in_bytes() == 0
+        bloom.add(b"k", b"t")
+        assert bloom.size_in_bytes() > 0
+
+
+def bool_ids(gateway, cnf):
+    return gateway.resolve_bool(gateway.bool_query(cnf))
+
+
+@pytest.mark.parametrize("variant", ["biex-2lev", "biex-zmf"])
+class TestBiexVariants:
+    @pytest.fixture()
+    def biex(self, harness, variant):
+        gateway = harness.gateway(variant, field="schema._bool")
+        # A small corpus of documents with cross-field terms.
+        corpus = {
+            "d1": [("status", "final"), ("code", "glucose"),
+                   ("city", "leuven")],
+            "d2": [("status", "final"), ("code", "hr"),
+                   ("city", "ghent")],
+            "d3": [("status", "prelim"), ("code", "glucose"),
+                   ("city", "leuven")],
+            "d4": [("status", "final"), ("code", "glucose"),
+                   ("city", "ghent")],
+        }
+        for doc_id, fields in corpus.items():
+            gateway.insert_terms(
+                doc_id, [gateway.term(f, v) for f, v in fields]
+            )
+        return gateway
+
+    def test_single_term(self, biex, variant):
+        assert bool_ids(biex, [[("status", "final")]]) == {"d1", "d2", "d4"}
+
+    def test_conjunction(self, biex, variant):
+        assert bool_ids(biex, [[("status", "final")],
+                               [("code", "glucose")]]) == {"d1", "d4"}
+
+    def test_three_way_conjunction(self, biex, variant):
+        assert bool_ids(biex, [[("status", "final")],
+                               [("code", "glucose")],
+                               [("city", "ghent")]]) == {"d4"}
+
+    def test_disjunctive_clause(self, biex, variant):
+        assert bool_ids(biex, [[("code", "glucose"), ("code", "hr")]]
+                        ) == {"d1", "d2", "d3", "d4"}
+
+    def test_cnf_mixed(self, biex, variant):
+        # (status=final OR status=prelim) AND city=leuven
+        assert bool_ids(biex, [
+            [("status", "final"), ("status", "prelim")],
+            [("city", "leuven")],
+        ]) == {"d1", "d3"}
+
+    def test_no_match(self, biex, variant):
+        assert bool_ids(biex, [[("status", "amended")]]) == set()
+        assert bool_ids(biex, [[("status", "final")],
+                               [("code", "never")]]) == set()
+
+    def test_eq_query_via_bool_path(self, biex, variant):
+        raw = biex.bool_query_terms([[biex.term("status", "prelim")]])
+        assert biex.resolve_bool(raw) == {"d3"}
+
+    def test_delete_terms(self, biex, variant):
+        terms = [biex.term("status", "final"), biex.term("code", "glucose"),
+                 biex.term("city", "leuven")]
+        biex.delete_terms("d1", terms)
+        assert bool_ids(biex, [[("status", "final")],
+                               [("code", "glucose")]]) == {"d4"}
+
+    def test_update_terms(self, biex, variant):
+        old = [biex.term("status", "prelim"), biex.term("code", "glucose"),
+               biex.term("city", "leuven")]
+        new = [biex.term("status", "final"), biex.term("code", "glucose"),
+               biex.term("city", "leuven")]
+        biex.update_terms("d3", old, new)
+        assert bool_ids(biex, [[("status", "final")],
+                               [("code", "glucose")]]) == {"d1", "d3", "d4"}
+        assert bool_ids(biex, [[("status", "prelim")]]) == set()
+
+    def test_cloud_sees_no_plaintext_terms(self, biex, harness, variant):
+        kv = harness.cloud.tactic_instance(
+            "testapp", "schema._bool", variant
+        ).ctx.kv
+        everything = bytearray()
+        for name, bucket in kv._maps.items():
+            everything += name
+            for k, v in bucket.items():
+                everything += k + v
+        for key in kv.keys():
+            everything += key + (kv.get(key) or b"")
+        assert b"glucose" not in everything
+        assert b"final" not in everything

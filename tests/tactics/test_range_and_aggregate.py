@@ -1,0 +1,140 @@
+"""Range tactics (OPE, ORE) and aggregate tactics (Paillier, ElGamal)."""
+
+import pytest
+
+from repro.errors import RemoteError, TacticError
+
+
+@pytest.mark.parametrize("tactic", ["ope", "ore"])
+class TestRangeTactics:
+    @pytest.fixture()
+    def range_gw(self, harness, tactic):
+        gateway = harness.gateway(tactic)
+        for doc_id, value in [("d1", 10), ("d2", 25), ("d3", 50),
+                              ("d4", 75), ("d5", 100)]:
+            gateway.insert(doc_id, value)
+        return gateway
+
+    def test_closed_range(self, range_gw, tactic):
+        assert range_gw.range_query(20, 80) == {"d2", "d3", "d4"}
+
+    def test_inclusive_bounds(self, range_gw, tactic):
+        assert range_gw.range_query(25, 75) == {"d2", "d3", "d4"}
+
+    def test_open_low(self, range_gw, tactic):
+        assert range_gw.range_query(None, 25) == {"d1", "d2"}
+
+    def test_open_high(self, range_gw, tactic):
+        assert range_gw.range_query(75, None) == {"d4", "d5"}
+
+    def test_empty_range(self, range_gw, tactic):
+        assert range_gw.range_query(101, 200) == set()
+
+    def test_floats_and_negatives(self, harness, tactic):
+        gateway = harness.gateway(tactic, field="doc.other")
+        gateway.insert("a", -5.5)
+        gateway.insert("b", -0.25)
+        gateway.insert("c", 0.0)
+        gateway.insert("d", 3.75)
+        assert gateway.range_query(-1.0, 1.0) == {"b", "c"}
+        assert gateway.range_query(None, -0.25) == {"a", "b"}
+
+    def test_insert_is_upsert(self, range_gw, tactic):
+        range_gw.insert("d3", 999)
+        assert range_gw.range_query(40, 60) == set()
+        assert range_gw.range_query(900, 1000) == {"d3"}
+
+    def test_rejects_non_numeric(self, range_gw, tactic):
+        with pytest.raises((TacticError, RemoteError)):
+            range_gw.insert("dx", "not a number")
+
+
+class TestPaillierTactic:
+    @pytest.fixture()
+    def paillier_gw(self, harness):
+        gateway = harness.gateway("paillier")
+        for doc_id, value in [("d1", 6.3), ("d2", 5.1), ("d3", 7.2)]:
+            gateway.insert(doc_id, value)
+        return gateway
+
+    def test_sum_all(self, paillier_gw):
+        assert paillier_gw.aggregate("sum") == pytest.approx(18.6)
+
+    def test_avg_all(self, paillier_gw):
+        assert paillier_gw.aggregate("avg") == pytest.approx(6.2)
+
+    def test_subset_aggregation(self, paillier_gw):
+        assert paillier_gw.aggregate("avg", ["d1", "d2"]) == pytest.approx(
+            5.7
+        )
+
+    def test_count(self, paillier_gw):
+        assert paillier_gw.aggregate("count", ["d1", "d3"]) == 2
+
+    def test_unknown_ids_skipped(self, paillier_gw):
+        assert paillier_gw.aggregate("sum", ["d1", "ghost"]
+                                     ) == pytest.approx(6.3)
+
+    def test_empty_selection(self, paillier_gw):
+        assert paillier_gw.aggregate("avg", []) is None
+
+    def test_negative_values(self, harness):
+        gateway = harness.gateway("paillier", field="doc.delta")
+        gateway.insert("a", -10.5)
+        gateway.insert("b", 4.5)
+        assert gateway.aggregate("sum") == pytest.approx(-6.0)
+
+    def test_insert_is_upsert(self, paillier_gw):
+        paillier_gw.insert("d1", 1.0)
+        assert paillier_gw.aggregate("sum", ["d1"]) == pytest.approx(1.0)
+
+    def test_rejects_non_numeric(self, paillier_gw):
+        with pytest.raises((TacticError, RemoteError)):
+            paillier_gw.insert("dx", "NaN-ish")
+
+    def test_unsupported_aggregate(self, paillier_gw):
+        with pytest.raises(TacticError):
+            paillier_gw.resolve_aggregate("median", {"ct": 1}, 3)
+
+    def test_cloud_never_sees_plaintext_sums(self, paillier_gw, harness):
+        """The cloud multiplies ciphertexts blind: its stored values are
+        Paillier ciphertexts, not the plaintext numbers."""
+        cloud = harness.cloud_instance("paillier")
+        encoded = [6300000, 5100000, 7200000]  # fixed-point plaintexts
+        stored = [
+            int.from_bytes(blob, "big")
+            for _, blob in cloud.ctx.kv.map_items(cloud._map_name)
+        ]
+        assert len(stored) == 3
+        assert all(ciphertext not in encoded for ciphertext in stored)
+
+
+class TestElGamalTactic:
+    @pytest.fixture()
+    def elgamal_gw(self, harness):
+        gateway = harness.gateway("elgamal")
+        for doc_id, value in [("d1", 2), ("d2", 3), ("d3", 7)]:
+            gateway.insert(doc_id, value)
+        return gateway
+
+    def test_product_all(self, elgamal_gw):
+        assert elgamal_gw.aggregate("product") == 42
+
+    def test_product_subset(self, elgamal_gw):
+        assert elgamal_gw.aggregate("product", ["d1", "d3"]) == 14
+
+    def test_count(self, elgamal_gw):
+        assert elgamal_gw.aggregate("count", ["d1"]) == 1
+
+    def test_empty(self, elgamal_gw):
+        assert elgamal_gw.aggregate("product", []) is None
+
+    def test_rejects_non_positive(self, elgamal_gw):
+        with pytest.raises((TacticError, RemoteError)):
+            elgamal_gw.insert("dx", 0)
+        with pytest.raises((TacticError, RemoteError)):
+            elgamal_gw.insert("dy", 2.5)
+
+    def test_unsupported_aggregate(self, elgamal_gw):
+        with pytest.raises(TacticError):
+            elgamal_gw.resolve_aggregate("sum", {"c1": 1, "c2": 1}, 2)

@@ -1,0 +1,149 @@
+"""Stateless-gateway SSE (the paper's future-work extension)."""
+
+import pytest
+
+from repro.core.middleware import DataBlinder
+from repro.core.query import Eq
+from repro.core.schema import FieldAnnotation, Schema
+from repro.net.transport import InProcTransport
+
+
+def eq_ids(gateway, value):
+    return gateway.resolve_eq(gateway.eq_query(value))
+
+
+class TestStatelessSse:
+    @pytest.fixture()
+    def stateless(self, harness):
+        return harness.gateway("sse-stateless")
+
+    def test_insert_and_search(self, stateless):
+        stateless.insert("d1", "w1")
+        stateless.insert("d2", "w1")
+        stateless.insert("d3", "w2")
+        assert eq_ids(stateless, "w1") == {"d1", "d2"}
+        assert eq_ids(stateless, "w2") == {"d3"}
+        assert eq_ids(stateless, "never") == set()
+
+    def test_delete_and_reinsert(self, stateless):
+        stateless.insert("d1", "w")
+        stateless.delete("d1", "w")
+        assert eq_ids(stateless, "w") == set()
+        stateless.insert("d1", "w")
+        assert eq_ids(stateless, "w") == {"d1"}
+
+    def test_update(self, stateless):
+        stateless.insert("d1", "old")
+        stateless.update("d1", "old", "new")
+        assert eq_ids(stateless, "old") == set()
+        assert eq_ids(stateless, "new") == {"d1"}
+
+    def test_gateway_holds_zero_state(self, stateless, harness):
+        """The whole point: no counters, no token chains at the gateway."""
+        before = harness.runtime.local_kv.stats()
+        for i in range(10):
+            stateless.insert(f"d{i}", f"kw{i % 3}")
+        eq_ids(stateless, "kw0")
+        after = harness.runtime.local_kv.stats()
+        assert after == before
+
+    def test_entries_are_masked(self, stateless, harness):
+        stateless.insert("doc-secret-42", "private keyword")
+        kv = harness.cloud_instance("sse-stateless").ctx.kv
+        blob = bytearray()
+        for name, bucket in kv._maps.items():
+            blob += name
+            for k, v in bucket.items():
+                blob += k + v
+        assert b"doc-secret-42" not in bytes(blob)
+        assert b"private keyword" not in bytes(blob)
+
+    def test_update_pattern_leaks_at_insert_time(self, stateless,
+                                                 harness):
+        """The documented trade: the cloud links same-keyword updates as
+        they arrive (forward privacy lost) — unlike Mitra, where every
+        insert lands at an unlinkable address."""
+        cloud = harness.cloud_instance("sse-stateless")
+        stateless.insert("d1", "hot")
+        stateless.insert("d2", "hot")
+        stateless.insert("d3", "cold")
+        tag_lists = [
+            name for name in cloud.ctx.kv._maps
+            if name.startswith(cloud._namespace)
+        ]
+        # Two keywords -> two visible groups, one holding two entries.
+        assert len(tag_lists) == 2
+        sizes = sorted(
+            cloud.ctx.kv.map_size(name) for name in tag_lists
+        )
+        assert sizes == [1, 2]
+
+
+class TestStatelessGatewayRestart:
+    def test_survives_gateway_loss(self, registry):
+        """A brand-new gateway (same keystore, empty local state) can
+        still search — the cloud-native property."""
+        from repro.cloud.server import CloudZone
+        from repro.gateway.service import GatewayRuntime
+        from repro.keys.keystore import KeyStore
+
+        cloud = CloudZone(registry)
+        keystore = KeyStore("statelessapp")
+        runtime1 = GatewayRuntime("statelessapp",
+                                  InProcTransport(cloud.host), registry,
+                                  keystore=keystore)
+        gw1 = runtime1.tactic("doc.f", "sse-stateless")
+        gw1.insert("d1", "kw")
+        gw1.insert("d2", "kw")
+
+        # Fresh gateway: new local KV, nothing carried over but keys.
+        runtime2 = GatewayRuntime("statelessapp",
+                                  InProcTransport(cloud.host), registry,
+                                  keystore=keystore)
+        gw2 = runtime2.tactic("doc.f", "sse-stateless")
+        assert eq_ids(gw2, "kw") == {"d1", "d2"}
+
+    def test_mitra_does_not_survive_gateway_loss(self, registry):
+        """Contrast: Mitra's counters die with the gateway, so a fresh
+        gateway finds nothing — exactly why the paper calls stateless SE
+        a research challenge."""
+        from repro.cloud.server import CloudZone
+        from repro.gateway.service import GatewayRuntime
+        from repro.keys.keystore import KeyStore
+
+        cloud = CloudZone(registry)
+        keystore = KeyStore("mitrapp")
+        runtime1 = GatewayRuntime("mitrapp", InProcTransport(cloud.host),
+                                  registry, keystore=keystore)
+        gw1 = runtime1.tactic("doc.f", "mitra")
+        gw1.insert("d1", "kw")
+
+        runtime2 = GatewayRuntime("mitrapp", InProcTransport(cloud.host),
+                                  registry, keystore=keystore)
+        gw2 = runtime2.tactic("doc.f", "mitra")
+        assert eq_ids(gw2, "kw") == set()
+
+
+class TestMiddlewareIntegration:
+    def test_selectable_by_name_through_middleware(self, cloud, registry):
+        """An application can pin the stateless tactic by filtering the
+        registry — crypto agility in the other direction."""
+        import repro.core.registry as registry_module
+
+        filtered = registry_module.TacticRegistry()
+        for registration in registry.all():
+            if registration.name not in ("mitra", "sophos"):
+                filtered.register(registration.descriptor,
+                                  registration.gateway_cls,
+                                  registration.cloud_cls)
+        blinder = DataBlinder("pinned", InProcTransport(cloud.host),
+                              registry=filtered)
+        schema = Schema.define(
+            "rec",
+            who=("string", FieldAnnotation.parse("C2", "I,EQ")),
+        )
+        reports = blinder.register_schema(schema)
+        assert reports[0].tactics == ["sse-stateless"]
+        records = blinder.entities("rec")
+        doc_id = records.insert({"who": "alice"})
+        assert records.find_ids(Eq("who", "alice")) == {doc_id}
