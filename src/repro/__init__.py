@@ -34,6 +34,7 @@ from repro.core.middleware import DataBlinder
 from repro.core.query import AggregateQuery, And, Eq, Not, Or, Range
 from repro.core.registry import TacticRegistry, default_registry
 from repro.core.schema import FieldAnnotation, FieldSpec, Schema
+from repro.net.batch import PipelineConfig
 from repro.net.latency import NetworkModel
 from repro.net.tcp import TcpRpcServer, TcpTransport
 from repro.net.transport import DirectTransport, InProcTransport
@@ -59,6 +60,7 @@ __all__ = [
     "Not",
     "Operation",
     "Or",
+    "PipelineConfig",
     "ProtectionClass",
     "Range",
     "Schema",

@@ -30,6 +30,7 @@ from repro.crypto.symmetric import Aead
 from repro.fhir.model import benchmark_observation_schema
 from repro.gateway.service import GatewayRuntime
 from repro.net import message
+from repro.net.batch import PipelineConfig
 from repro.net.transport import Transport
 from repro.spi.descriptors import Aggregate
 from repro.core.query import AggregateQuery
@@ -187,12 +188,14 @@ class MiddlewareApp:
     name = SCENARIO_MIDDLEWARE
 
     def __init__(self, transport: Transport, application: str = "bench-c",
-                 verify_results: bool = False):
+                 verify_results: bool = False,
+                 pipeline: PipelineConfig | None = None):
         # Verification is disabled to match S_B's behaviour exactly: the
         # hard-coded app trusts its tactics' result sets, so the fair
         # comparison has the middleware do the same.
         self._blinder = DataBlinder(
-            application, transport, verify_results=verify_results
+            application, transport, verify_results=verify_results,
+            pipeline=pipeline,
         )
         self._blinder.register_schema(benchmark_observation_schema())
         self._entities = self._blinder.entities("observation")
@@ -214,12 +217,17 @@ class MiddlewareApp:
         ))
 
 
-def build_scenario(name: str, transport: Transport) -> ScenarioApp:
-    """Instantiate a scenario application by its paper name."""
+def build_scenario(name: str, transport: Transport,
+                   pipeline: PipelineConfig | None = None) -> ScenarioApp:
+    """Instantiate a scenario application by its paper name.
+
+    ``pipeline`` only applies to the middleware scenario (the batched
+    data path of EXP-BATCH); S_A and S_B stay per-RPC by construction.
+    """
     if name == SCENARIO_NO_PROTECTION:
         return NoProtectionApp(transport)
     if name == SCENARIO_HARDCODED:
         return HardcodedApp(transport)
     if name == SCENARIO_MIDDLEWARE:
-        return MiddlewareApp(transport)
+        return MiddlewareApp(transport, pipeline=pipeline)
     raise ValueError(f"unknown scenario {name!r}")

@@ -12,11 +12,22 @@ Verification makes the whole pipeline sound under the approximations the
 tactics are allowed: BIEX-ZMF false positives, stale entries from
 insert-as-upsert range tactics and addition-only Sophos updates are all
 trimmed here, so ``find`` always returns exactly the matching documents.
+
+When a :class:`repro.net.batch.PipelineConfig` enables them, three
+latency optimisations rewire the hot paths without changing results:
+write operations collect their per-field index RPCs plus the
+document-store write into one batch frame (a single round trip),
+independent CNF literals resolve concurrently on a bounded thread pool,
+and ``find`` prefetches the next ``get_many`` chunk while the previous
+one decrypts.
 """
 
 from __future__ import annotations
 
-from typing import Any
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from contextlib import nullcontext
+from typing import Any, ContextManager
 
 from repro.core.query import (
     AggregateQuery,
@@ -41,6 +52,7 @@ from repro.errors import (
 )
 from repro.gateway.service import GatewayRuntime
 from repro.net import message
+from repro.net.batch import PipelineConfig
 from repro.spi.interfaces import (
     GatewayDeletion,
     GatewayDocIDGen,
@@ -58,7 +70,8 @@ class SchemaExecutor:
 
     def __init__(self, runtime: GatewayRuntime, schema: Schema,
                  plans: dict[str, FieldPlan], verify_results: bool = True,
-                 pad_bucket: int = 0):
+                 pad_bucket: int = 0,
+                 pipeline: PipelineConfig | None = None):
         self.runtime = runtime
         self.schema = schema
         self.plans = plans
@@ -68,6 +81,12 @@ class SchemaExecutor:
         #: from a snapshot adversary (the taxonomy's "things which can be
         #: hidden by padding").
         self.pad_bucket = pad_bucket
+        self.pipeline = pipeline or runtime.pipeline
+        self._collector = (
+            runtime.batch_collector if self.pipeline.batch_writes else None
+        )
+        self._fanout_pool: ThreadPoolExecutor | None = None
+        self._fanout_lock = threading.Lock()
         self._body_aead = Aead(
             runtime.keystore.derive(f"{schema.name}._body", "core", "aead")
         )
@@ -110,6 +129,36 @@ class SchemaExecutor:
                 seen.append(instance)
         return seen
 
+    # -- pipelining helpers --------------------------------------------------------
+
+    def _write_batch(self) -> ContextManager[Any]:
+        """Collection scope for one write operation's cloud RPCs.
+
+        With batching enabled, everything the tactic halves and the
+        document store are sent inside this scope crosses the wire as one
+        batch frame; otherwise it is a no-op and every RPC stands alone.
+        """
+        if self._collector is None:
+            return nullcontext()
+        return self._collector.collect()
+
+    def _pool(self) -> ThreadPoolExecutor | None:
+        """Bounded worker pool for read-side fan-out (lazy, shared)."""
+        workers = max(
+            self.pipeline.fanout_workers,
+            2 if self.pipeline.prefetch else 0,
+        )
+        if workers < 2:
+            return None
+        if self._fanout_pool is None:
+            with self._fanout_lock:
+                if self._fanout_pool is None:
+                    self._fanout_pool = ThreadPoolExecutor(
+                        max_workers=workers,
+                        thread_name_prefix=f"fanout-{self.schema.name}",
+                    )
+        return self._fanout_pool
+
     # -- body encryption ------------------------------------------------------------
 
     def _seal_body(self, sensitive: dict[str, Value]) -> bytes:
@@ -146,57 +195,46 @@ class SchemaExecutor:
     # -- CRUD --------------------------------------------------------------------------
 
     def insert(self, document: dict[str, Value]) -> str:
-        self.schema.validate(document)
-        doc_id = document.get("_id") or self._generate_doc_id()
-        sensitive, plain = self._split_document(document)
-        bool_terms: list[bytes] = []
-        for field, value in sensitive.items():
-            if value is None:
-                continue
-            for instance in self._field_instances(field):
-                if instance is self._bool_instance:
-                    bool_terms.append(instance.term(field, value))
-                elif isinstance(instance, GatewayInsertion):
-                    instance.insert(doc_id, value)
-        if bool_terms and self._bool_instance is not None:
-            self._bool_instance.insert_terms(doc_id, bool_terms)
-        self.runtime.docs("insert", document={
-            "_id": doc_id,
-            "schema": self.schema.name,
-            "body": self._seal_body(sensitive),
-            "plain": plain,
-        })
-        return doc_id
+        return self._insert_bulk([document])[0]
 
     def insert_many(self, documents: list[dict[str, Value]]) -> list[str]:
         """Bulk insert: tactic protocols run per document, but all the
         encrypted bodies ship to the document store in one round trip."""
+        return self._insert_bulk(documents)
+
+    def _insert_bulk(self, documents: list[dict[str, Value]]) -> list[str]:
+        """The one per-field tactic loop behind ``insert``/``insert_many``.
+
+        Under a write batch, every per-field index RPC *and* the final
+        document-store write leave the gateway in a single batch frame.
+        """
         stored = []
         doc_ids = []
-        for document in documents:
-            self.schema.validate(document)
-            doc_id = document.get("_id") or self._generate_doc_id()
-            sensitive, plain = self._split_document(document)
-            bool_terms: list[bytes] = []
-            for field, value in sensitive.items():
-                if value is None:
-                    continue
-                for instance in self._field_instances(field):
-                    if instance is self._bool_instance:
-                        bool_terms.append(instance.term(field, value))
-                    elif isinstance(instance, GatewayInsertion):
-                        instance.insert(doc_id, value)
-            if bool_terms and self._bool_instance is not None:
-                self._bool_instance.insert_terms(doc_id, bool_terms)
-            stored.append({
-                "_id": doc_id,
-                "schema": self.schema.name,
-                "body": self._seal_body(sensitive),
-                "plain": plain,
-            })
-            doc_ids.append(doc_id)
-        if stored:
-            self.runtime.docs("insert_many", documents=stored)
+        with self._write_batch():
+            for document in documents:
+                self.schema.validate(document)
+                doc_id = document.get("_id") or self._generate_doc_id()
+                sensitive, plain = self._split_document(document)
+                bool_terms: list[bytes] = []
+                for field, value in sensitive.items():
+                    if value is None:
+                        continue
+                    for instance in self._field_instances(field):
+                        if instance is self._bool_instance:
+                            bool_terms.append(instance.term(field, value))
+                        elif isinstance(instance, GatewayInsertion):
+                            instance.insert(doc_id, value)
+                if bool_terms and self._bool_instance is not None:
+                    self._bool_instance.insert_terms(doc_id, bool_terms)
+                stored.append({
+                    "_id": doc_id,
+                    "schema": self.schema.name,
+                    "body": self._seal_body(sensitive),
+                    "plain": plain,
+                })
+                doc_ids.append(doc_id)
+            if stored:
+                self.runtime.docs("insert_many", documents=stored)
         return doc_ids
 
     def _generate_doc_id(self) -> str:
@@ -230,6 +268,14 @@ class SchemaExecutor:
         old_sensitive, _ = self._split_document(old)
         new_sensitive, new_plain = self._split_document(new)
 
+        with self._write_batch():
+            self._apply_update(doc_id, old_sensitive, new_sensitive,
+                               new_plain)
+
+    def _apply_update(self, doc_id: str,
+                      old_sensitive: dict[str, Value],
+                      new_sensitive: dict[str, Value],
+                      new_plain: dict[str, Value]) -> None:
         bool_changed = False
         for field in set(old_sensitive) | set(new_sensitive):
             old_value = old_sensitive.get(field)
@@ -288,19 +334,23 @@ class SchemaExecutor:
         except (DocumentNotFound, RemoteError):
             return False
         old_sensitive, _ = self._split_document(old)
-        for field, value in old_sensitive.items():
-            if value is None:
-                continue
-            for instance in self._field_instances(field):
-                if instance is self._bool_instance:
+        with self._write_batch():
+            for field, value in old_sensitive.items():
+                if value is None:
                     continue
-                if isinstance(instance, GatewayDeletion):
-                    instance.delete(doc_id, value)
-        if self._bool_instance is not None:
-            terms = self._bool_terms(old_sensitive)
-            if terms:
-                self._bool_instance.delete_terms(doc_id, terms)
-        return bool(self.runtime.docs("delete", doc_id=doc_id))
+                for instance in self._field_instances(field):
+                    if instance is self._bool_instance:
+                        continue
+                    if isinstance(instance, GatewayDeletion):
+                        instance.delete(doc_id, value)
+            if self._bool_instance is not None:
+                terms = self._bool_terms(old_sensitive)
+                if terms:
+                    self._bool_instance.delete_terms(doc_id, terms)
+            # The document-store delete needs its result, so under a
+            # write batch it rides as the batch's final element (the
+            # collector flushes and hands its result back).
+            return bool(self.runtime.docs("delete", doc_id=doc_id))
 
     # -- search ------------------------------------------------------------------------
 
@@ -317,9 +367,29 @@ class SchemaExecutor:
         # Fetch in chunks so a small limit does not pull the whole
         # candidate set across the wire.
         chunk_size = 64 if limit is None else max(limit * 2, 16)
-        for offset in range(0, len(candidate_ids), chunk_size):
-            chunk = candidate_ids[offset:offset + chunk_size]
-            stored = self.runtime.docs("get_many", doc_ids=chunk)
+        chunks = [
+            candidate_ids[offset:offset + chunk_size]
+            for offset in range(0, len(candidate_ids), chunk_size)
+        ]
+        pool = self._pool() if self.pipeline.prefetch else None
+
+        def fetch(chunk: list[str]) -> list[dict]:
+            return self.runtime.docs("get_many", doc_ids=chunk)
+
+        pending: Future | None = None
+        if pool is not None and chunks:
+            pending = pool.submit(fetch, chunks[0])
+        for index, chunk in enumerate(chunks):
+            if pending is not None:
+                stored = pending.result()
+                # Overlap the next wire fetch with this chunk's
+                # decryption and verification.
+                pending = (
+                    pool.submit(fetch, chunks[index + 1])
+                    if index + 1 < len(chunks) else None
+                )
+            else:
+                stored = fetch(chunk)
             for item in stored:
                 if item.get("schema") != self.schema.name:
                     continue
@@ -374,14 +444,54 @@ class SchemaExecutor:
             ]
             raw = self._bool_instance.bool_query_terms(cnf_terms)
             result = self._bool_instance.resolve_bool(raw)
+
+        # One `all_ids` fetch per evaluation, shared by every Not literal
+        # (and safe under the concurrent fan-out below).
+        all_ids = self._all_ids_once()
+
+        pool = self._pool()
+        literal_count = sum(len(clause) for clause in other_clauses)
+        if (pool is not None and self.pipeline.fanout_workers > 1
+                and literal_count > 1):
+            # Fan out: independent literals resolve concurrently; the
+            # TCP client pools one connection per worker thread, and the
+            # in-proc latency model sleeps per thread, so wall-clock
+            # cost is the slowest literal, not the sum.
+            futures = [
+                [pool.submit(self._literal_ids, literal, all_ids)
+                 for literal in clause]
+                for clause in other_clauses
+            ]
+            for clause_futures in futures:
+                union: set[str] = set()
+                for future in clause_futures:
+                    union |= future.result()
+                result = union if result is None else result & union
+            return result if result is not None else set()
+
         for clause in other_clauses:
             if result is not None and not result:
                 return set()  # short-circuit: intersection already empty
-            union: set[str] = set()
+            union = set()
             for literal in clause:
-                union |= self._literal_ids(literal)
+                union |= self._literal_ids(literal, all_ids)
             result = union if result is None else result & union
         return result if result is not None else set()
+
+    def _all_ids_once(self) -> Any:
+        """A memoized, thread-safe fetch of the schema's full id list."""
+        lock = threading.Lock()
+        cache: list[set[str]] = []
+
+        def fetch() -> set[str]:
+            with lock:
+                if not cache:
+                    cache.append(set(self.runtime.docs(
+                        "all_ids", schema=self.schema.name
+                    )))
+                return cache[0]
+
+        return fetch
 
     def _uses_bool_tactic(self, field: str) -> bool:
         by_role = self._instances.get(field, {})
@@ -390,12 +500,12 @@ class SchemaExecutor:
             for role in ("bool", "eq")
         )
 
-    def _literal_ids(self, literal: Predicate) -> set[str]:
+    def _literal_ids(self, literal: Predicate,
+                     all_ids: Any | None = None) -> set[str]:
         if isinstance(literal, Not):
-            all_ids = set(
-                self.runtime.docs("all_ids", schema=self.schema.name)
-            )
-            return all_ids - self._literal_ids(literal.part)
+            if all_ids is None:
+                all_ids = self._all_ids_once()
+            return set(all_ids()) - self._literal_ids(literal.part, all_ids)
         if isinstance(literal, Eq):
             return self._eq_ids(literal)
         if isinstance(literal, Range):

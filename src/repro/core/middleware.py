@@ -40,6 +40,7 @@ from repro.core.selection import TacticSelector
 from repro.errors import SchemaError
 from repro.gateway.service import GatewayRuntime
 from repro.keys.keystore import KeyStore
+from repro.net.batch import PipelineConfig
 from repro.net.transport import Transport
 from repro.stores.kv import KeyValueStore
 
@@ -52,10 +53,15 @@ class DataBlinder:
                  keystore: KeyStore | None = None,
                  local_kv: KeyValueStore | None = None,
                  verify_results: bool = True,
-                 pad_bucket: int = 0):
+                 pad_bucket: int = 0,
+                 pipeline: PipelineConfig | None = None):
         self.registry = registry or default_registry()
+        #: Batching/pipelining of the gateway<->cloud data path; the
+        #: default config keeps the unbatched per-RPC baseline.
+        self.pipeline = pipeline or PipelineConfig()
         self.runtime = GatewayRuntime(
-            application, transport, self.registry, keystore, local_kv
+            application, transport, self.registry, keystore, local_kv,
+            pipeline=self.pipeline,
         )
         self.metadata = MetadataRepository(self.runtime.local_kv)
         self.selector = TacticSelector(self.registry)
@@ -89,6 +95,7 @@ class DataBlinder:
                 self.runtime, schema, plans,
                 verify_results=self.verify_results,
                 pad_bucket=self.pad_bucket,
+                pipeline=self.pipeline,
             )
             self.metadata.save_schema(schema, plans)
             self._executors[schema.name] = executor
@@ -106,6 +113,7 @@ class DataBlinder:
                 self.runtime, schema, plans,
                 verify_results=self.verify_results,
                 pad_bucket=self.pad_bucket,
+                pipeline=self.pipeline,
             )
             return reports
 
@@ -147,6 +155,7 @@ class DataBlinder:
                 self.runtime, schema, plans,
                 verify_results=self.verify_results,
                 pad_bucket=self.pad_bucket,
+                pipeline=self.pipeline,
             )
             doc_ids = self.runtime.docs("all_ids", schema=schema_name)
             for doc_id in doc_ids:

@@ -14,6 +14,9 @@ reduces encryption to one modular exponentiation of the random mask.
 
 from __future__ import annotations
 
+import queue
+import secrets
+import threading
 from dataclasses import dataclass
 
 from repro.crypto.primitives.numbers import (
@@ -125,22 +128,105 @@ def _unembed_signed(public: PaillierPublicKey, residue: int) -> int:
     return residue
 
 
-def encrypt(public: PaillierPublicKey, message: int,
-            randbelow: RandBelow | None = None) -> Ciphertext:
-    """Encrypt a signed integer."""
-    import secrets
-
+def obfuscator(public: PaillierPublicKey,
+               randbelow: RandBelow | None = None) -> int:
+    """One random mask ``r^n mod n^2`` — the expensive half of encrypt."""
     randbelow = randbelow or secrets.randbelow
-    m = _embed_signed(public, message)
     n = public.n
-    n_sq = public.n_squared
     while True:
         r = randbelow(n - 1) + 1
         if egcd(r, n)[0] == 1:
             break
-    # g = n + 1 => g^m = 1 + m*n (mod n^2), avoiding one exponentiation.
-    c = (1 + m * n) % n_sq * pow(r, n, n_sq) % n_sq
-    return Ciphertext(public, c)
+    return pow(r, n, public.n_squared)
+
+
+def encrypt_with_mask(public: PaillierPublicKey, message: int,
+                      mask: int) -> Ciphertext:
+    """Encrypt using a precomputed obfuscator mask: a single modmul.
+
+    With ``g = n + 1``, ``g^m = 1 + m*n (mod n^2)``, so given
+    ``mask = r^n mod n^2`` the ciphertext costs one modular
+    multiplication — the whole point of :class:`ObfuscatorPool`.
+    """
+    m = _embed_signed(public, message)
+    n_sq = public.n_squared
+    return Ciphertext(public, (1 + m * public.n) % n_sq * mask % n_sq)
+
+
+def encrypt(public: PaillierPublicKey, message: int,
+            randbelow: RandBelow | None = None) -> Ciphertext:
+    """Encrypt a signed integer."""
+    return encrypt_with_mask(public, message,
+                             obfuscator(public, randbelow))
+
+
+class ObfuscatorPool:
+    """Background precomputation of encryption masks ``r^n mod n^2``.
+
+    Paillier encryption splits into a plaintext-independent modular
+    exponentiation (the obfuscator) and one modmul.  The pool runs the
+    exponentiations on a daemon thread while the gateway is busy with
+    other per-field crypto, so the aggregate write path usually finds a
+    mask ready and pays only the modmul.  When the queue is empty the
+    mask is computed inline — the pool never changes the ciphertext
+    distribution, only when the work happens.
+    """
+
+    def __init__(self, public: PaillierPublicKey, size: int = 8,
+                 randbelow: RandBelow | None = None):
+        if size < 1:
+            raise CryptoError("obfuscator pool size must be positive")
+        self._public = public
+        self._randbelow = randbelow
+        self._queue: queue.Queue[int] = queue.Queue(maxsize=size)
+        self._thread: threading.Thread | None = None
+        self._stopped = False
+        self._lock = threading.Lock()
+
+    # -- background refill -------------------------------------------------------
+
+    def _ensure_thread(self) -> None:
+        if self._thread is not None or self._stopped:
+            return
+        with self._lock:
+            if self._thread is None and not self._stopped:
+                thread = threading.Thread(
+                    target=self._refill, daemon=True,
+                    name="paillier-obfuscator",
+                )
+                self._thread = thread
+                thread.start()
+
+    def _refill(self) -> None:
+        while not self._stopped:
+            mask = obfuscator(self._public, self._randbelow)
+            while not self._stopped:
+                try:
+                    self._queue.put(mask, timeout=0.2)
+                    break
+                except queue.Full:
+                    continue
+
+    # -- consumption ----------------------------------------------------------------
+
+    def mask(self) -> int:
+        """A fresh mask: precomputed when available, inline otherwise."""
+        self._ensure_thread()
+        try:
+            return self._queue.get_nowait()
+        except queue.Empty:
+            return obfuscator(self._public, self._randbelow)
+
+    def encrypt(self, message: int) -> Ciphertext:
+        """Encrypt with a pooled mask — one modmul on the hot path."""
+        return encrypt_with_mask(self._public, message, self.mask())
+
+    def available(self) -> int:
+        return self._queue.qsize()
+
+    def close(self) -> None:
+        """Stop the refill thread (idempotent; masks left queued drain)."""
+        self._stopped = True
 
 
 def decrypt(private: PaillierPrivateKey, ciphertext: Ciphertext) -> int:

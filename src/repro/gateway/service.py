@@ -14,6 +14,7 @@ import threading
 from typing import Any
 
 from repro.keys.keystore import KeyStore
+from repro.net.batch import BatchCollector, PipelineConfig
 from repro.net.transport import Transport
 from repro.spi.context import GatewayTacticContext
 from repro.spi.metrics import TacticMetrics
@@ -25,12 +26,21 @@ class GatewayRuntime:
 
     def __init__(self, application: str, transport: Transport,
                  registry=None, keystore: KeyStore | None = None,
-                 local_kv: KeyValueStore | None = None):
+                 local_kv: KeyValueStore | None = None,
+                 pipeline: PipelineConfig | None = None):
         if registry is None:
             from repro.core.registry import default_registry
 
             registry = default_registry()
         self.application = application
+        self.pipeline = pipeline or PipelineConfig()
+        if self.pipeline.batch_writes and not isinstance(
+            transport, BatchCollector
+        ):
+            # Every tactic context and the executor share this wrapper,
+            # so one collection scope coalesces a whole operation's cloud
+            # writes.  Outside a scope it is a transparent pass-through.
+            transport = BatchCollector(transport)
         self.transport = transport
         self.registry = registry
         self.keystore = keystore or KeyStore(application)
@@ -49,6 +59,12 @@ class GatewayRuntime:
     def docs(self, method: str, **kwargs: Any) -> Any:
         """Call the application's cloud document service."""
         return self.transport.call(self.documents_service, method, **kwargs)
+
+    @property
+    def batch_collector(self) -> BatchCollector | None:
+        """The write-batching wrapper, when batching is configured."""
+        transport = self.transport
+        return transport if isinstance(transport, BatchCollector) else None
 
     def tactic(self, field_scope: str, tactic_name: str) -> Any:
         """Get-or-create the gateway half of one tactic instance.

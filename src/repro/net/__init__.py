@@ -5,6 +5,7 @@ in-process transport carrying a configurable latency/bandwidth model, and
 a real TCP transport for genuine two-process runs.
 """
 
+from repro.net.batch import BatchCollector, PipelineConfig
 from repro.net.latency import NetworkModel, NetworkStats, TrafficMeter
 from repro.net.multicloud import (
     MultiCloudTransport,
@@ -15,6 +16,8 @@ from repro.net.tcp import TcpRpcServer, TcpTransport
 from repro.net.transport import DirectTransport, InProcTransport, Transport
 
 __all__ = [
+    "BatchCollector",
+    "PipelineConfig",
     "DirectTransport",
     "MultiCloudTransport",
     "split_documents_and_indexes",

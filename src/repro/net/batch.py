@@ -1,0 +1,188 @@
+"""Gateway-side RPC batching: coalescing cloud writes into one frame.
+
+The executor's write paths fan out over every protected field of a
+document — one ``insert``/``update``/``delete`` per (field, tactic)
+cloud half plus the document-store write.  Unbatched, each of those is a
+blocking round trip across the gateway/cloud link; a 5-protected-field
+insert pays ~6 sequential latency charges.  :class:`BatchCollector`
+wraps the deployment's transport so that, inside a *collection scope*,
+fire-and-forget writes are enqueued instead of shipped, and the whole
+queue crosses the wire as **one** batch frame
+(:meth:`repro.net.transport.Transport.call_batch`) when the scope
+closes.
+
+Semantics inside a scope:
+
+* *Deferrable* calls (index writes whose results the gateway ignores)
+  return ``None`` immediately and are queued in order.
+* Any other call joins the queue as its final element and flushes the
+  whole batch at once, returning that call's result — so e.g. the
+  executor's document-store ``delete`` (whose boolean result is needed)
+  still shares the single round trip with the per-field index deletes
+  queued before it.
+* Server-side execution order equals enqueue order, and one failing
+  sub-call never poisons the rest (per-request error isolation in
+  :meth:`repro.net.rpc.ServiceHost.dispatch_batch`).  The first error in
+  the batch is re-raised gateway-side after the whole batch ran.
+
+Scopes are thread-local, so concurrent application threads batch their
+own operations independently.  Outside a scope the collector is a
+transparent pass-through, which keeps the unbatched baseline behaviour
+byte-for-byte identical.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Iterator, Sequence
+
+from repro.net.latency import NetworkStats
+from repro.net.rpc import Request, Response
+from repro.net.transport import Transport
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Configuration of the batched/pipelined gateway<->cloud data path.
+
+    The all-defaults instance keeps every optimisation off, preserving
+    the unbatched per-operation round-trip behaviour as the comparison
+    baseline.
+    """
+
+    #: Coalesce per-field index writes + the document-store write of one
+    #: executor operation into a single batch frame.
+    batch_writes: bool = False
+    #: Resolve independent CNF literals concurrently with up to this many
+    #: worker threads (0/1 keeps the serial path with its short-circuit).
+    fanout_workers: int = 0
+    #: Prefetch the next ``get_many`` chunk while the previous one is
+    #: being decrypted and verified.
+    prefetch: bool = False
+
+
+#: Methods whose results gateway callers ignore: index maintenance on
+#: tactic services and append-style document-store writes.  The
+#: document-store ``delete`` is excluded by the service rule below — its
+#: boolean result is consumed — so it flushes the batch as its final
+#: element instead.
+DEFERRABLE_METHODS = frozenset({
+    "insert",
+    "insert_many",
+    "insert_terms",
+    "update",
+    "update_terms",
+    "delete",
+    "delete_terms",
+    "replace",
+})
+
+#: Document-store services get stricter deferral rules (see above).
+_DOCS_PREFIX = "docs/"
+
+
+class _Scope:
+    """One thread's open collection scope (supports nesting)."""
+
+    __slots__ = ("depth", "pending")
+
+    def __init__(self) -> None:
+        self.depth = 1
+        self.pending: list[Request] = []
+
+
+class BatchCollector(Transport):
+    """Transport wrapper that batches deferrable writes per scope."""
+
+    def __init__(self, inner: Transport,
+                 deferrable: frozenset[str] = DEFERRABLE_METHODS):
+        self._inner = inner
+        self._deferrable = deferrable
+        self._local = threading.local()
+
+    @property
+    def inner(self) -> Transport:
+        return self._inner
+
+    # -- scope management --------------------------------------------------------
+
+    def _scope(self) -> _Scope | None:
+        return getattr(self._local, "scope", None)
+
+    @contextmanager
+    def collect(self) -> Iterator["BatchCollector"]:
+        """Open a collection scope on the calling thread.
+
+        Nested scopes join the outermost one; the queue flushes when the
+        outermost scope exits (also on error, so gateway-side state —
+        SSE counters, Sophos tokens — never runs ahead of the cloud).
+        """
+        scope = self._scope()
+        if scope is None:
+            scope = _Scope()
+            self._local.scope = scope
+        else:
+            scope.depth += 1
+        try:
+            yield self
+        finally:
+            scope.depth -= 1
+            if scope.depth == 0:
+                self._local.scope = None
+                if scope.pending:
+                    self._ship(scope.pending)
+
+    def _defers(self, service: str, method: str) -> bool:
+        if method not in self._deferrable:
+            return False
+        if service.startswith(_DOCS_PREFIX):
+            # Document-store reads/deletes return data; only the pure
+            # write methods are fire-and-forget there.
+            return method in ("insert", "insert_many", "replace")
+        return service != "admin"
+
+    # -- Transport interface ------------------------------------------------------
+
+    def call(self, service: str, method: str, **kwargs: Any) -> Any:
+        scope = self._scope()
+        if scope is None:
+            return self._inner.call(service, method, **kwargs)
+        request = Request(service, method, kwargs)
+        if self._defers(service, method):
+            scope.pending.append(request)
+            return None
+        if not scope.pending:
+            # Nothing queued: a plain call is cheaper than a 1-batch.
+            return self._inner.call(service, method, **kwargs)
+        # Join the queue as the final element and flush now: reads (and
+        # result-bearing writes) must observe every queued write, and the
+        # whole group still costs one round trip.
+        scope.pending.append(request)
+        pending, scope.pending = scope.pending, []
+        responses = self._ship(pending)
+        return responses[-1].result
+
+    def call_batch(self, requests: Sequence[Request]) -> list[Response]:
+        return self._inner.call_batch(requests)
+
+    def flush(self) -> None:
+        """Ship any queued writes of the calling thread's scope now."""
+        scope = self._scope()
+        if scope is not None and scope.pending:
+            pending, scope.pending = scope.pending, []
+            self._ship(pending)
+
+    def _ship(self, pending: list[Request]) -> list[Response]:
+        responses = self._inner.call_batch(pending)
+        for response in responses:
+            if not response.ok:
+                response.unwrap()  # raises RemoteError for the first failure
+        return responses
+
+    def stats(self) -> NetworkStats:
+        return self._inner.stats()
+
+    def close(self) -> None:
+        self._inner.close()

@@ -18,10 +18,11 @@ of the underlying transports (each typically an
 
 from __future__ import annotations
 
-from typing import Any, Callable
+from typing import Any, Callable, Sequence
 
 from repro.errors import TransportError
 from repro.net.latency import NetworkStats
+from repro.net.rpc import Request, Response
 from repro.net.transport import Transport
 
 Rule = Callable[[str], bool]
@@ -76,6 +77,32 @@ class MultiCloudTransport(Transport):
                 result = transport.call(service, method, **kwargs)
             return result
         return self._route(service).call(service, method, **kwargs)
+
+    def call_batch(self, requests: Sequence[Request]) -> list[Response]:
+        """Split a batch by provider, one batch frame per provider.
+
+        Requests keep their relative order within each provider; results
+        come back in the original request order.  Cross-provider ordering
+        is not preserved, which is safe because the providers hold
+        disjoint stores.
+        """
+        groups: list[tuple[Transport, list[int], list[Request]]] = []
+        for index, request in enumerate(requests):
+            transport = self._route(request.service)
+            for grouped, indices, grouped_requests in groups:
+                if grouped is transport:
+                    indices.append(index)
+                    grouped_requests.append(request)
+                    break
+            else:
+                groups.append((transport, [index], [request]))
+        results: list[Response | None] = [None] * len(requests)
+        for transport, indices, grouped_requests in groups:
+            for index, response in zip(
+                indices, transport.call_batch(grouped_requests)
+            ):
+                results[index] = response
+        return [r for r in results if r is not None]
 
     def stats(self) -> NetworkStats:
         total = NetworkStats()

@@ -6,6 +6,12 @@ document store service.  Transports deliver ``Request`` frames to a host
 and carry ``Response`` frames back; remote exceptions are re-raised at the
 caller as :class:`repro.errors.RemoteError` with the remote type name
 preserved.
+
+Besides single-request frames, hosts dispatch *batch* frames: N requests
+shipped as one wire payload (``{"batch": [...]}``) and answered with N
+responses in order.  Each sub-request is dispatched independently, so a
+failing one yields an error response in its slot without poisoning the
+rest of the batch.
 """
 
 from __future__ import annotations
@@ -15,6 +21,9 @@ from dataclasses import dataclass
 from typing import Any
 
 from repro.errors import DataBlinderError, RemoteError, TransportError
+
+#: Key marking a wire payload as a batch frame rather than a single call.
+BATCH_KEY = "batch"
 
 
 @dataclass(frozen=True)
@@ -60,6 +69,33 @@ class Response:
         if self.ok:
             return self.result
         raise RemoteError(self.error_type, self.error_message)
+
+
+def batch_request_payload(requests: list[Request]) -> dict[str, Any]:
+    """One wire payload carrying a whole batch of requests."""
+    return {BATCH_KEY: [request.to_payload() for request in requests]}
+
+
+def requests_from_batch(payload: dict[str, Any]) -> list[Request]:
+    items = payload.get(BATCH_KEY)
+    if not isinstance(items, list):
+        raise TransportError("malformed batch request frame")
+    return [Request.from_payload(item) for item in items]
+
+
+def batch_response_payload(responses: list[Response]) -> dict[str, Any]:
+    return {BATCH_KEY: [response.to_payload() for response in responses]}
+
+
+def responses_from_batch(payload: dict[str, Any]) -> list[Response]:
+    items = payload.get(BATCH_KEY)
+    if not isinstance(items, list):
+        raise TransportError("malformed batch response frame")
+    return [Response.from_payload(item) for item in items]
+
+
+def is_batch_payload(payload: Any) -> bool:
+    return isinstance(payload, dict) and BATCH_KEY in payload
 
 
 class ServiceHost:
@@ -115,3 +151,12 @@ class ServiceHost:
         except Exception as exc:  # noqa: BLE001 - must cross the wire
             return Response(ok=False, error_type=type(exc).__name__,
                             error_message=str(exc))
+
+    def dispatch_batch(self, requests: list[Request]) -> list[Response]:
+        """Dispatch a batch in order with per-request error isolation.
+
+        ``dispatch`` already converts every failure into an error
+        response, so one bad sub-call never aborts the requests queued
+        behind it.
+        """
+        return [self.dispatch(request) for request in requests]

@@ -1,10 +1,13 @@
 """TCP transport: a real two-process gateway/cloud deployment.
 
-Frames are length-prefixed (4-byte big-endian) wire-codec payloads.  The
-server hosts a :class:`repro.net.rpc.ServiceHost` behind a threading TCP
-server; the client implements :class:`repro.net.transport.Transport` with
-one pooled connection per thread.  ``examples/distributed_deployment.py``
-uses this pair to run the cloud zone as an actual separate process.
+Frames are length-prefixed (4-byte big-endian) wire-codec payloads; a
+payload is either a single request or a ``batch`` frame carrying several
+requests answered with one batch reply (per-request error isolation).
+The server hosts a :class:`repro.net.rpc.ServiceHost` behind a threading
+TCP server; the client implements
+:class:`repro.net.transport.Transport` with one pooled connection per
+thread.  ``examples/distributed_deployment.py`` uses this pair to run the
+cloud zone as an actual separate process.
 """
 
 from __future__ import annotations
@@ -13,12 +16,21 @@ import socket
 import socketserver
 import struct
 import threading
-from typing import Any
+from typing import Any, Sequence
 
 from repro.errors import TransportError
 from repro.net.latency import NetworkStats, TrafficMeter
 from repro.net.message import decode, encode
-from repro.net.rpc import Request, Response, ServiceHost
+from repro.net.rpc import (
+    Request,
+    Response,
+    ServiceHost,
+    batch_request_payload,
+    batch_response_payload,
+    is_batch_payload,
+    requests_from_batch,
+    responses_from_batch,
+)
 
 _HEADER = struct.Struct(">I")
 MAX_FRAME = 64 * 1024 * 1024
@@ -59,12 +71,23 @@ class _RpcHandler(socketserver.BaseRequestHandler):
             except TransportError:
                 return  # client went away
             try:
-                request = Request.from_payload(decode(frame))
-                response = host.dispatch(request)
+                payload = decode(frame)
+                if is_batch_payload(payload):
+                    # Batch frame: dispatch every sub-request (error
+                    # isolation lives in dispatch_batch) and answer with
+                    # one batch reply frame.
+                    responses = host.dispatch_batch(
+                        requests_from_batch(payload)
+                    )
+                    reply = encode(batch_response_payload(responses))
+                else:
+                    response = host.dispatch(Request.from_payload(payload))
+                    reply = encode(response.to_payload())
             except Exception as exc:  # noqa: BLE001 - keep the server alive
                 response = Response(ok=False, error_type=type(exc).__name__,
                                     error_message=str(exc))
-            send_frame(self.request, encode(response.to_payload()))
+                reply = encode(response.to_payload())
+            send_frame(self.request, reply)
 
 
 class TcpRpcServer(socketserver.ThreadingTCPServer):
@@ -106,10 +129,21 @@ class TcpTransport:
         return sock
 
     def call(self, service: str, method: str, **kwargs: Any) -> Any:
+        request = Request(service, method, kwargs)
+        reply = self._roundtrip(encode(request.to_payload()))
+        return Response.from_payload(decode(reply)).unwrap()
+
+    def call_batch(self, requests: Sequence[Request]) -> list[Response]:
+        """Ship the whole batch as one frame over the pooled socket."""
+        if not requests:
+            return []
+        frame = encode(batch_request_payload(list(requests)))
+        reply = self._roundtrip(frame)
+        return responses_from_batch(decode(reply))
+
+    def _roundtrip(self, frame: bytes) -> bytes:
         if self._closed:
             raise TransportError("transport is closed")
-        request = Request(service, method, kwargs)
-        frame = encode(request.to_payload())
         # One transparent reconnect: a pooled connection may have died
         # between calls (server restart, idle timeout); retrying on a
         # fresh socket is safe because no reply was consumed yet.
@@ -127,7 +161,7 @@ class TcpTransport:
                     ) from exc
         self._meter.record_send(len(frame))
         self._meter.record_receive(len(reply))
-        return Response.from_payload(decode(reply)).unwrap()
+        return reply
 
     def _drop_connection(self) -> None:
         sock = getattr(self._local, "sock", None)

@@ -11,11 +11,20 @@ implement :class:`Transport`.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Any
+from typing import Any, Sequence
 
+from repro.errors import RemoteError
 from repro.net.latency import NetworkModel, NetworkStats, TrafficMeter
 from repro.net.message import decode, encode
-from repro.net.rpc import Request, Response, ServiceHost
+from repro.net.rpc import (
+    Request,
+    Response,
+    ServiceHost,
+    batch_request_payload,
+    batch_response_payload,
+    requests_from_batch,
+    responses_from_batch,
+)
 
 
 class Transport(ABC):
@@ -24,6 +33,28 @@ class Transport(ABC):
     @abstractmethod
     def call(self, service: str, method: str, **kwargs: Any) -> Any:
         """Invoke ``service.method(**kwargs)`` remotely, return its result."""
+
+    def call_batch(self, requests: Sequence[Request]) -> list[Response]:
+        """Ship several requests, returning one response per request.
+
+        Transports that speak batch frames override this to put the whole
+        batch in a single wire frame (one latency-model charge); the base
+        implementation degrades to sequential calls while keeping the
+        per-request error-isolation contract: a failing sub-call becomes
+        an error :class:`Response` in its slot, never an exception.
+        """
+        responses: list[Response] = []
+        for request in requests:
+            try:
+                result = self.call(request.service, request.method,
+                                   **request.kwargs)
+                responses.append(Response(ok=True, result=result))
+            except RemoteError as exc:
+                responses.append(Response(
+                    ok=False, error_type=exc.remote_type,
+                    error_message=exc.remote_message,
+                ))
+        return responses
 
     @abstractmethod
     def stats(self) -> NetworkStats:
@@ -60,6 +91,23 @@ class InProcTransport(Transport):
         self._meter.record_receive(len(reply), delay_down)
         return Response.from_payload(decode(reply)).unwrap()
 
+    def call_batch(self, requests: Sequence[Request]) -> list[Response]:
+        """N requests in one wire frame: one latency charge per direction."""
+        if not requests:
+            return []
+        frame = encode(batch_request_payload(list(requests)))
+        delay_up = self._network.apply(len(frame))
+        self._meter.record_send(len(frame), delay_up)
+
+        responses = self._host.dispatch_batch(
+            requests_from_batch(decode(frame))
+        )
+
+        reply = encode(batch_response_payload(responses))
+        delay_down = self._network.apply(len(reply))
+        self._meter.record_receive(len(reply), delay_down)
+        return responses_from_batch(decode(reply))
+
     def stats(self) -> NetworkStats:
         return self._meter.snapshot()
 
@@ -83,6 +131,14 @@ class DirectTransport(Transport):
         self._meter.record_send(0)
         self._meter.record_receive(0)
         return response.unwrap()
+
+    def call_batch(self, requests: Sequence[Request]) -> list[Response]:
+        if not requests:
+            return []
+        responses = self._host.dispatch_batch(list(requests))
+        self._meter.record_send(0)
+        self._meter.record_receive(0)
+        return responses
 
     def stats(self) -> NetworkStats:
         return self._meter.snapshot()

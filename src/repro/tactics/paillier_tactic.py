@@ -16,6 +16,7 @@ Insertion, AggFunctionResolution // Setup, Insertion, AggFunction.
 
 from __future__ import annotations
 
+import os
 from typing import Any
 
 from repro.crypto import paillier
@@ -26,6 +27,10 @@ from repro.tactics.base import CloudTactic, GatewayTactic
 
 KEY_BITS = 1024
 FIXED_POINT_SCALE = 6
+#: Obfuscator masks precomputed in the background per gateway instance;
+#: set DATABLINDER_PAILLIER_POOL=0 to force inline mask computation.
+OBFUSCATOR_POOL_ENV = "DATABLINDER_PAILLIER_POOL"
+DEFAULT_OBFUSCATOR_POOL = 8
 
 
 class PaillierGateway(
@@ -41,6 +46,23 @@ class PaillierGateway(
             self.ctx.field, self.ctx.tactic, KEY_BITS
         )
         self._codec = paillier.FixedPointCodec(FIXED_POINT_SCALE)
+        raw_size = os.environ.get(
+            OBFUSCATOR_POOL_ENV, str(DEFAULT_OBFUSCATOR_POOL)
+        )
+        try:
+            pool_size = int(raw_size)
+        except ValueError:
+            raise TacticError(
+                f"{OBFUSCATOR_POOL_ENV} must be an integer, "
+                f"got {raw_size!r}"
+            ) from None
+        #: Masks (r^n mod n^2) precompute on a background thread, so the
+        #: write path usually pays one modmul instead of a 2048-bit
+        #: modular exponentiation.
+        self._obfuscators = (
+            paillier.ObfuscatorPool(self._private.public, size=pool_size)
+            if pool_size > 0 else None
+        )
         self.ctx.call("setup", n=self._private.public.n)
 
     def insert(self, doc_id: str, value: Value) -> None:
@@ -49,9 +71,11 @@ class PaillierGateway(
                 f"Paillier protects numeric fields only, got "
                 f"{type(value).__name__}"
             )
-        ciphertext = paillier.encrypt(
-            self._private.public, self._codec.encode(value)
-        )
+        encoded = self._codec.encode(value)
+        if self._obfuscators is not None:
+            ciphertext = self._obfuscators.encrypt(encoded)
+        else:
+            ciphertext = paillier.encrypt(self._private.public, encoded)
         self.ctx.call("insert", doc_id=doc_id, ciphertext=ciphertext.value)
 
     # -- aggregate protocol -------------------------------------------------------

@@ -1,0 +1,358 @@
+"""Batch RPC frames and the gateway-side write collector."""
+
+import threading
+
+import pytest
+
+from repro.errors import RemoteError
+from repro.net.batch import BatchCollector
+from repro.net.latency import NetworkModel
+from repro.net.multicloud import MultiCloudTransport, prefix_rule
+from repro.net.rpc import (
+    Request,
+    Response,
+    ServiceHost,
+    batch_request_payload,
+    is_batch_payload,
+    requests_from_batch,
+)
+from repro.net.tcp import TcpRpcServer, TcpTransport
+from repro.net.transport import DirectTransport, InProcTransport, Transport
+
+
+class CounterService:
+    """Records call order so tests can assert batch execution order."""
+
+    def __init__(self):
+        self.calls = []
+
+    def bump(self, amount):
+        self.calls.append(("bump", amount))
+        return amount + 1
+
+    def fail(self, reason):
+        self.calls.append(("fail", reason))
+        raise ValueError(reason)
+
+
+@pytest.fixture()
+def service():
+    return CounterService()
+
+
+@pytest.fixture()
+def host(service):
+    host = ServiceHost()
+    host.register("counter", service)
+    return host
+
+
+def _requests(*amounts):
+    return [Request("counter", "bump", {"amount": a}) for a in amounts]
+
+
+class TestBatchPayload:
+    def test_roundtrip(self):
+        requests = _requests(1, 2, 3)
+        payload = batch_request_payload(requests)
+        assert is_batch_payload(payload)
+        assert requests_from_batch(payload) == requests
+
+    def test_single_request_payload_is_not_batch(self):
+        assert not is_batch_payload(Request("s", "m", {}).to_payload())
+
+
+class TestDispatchBatch:
+    def test_results_in_order(self, host):
+        responses = host.dispatch_batch(_requests(10, 20))
+        assert [r.result for r in responses] == [11, 21]
+
+    def test_error_isolation(self, host, service):
+        requests = [
+            Request("counter", "bump", {"amount": 1}),
+            Request("counter", "fail", {"reason": "boom"}),
+            Request("counter", "bump", {"amount": 2}),
+        ]
+        responses = host.dispatch_batch(requests)
+        assert [r.ok for r in responses] == [True, False, True]
+        assert responses[1].error_type == "ValueError"
+        assert responses[2].result == 3
+        # The failing sub-call did not stop the batch server-side.
+        assert service.calls == [("bump", 1), ("fail", "boom"), ("bump", 2)]
+
+
+class TestInProcBatch:
+    def test_one_frame_per_direction(self, host):
+        transport = InProcTransport(host)
+        responses = transport.call_batch(_requests(1, 2, 3))
+        assert [r.result for r in responses] == [2, 3, 4]
+        stats = transport.stats()
+        assert stats.messages_sent == 1
+        assert stats.messages_received == 1
+
+    def test_single_latency_charge(self, host):
+        model = NetworkModel(one_way_latency_ms=5.0, sleep=False)
+        transport = InProcTransport(host, model)
+        transport.call_batch(_requests(*range(8)))
+        # 8 requests, but only one up + one down latency charge.
+        assert transport.stats().simulated_delay_seconds == pytest.approx(
+            0.010, abs=1e-6
+        )
+
+    def test_empty_batch_is_free(self, host):
+        transport = InProcTransport(host)
+        assert transport.call_batch([]) == []
+        assert transport.stats().messages_sent == 0
+
+    def test_error_isolation_over_the_wire(self, host):
+        transport = InProcTransport(host)
+        responses = transport.call_batch([
+            Request("counter", "bump", {"amount": 1}),
+            Request("counter", "fail", {"reason": "boom"}),
+            Request("counter", "bump", {"amount": 2}),
+        ])
+        assert [r.ok for r in responses] == [True, False, True]
+        with pytest.raises(RemoteError):
+            responses[1].unwrap()
+
+
+class TestDirectBatch:
+    def test_batch(self, host):
+        transport = DirectTransport(host)
+        responses = transport.call_batch(_requests(5, 6))
+        assert [r.result for r in responses] == [6, 7]
+        assert transport.stats().messages_sent == 1
+
+
+class SequentialOnlyTransport(Transport):
+    """A transport without a batch frame: exercises the base fallback."""
+
+    def __init__(self, host):
+        self._inner = InProcTransport(host)
+
+    def call(self, service, method, **kwargs):
+        return self._inner.call(service, method, **kwargs)
+
+    def stats(self):
+        return self._inner.stats()
+
+
+class TestBaseFallback:
+    def test_sequential_calls_keep_error_isolation(self, host):
+        transport = SequentialOnlyTransport(host)
+        responses = transport.call_batch([
+            Request("counter", "bump", {"amount": 1}),
+            Request("counter", "fail", {"reason": "boom"}),
+            Request("counter", "bump", {"amount": 2}),
+        ])
+        assert [r.ok for r in responses] == [True, False, True]
+        assert responses[2].result == 3
+        # Fallback pays one wire frame per request.
+        assert transport.stats().messages_sent == 3
+
+
+class TestMultiCloudBatch:
+    def test_batch_splits_by_provider_and_reorders(self):
+        host_a, host_b = ServiceHost(), ServiceHost()
+        service_a, service_b = CounterService(), CounterService()
+        host_a.register("a/counter", service_a)
+        host_b.register("b/counter", service_b)
+        transport_a = InProcTransport(host_a)
+        transport_b = InProcTransport(host_b)
+        multi = MultiCloudTransport([
+            (prefix_rule("a/"), transport_a),
+            (prefix_rule("b/"), transport_b),
+        ])
+        responses = multi.call_batch([
+            Request("a/counter", "bump", {"amount": 1}),
+            Request("b/counter", "bump", {"amount": 10}),
+            Request("a/counter", "bump", {"amount": 2}),
+        ])
+        # Results come back in original request order...
+        assert [r.result for r in responses] == [2, 11, 3]
+        # ...from one batch frame per provider.
+        assert transport_a.stats().messages_sent == 1
+        assert transport_b.stats().messages_sent == 1
+        assert service_a.calls == [("bump", 1), ("bump", 2)]
+        assert service_b.calls == [("bump", 10)]
+
+
+class TestTcpBatch:
+    @pytest.fixture()
+    def server(self, host):
+        server = TcpRpcServer(host)
+        server.serve_in_background()
+        yield server
+        server.shutdown()
+        server.server_close()
+
+    @pytest.fixture()
+    def client(self, server):
+        transport = TcpTransport(server.endpoint)
+        yield transport
+        transport.close()
+
+    def test_batch_over_the_socket(self, client):
+        responses = client.call_batch(_requests(1, 2, 3))
+        assert [r.result for r in responses] == [2, 3, 4]
+        assert client.stats().messages_sent == 1
+
+    def test_batch_error_isolation(self, client):
+        responses = client.call_batch([
+            Request("counter", "bump", {"amount": 1}),
+            Request("counter", "fail", {"reason": "boom"}),
+            Request("counter", "bump", {"amount": 2}),
+        ])
+        assert [r.ok for r in responses] == [True, False, True]
+        assert responses[1].error_type == "ValueError"
+
+    def test_single_calls_still_work_after_batch(self, client):
+        client.call_batch(_requests(1))
+        assert client.call("counter", "bump", amount=7) == 8
+
+
+class RecordingService:
+    def __init__(self):
+        self.calls = []
+
+    def insert(self, **kwargs):
+        self.calls.append(("insert", kwargs))
+
+    def insert_many(self, **kwargs):
+        self.calls.append(("insert_many", kwargs))
+
+    def delete(self, **kwargs):
+        self.calls.append(("delete", kwargs))
+        return True
+
+    def get(self, **kwargs):
+        self.calls.append(("get", kwargs))
+        return {"doc": 1}
+
+    def update(self, **kwargs):
+        # Deferrable method that fails server-side.
+        raise ValueError("flush failure")
+
+
+class TestBatchCollector:
+    @pytest.fixture()
+    def deployment(self):
+        host = ServiceHost()
+        tactic = RecordingService()
+        docs = RecordingService()
+        admin = RecordingService()
+        host.register("tactic/app/f/det", tactic)
+        host.register("docs/app", docs)
+        host.register("admin", admin)
+        inner = InProcTransport(host)
+        return BatchCollector(inner), inner, tactic, docs, admin
+
+    def test_pass_through_outside_scope(self, deployment):
+        collector, inner, tactic, _, _ = deployment
+        collector.call("tactic/app/f/det", "insert", doc_id="d1")
+        assert inner.stats().messages_sent == 1
+        assert tactic.calls == [("insert", {"doc_id": "d1"})]
+
+    def test_deferrable_writes_coalesce_into_one_frame(self, deployment):
+        collector, inner, tactic, docs, _ = deployment
+        with collector.collect():
+            assert collector.call("tactic/app/f/det", "insert",
+                                  doc_id="d1") is None
+            assert collector.call("tactic/app/f/det", "insert",
+                                  doc_id="d2") is None
+            assert collector.call("docs/app", "insert_many",
+                                  documents=[{}]) is None
+            # Nothing shipped while the scope is open.
+            assert inner.stats().messages_sent == 0
+        assert inner.stats().messages_sent == 1
+        assert [c[0] for c in tactic.calls] == ["insert", "insert"]
+        assert [c[0] for c in docs.calls] == ["insert_many"]
+
+    def test_result_bearing_call_joins_and_flushes(self, deployment):
+        collector, inner, tactic, docs, _ = deployment
+        with collector.collect():
+            collector.call("tactic/app/f/det", "delete", doc_id="d1")
+            result = collector.call("docs/app", "delete", doc_id="d1")
+            assert result is True
+        # Index delete + docs delete shared one frame; the queued index
+        # delete ran before the result-bearing docs delete.
+        assert inner.stats().messages_sent == 1
+        assert tactic.calls == [("delete", {"doc_id": "d1"})]
+        assert docs.calls == [("delete", {"doc_id": "d1"})]
+
+    def test_read_with_empty_queue_goes_straight_through(self, deployment):
+        collector, inner, _, docs, _ = deployment
+        with collector.collect():
+            assert collector.call("docs/app", "get",
+                                  doc_id="d1") == {"doc": 1}
+        assert inner.stats().messages_sent == 1
+        assert docs.calls == [("get", {"doc_id": "d1"})]
+
+    def test_admin_never_defers(self, deployment):
+        collector, inner, _, _, admin = deployment
+        with collector.collect():
+            collector.call("admin", "insert", thing=1)
+            assert inner.stats().messages_sent == 1
+        assert admin.calls == [("insert", {"thing": 1})]
+
+    def test_nested_scopes_flush_once(self, deployment):
+        collector, inner, tactic, _, _ = deployment
+        with collector.collect():
+            collector.call("tactic/app/f/det", "insert", doc_id="d1")
+            with collector.collect():
+                collector.call("tactic/app/f/det", "insert", doc_id="d2")
+            # Inner scope exit must not flush the outer queue.
+            assert inner.stats().messages_sent == 0
+        assert inner.stats().messages_sent == 1
+        assert len(tactic.calls) == 2
+
+    def test_flush_error_raises_after_whole_batch_ran(self, deployment):
+        collector, _, tactic, _, _ = deployment
+        with pytest.raises(RemoteError) as excinfo:
+            with collector.collect():
+                collector.call("tactic/app/f/det", "insert", doc_id="d1")
+                collector.call("tactic/app/f/det", "update", doc_id="d1")
+                collector.call("tactic/app/f/det", "insert", doc_id="d2")
+        assert excinfo.value.remote_type == "ValueError"
+        # Error isolation: the write after the failure still executed.
+        assert [c[0] for c in tactic.calls] == ["insert", "insert"]
+
+    def test_scope_flushes_on_application_error(self, deployment):
+        collector, inner, tactic, _, _ = deployment
+        with pytest.raises(RuntimeError):
+            with collector.collect():
+                collector.call("tactic/app/f/det", "insert", doc_id="d1")
+                raise RuntimeError("gateway-side failure")
+        # The queued write still reached the cloud.
+        assert inner.stats().messages_sent == 1
+        assert tactic.calls == [("insert", {"doc_id": "d1"})]
+
+    def test_scopes_are_thread_local(self, deployment):
+        collector, inner, tactic, _, _ = deployment
+        started = threading.Event()
+        release = threading.Event()
+        errors = []
+
+        def other_thread():
+            try:
+                # No scope on this thread: calls pass straight through
+                # even while the main thread's scope is open.
+                started.wait(5)
+                collector.call("tactic/app/f/det", "insert", doc_id="t2")
+                release.set()
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+                release.set()
+
+        worker = threading.Thread(target=other_thread)
+        worker.start()
+        with collector.collect():
+            collector.call("tactic/app/f/det", "insert", doc_id="t1")
+            started.set()
+            assert release.wait(5)
+            # Other thread's call already shipped; ours is still queued.
+            assert inner.stats().messages_sent == 1
+        worker.join()
+        assert not errors
+        assert inner.stats().messages_sent == 2
+        assert len(tactic.calls) == 2
