@@ -35,7 +35,13 @@ from repro.core.query import AggregateQuery, And, Eq, Not, Or, Range
 from repro.core.registry import TacticRegistry, default_registry
 from repro.core.schema import FieldAnnotation, FieldSpec, Schema
 from repro.net.batch import PipelineConfig
+from repro.net.faults import FaultInjectingTransport, FaultPlan
 from repro.net.latency import NetworkModel
+from repro.net.resilience import (
+    BreakerConfig,
+    ResilienceConfig,
+    RetryPolicy,
+)
 from repro.net.tcp import TcpRpcServer, TcpTransport
 from repro.net.transport import DirectTransport, InProcTransport
 from repro.spi.descriptors import Aggregate, Operation
@@ -47,11 +53,14 @@ __all__ = [
     "Aggregate",
     "AggregateQuery",
     "And",
+    "BreakerConfig",
     "CloudZone",
     "DataBlinder",
     "DirectTransport",
     "Entities",
     "Eq",
+    "FaultInjectingTransport",
+    "FaultPlan",
     "FieldAnnotation",
     "FieldSpec",
     "InProcTransport",
@@ -63,6 +72,8 @@ __all__ = [
     "PipelineConfig",
     "ProtectionClass",
     "Range",
+    "ResilienceConfig",
+    "RetryPolicy",
     "Schema",
     "TacticRegistry",
     "TcpRpcServer",

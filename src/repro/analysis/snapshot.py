@@ -15,10 +15,12 @@ encryption) and shows *why* the protection-class ladder exists.
 
 from __future__ import annotations
 
+import hashlib
 from collections import Counter
 from dataclasses import dataclass, field
 
 from repro.cloud.server import CloudZone
+from repro.net import message
 from repro.spi.context import service_name
 
 
@@ -61,6 +63,11 @@ class SnapshotAdversary:
                         + stats["set_members"]),
             kv_bytes=stats["bytes"],
         )
+
+    def fingerprint(self) -> str:
+        """Digest of the zone's entire application state (see
+        :func:`zone_fingerprint`)."""
+        return zone_fingerprint(self.cloud, self.application)
 
     # -- DET: ciphertext equality structure ------------------------------------
 
@@ -122,6 +129,43 @@ class SnapshotAdversary:
         """Ranked (descending) value frequencies read off DET tokens."""
         histogram = self.det_token_histogram(field_name, schema)
         return sorted(histogram.values(), reverse=True)
+
+
+def zone_fingerprint(cloud: CloudZone, application: str) -> str:
+    """Stable digest of everything the untrusted zone stores for one
+    application: every KV string/map/set/counter and every stored
+    document, in canonical order.
+
+    Two fingerprints are equal iff the stores are byte-identical, which
+    is exactly what the idempotency contract promises: replaying any
+    prefix of an already-applied write batch (duplicate delivery) must
+    leave this digest unchanged.
+    """
+    kv, documents = cloud.application_stores(application)
+    digest = hashlib.sha256()
+
+    def feed(tag: bytes, *parts: bytes) -> None:
+        digest.update(tag)
+        for part in parts:
+            digest.update(len(part).to_bytes(4, "big"))
+            digest.update(part)
+
+    with kv._lock:  # noqa: SLF001 - snapshot adversary reads raw state
+        for key in sorted(kv._strings):  # noqa: SLF001
+            feed(b"s", key, kv._strings[key])  # noqa: SLF001
+        for name in sorted(kv._maps):  # noqa: SLF001
+            bucket = kv._maps[name]  # noqa: SLF001
+            for key in sorted(bucket):
+                feed(b"m", name, key, bucket[key])
+        for name in sorted(kv._sets):  # noqa: SLF001
+            for member in sorted(kv._sets[name]):  # noqa: SLF001
+                feed(b"e", name, member)
+        for name in sorted(kv._counters):  # noqa: SLF001
+            feed(b"c", name,
+                 str(kv._counters[name]).encode())  # noqa: SLF001
+    for doc_id in sorted(documents.all_ids()):
+        feed(b"d", doc_id.encode(), message.encode(documents.get(doc_id)))
+    return digest.hexdigest()
 
 
 def auxiliary_distribution(values: list) -> list[tuple[object, int]]:

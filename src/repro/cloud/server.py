@@ -123,13 +123,16 @@ class CloudAdminService:
 class CloudZone:
     """The whole untrusted zone in one object."""
 
-    def __init__(self, registry=None, data_dir: str | Path | None = None):
+    def __init__(self, registry=None, data_dir: str | Path | None = None,
+                 dedup_window: int = 1024):
         if registry is None:
             from repro.core.registry import default_registry
 
             registry = default_registry()
         self.registry = registry
-        self.host = ServiceHost()
+        #: ``dedup_window`` bounds the idempotency-key memory that makes
+        #: retried gateway writes apply-at-most-once (see ServiceHost).
+        self.host = ServiceHost(dedup_window=dedup_window)
         self._data_dir = Path(data_dir) if data_dir else None
         self._kv: dict[str, KeyValueStore] = {}
         self._documents: dict[str, DocumentStore] = {}

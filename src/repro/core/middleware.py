@@ -41,6 +41,7 @@ from repro.errors import SchemaError
 from repro.gateway.service import GatewayRuntime
 from repro.keys.keystore import KeyStore
 from repro.net.batch import PipelineConfig
+from repro.net.resilience import ResilienceConfig
 from repro.net.transport import Transport
 from repro.stores.kv import KeyValueStore
 
@@ -54,14 +55,18 @@ class DataBlinder:
                  local_kv: KeyValueStore | None = None,
                  verify_results: bool = True,
                  pad_bucket: int = 0,
-                 pipeline: PipelineConfig | None = None):
+                 pipeline: PipelineConfig | None = None,
+                 resilience: ResilienceConfig | None = None):
         self.registry = registry or default_registry()
         #: Batching/pipelining of the gateway<->cloud data path; the
         #: default config keeps the unbatched per-RPC baseline.
         self.pipeline = pipeline or PipelineConfig()
+        #: Retry/breaker wrapping of the transport; None (the default)
+        #: keeps the raw fail-fast behaviour.
+        self.resilience = resilience
         self.runtime = GatewayRuntime(
             application, transport, self.registry, keystore, local_kv,
-            pipeline=self.pipeline,
+            pipeline=self.pipeline, resilience=resilience,
         )
         self.metadata = MetadataRepository(self.runtime.local_kv)
         self.selector = TacticSelector(self.registry)

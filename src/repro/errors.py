@@ -36,6 +36,38 @@ class TransportError(DataBlinderError):
     """A message could not be delivered between gateway and cloud."""
 
 
+class TransportFault(TransportError):
+    """A delivery-level failure: dropped frame, lost connection, corrupt
+    frame.  The request may or may not have reached the cloud, so a
+    retry is only safe when the request carries an idempotency key (see
+    :mod:`repro.net.resilience`)."""
+
+
+class RetryExhausted(TransportError):
+    """Every retry attempt of a call failed with a transport fault.
+
+    Carries how many attempts were made and the last underlying error,
+    so operators can distinguish a flaky link (few attempts, varied
+    faults) from a dead endpoint (all attempts, same fault).
+    """
+
+    def __init__(self, attempts: int, last_error: Exception):
+        super().__init__(
+            f"call failed after {attempts} attempt(s): {last_error}"
+        )
+        self.attempts = attempts
+        self.last_error = last_error
+
+
+class DeadlineExceeded(TransportError):
+    """A call's per-call deadline elapsed before a retry could succeed."""
+
+
+class CircuitOpenError(TransportError):
+    """The endpoint's circuit breaker is open: calls fail fast without
+    touching the wire until the breaker's reset timeout elapses."""
+
+
 class RemoteError(TransportError):
     """The remote endpoint raised while servicing an RPC.
 

@@ -15,6 +15,7 @@ from typing import Any
 
 from repro.keys.keystore import KeyStore
 from repro.net.batch import BatchCollector, PipelineConfig
+from repro.net.resilience import ResilienceConfig, wrap_resilient
 from repro.net.transport import Transport
 from repro.spi.context import GatewayTacticContext
 from repro.spi.metrics import TacticMetrics
@@ -27,13 +28,18 @@ class GatewayRuntime:
     def __init__(self, application: str, transport: Transport,
                  registry=None, keystore: KeyStore | None = None,
                  local_kv: KeyValueStore | None = None,
-                 pipeline: PipelineConfig | None = None):
+                 pipeline: PipelineConfig | None = None,
+                 resilience: ResilienceConfig | None = None):
         if registry is None:
             from repro.core.registry import default_registry
 
             registry = default_registry()
         self.application = application
         self.pipeline = pipeline or PipelineConfig()
+        # Resilience wraps *below* the batch collector: collected write
+        # batches are then retried whole, with their idempotency-keyed
+        # sub-requests making the re-delivery safe.
+        transport = wrap_resilient(transport, resilience)
         if self.pipeline.batch_writes and not isinstance(
             transport, BatchCollector
         ):

@@ -6,10 +6,19 @@ a real TCP transport for genuine two-process runs.
 """
 
 from repro.net.batch import BatchCollector, PipelineConfig
+from repro.net.faults import FaultEvent, FaultInjectingTransport, FaultPlan
 from repro.net.latency import NetworkModel, NetworkStats, TrafficMeter
 from repro.net.multicloud import (
     MultiCloudTransport,
     split_documents_and_indexes,
+)
+from repro.net.resilience import (
+    BreakerConfig,
+    CircuitBreaker,
+    ResilienceConfig,
+    ResilientTransport,
+    RetryPolicy,
+    wrap_resilient,
 )
 from repro.net.rpc import Request, Response, ServiceHost
 from repro.net.tcp import TcpRpcServer, TcpTransport
@@ -17,18 +26,27 @@ from repro.net.transport import DirectTransport, InProcTransport, Transport
 
 __all__ = [
     "BatchCollector",
+    "BreakerConfig",
+    "CircuitBreaker",
     "PipelineConfig",
     "DirectTransport",
+    "FaultEvent",
+    "FaultInjectingTransport",
+    "FaultPlan",
     "MultiCloudTransport",
     "split_documents_and_indexes",
     "InProcTransport",
     "NetworkModel",
     "NetworkStats",
     "Request",
+    "ResilienceConfig",
+    "ResilientTransport",
     "Response",
+    "RetryPolicy",
     "ServiceHost",
     "TcpRpcServer",
     "TcpTransport",
     "TrafficMeter",
     "Transport",
+    "wrap_resilient",
 ]

@@ -146,16 +146,18 @@ class BatchCollector(Transport):
     # -- Transport interface ------------------------------------------------------
 
     def call(self, service: str, method: str, **kwargs: Any) -> Any:
+        return self.call_request(Request(service, method, kwargs))
+
+    def call_request(self, request: Request) -> Any:
         scope = self._scope()
         if scope is None:
-            return self._inner.call(service, method, **kwargs)
-        request = Request(service, method, kwargs)
-        if self._defers(service, method):
+            return self._inner.call_request(request)
+        if self._defers(request.service, request.method):
             scope.pending.append(request)
             return None
         if not scope.pending:
             # Nothing queued: a plain call is cheaper than a 1-batch.
-            return self._inner.call(service, method, **kwargs)
+            return self._inner.call_request(request)
         # Join the queue as the final element and flush now: reads (and
         # result-bearing writes) must observe every queued write, and the
         # whole group still costs one round trip.

@@ -1,0 +1,233 @@
+"""Fault injection: a chaos harness for the gateway <-> cloud link.
+
+The paper's deployment spans a trusted gateway and *multiple* untrusted
+providers; a production gateway therefore has to survive dropped frames,
+slow links, broken connections, duplicated deliveries and corrupt
+replies.  :class:`FaultInjectingTransport` wraps any inner
+:class:`repro.net.transport.Transport` and injects exactly those faults,
+*deterministically* from a seed, for both single calls and batch frames
+— so a failing chaos run is reproducible from its seed and fault log
+alone.
+
+Fault taxonomy (at most one fault per delivery, chosen by one seeded
+draw so schedules are stable under refactoring):
+
+===============  ============================================  =========
+kind             wire meaning                                  applied?
+===============  ============================================  =========
+``drop``         request frame lost in flight                  no
+``corrupt``      request frame mangled; peer cannot decode it  no
+``disconnect``   connection died after dispatch; reply lost    yes
+``duplicate``    frame delivered twice (network duplication)   twice
+``delay``        frame delayed by ``delay_seconds``            yes
+===============  ============================================  =========
+
+"applied?" is what makes the taxonomy matter: ``drop``/``corrupt``
+faults are safe to blindly retry, while ``disconnect`` means the cloud
+*did* execute the request and only the idempotency-key dedup window
+(:class:`repro.net.rpc.ServiceHost`) makes a retry safe, and
+``duplicate`` exercises the same window without any client retry.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.errors import TransportFault
+from repro.net.latency import NetworkStats
+from repro.net.rpc import Request, Response
+from repro.net.transport import Transport
+
+FAULT_KINDS = ("drop", "corrupt", "disconnect", "duplicate", "delay")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Per-delivery fault probabilities (must sum to at most 1).
+
+    One uniform draw per delivery is compared against the cumulative
+    probabilities in :data:`FAULT_KINDS` order, so at most one fault
+    fires per frame and the schedule is a pure function of the seed and
+    the call sequence.
+    """
+
+    drop: float = 0.0
+    corrupt: float = 0.0
+    disconnect: float = 0.0
+    duplicate: float = 0.0
+    delay: float = 0.0
+    #: Added one-way delay when a ``delay`` fault fires.
+    delay_seconds: float = 0.0
+    #: Whether the injected delay is actually slept (wall-clock chaos
+    #: runs) or only accounted (fast unit tests).
+    sleep: bool = False
+
+    def __post_init__(self) -> None:
+        total = (self.drop + self.corrupt + self.disconnect
+                 + self.duplicate + self.delay)
+        if total > 1.0 + 1e-9:
+            raise ValueError(
+                f"fault probabilities sum to {total}, must be <= 1"
+            )
+        for kind in FAULT_KINDS:
+            if getattr(self, kind) < 0:
+                raise ValueError(f"negative probability for {kind!r}")
+
+    def probability(self, kind: str) -> float:
+        return float(getattr(self, kind))
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injected fault, recorded for reproduction artifacts."""
+
+    seq: int          #: delivery index on this transport (0-based)
+    kind: str         #: one of :data:`FAULT_KINDS`
+    op: str           #: ``"call"`` or ``"batch"``
+    target: str       #: ``service.method`` or ``batch[n]``
+
+    def to_payload(self) -> dict[str, Any]:
+        return {"seq": self.seq, "kind": self.kind, "op": self.op,
+                "target": self.target}
+
+
+class FaultInjectingTransport(Transport):
+    """Deterministic (seeded) chaos wrapper around any transport.
+
+    Faults are injected client-side around the inner transport, which
+    models the link rather than the peer: a ``drop`` never reaches the
+    inner transport, a ``disconnect`` completes the inner dispatch and
+    then loses the reply, a ``duplicate`` performs the inner dispatch
+    twice.  Works identically over :class:`~repro.net.transport.InProcTransport`
+    and :class:`~repro.net.tcp.TcpTransport`.
+    """
+
+    def __init__(self, inner: Transport, plan: FaultPlan,
+                 seed: int = 0):
+        self._inner = inner
+        self._plan = plan
+        self._seed = seed
+        self._rng = random.Random(seed)
+        self._events: list[FaultEvent] = []
+        self._deliveries = 0
+        self._injected_delay = 0.0
+        self._lock = threading.Lock()
+
+    @property
+    def inner(self) -> Transport:
+        return self._inner
+
+    @property
+    def seed(self) -> int:
+        return self._seed
+
+    # -- schedule ----------------------------------------------------------
+
+    def _next_fault(self, op: str, target: str) -> str | None:
+        """One seeded draw decides this delivery's fault (or none)."""
+        with self._lock:
+            seq = self._deliveries
+            self._deliveries += 1
+            draw = self._rng.random()
+            for kind in FAULT_KINDS:
+                probability = self._plan.probability(kind)
+                if draw < probability:
+                    self._events.append(FaultEvent(seq, kind, op, target))
+                    return kind
+                draw -= probability
+            return None
+
+    def events(self) -> list[FaultEvent]:
+        """Every fault injected so far (for assertions and artifacts)."""
+        with self._lock:
+            return list(self._events)
+
+    def fault_count(self, *kinds: str) -> int:
+        with self._lock:
+            if not kinds:
+                return len(self._events)
+            return sum(1 for e in self._events if e.kind in kinds)
+
+    def schedule_json(self) -> str:
+        """The reproduction artifact: seed, plan and fired faults."""
+        with self._lock:
+            return json.dumps({
+                "seed": self._seed,
+                "plan": {kind: self._plan.probability(kind)
+                         for kind in FAULT_KINDS},
+                "deliveries": self._deliveries,
+                "events": [e.to_payload() for e in self._events],
+            }, indent=2, sort_keys=True)
+
+    # -- fault application -------------------------------------------------
+
+    def _delay(self) -> None:
+        with self._lock:
+            self._injected_delay += self._plan.delay_seconds
+        if self._plan.sleep and self._plan.delay_seconds > 0:
+            time.sleep(self._plan.delay_seconds)
+
+    # -- Transport interface -----------------------------------------------
+
+    def call(self, service: str, method: str, **kwargs: Any) -> Any:
+        return self.call_request(Request(service, method, kwargs))
+
+    def call_request(self, request: Request) -> Any:
+        target = f"{request.service}.{request.method}"
+        kind = self._next_fault("call", target)
+        if kind == "drop":
+            raise TransportFault(f"injected fault: request {target} "
+                                 f"dropped in flight")
+        if kind == "corrupt":
+            raise TransportFault(f"injected fault: request {target} "
+                                 f"frame corrupt, rejected by peer")
+        if kind == "delay":
+            self._delay()
+            return self._inner.call_request(request)
+        if kind == "duplicate":
+            self._inner.call_request(request)
+            return self._inner.call_request(request)
+        if kind == "disconnect":
+            self._inner.call_request(request)
+            raise TransportFault(f"injected fault: connection lost after "
+                                 f"{target} was delivered; reply lost")
+        return self._inner.call_request(request)
+
+    def call_batch(self, requests: Sequence[Request]) -> list[Response]:
+        if not requests:
+            return []
+        target = f"batch[{len(requests)}]"
+        kind = self._next_fault("batch", target)
+        if kind == "drop":
+            raise TransportFault(f"injected fault: {target} frame "
+                                 f"dropped in flight")
+        if kind == "corrupt":
+            raise TransportFault(f"injected fault: {target} frame "
+                                 f"corrupt, rejected by peer")
+        if kind == "delay":
+            self._delay()
+            return self._inner.call_batch(requests)
+        if kind == "duplicate":
+            self._inner.call_batch(requests)
+            return self._inner.call_batch(requests)
+        if kind == "disconnect":
+            self._inner.call_batch(requests)
+            raise TransportFault(f"injected fault: connection lost after "
+                                 f"{target} was delivered; reply lost")
+        return self._inner.call_batch(requests)
+
+    def stats(self) -> NetworkStats:
+        with self._lock:
+            own = NetworkStats(
+                simulated_delay_seconds=self._injected_delay,
+                faults_injected=len(self._events),
+            )
+        return self._inner.stats().merge(own)
+
+    def close(self) -> None:
+        self._inner.close()

@@ -17,13 +17,26 @@ from dataclasses import dataclass, field
 
 @dataclass
 class NetworkStats:
-    """Cumulative traffic counters for one endpoint pair."""
+    """Cumulative traffic counters for one endpoint pair.
+
+    Besides the raw traffic counters, the resilience layer
+    (:mod:`repro.net.resilience`, :mod:`repro.net.faults`,
+    :mod:`repro.net.multicloud`) reports its behaviour here: how many
+    attempts were retried, how often a circuit breaker opened, how many
+    calls failed over to a secondary provider, and how many faults the
+    chaos harness injected — the operator-visible face of graceful
+    degradation.
+    """
 
     messages_sent: int = 0
     messages_received: int = 0
     bytes_sent: int = 0
     bytes_received: int = 0
     simulated_delay_seconds: float = 0.0
+    retries: int = 0
+    breaker_opens: int = 0
+    failovers: int = 0
+    faults_injected: int = 0
 
     def merge(self, other: "NetworkStats") -> "NetworkStats":
         return NetworkStats(
@@ -32,6 +45,10 @@ class NetworkStats:
             self.bytes_sent + other.bytes_sent,
             self.bytes_received + other.bytes_received,
             self.simulated_delay_seconds + other.simulated_delay_seconds,
+            self.retries + other.retries,
+            self.breaker_opens + other.breaker_opens,
+            self.failovers + other.failovers,
+            self.faults_injected + other.faults_injected,
         )
 
 

@@ -14,18 +14,32 @@ oblivious to the split: it routes each RPC by service-name rule to one
 of the underlying transports (each typically an
 :class:`InProcTransport` or :class:`TcpTransport` to a distinct
 :class:`repro.cloud.server.CloudZone`).
+
+A route may name an optional *secondary* provider.  When the primary's
+circuit breaker is open (the provider transport raises
+:class:`repro.errors.CircuitOpenError` — see
+:mod:`repro.net.resilience`), traffic for that route fails over to the
+secondary; each engagement is counted in
+:class:`repro.net.latency.NetworkStats.failovers` so graceful
+degradation stays operator-visible.  Failover assumes the secondary
+holds (replicates) the route's data — that is a deployment choice, the
+router only supplies the mechanism.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Callable, Sequence
 
-from repro.errors import TransportError
+from repro.errors import CircuitOpenError, TransportError
 from repro.net.latency import NetworkStats
 from repro.net.rpc import Request, Response
 from repro.net.transport import Transport
 
 Rule = Callable[[str], bool]
+
+#: A routing entry: ``(rule, primary)`` or ``(rule, primary, secondary)``.
+Route = "tuple[Rule, Transport] | tuple[Rule, Transport, Transport]"
 
 
 def prefix_rule(prefix: str) -> Rule:
@@ -45,38 +59,72 @@ def indexes_rule(service: str) -> bool:
 class MultiCloudTransport(Transport):
     """Service-name router over several provider transports.
 
-    ``routes`` is an ordered list of ``(rule, transport)`` pairs; the
-    first matching rule wins.  ``admin`` provisioning calls are fanned
-    out to *every* provider (each zone must know the application and its
-    tactic services; zones that never receive traffic for a service
-    simply hold empty structures).
+    ``routes`` is an ordered list of ``(rule, primary[, secondary])``
+    entries; the first matching rule wins.  ``admin`` provisioning calls
+    are fanned out to *every* provider, secondaries included (each zone
+    must know the application and its tactic services; zones that never
+    receive traffic for a service simply hold empty structures).
     """
 
-    def __init__(self, routes: list[tuple[Rule, Transport]]):
+    def __init__(self, routes: list):
         if not routes:
             raise TransportError("multi-cloud transport needs providers")
-        self._routes = list(routes)
+        self._routes: list[tuple[Rule, Transport, Transport | None]] = []
+        for entry in routes:
+            if len(entry) == 2:
+                rule, primary = entry
+                secondary = None
+            elif len(entry) == 3:
+                rule, primary, secondary = entry
+            else:
+                raise TransportError(
+                    "route entries are (rule, primary[, secondary])"
+                )
+            self._routes.append((rule, primary, secondary))
+        self._failovers = 0
+        self._lock = threading.Lock()
 
-    def _route(self, service: str) -> Transport:
-        for rule, transport in self._routes:
+    def _route(self, service: str) -> tuple[Transport, Transport | None]:
+        for rule, primary, secondary in self._routes:
             if rule(service):
-                return transport
+                return primary, secondary
         raise TransportError(
             f"no provider route matches service {service!r}"
         )
 
+    def _providers(self) -> list[Transport]:
+        """Every distinct provider transport, secondaries included."""
+        seen: list[Transport] = []
+        for _, primary, secondary in self._routes:
+            for transport in (primary, secondary):
+                if transport is not None and all(
+                    transport is not t for t in seen
+                ):
+                    seen.append(transport)
+        return seen
+
+    def _record_failover(self) -> None:
+        with self._lock:
+            self._failovers += 1
+
     def call(self, service: str, method: str, **kwargs: Any) -> Any:
-        if service == "admin":
+        return self.call_request(Request(service, method, kwargs))
+
+    def call_request(self, request: Request) -> Any:
+        if request.service == "admin":
             # Fan out provisioning so every provider can serve its share.
             result: Any = None
-            seen: list[Transport] = []
-            for _, transport in self._routes:
-                if any(transport is t for t in seen):
-                    continue
-                seen.append(transport)
-                result = transport.call(service, method, **kwargs)
+            for transport in self._providers():
+                result = transport.call_request(request)
             return result
-        return self._route(service).call(service, method, **kwargs)
+        primary, secondary = self._route(request.service)
+        try:
+            return primary.call_request(request)
+        except CircuitOpenError:
+            if secondary is None:
+                raise
+            self._record_failover()
+            return secondary.call_request(request)
 
     def call_batch(self, requests: Sequence[Request]) -> list[Response]:
         """Split a batch by provider, one batch frame per provider.
@@ -84,42 +132,52 @@ class MultiCloudTransport(Transport):
         Requests keep their relative order within each provider; results
         come back in the original request order.  Cross-provider ordering
         is not preserved, which is safe because the providers hold
-        disjoint stores.
+        disjoint stores.  A group whose primary breaker is open fails
+        over whole to the route's secondary when one is configured.
         """
-        groups: list[tuple[Transport, list[int], list[Request]]] = []
+        groups: list[tuple[Transport, Transport | None,
+                           list[int], list[Request]]] = []
         for index, request in enumerate(requests):
-            transport = self._route(request.service)
-            for grouped, indices, grouped_requests in groups:
-                if grouped is transport:
+            primary, secondary = self._route(request.service)
+            for grouped, _, indices, grouped_requests in groups:
+                if grouped is primary:
                     indices.append(index)
                     grouped_requests.append(request)
                     break
             else:
-                groups.append((transport, [index], [request]))
+                groups.append((primary, secondary, [index], [request]))
         results: list[Response | None] = [None] * len(requests)
-        for transport, indices, grouped_requests in groups:
-            for index, response in zip(
-                indices, transport.call_batch(grouped_requests)
-            ):
+        for primary, secondary, indices, grouped_requests in groups:
+            try:
+                responses = primary.call_batch(grouped_requests)
+            except CircuitOpenError:
+                if secondary is None:
+                    raise
+                self._record_failover()
+                responses = secondary.call_batch(grouped_requests)
+            for index, response in zip(indices, responses):
                 results[index] = response
-        return [r for r in results if r is not None]
+        missing = [i for i, r in enumerate(results) if r is None]
+        if missing:
+            # A provider answered with fewer responses than requests (or
+            # a routing bug left slots unassigned).  Silently dropping
+            # the slots would shift every later response onto the wrong
+            # request — fail loudly instead.
+            raise TransportError(
+                f"multi-cloud batch incomplete: no response for request "
+                f"slot(s) {missing}"
+            )
+        return results  # type: ignore[return-value]
 
     def stats(self) -> NetworkStats:
         total = NetworkStats()
-        seen: list[Transport] = []
-        for _, transport in self._routes:
-            if any(transport is t for t in seen):
-                continue
-            seen.append(transport)
+        for transport in self._providers():
             total = total.merge(transport.stats())
-        return total
+        with self._lock:
+            return total.merge(NetworkStats(failovers=self._failovers))
 
     def close(self) -> None:
-        seen: list[Transport] = []
-        for _, transport in self._routes:
-            if any(transport is t for t in seen):
-                continue
-            seen.append(transport)
+        for transport in self._providers():
             transport.close()
 
 

@@ -12,11 +12,22 @@ shipped as one wire payload (``{"batch": [...]}``) and answered with N
 responses in order.  Each sub-request is dispatched independently, so a
 failing one yields an error response in its slot without poisoning the
 rest of the batch.
+
+Requests may carry an *idempotency key* (``idem``, a short unique string
+minted by :class:`repro.net.resilience.ResilientTransport` for mutating
+methods).  The host remembers the response of every keyed request in a
+bounded dedup window, so an at-least-once delivery — a retry after a
+lost reply, or a network-duplicated frame — re-returns the recorded
+response instead of applying the write a second time.  That is what
+makes retrying index/document writes safe for append-style secure
+indexes (stateless SSE, BIEX buckets) and for the duplicate-rejecting
+document store.
 """
 
 from __future__ import annotations
 
 import threading
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any
 
@@ -31,16 +42,24 @@ class Request:
     service: str
     method: str
     kwargs: dict[str, Any]
+    #: Idempotency key; empty means "apply on every delivery".  Keyed
+    #: requests are applied at most once per key within the host's dedup
+    #: window (duplicate deliveries re-return the recorded response).
+    idem: str = ""
 
     def to_payload(self) -> dict[str, Any]:
-        return {"service": self.service, "method": self.method,
-                "kwargs": self.kwargs}
+        payload = {"service": self.service, "method": self.method,
+                   "kwargs": self.kwargs}
+        if self.idem:
+            payload["idem"] = self.idem
+        return payload
 
     @classmethod
     def from_payload(cls, payload: dict[str, Any]) -> "Request":
         try:
             return cls(payload["service"], payload["method"],
-                       dict(payload["kwargs"]))
+                       dict(payload["kwargs"]),
+                       idem=str(payload.get("idem", "")))
         except (KeyError, TypeError) as exc:
             raise TransportError(f"malformed request frame: {exc}") from exc
 
@@ -103,11 +122,20 @@ class ServiceHost:
 
     Services are plain objects; any public method (no leading underscore)
     is callable remotely with keyword arguments.
+
+    ``dedup_window`` bounds the number of idempotency-keyed responses the
+    host remembers (LRU).  The window must exceed the number of keyed
+    writes a client can have in flight between a fault and its retry;
+    the default comfortably covers one executor operation's fan-out plus
+    a batch frame.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, dedup_window: int = 1024) -> None:
         self._services: dict[str, Any] = {}
         self._lock = threading.RLock()
+        self._dedup: OrderedDict[str, Response] = OrderedDict()
+        self._dedup_window = dedup_window
+        self._dedup_hits = 0
 
     def register(self, name: str, service: Any) -> None:
         with self._lock:
@@ -130,7 +158,37 @@ class ServiceHost:
         with self._lock:
             return sorted(self._services)
 
+    def dedup_stats(self) -> dict[str, int]:
+        """Observability for the idempotency window (tests, metrics)."""
+        with self._lock:
+            return {"entries": len(self._dedup), "hits": self._dedup_hits}
+
+    def _dedup_lookup(self, idem: str) -> Response | None:
+        with self._lock:
+            cached = self._dedup.get(idem)
+            if cached is not None:
+                self._dedup.move_to_end(idem)
+                self._dedup_hits += 1
+            return cached
+
+    def _dedup_record(self, idem: str, response: Response) -> None:
+        with self._lock:
+            self._dedup[idem] = response
+            self._dedup.move_to_end(idem)
+            while len(self._dedup) > self._dedup_window:
+                self._dedup.popitem(last=False)
+
     def dispatch(self, request: Request) -> Response:
+        if request.idem:
+            cached = self._dedup_lookup(request.idem)
+            if cached is not None:
+                return cached
+        response = self._dispatch_once(request)
+        if request.idem:
+            self._dedup_record(request.idem, response)
+        return response
+
+    def _dispatch_once(self, request: Request) -> Response:
         try:
             service = self.get(request.service)
             if request.method.startswith("_"):

@@ -129,7 +129,9 @@ class TcpTransport:
         return sock
 
     def call(self, service: str, method: str, **kwargs: Any) -> Any:
-        request = Request(service, method, kwargs)
+        return self.call_request(Request(service, method, kwargs))
+
+    def call_request(self, request: Request) -> Any:
         reply = self._roundtrip(encode(request.to_payload()))
         return Response.from_payload(decode(reply)).unwrap()
 

@@ -13,7 +13,7 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import Any, Sequence
 
-from repro.errors import RemoteError
+from repro.errors import RemoteError, TransportError
 from repro.net.latency import NetworkModel, NetworkStats, TrafficMeter
 from repro.net.message import decode, encode
 from repro.net.rpc import (
@@ -34,6 +34,18 @@ class Transport(ABC):
     def call(self, service: str, method: str, **kwargs: Any) -> Any:
         """Invoke ``service.method(**kwargs)`` remotely, return its result."""
 
+    def call_request(self, request: Request) -> Any:
+        """Dispatch one prepared :class:`Request`.
+
+        The resilience layer builds requests up front so an idempotency
+        key survives every retry of the same logical call.  Transports
+        that put requests on a wire override this to preserve the key;
+        the base implementation degrades to :meth:`call` (dropping
+        ``idem``, which is only a loss of dedup, never of correctness —
+        unkeyed requests are applied on every delivery).
+        """
+        return self.call(request.service, request.method, **request.kwargs)
+
     def call_batch(self, requests: Sequence[Request]) -> list[Response]:
         """Ship several requests, returning one response per request.
 
@@ -41,18 +53,26 @@ class Transport(ABC):
         batch in a single wire frame (one latency-model charge); the base
         implementation degrades to sequential calls while keeping the
         per-request error-isolation contract: a failing sub-call becomes
-        an error :class:`Response` in its slot, never an exception.
+        an error :class:`Response` in its slot, never an exception.  Only
+        a link-level :class:`TransportError` (the frame never made it —
+        retryable above) aborts the loop.
         """
         responses: list[Response] = []
         for request in requests:
             try:
-                result = self.call(request.service, request.method,
-                                   **request.kwargs)
+                result = self.call_request(request)
                 responses.append(Response(ok=True, result=result))
             except RemoteError as exc:
                 responses.append(Response(
                     ok=False, error_type=exc.remote_type,
                     error_message=exc.remote_message,
+                ))
+            except TransportError:
+                raise  # link failure: the whole batch is undeliverable
+            except Exception as exc:  # noqa: BLE001 - isolation contract
+                responses.append(Response(
+                    ok=False, error_type=type(exc).__name__,
+                    error_message=str(exc),
                 ))
         return responses
 
@@ -79,7 +99,9 @@ class InProcTransport(Transport):
         self._meter = TrafficMeter()
 
     def call(self, service: str, method: str, **kwargs: Any) -> Any:
-        request = Request(service, method, kwargs)
+        return self.call_request(Request(service, method, kwargs))
+
+    def call_request(self, request: Request) -> Any:
         frame = encode(request.to_payload())
         delay_up = self._network.apply(len(frame))
         self._meter.record_send(len(frame), delay_up)
@@ -127,7 +149,10 @@ class DirectTransport(Transport):
         self._meter = TrafficMeter()
 
     def call(self, service: str, method: str, **kwargs: Any) -> Any:
-        response = self._host.dispatch(Request(service, method, kwargs))
+        return self.call_request(Request(service, method, kwargs))
+
+    def call_request(self, request: Request) -> Any:
+        response = self._host.dispatch(request)
         self._meter.record_send(0)
         self._meter.record_receive(0)
         return response.unwrap()

@@ -1,0 +1,344 @@
+"""Chaos suite: end-to-end correctness under injected network faults.
+
+Runs the full scenario matrix (insert / equality / boolean / range /
+aggregate, plus update and delete) through a seeded
+:class:`repro.net.faults.FaultInjectingTransport` over both the InProc
+and the real TCP transport, and asserts the results are identical to a
+fault-free baseline — with zero duplicate index entries, thanks to the
+retry layer's idempotency keys and the cloud's dedup window.
+
+The seed comes from ``DATABLINDER_CHAOS_SEED`` (CI runs several); a
+failing run dumps its fault schedule to ``DATABLINDER_CHAOS_ARTIFACTS``
+for reproduction.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.snapshot import SnapshotAdversary, zone_fingerprint
+from repro.cloud.server import CloudZone
+from repro.core.middleware import DataBlinder
+from repro.core.query import And, Eq, Range
+from repro.core.registry import TacticRegistry
+from repro.errors import TransportError
+from repro.fhir.model import observation_schema
+from repro.net.faults import FaultInjectingTransport, FaultPlan
+from repro.net.multicloud import MultiCloudTransport
+from repro.net.resilience import (
+    MUTATING_METHODS,
+    BreakerConfig,
+    ResilienceConfig,
+    ResilientTransport,
+    RetryPolicy,
+)
+from repro.net.rpc import Request
+from repro.net.tcp import TcpRpcServer, TcpTransport
+from repro.net.transport import InProcTransport, Transport
+from repro.tactics import register_builtin_tactics
+
+APP = "chaosapp"
+
+#: The acceptance-criteria schedule: 10% dropped frames, 5% duplicated.
+PLAN = FaultPlan(drop=0.10, duplicate=0.05)
+
+CHAOS_SEED = int(os.environ.get("DATABLINDER_CHAOS_SEED", "1337"))
+
+#: Enough attempts that 10% independent drops practically never exhaust
+#: the budget (p ~ 1e-8 per call); breaker high enough that a chaos
+#: run's scattered faults do not open a healthy endpoint's circuit.
+RESILIENCE = ResilienceConfig(
+    retry=RetryPolicy(max_attempts=8, sleep=False),
+    breaker=BreakerConfig(failure_threshold=10),
+    seed=CHAOS_SEED,
+)
+
+
+def fresh_registry() -> TacticRegistry:
+    registry = TacticRegistry()
+    register_builtin_tactics(registry)
+    return registry
+
+
+def make_doc(i: int) -> dict:
+    return {
+        "id": f"f{i}",
+        "identifier": i,
+        "status": "final" if i % 2 == 0 else "amended",
+        "code": "glucose" if i < 4 else "insulin",
+        "subject": f"Patient {i}",
+        "effective": 1000 + i,
+        "issued": 2000 + i,
+        "performer": "Dr",
+        "value": float(i),
+        "interpretation": "",
+    }
+
+
+def run_scenario(blinder: DataBlinder) -> dict:
+    """Every query shape the middleware supports, behind faults."""
+    blinder.register_schema(observation_schema())
+    observations = blinder.entities("observation")
+    ids = [observations.insert(make_doc(i)) for i in range(8)]
+    observations.update(ids[2], {"value": 20.0})
+    assert observations.delete(ids[7])
+
+    def identifiers(doc_ids) -> list[int]:
+        return sorted(observations.get(d)["identifier"] for d in doc_ids)
+
+    return {
+        "count": observations.count(),
+        "eq": identifiers(observations.find_ids(Eq("status", "final"))),
+        "bool": identifiers(observations.find_ids(
+            And([Eq("status", "final"), Eq("code", "glucose")])
+        )),
+        "range": identifiers(observations.find_ids(
+            Range("effective", 1002, 1005)
+        )),
+        "avg": observations.average("value"),
+    }
+
+
+EXPECTED = {
+    "count": 7,
+    "eq": [0, 2, 4, 6],
+    "bool": [0, 2],
+    "range": [2, 3, 4, 5],
+    "avg": pytest.approx(39.0 / 7.0),
+}
+
+
+@contextmanager
+def chaos_deployment(kind: str, plan: FaultPlan, seed: int):
+    """A CloudZone plus a fault-wrapped transport of the given kind."""
+    registry = fresh_registry()
+    cloud = CloudZone(registry)
+    server = None
+    if kind == "tcp":
+        server = TcpRpcServer(cloud.host)
+        server.serve_in_background()
+        inner: Transport = TcpTransport(server.endpoint)
+    else:
+        inner = InProcTransport(cloud.host)
+    faulty = FaultInjectingTransport(inner, plan, seed=seed)
+    try:
+        yield cloud, faulty, registry
+    finally:
+        faulty.close()
+        if server is not None:
+            server.shutdown()
+            server.server_close()
+
+
+@contextmanager
+def schedule_artifact(faulty: FaultInjectingTransport, label: str):
+    """Dump the fault schedule for reproduction when the body fails."""
+    try:
+        yield
+    except BaseException:
+        directory = os.environ.get("DATABLINDER_CHAOS_ARTIFACTS")
+        if directory:
+            path = Path(directory)
+            path.mkdir(parents=True, exist_ok=True)
+            (path / f"{label}-seed{faulty.seed}.json").write_text(
+                faulty.schedule_json()
+            )
+        raise
+
+
+def baseline() -> tuple[dict, CloudZone]:
+    registry = fresh_registry()
+    cloud = CloudZone(registry)
+    blinder = DataBlinder(APP, InProcTransport(cloud.host),
+                          registry=registry)
+    return run_scenario(blinder), cloud
+
+
+class TestChaosScenarios:
+    @pytest.mark.parametrize("kind", ["inproc", "tcp"])
+    def test_scenarios_survive_drop_and_duplicate_faults(self, kind):
+        expected_results, baseline_cloud = baseline()
+        assert expected_results == EXPECTED
+
+        with chaos_deployment(kind, PLAN, CHAOS_SEED) as (
+            cloud, faulty, registry
+        ):
+            with schedule_artifact(faulty, f"chaos-{kind}"):
+                blinder = DataBlinder(APP, faulty, registry=registry,
+                                      resilience=RESILIENCE)
+                results = run_scenario(blinder)
+                assert results == expected_results
+
+                # The run was genuinely chaotic and the resilience layer
+                # is what absorbed it: every lethal fault was retried.
+                stats = blinder.runtime.transport.stats()
+                assert faulty.fault_count() > 0
+                assert stats.faults_injected == faulty.fault_count()
+                lethal = faulty.fault_count("drop", "corrupt",
+                                            "disconnect")
+                assert stats.retries >= lethal
+                assert stats.breaker_opens == 0
+
+                # Zero duplicate applications: the chaotic zone holds
+                # exactly as many documents and index entries as the
+                # fault-free zone, despite duplicated/re-sent frames.
+                clean = SnapshotAdversary(baseline_cloud, APP).report()
+                chaotic = SnapshotAdversary(cloud, APP).report()
+                assert chaotic.documents == clean.documents
+                assert chaotic.kv_entries == clean.kv_entries
+
+    def test_same_schedule_fails_without_retries(self):
+        """Ablation: retries off, same plan+seed — the chaos bites."""
+        no_retry = ResilienceConfig(
+            retry=RetryPolicy.no_retry(),
+            breaker=BreakerConfig(failure_threshold=10 ** 9),
+        )
+        with chaos_deployment("inproc", PLAN, CHAOS_SEED) as (
+            _, faulty, registry
+        ):
+            try:
+                blinder = DataBlinder(APP, faulty, registry=registry,
+                                      resilience=no_retry)
+                run_scenario(blinder)
+            except TransportError:
+                pass  # expected: a drop surfaced as a typed failure
+            else:
+                # Only tenable if this seed's schedule happened to fire
+                # no lethal fault at all during the shorter run.
+                assert faulty.fault_count(
+                    "drop", "corrupt", "disconnect"
+                ) == 0
+
+    def test_retries_disabled_fails_deterministically(self):
+        """Canonical hard case: every delivery drops, single attempt."""
+        with chaos_deployment("inproc", FaultPlan(drop=1.0), 1337) as (
+            _, faulty, registry
+        ):
+            with pytest.raises(TransportError):
+                DataBlinder(
+                    APP, faulty, registry=registry,
+                    resilience=ResilienceConfig(
+                        retry=RetryPolicy.no_retry()
+                    ),
+                )
+
+
+class TestMultiCloudFailoverEndToEnd:
+    def test_open_primary_fails_over_and_stays_correct(self):
+        registry = fresh_registry()
+        cloud = CloudZone(registry)
+        primary = ResilientTransport(
+            InProcTransport(cloud.host), RetryPolicy.no_retry(),
+            breaker=BreakerConfig(failure_threshold=1,
+                                  reset_timeout=10 ** 9),
+            seed=0,
+        )
+        secondary = InProcTransport(cloud.host)
+        transport = MultiCloudTransport([
+            (lambda service: True, primary, secondary),
+        ])
+        blinder = DataBlinder(APP, transport, registry=registry)
+        blinder.register_schema(observation_schema())
+        observations = blinder.entities("observation")
+        ids = [observations.insert(make_doc(i)) for i in range(3)]
+
+        # Provider outage: the primary's breaker opens, so every call
+        # for its routes fails over to the secondary.
+        primary.breaker.record_failure()
+        ids += [observations.insert(make_doc(i)) for i in range(3, 6)]
+        assert observations.count() == 6
+        assert sorted(
+            observations.get(d)["identifier"]
+            for d in observations.find_ids(Eq("status", "final"))
+        ) == [0, 2, 4]
+        assert observations.average("value") == pytest.approx(2.5)
+        assert transport.stats().failovers > 0
+
+
+class RecordingTransport(Transport):
+    """Captures every request the resilience layer puts on the wire."""
+
+    def __init__(self, inner: Transport):
+        self._inner = inner
+        self.requests: list[Request] = []
+
+    def call(self, service, method, **kwargs):
+        return self.call_request(Request(service, method, kwargs))
+
+    def call_request(self, request):
+        self.requests.append(request)
+        return self._inner.call_request(request)
+
+    def call_batch(self, requests):
+        self.requests.extend(requests)
+        return self._inner.call_batch(requests)
+
+    def stats(self):
+        return self._inner.stats()
+
+
+_EXACTLY_ONCE: tuple | None = None
+
+
+def exactly_once_state() -> tuple[CloudZone, list[Request],
+                                  list[Request], str]:
+    """One deployment, its recorded keyed writes, and its fingerprint.
+
+    Built once and shared across hypothesis examples: replays must not
+    change the zone, so sharing is exactly the property under test.
+    """
+    global _EXACTLY_ONCE
+    if _EXACTLY_ONCE is None:
+        registry = fresh_registry()
+        cloud = CloudZone(registry)
+        recording = RecordingTransport(InProcTransport(cloud.host))
+        blinder = DataBlinder("idemapp", recording, registry=registry,
+                              resilience=ResilienceConfig())
+        blinder.register_schema(observation_schema())
+        observations = blinder.entities("observation")
+        ids = [observations.insert(make_doc(i)) for i in range(6)]
+        observations.update(ids[0], {"value": 9.0})
+        observations.delete(ids[5])
+        keyed = [r for r in recording.requests if r.idem]
+        unkeyed_writes = [
+            r for r in recording.requests
+            if r.method in MUTATING_METHODS and not r.idem
+        ]
+        _EXACTLY_ONCE = (cloud, keyed, unkeyed_writes,
+                         zone_fingerprint(cloud, "idemapp"))
+    return _EXACTLY_ONCE
+
+
+class TestIdempotencyProperties:
+    def test_every_write_on_the_wire_carries_a_key(self):
+        _, keyed, unkeyed_writes, _ = exactly_once_state()
+        assert keyed, "scenario produced no keyed writes"
+        assert unkeyed_writes == []
+
+    @given(data=st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_replaying_any_write_prefix_is_byte_identical(self, data):
+        """Re-delivering any prefix of the write history, in any order,
+        leaves docstore and every secure index byte-identical."""
+        cloud, keyed, _, fingerprint = exactly_once_state()
+        prefix = data.draw(st.integers(min_value=0,
+                                       max_value=len(keyed)))
+        replay = data.draw(st.permutations(keyed[:prefix]))
+        for request in replay:
+            response = cloud.host.dispatch(request)
+            assert response.ok or response.error_type  # well-formed
+        assert zone_fingerprint(cloud, "idemapp") == fingerprint
+
+    def test_replay_hits_the_dedup_window(self):
+        cloud, keyed, _, _ = exactly_once_state()
+        before = cloud.host.dedup_stats()["hits"]
+        for request in keyed:
+            cloud.host.dispatch(request)
+        after = cloud.host.dedup_stats()["hits"]
+        assert after - before == len(keyed)
