@@ -12,6 +12,7 @@ from repro.analysis.attacks import (
     rank_correlation,
     sorting_attack,
 )
+from repro.analysis.planview import render_plan
 from repro.analysis.observer import (
     ObservedCall,
     ObservedTransport,
@@ -33,5 +34,6 @@ __all__ = [
     "auxiliary_distribution",
     "frequency_attack",
     "rank_correlation",
+    "render_plan",
     "sorting_attack",
 ]

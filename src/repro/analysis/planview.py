@@ -1,0 +1,77 @@
+"""EXPLAIN rendering: a query plan with per-node cost and leakage.
+
+``DataBlinder.explain`` compiles an operation to plan IR and renders it
+here as an indented node tree.  Each node line carries the optimizer's
+cost estimate (descriptor priors blended with observed latency EWMAs —
+``~`` marks a value backed by real observations) and, for nodes that
+touch an encrypted index, the leakage level the serving tactic admits —
+making the query-time half of the leakage budget visible per plan, not
+just per field.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.planner import ir
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.planner.planner import QueryPlanner
+
+
+def _node_tactic(node: ir.PlanNode) -> str | None:
+    tactic = getattr(node, "tactic", None)
+    return tactic if isinstance(tactic, str) else None
+
+
+def _leakage(planner: "QueryPlanner", node: ir.PlanNode) -> str:
+    registry = planner.engine._x.runtime.registry
+    tactic = _node_tactic(node)
+    if tactic is not None:
+        descriptor = registry.descriptor(tactic)
+        return f"leaks {descriptor.leakage.level.label.lower()}"
+    if isinstance(node, ir.IndexLookup):  # plain-field lookup
+        return "plaintext field"
+    if isinstance(node, (ir.AllIds, ir.FetchDocs, ir.StoreCount)):
+        return "leaks identifiers"  # which ids the gateway touches
+    if isinstance(node, (ir.Decrypt, ir.Verify, ir.SetOp, ir.Limit,
+                         ir.ProjectIds, ir.Count)):
+        return "gateway-side"
+    return ""
+
+
+def _observed(planner: "QueryPlanner", node: ir.PlanNode) -> bool:
+    cost = planner.cost_model
+    if isinstance(node, ir.IndexLookup) and node.tactic is not None:
+        return cost.observed_ms(
+            cost.scope(node.field), node.op, node.tactic
+        ) is not None
+    if isinstance(node, ir.BoolQuery):
+        return cost.observed_ms(
+            planner.engine._x._bool_scope(), "bool", node.tactic
+        ) is not None
+    return False
+
+
+def render_plan(plan: ir.Plan, planner: "QueryPlanner") -> str:
+    """Multi-line EXPLAIN text for one compiled plan."""
+    cost = planner.cost_model
+    header = (
+        f"plan: {plan.operation} on {plan.schema}"
+        f" (verify={'on' if plan.verify else 'off'},"
+        f" params={plan.param_count},"
+        f" est {cost.estimate_ms(plan.root):.2f} ms)"
+    )
+    lines = [header]
+    for node, depth in ir.walk(plan.root):
+        detail = node.detail()
+        label = node.kind + (f"({detail})" if detail else "")
+        estimate = cost.estimate_ms(node)
+        marker = "~" if _observed(planner, node) else ""
+        leakage = _leakage(planner, node)
+        suffix = f"  [cost {marker}{estimate:.2f} ms"
+        if leakage:
+            suffix += f"; {leakage}"
+        suffix += "]"
+        lines.append("  " * (depth + 1) + label + suffix)
+    return "\n".join(lines)

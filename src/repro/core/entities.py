@@ -126,6 +126,13 @@ class Entities:
             results.append(self._executor._decrypt_stored(item))
         return results
 
+    # -- query planning -----------------------------------------------------------
+
+    def explain(self, predicate: Predicate | None = None,
+                **kwargs) -> str:
+        """Rendered query plan (no execution); see ``DataBlinder.explain``."""
+        return self._executor.explain(predicate=predicate, **kwargs)
+
     # -- convenience predicates -------------------------------------------------------
 
     @staticmethod

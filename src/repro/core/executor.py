@@ -1,68 +1,55 @@
-"""Query planning and execution over one registered schema.
+"""Schema binding and the execution façade over the query planner.
 
 The executor is the middleware-core's "abstract execution of the
-persistence logic" (§4.1): it binds a schema's field plans to live tactic
-instances, routes every CRUD and search operation to the right gateway
-SPI, and performs the gateway-side resolution steps — combining per-tactic
-id sets, decrypting document bodies, and verifying candidates against the
-plaintext predicate (the *<Read>* interfaces Table 1 folds into every
-search operation).
+persistence logic" (§4.1).  Since the planner refactor it is a thin
+façade: it binds a schema's field plans to live tactic instances, owns
+the body cipher and the write-batch/fan-out plumbing, and delegates
+every operation to its :class:`repro.core.planner.QueryPlanner`, which
+compiles the operation to plan IR, optimizes it against the cost model,
+caches it by predicate shape, and executes it on the plan engine.
 
-Verification makes the whole pipeline sound under the approximations the
-tactics are allowed: BIEX-ZMF false positives, stale entries from
-insert-as-upsert range tactics and addition-only Sophos updates are all
-trimmed here, so ``find`` always returns exactly the matching documents.
+Verification still makes the whole pipeline sound under the
+approximations the tactics are allowed: BIEX-ZMF false positives, stale
+entries from insert-as-upsert range tactics and addition-only Sophos
+updates are all trimmed by the plan's ``Verify`` stage, so ``find``
+always returns exactly the matching documents.  Tactics that declare
+``exact_search`` let the compiler drop that stage where membership
+cannot change (the decrypt-free ``count`` path).
 
-When a :class:`repro.net.batch.PipelineConfig` enables them, three
+When a :class:`repro.net.batch.PipelineConfig` enables them, the
 latency optimisations rewire the hot paths without changing results:
-write operations collect their per-field index RPCs plus the
-document-store write into one batch frame (a single round trip),
-independent CNF literals resolve concurrently on a bounded thread pool,
-and ``find`` prefetches the next ``get_many`` chunk while the previous
-one decrypts.
+write batching, CNF literal fan-out, chunked fetch with prefetch — all
+executed node-by-node by the plan engine with the seed semantics —
+plus the planner-era knobs (``fetch_chunk``, ``plan_cache``,
+``adaptive_selection``).
 """
 
 from __future__ import annotations
 
 import threading
-from concurrent.futures import Future, ThreadPoolExecutor
+from concurrent.futures import ThreadPoolExecutor
 from contextlib import nullcontext
 from typing import Any, ContextManager
 
-from repro.core.query import (
-    AggregateQuery,
-    And,
-    Eq,
-    Not,
-    Or,
-    Predicate,
-    Range,
-    evaluate_plain,
-    to_cnf,
-)
+from repro.core.planner import QueryPlanner
+from repro.core.query import AggregateQuery, Predicate
 from repro.core.schema import Schema
 from repro.core.selection import FieldPlan
 from repro.crypto.encoding import Value
 from repro.crypto.symmetric import Aead
-from repro.errors import (
-    DocumentNotFound,
-    QueryError,
-    RemoteError,
-    UnsupportedOperation,
-)
+from repro.errors import DocumentNotFound
 from repro.gateway.service import GatewayRuntime
 from repro.net import message
 from repro.net.batch import PipelineConfig
-from repro.spi.interfaces import (
-    GatewayDeletion,
-    GatewayDocIDGen,
-    GatewayInsertion,
-    GatewayUpdate,
-)
+from repro.spi.interfaces import GatewayDocIDGen
 from repro.tactics.base import random_doc_id
 from repro.tactics.biex import BiexGateway
 
 BOOL_SCOPE_SUFFIX = "._bool"
+
+#: Lookup roles whose alternatives are dual-indexed for adaptive
+#: selection (aggregate and store roles always stay on the primary).
+ADAPTIVE_ROLES = ("eq", "range")
 
 
 class SchemaExecutor:
@@ -91,8 +78,10 @@ class SchemaExecutor:
             runtime.keystore.derive(f"{schema.name}._body", "core", "aead")
         )
         self._instances: dict[str, dict[str, Any]] = {}
+        self._alternatives: dict[tuple[str, str, str], Any] = {}
         self._bool_instance: BiexGateway | None = None
         self._load_instances()
+        self.planner = QueryPlanner(self)
 
     # -- instance wiring ---------------------------------------------------------
 
@@ -116,18 +105,77 @@ class SchemaExecutor:
                 if isinstance(instance, BiexGateway):
                     self._bool_instance = instance
             self._instances[field] = by_role
+            if self.pipeline.adaptive_selection:
+                # Dual-index the recorded runner-ups so the optimizer may
+                # route lookups to them (never BIEX — selection excludes
+                # shared-instance tactics from alternatives).
+                for role in ADAPTIVE_ROLES:
+                    for name in plan.alternatives.get(role, ()):
+                        self._alternatives[(field, role, name)] = (
+                            self.runtime.tactic(
+                                f"{self.schema.name}.{field}", name
+                            )
+                        )
 
     def _role_instance(self, field: str, role: str) -> Any | None:
         return self._instances.get(field, {}).get(role)
 
+    def _uses_bool_tactic(self, field: str) -> bool:
+        by_role = self._instances.get(field, {})
+        return any(
+            by_role.get(role) is self._bool_instance
+            for role in ("bool", "eq")
+        )
+
+    def lookup_instance(self, field: str, role: str | None,
+                        tactic: str) -> Any:
+        """The instance serving one plan-IR lookup node.
+
+        The statically selected tactic resolves to its wired role
+        instance (identity matters for the shared boolean instance);
+        an adaptive alternative resolves to its dual-indexed instance.
+        """
+        if role is not None:
+            primary = self._instances.get(field, {}).get(role)
+            if primary is not None and (
+                self.plans[field].roles.get(role) == tactic
+            ):
+                return primary
+            alternative = self._alternatives.get((field, role, tactic))
+            if alternative is not None:
+                return alternative
+        return self.runtime.tactic(f"{self.schema.name}.{field}", tactic)
+
     def _field_instances(self, field: str) -> list[Any]:
-        """Distinct tactic instances bound to a field."""
+        """Distinct *primary* tactic instances bound to a field."""
         seen: list[Any] = []
         for role in sorted(self._instances.get(field, {})):
             instance = self._instances[field][role]
             if all(instance is not s for s in seen):
                 seen.append(instance)
         return seen
+
+    def write_instances(self, field: str) -> list[Any]:
+        """Distinct instances a write must feed: the primaries, plus the
+        dual-indexed alternatives under adaptive selection."""
+        seen = self._field_instances(field)
+        for (alt_field, _, _), instance in sorted(
+            self._alternatives.items(), key=lambda item: item[0]
+        ):
+            if alt_field == field and all(
+                instance is not s for s in seen
+            ):
+                seen.append(instance)
+        return seen
+
+    def write_tactic_names(self, field: str) -> list[str]:
+        """Distinct tactic names the write path feeds for a field."""
+        plan = self.plans[field]
+        names = list(plan.tactic_names)
+        for (alt_field, role, name) in sorted(self._alternatives):
+            if alt_field == field and name not in names:
+                names.append(name)
+        return names
 
     # -- pipelining helpers --------------------------------------------------------
 
@@ -195,47 +243,12 @@ class SchemaExecutor:
     # -- CRUD --------------------------------------------------------------------------
 
     def insert(self, document: dict[str, Value]) -> str:
-        return self._insert_bulk([document])[0]
+        return self.planner.insert_bulk([document])[0]
 
     def insert_many(self, documents: list[dict[str, Value]]) -> list[str]:
         """Bulk insert: tactic protocols run per document, but all the
         encrypted bodies ship to the document store in one round trip."""
-        return self._insert_bulk(documents)
-
-    def _insert_bulk(self, documents: list[dict[str, Value]]) -> list[str]:
-        """The one per-field tactic loop behind ``insert``/``insert_many``.
-
-        Under a write batch, every per-field index RPC *and* the final
-        document-store write leave the gateway in a single batch frame.
-        """
-        stored = []
-        doc_ids = []
-        with self._write_batch():
-            for document in documents:
-                self.schema.validate(document)
-                doc_id = document.get("_id") or self._generate_doc_id()
-                sensitive, plain = self._split_document(document)
-                bool_terms: list[bytes] = []
-                for field, value in sensitive.items():
-                    if value is None:
-                        continue
-                    for instance in self._field_instances(field):
-                        if instance is self._bool_instance:
-                            bool_terms.append(instance.term(field, value))
-                        elif isinstance(instance, GatewayInsertion):
-                            instance.insert(doc_id, value)
-                if bool_terms and self._bool_instance is not None:
-                    self._bool_instance.insert_terms(doc_id, bool_terms)
-                stored.append({
-                    "_id": doc_id,
-                    "schema": self.schema.name,
-                    "body": self._seal_body(sensitive),
-                    "plain": plain,
-                })
-                doc_ids.append(doc_id)
-            if stored:
-                self.runtime.docs("insert_many", documents=stored)
-        return doc_ids
+        return self.planner.insert_bulk(documents)
 
     def _generate_doc_id(self) -> str:
         for by_role in self._instances.values():
@@ -260,59 +273,10 @@ class SchemaExecutor:
         return document
 
     def update(self, doc_id: str, changes: dict[str, Value]) -> None:
-        old = self.get(doc_id)
-        new = {k: v for k, v in old.items() if k != "_id"}
-        new.update({k: v for k, v in changes.items() if k != "_id"})
-        self.schema.validate(new)
+        self.planner.update(doc_id, changes)
 
-        old_sensitive, _ = self._split_document(old)
-        new_sensitive, new_plain = self._split_document(new)
-
-        with self._write_batch():
-            self._apply_update(doc_id, old_sensitive, new_sensitive,
-                               new_plain)
-
-    def _apply_update(self, doc_id: str,
-                      old_sensitive: dict[str, Value],
-                      new_sensitive: dict[str, Value],
-                      new_plain: dict[str, Value]) -> None:
-        bool_changed = False
-        for field in set(old_sensitive) | set(new_sensitive):
-            old_value = old_sensitive.get(field)
-            new_value = new_sensitive.get(field)
-            if old_value == new_value:
-                continue
-            for instance in self._field_instances(field):
-                if instance is self._bool_instance:
-                    bool_changed = True
-                elif isinstance(instance, GatewayUpdate) and (
-                    old_value is not None and new_value is not None
-                ):
-                    instance.update(doc_id, old_value, new_value)
-                elif new_value is not None and isinstance(
-                    instance, GatewayInsertion
-                ):
-                    if old_value is not None and isinstance(
-                        instance, GatewayDeletion
-                    ):
-                        instance.delete(doc_id, old_value)
-                    instance.insert(doc_id, new_value)
-                elif new_value is None and old_value is not None and (
-                    isinstance(instance, GatewayDeletion)
-                ):
-                    instance.delete(doc_id, old_value)
-        if bool_changed and self._bool_instance is not None:
-            self._bool_instance.update_terms(
-                doc_id,
-                self._bool_terms(old_sensitive),
-                self._bool_terms(new_sensitive),
-            )
-        self.runtime.docs("replace", document={
-            "_id": doc_id,
-            "schema": self.schema.name,
-            "body": self._seal_body(new_sensitive),
-            "plain": new_plain,
-        })
+    def delete(self, doc_id: str) -> bool:
+        return self.planner.delete(doc_id)
 
     def _bool_terms(self, sensitive: dict[str, Value]) -> list[bytes]:
         terms = []
@@ -328,331 +292,32 @@ class SchemaExecutor:
                 terms.append(self._bool_instance.term(field, value))
         return terms
 
-    def delete(self, doc_id: str) -> bool:
-        try:
-            old = self.get(doc_id)
-        except (DocumentNotFound, RemoteError):
-            return False
-        old_sensitive, _ = self._split_document(old)
-        with self._write_batch():
-            for field, value in old_sensitive.items():
-                if value is None:
-                    continue
-                for instance in self._field_instances(field):
-                    if instance is self._bool_instance:
-                        continue
-                    if isinstance(instance, GatewayDeletion):
-                        instance.delete(doc_id, value)
-            if self._bool_instance is not None:
-                terms = self._bool_terms(old_sensitive)
-                if terms:
-                    self._bool_instance.delete_terms(doc_id, terms)
-            # The document-store delete needs its result, so under a
-            # write batch it rides as the batch's final element (the
-            # collector flushes and hands its result back).
-            return bool(self.runtime.docs("delete", doc_id=doc_id))
-
     # -- search ------------------------------------------------------------------------
 
     def find(self, predicate: Predicate | None = None,
              verify: bool | None = None,
              limit: int | None = None) -> list[dict[str, Value]]:
-        verify = self.verify_results if verify is None else verify
-        if predicate is None:
-            ids = set(self.runtime.docs("all_ids", schema=self.schema.name))
-        else:
-            ids = self._candidate_ids(predicate)
-        documents: list[dict[str, Value]] = []
-        candidate_ids = sorted(ids)
-        # Fetch in chunks so a small limit does not pull the whole
-        # candidate set across the wire.
-        chunk_size = 64 if limit is None else max(limit * 2, 16)
-        chunks = [
-            candidate_ids[offset:offset + chunk_size]
-            for offset in range(0, len(candidate_ids), chunk_size)
-        ]
-        pool = self._pool() if self.pipeline.prefetch else None
-
-        def fetch(chunk: list[str]) -> list[dict]:
-            return self.runtime.docs("get_many", doc_ids=chunk)
-
-        pending: Future | None = None
-        if pool is not None and chunks:
-            pending = pool.submit(fetch, chunks[0])
-        for index, chunk in enumerate(chunks):
-            if pending is not None:
-                stored = pending.result()
-                # Overlap the next wire fetch with this chunk's
-                # decryption and verification.
-                pending = (
-                    pool.submit(fetch, chunks[index + 1])
-                    if index + 1 < len(chunks) else None
-                )
-            else:
-                stored = fetch(chunk)
-            for item in stored:
-                if item.get("schema") != self.schema.name:
-                    continue
-                document = self._decrypt_stored(item)
-                if verify and predicate is not None and not evaluate_plain(
-                    predicate, document
-                ):
-                    continue
-                documents.append(document)
-                if limit is not None and len(documents) >= limit:
-                    return documents
-        return documents
+        return self.planner.find(predicate, verify, limit)
 
     def find_ids(self, predicate: Predicate | None = None,
                  verify: bool | None = None) -> set[str]:
-        verify = self.verify_results if verify is None else verify
-        if verify or predicate is None:
-            return {d["_id"] for d in self.find(predicate, verify=verify)}
-        return self._candidate_ids(predicate)
+        return self.planner.find_ids(predicate, verify)
 
     def count(self, predicate: Predicate | None = None) -> int:
-        if predicate is None:
-            return self.runtime.docs(
-                "count", query={"schema": self.schema.name}
-            )
-        return len(self.find_ids(predicate))
-
-    # -- candidate generation ------------------------------------------------------------
-
-    def _candidate_ids(self, predicate: Predicate) -> set[str]:
-        cnf = to_cnf(predicate)
-        boolean_clauses: list[list[Eq]] = []
-        other_clauses: list[list[Predicate]] = []
-        for clause in cnf:
-            if self._bool_instance is not None and all(
-                isinstance(literal, Eq)
-                and self._uses_bool_tactic(literal.field)
-                for literal in clause
-            ):
-                boolean_clauses.append(clause)  # type: ignore[arg-type]
-            else:
-                other_clauses.append(clause)
-
-        result: set[str] | None = None
-        if boolean_clauses:
-            cnf_terms = [
-                [
-                    self._bool_instance.term(literal.field, literal.value)
-                    for literal in clause
-                ]
-                for clause in boolean_clauses
-            ]
-            raw = self._bool_instance.bool_query_terms(cnf_terms)
-            result = self._bool_instance.resolve_bool(raw)
-
-        # One `all_ids` fetch per evaluation, shared by every Not literal
-        # (and safe under the concurrent fan-out below).
-        all_ids = self._all_ids_once()
-
-        pool = self._pool()
-        literal_count = sum(len(clause) for clause in other_clauses)
-        if (pool is not None and self.pipeline.fanout_workers > 1
-                and literal_count > 1):
-            # Fan out: independent literals resolve concurrently; the
-            # TCP client pools one connection per worker thread, and the
-            # in-proc latency model sleeps per thread, so wall-clock
-            # cost is the slowest literal, not the sum.
-            futures = [
-                [pool.submit(self._literal_ids, literal, all_ids)
-                 for literal in clause]
-                for clause in other_clauses
-            ]
-            for clause_futures in futures:
-                union: set[str] = set()
-                for future in clause_futures:
-                    union |= future.result()
-                result = union if result is None else result & union
-            return result if result is not None else set()
-
-        for clause in other_clauses:
-            if result is not None and not result:
-                return set()  # short-circuit: intersection already empty
-            union = set()
-            for literal in clause:
-                union |= self._literal_ids(literal, all_ids)
-            result = union if result is None else result & union
-        return result if result is not None else set()
-
-    def _all_ids_once(self) -> Any:
-        """A memoized, thread-safe fetch of the schema's full id list."""
-        lock = threading.Lock()
-        cache: list[set[str]] = []
-
-        def fetch() -> set[str]:
-            with lock:
-                if not cache:
-                    cache.append(set(self.runtime.docs(
-                        "all_ids", schema=self.schema.name
-                    )))
-                return cache[0]
-
-        return fetch
-
-    def _uses_bool_tactic(self, field: str) -> bool:
-        by_role = self._instances.get(field, {})
-        return any(
-            by_role.get(role) is self._bool_instance
-            for role in ("bool", "eq")
-        )
-
-    def _literal_ids(self, literal: Predicate,
-                     all_ids: Any | None = None) -> set[str]:
-        if isinstance(literal, Not):
-            if all_ids is None:
-                all_ids = self._all_ids_once()
-            return set(all_ids()) - self._literal_ids(literal.part, all_ids)
-        if isinstance(literal, Eq):
-            return self._eq_ids(literal)
-        if isinstance(literal, Range):
-            return self._range_ids(literal)
-        raise QueryError(
-            f"cannot execute literal of type {type(literal).__name__}"
-        )
-
-    def _eq_ids(self, literal: Eq) -> set[str]:
-        spec = self.schema.fields.get(literal.field)
-        if spec is None:
-            raise QueryError(
-                f"unknown field {literal.field!r} in schema "
-                f"{self.schema.name!r}"
-            )
-        if not spec.sensitive:
-            return set(self.runtime.docs("find_plain", query={
-                "schema": self.schema.name,
-                f"plain.{literal.field}": literal.value,
-            }))
-        instance = self._role_instance(literal.field, "eq")
-        if instance is None:
-            raise UnsupportedOperation(
-                f"field {literal.field!r} is not annotated for equality "
-                f"search (op EQ)"
-            )
-        if isinstance(instance, BiexGateway):
-            # BIEX serves equality through its boolean protocol (it has no
-            # separate EqResolution interface — Table 2 SPI surface), and
-            # the shared cross-field instance needs the literal's field to
-            # build the term.
-            raw = instance.bool_query_terms(
-                [[instance.term(literal.field, literal.value)]]
-            )
-            return instance.resolve_bool(raw)
-        return instance.resolve_eq(instance.eq_query(literal.value))
-
-    def _range_ids(self, literal: Range) -> set[str]:
-        spec = self.schema.fields.get(literal.field)
-        if spec is None:
-            raise QueryError(
-                f"unknown field {literal.field!r} in schema "
-                f"{self.schema.name!r}"
-            )
-        if not spec.sensitive:
-            bounds: dict[str, Value] = {}
-            if literal.low is not None:
-                bounds["$gte"] = literal.low
-            if literal.high is not None:
-                bounds["$lte"] = literal.high
-            return set(self.runtime.docs("find_plain", query={
-                "schema": self.schema.name,
-                f"plain.{literal.field}": bounds,
-            }))
-        instance = self._role_instance(literal.field, "range")
-        if instance is None:
-            raise UnsupportedOperation(
-                f"field {literal.field!r} is not annotated for range "
-                f"search (op RG)"
-            )
-        return instance.range_query(literal.low, literal.high)
+        return self.planner.count(predicate)
 
     # -- aggregates ---------------------------------------------------------------------------
 
     def aggregate(self, query: AggregateQuery) -> Value:
-        role = f"agg:{query.function.value}"
-        instance = self._role_instance(query.field, role)
-        if instance is None:
-            if query.function.value == "count":
-                return self.count(query.where)
-            raise UnsupportedOperation(
-                f"field {query.field!r} is not annotated for aggregate "
-                f"{query.function.value!r}"
-            )
-        if query.function.value in ("min", "max"):
-            return self._extreme(query, instance)
-        if query.where is None:
-            doc_ids = sorted(
-                self.runtime.docs("all_ids", schema=self.schema.name)
-            )
-        else:
-            doc_ids = sorted(self.find_ids(query.where))
-        return instance.aggregate(query.function.value, doc_ids)
-
-    def _extreme(self, query: AggregateQuery, instance: Any) -> Value:
-        """Min/max off the order tactic's sorted index.
-
-        Candidates stream in value order; each is fetched, decrypted and
-        verified (stale upsert entries or a filter predicate may discard
-        the head of the list), and the first surviving value wins.
-        """
-        descending = query.function.value == "max"
-        allowed: set[str] | None = None
-        if query.where is not None:
-            allowed = self.find_ids(query.where)
-            if not allowed:
-                return None
-        offset = 0
-        batch = 16
-        ordered = instance.ordered_ids(descending=descending)
-        while offset < len(ordered):
-            chunk = ordered[offset:offset + batch]
-            offset += batch
-            candidates = [
-                doc_id for doc_id in chunk
-                if allowed is None or doc_id in allowed
-            ]
-            if not candidates:
-                continue
-            stored = self.runtime.docs("get_many", doc_ids=candidates)
-            by_id = {item["_id"]: item for item in stored}
-            for doc_id in candidates:
-                item = by_id.get(doc_id)
-                if item is None or item.get("schema") != self.schema.name:
-                    continue
-                document = self._decrypt_stored(item)
-                value = document.get(query.field)
-                if value is None:
-                    continue
-                # The index is insert-as-upsert, so live documents are
-                # current; deleted ones were skipped by get_many above.
-                return value
-        return None
+        return self.planner.aggregate(query)
 
     def find_sorted(self, field: str, limit: int | None = None,
                     descending: bool = False) -> list[dict[str, Value]]:
         """Documents ordered by a range-annotated field (ORDER BY)."""
-        instance = self._role_instance(field, "range")
-        if instance is None:
-            raise UnsupportedOperation(
-                f"field {field!r} is not annotated for range/order "
-                f"operations (op RG)"
-            )
-        ordered = instance.ordered_ids(descending=descending)
-        results: list[dict[str, Value]] = []
-        offset = 0
-        while offset < len(ordered) and (limit is None
-                                         or len(results) < limit):
-            chunk = ordered[offset:offset + 32]
-            offset += 32
-            stored = self.runtime.docs("get_many", doc_ids=chunk)
-            by_id = {item["_id"]: item for item in stored}
-            for doc_id in chunk:
-                item = by_id.get(doc_id)
-                if item is None or item.get("schema") != self.schema.name:
-                    continue
-                results.append(self._decrypt_stored(item))
-                if limit is not None and len(results) >= limit:
-                    break
-        return results
+        return self.planner.find_sorted(field, limit, descending)
+
+    # -- EXPLAIN ------------------------------------------------------------------------------
+
+    def explain(self, **kwargs: Any) -> str:
+        """Rendered plan (nodes, costs, leakage) without executing."""
+        return self.planner.explain(**kwargs)

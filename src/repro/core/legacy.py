@@ -1,0 +1,284 @@
+"""The pre-planner read path, preserved verbatim as a reference oracle.
+
+Before the planner refactor, :class:`repro.core.executor.SchemaExecutor`
+resolved queries directly (CNF split, per-literal index lookups, chunked
+fetch, decrypt, verify).  That logic lives on here, bound to the same
+executor wiring, so the equivalence test sweep can run every query
+through *both* paths against the *same* deployment and assert identical
+results.  It is test infrastructure, not a supported API; nothing in the
+middleware routes through it.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+from repro.core.executor import SchemaExecutor
+from repro.core.query import (
+    AggregateQuery,
+    Eq,
+    Not,
+    Predicate,
+    Range,
+    evaluate_plain,
+    to_cnf,
+)
+from repro.crypto.encoding import Value
+from repro.errors import QueryError, UnsupportedOperation
+from repro.tactics.biex import BiexGateway
+
+
+class LegacyReadPath:
+    """Seed-era query resolution over an executor's live instances."""
+
+    def __init__(self, executor: SchemaExecutor):
+        self._x = executor
+
+    # -- search ----------------------------------------------------------------
+
+    def find(self, predicate: Predicate | None = None,
+             verify: bool | None = None,
+             limit: int | None = None) -> list[dict[str, Value]]:
+        x = self._x
+        verify = x.verify_results if verify is None else verify
+        if predicate is None:
+            ids = set(x.runtime.docs("all_ids", schema=x.schema.name))
+        else:
+            ids = self._candidate_ids(predicate)
+        documents: list[dict[str, Value]] = []
+        candidate_ids = sorted(ids)
+        chunk_size = 64 if limit is None else max(limit * 2, 16)
+        for offset in range(0, len(candidate_ids), chunk_size):
+            chunk = candidate_ids[offset:offset + chunk_size]
+            stored = x.runtime.docs("get_many", doc_ids=chunk)
+            for item in stored:
+                if item.get("schema") != x.schema.name:
+                    continue
+                document = x._decrypt_stored(item)
+                if verify and predicate is not None and not evaluate_plain(
+                    predicate, document
+                ):
+                    continue
+                documents.append(document)
+                if limit is not None and len(documents) >= limit:
+                    return documents
+        return documents
+
+    def find_ids(self, predicate: Predicate | None = None,
+                 verify: bool | None = None) -> set[str]:
+        x = self._x
+        verify = x.verify_results if verify is None else verify
+        if verify or predicate is None:
+            return {d["_id"] for d in self.find(predicate, verify=verify)}
+        return self._candidate_ids(predicate)
+
+    def count(self, predicate: Predicate | None = None) -> int:
+        x = self._x
+        if predicate is None:
+            return x.runtime.docs("count", query={"schema": x.schema.name})
+        return len(self.find_ids(predicate))
+
+    # -- candidate generation --------------------------------------------------
+
+    def _candidate_ids(self, predicate: Predicate) -> set[str]:
+        x = self._x
+        cnf = to_cnf(predicate)
+        boolean_clauses: list[list[Eq]] = []
+        other_clauses: list[list[Predicate]] = []
+        for clause in cnf:
+            if x._bool_instance is not None and all(
+                isinstance(literal, Eq)
+                and x._uses_bool_tactic(literal.field)
+                for literal in clause
+            ):
+                boolean_clauses.append(clause)  # type: ignore[arg-type]
+            else:
+                other_clauses.append(clause)
+
+        result: set[str] | None = None
+        if boolean_clauses:
+            cnf_terms = [
+                [
+                    x._bool_instance.term(literal.field, literal.value)
+                    for literal in clause
+                ]
+                for clause in boolean_clauses
+            ]
+            raw = x._bool_instance.bool_query_terms(cnf_terms)
+            result = x._bool_instance.resolve_bool(raw)
+
+        all_ids = self._all_ids_once()
+
+        for clause in other_clauses:
+            if result is not None and not result:
+                return set()
+            union: set[str] = set()
+            for literal in clause:
+                union |= self._literal_ids(literal, all_ids)
+            result = union if result is None else result & union
+        return result if result is not None else set()
+
+    def _all_ids_once(self) -> Any:
+        lock = threading.Lock()
+        cache: list[set[str]] = []
+        x = self._x
+
+        def fetch() -> set[str]:
+            with lock:
+                if not cache:
+                    cache.append(set(x.runtime.docs(
+                        "all_ids", schema=x.schema.name
+                    )))
+                return cache[0]
+
+        return fetch
+
+    def _literal_ids(self, literal: Predicate,
+                     all_ids: Any | None = None) -> set[str]:
+        if isinstance(literal, Not):
+            if all_ids is None:
+                all_ids = self._all_ids_once()
+            return set(all_ids()) - self._literal_ids(literal.part, all_ids)
+        if isinstance(literal, Eq):
+            return self._eq_ids(literal)
+        if isinstance(literal, Range):
+            return self._range_ids(literal)
+        raise QueryError(
+            f"cannot execute literal of type {type(literal).__name__}"
+        )
+
+    def _eq_ids(self, literal: Eq) -> set[str]:
+        x = self._x
+        spec = x.schema.fields.get(literal.field)
+        if spec is None:
+            raise QueryError(
+                f"unknown field {literal.field!r} in schema "
+                f"{x.schema.name!r}"
+            )
+        if not spec.sensitive:
+            return set(x.runtime.docs("find_plain", query={
+                "schema": x.schema.name,
+                f"plain.{literal.field}": literal.value,
+            }))
+        instance = x._role_instance(literal.field, "eq")
+        if instance is None:
+            raise UnsupportedOperation(
+                f"field {literal.field!r} is not annotated for equality "
+                f"search (op EQ)"
+            )
+        if isinstance(instance, BiexGateway):
+            raw = instance.bool_query_terms(
+                [[instance.term(literal.field, literal.value)]]
+            )
+            return instance.resolve_bool(raw)
+        return instance.resolve_eq(instance.eq_query(literal.value))
+
+    def _range_ids(self, literal: Range) -> set[str]:
+        x = self._x
+        spec = x.schema.fields.get(literal.field)
+        if spec is None:
+            raise QueryError(
+                f"unknown field {literal.field!r} in schema "
+                f"{x.schema.name!r}"
+            )
+        if not spec.sensitive:
+            bounds: dict[str, Value] = {}
+            if literal.low is not None:
+                bounds["$gte"] = literal.low
+            if literal.high is not None:
+                bounds["$lte"] = literal.high
+            return set(x.runtime.docs("find_plain", query={
+                "schema": x.schema.name,
+                f"plain.{literal.field}": bounds,
+            }))
+        instance = x._role_instance(literal.field, "range")
+        if instance is None:
+            raise UnsupportedOperation(
+                f"field {literal.field!r} is not annotated for range "
+                f"search (op RG)"
+            )
+        return instance.range_query(literal.low, literal.high)
+
+    # -- aggregates ------------------------------------------------------------
+
+    def aggregate(self, query: AggregateQuery) -> Value:
+        x = self._x
+        role = f"agg:{query.function.value}"
+        instance = x._role_instance(query.field, role)
+        if instance is None:
+            if query.function.value == "count":
+                return self.count(query.where)
+            raise UnsupportedOperation(
+                f"field {query.field!r} is not annotated for aggregate "
+                f"{query.function.value!r}"
+            )
+        if query.function.value in ("min", "max"):
+            return self._extreme(query, instance)
+        if query.where is None:
+            doc_ids = sorted(
+                x.runtime.docs("all_ids", schema=x.schema.name)
+            )
+        else:
+            doc_ids = sorted(self.find_ids(query.where))
+        return instance.aggregate(query.function.value, doc_ids)
+
+    def _extreme(self, query: AggregateQuery, instance: Any) -> Value:
+        x = self._x
+        descending = query.function.value == "max"
+        allowed: set[str] | None = None
+        if query.where is not None:
+            allowed = self.find_ids(query.where)
+            if not allowed:
+                return None
+        offset = 0
+        batch = 16
+        ordered = instance.ordered_ids(descending=descending)
+        while offset < len(ordered):
+            chunk = ordered[offset:offset + batch]
+            offset += batch
+            candidates = [
+                doc_id for doc_id in chunk
+                if allowed is None or doc_id in allowed
+            ]
+            if not candidates:
+                continue
+            stored = x.runtime.docs("get_many", doc_ids=candidates)
+            by_id = {item["_id"]: item for item in stored}
+            for doc_id in candidates:
+                item = by_id.get(doc_id)
+                if item is None or item.get("schema") != x.schema.name:
+                    continue
+                document = x._decrypt_stored(item)
+                value = document.get(query.field)
+                if value is None:
+                    continue
+                return value
+        return None
+
+    def find_sorted(self, field: str, limit: int | None = None,
+                    descending: bool = False) -> list[dict[str, Value]]:
+        x = self._x
+        instance = x._role_instance(field, "range")
+        if instance is None:
+            raise UnsupportedOperation(
+                f"field {field!r} is not annotated for range/order "
+                f"operations (op RG)"
+            )
+        ordered = instance.ordered_ids(descending=descending)
+        results: list[dict[str, Value]] = []
+        offset = 0
+        while offset < len(ordered) and (limit is None
+                                         or len(results) < limit):
+            chunk = ordered[offset:offset + 32]
+            offset += 32
+            stored = x.runtime.docs("get_many", doc_ids=chunk)
+            by_id = {item["_id"]: item for item in stored}
+            for doc_id in chunk:
+                item = by_id.get(doc_id)
+                if item is None or item.get("schema") != x.schema.name:
+                    continue
+                results.append(x._decrypt_stored(item))
+                if limit is not None and len(results) >= limit:
+                    break
+        return results

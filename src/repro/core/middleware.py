@@ -168,6 +168,10 @@ class DataBlinder:
                 old_executor.delete(doc_id)
                 document["_id"] = doc_id
                 new_executor.insert(document)
+            # Migration invalidates compiled plans: the old executor's
+            # cache is dropped and its invalidation count carries over,
+            # so planner stats stay continuous across the swap.
+            new_executor.planner.absorb(old_executor.planner)
             self.metadata.save_schema(schema, plans)
             self._executors[schema_name] = new_executor
             return reports
@@ -204,3 +208,27 @@ class DataBlinder:
     def metrics_report(self) -> str:
         """Per-tactic runtime cost report (Fig. 1 performance metrics)."""
         return self.runtime.metrics.render()
+
+    # -- query planning -------------------------------------------------------
+
+    def explain(self, schema_name: str, predicate=None, *,
+                operation: str = "find", **kwargs) -> str:
+        """Rendered query plan — node tree with per-node cost + leakage.
+
+        ``operation`` is any of the planner's operations (``find``,
+        ``find_ids``, ``count``, ``aggregate``, ``find_sorted``,
+        ``insert``/``update``/``delete``); extra keyword arguments are
+        forwarded (``limit=``, ``field=``, ``function=``, ...).  Nothing
+        is executed and the plan cache is untouched.
+        """
+        return self._executor(schema_name).explain(
+            operation=operation, predicate=predicate, **kwargs
+        )
+
+    def planner_stats(self, schema_name: str) -> dict:
+        """Plan-cache and node-timing counters for one schema."""
+        return self._executor(schema_name).planner.stats.snapshot()
+
+    def planner_report(self, schema_name: str) -> str:
+        """Human-readable planner statistics for one schema."""
+        return self._executor(schema_name).planner.stats.render()

@@ -1,0 +1,43 @@
+"""Query planner: compile -> optimize -> execute over the plan IR.
+
+The paper models data access as runtime-adaptive: tactics declare
+leakage profiles *and* performance metrics (§3.1), and the middleware
+picks among admissible tactics per operation (§3.3).  This package makes
+that adaptivity real by splitting the old monolithic executor into three
+layers:
+
+* :mod:`repro.core.planner.ir` — the immutable plan IR: a DAG of
+  operator nodes (``IndexLookup``, ``BoolQuery``, ``SetOp``,
+  ``FetchDocs``, ``Decrypt``, ``Verify``, ...) with predicate *values*
+  factored out into parameter slots, so one compiled plan serves every
+  predicate of the same shape.
+* :mod:`repro.core.planner.compile` — the compiler from the public
+  operations (``find``, ``find_ids``, ``count``, ``aggregate``,
+  ``find_sorted`` and the write paths) to plan IR.
+* :mod:`repro.core.planner.optimize` — the cost-based optimizer: node
+  cost estimation from the SPI performance descriptors blended with the
+  runtime's observed latency EWMAs, cheapest-first reordering of
+  intersections, and adaptive tactic selection among a field plan's
+  ``alternatives``.
+* :mod:`repro.core.planner.engine` — the execution engine over the
+  existing batch/fan-out/prefetch machinery, recording per-node timings
+  back into the cost observatory.
+
+:class:`QueryPlanner` glues the layers together and owns the plan cache
+(keyed by (schema, operation, predicate shape), invalidated on schema
+migration) plus the planner statistics surfaced by
+``DataBlinder.planner_report``.
+"""
+
+from repro.core.planner.cost import CostModel
+from repro.core.planner.ir import Plan, PlanNode, walk
+from repro.core.planner.planner import PlannerStats, QueryPlanner
+
+__all__ = [
+    "CostModel",
+    "Plan",
+    "PlanNode",
+    "PlannerStats",
+    "QueryPlanner",
+    "walk",
+]

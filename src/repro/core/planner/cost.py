@@ -1,0 +1,144 @@
+"""The optimizer's cost model: SPI priors blended with observed EWMAs.
+
+Every tactic descriptor carries static *performance metrics* (Fig. 1):
+a selection rank, protocol rounds per query, asymptotic notes.  Those
+priors order tactics before any traffic flows; once the engine has
+executed plan nodes, the runtime's :class:`~repro.spi.metrics.CostObservatory`
+holds per-(scope, operation, tactic) latency EWMAs that override the
+priors.  ``choose`` implements the adaptive selection loop: a bounded
+round-robin warmup so every candidate gets observed, then exploitation
+of the cheapest EWMA.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.planner import ir
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.executor import SchemaExecutor
+
+#: Synthetic per-rank latency unit for tactics never observed yet; only
+#: the *ordering* matters before real observations arrive.
+_PRIOR_UNIT_MS = 1.0
+#: Nominal cost of gateway-local set work and store round trips in the
+#: same synthetic unit.
+_STORE_MS = 1.0
+_COMBINE_MS = 0.05
+
+
+class CostModel:
+    """Per-executor view over descriptor priors and observed latencies."""
+
+    def __init__(self, executor: "SchemaExecutor"):
+        self._executor = executor
+        self._registry = executor.runtime.registry
+        self._observatory = executor.runtime.cost
+
+    # -- scopes ---------------------------------------------------------------
+
+    def scope(self, field: str) -> str:
+        return f"{self._executor.schema.name}.{field}"
+
+    def _schema_scope(self) -> str:
+        return self._executor.schema.name
+
+    # -- per-tactic estimates -------------------------------------------------
+
+    def prior_ms(self, tactic: str) -> float:
+        descriptor = self._registry.descriptor(tactic)
+        rounds = max(1, descriptor.performance.rounds_per_query)
+        return _PRIOR_UNIT_MS * descriptor.performance.rank * rounds
+
+    def observed_ms(self, scope: str, operation: str,
+                    tactic: str) -> float | None:
+        ewma = self._observatory.lookup(scope, operation, tactic)
+        if ewma is None or ewma.observations == 0:
+            return None
+        return ewma.mean_ms
+
+    def lookup_ms(self, scope: str, operation: str, tactic: str) -> float:
+        observed = self.observed_ms(scope, operation, tactic)
+        return self.prior_ms(tactic) if observed is None else observed
+
+    # -- adaptive tactic selection -------------------------------------------
+
+    def choose(self, field: str, role: str, operation: str,
+               candidates: list[str]) -> str:
+        """Pick among admissible tactics for one lookup role.
+
+        Candidates are ``[primary, *alternatives]`` in static preference
+        order.  During warmup each candidate is explored round-robin
+        (fewest observations first, ties broken by static order); after
+        warmup the lowest observed EWMA wins, falling back to descriptor
+        priors for anything still unobserved.
+        """
+        if len(candidates) == 1:
+            return candidates[0]
+        scope = self.scope(field)
+        warmup = max(1, self._executor.pipeline.adaptive_warmup)
+        observations = [
+            self._observatory.observations(scope, operation, name)
+            for name in candidates
+        ]
+        if min(observations) < warmup:
+            return candidates[observations.index(min(observations))]
+        return min(
+            candidates,
+            key=lambda name: (self.lookup_ms(scope, operation, name),
+                              candidates.index(name)),
+        )
+
+    # -- node estimates (EXPLAIN and intersect reordering) --------------------
+
+    def estimate_ms(self, node: ir.PlanNode) -> float:
+        """Estimated latency contribution of one node's subtree."""
+        if isinstance(node, ir.IndexLookup):
+            if node.tactic is None:
+                return self._docs_ms("find_plain")
+            return self.lookup_ms(self.scope(node.field), node.op,
+                                  node.tactic)
+        if isinstance(node, ir.BoolQuery):
+            return self.lookup_ms(self._schema_scope() + "._bool", "bool",
+                                  node.tactic)
+        if isinstance(node, ir.AllIds):
+            return self._docs_ms("all_ids")
+        if isinstance(node, ir.StoreCount):
+            return self._docs_ms("count")
+        if isinstance(node, ir.SetOp):
+            return _COMBINE_MS + sum(
+                self.estimate_ms(part) for part in node.parts
+            )
+        if isinstance(node, ir.OrderedScan):
+            return self.lookup_ms(self.scope(node.field), "ordered",
+                                  node.tactic)
+        if isinstance(node, ir.FetchDocs):
+            return self._docs_ms("get_many") + self.estimate_ms(node.source)
+        if isinstance(node, ir.Extreme):
+            cost = self.lookup_ms(self.scope(node.field), "ordered",
+                                  node.tactic) + self._docs_ms("get_many")
+            if node.filter is not None:
+                cost += self.estimate_ms(node.filter)
+            return cost
+        if isinstance(node, ir.CloudAggregate):
+            return self.prior_ms(node.tactic) + self.estimate_ms(node.source)
+        if isinstance(node, (ir.Decrypt, ir.Verify, ir.Limit,
+                             ir.ProjectIds, ir.Count)):
+            children = node.children()
+            return _COMBINE_MS + sum(self.estimate_ms(c) for c in children)
+        if isinstance(node, ir.WritePipeline):
+            return sum(self.estimate_ms(step) for step in node.steps)
+        if isinstance(node, ir.IndexMaintain):
+            return sum(
+                self.prior_ms(tactic)
+                for _, tactics in node.fields
+                for tactic in tactics
+            )
+        if isinstance(node, (ir.StoreWrite, ir.ReadDoc)):
+            return _STORE_MS
+        return _COMBINE_MS
+
+    def _docs_ms(self, method: str) -> float:
+        observed = self.observed_ms(self._schema_scope(), method, "docs")
+        return _STORE_MS if observed is None else observed

@@ -1,0 +1,95 @@
+"""Optimizer: cost-based rewrites over compiled plans.
+
+Two rewrites, both **gated behind** ``PipelineConfig.adaptive_selection``
+so the default configuration executes plans exactly as compiled (the
+same RPCs, in the same order, as the seed executor):
+
+* *Adaptive tactic selection* — when a field plan recorded admissible
+  ``alternatives`` for a lookup role, each ``IndexLookup`` is re-pointed
+  at whichever candidate the cost model currently believes is cheapest
+  (round-robin during warmup).  Alternatives are dual-indexed on the
+  write path, so any candidate answers correctly.
+* *Cheapest-first intersection* — ``SetOp(intersect)`` parts are
+  reordered by estimated cost so the empty-set short circuit and the
+  first-set bias of intersection favour the cheap index.
+
+``reselect`` re-runs the same rewrite on a cached plan, which is how a
+cache *hit* still tracks drifting latencies.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import TYPE_CHECKING
+
+from repro.core.planner import ir
+from repro.core.planner.cost import CostModel
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.executor import SchemaExecutor
+
+
+class PlanOptimizer:
+    def __init__(self, executor: "SchemaExecutor", cost_model: CostModel):
+        self._x = executor
+        self._cost = cost_model
+
+    def optimize(self, plan: ir.Plan) -> ir.Plan:
+        if not self._x.pipeline.adaptive_selection:
+            return plan
+        root = self._rewrite(plan.root)
+        if root is plan.root:
+            return plan
+        return dataclasses.replace(plan, root=root)
+
+    def reselect(self, plan: ir.Plan) -> ir.Plan:
+        """Refresh a cached plan's choices against current observations."""
+        return self.optimize(plan)
+
+    # -- rewriting -------------------------------------------------------------
+
+    def _rewrite(self, node: ir.PlanNode) -> ir.PlanNode:
+        if isinstance(node, ir.IndexLookup):
+            return self._reselect_lookup(node)
+        if isinstance(node, ir.SetOp):
+            parts = tuple(self._rewrite(part) for part in node.parts)
+            if node.op == "intersect":
+                ordered = tuple(sorted(
+                    parts, key=lambda part: self._cost.estimate_ms(part)
+                ))
+            else:
+                ordered = parts
+            if ordered == node.parts:
+                return node
+            return dataclasses.replace(node, parts=ordered)
+        # Single-child pipeline nodes: rewrite through.
+        if isinstance(node, (ir.FetchDocs, ir.Decrypt, ir.Verify, ir.Limit,
+                             ir.ProjectIds, ir.Count, ir.CloudAggregate)):
+            child = self._rewrite(node.source)
+            if child is node.source:
+                return node
+            return dataclasses.replace(node, source=child)
+        if isinstance(node, ir.Extreme) and node.filter is not None:
+            child = self._rewrite(node.filter)
+            if child is node.filter:
+                return node
+            return dataclasses.replace(node, filter=child)
+        return node
+
+    def _reselect_lookup(self, node: ir.IndexLookup) -> ir.PlanNode:
+        if node.role is None or node.tactic is None:
+            return node  # plain-field lookup: nothing to select among
+        plan = self._x.plans.get(node.field)
+        if plan is None:
+            return node
+        alternatives = plan.alternatives.get(node.role, ())
+        if not alternatives:
+            return node
+        primary = plan.roles[node.role]
+        chosen = self._cost.choose(
+            node.field, node.role, node.op,
+            [primary, *alternatives],
+        )
+        if chosen == node.tactic:
+            return node
+        return dataclasses.replace(node, tactic=chosen)

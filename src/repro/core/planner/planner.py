@@ -1,0 +1,298 @@
+"""QueryPlanner: the compile -> optimize -> execute façade.
+
+One planner per :class:`~repro.core.executor.SchemaExecutor`.  It owns
+the plan cache — optimized plans keyed by ``(operation, predicate
+shape, flags)``, where the shape comes from
+:func:`~repro.core.planner.compile.parameterize` — and the
+:class:`PlannerStats` counters the acceptance tests and
+``DataBlinder.planner_report`` read.  The cache is pure gateway-side
+memoisation: values are bound at execution time, so a hit performs the
+same RPCs a fresh compile would.  ``migrate_schema`` invalidates it
+(the new executor starts with an empty cache and carries the counter
+forward).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING, Any
+
+from repro.core.planner.compile import PlanCompiler, parameterize
+from repro.core.planner.cost import CostModel
+from repro.core.planner.engine import PlanEngine, Run
+from repro.core.planner.ir import Plan
+from repro.core.planner.optimize import PlanOptimizer
+from repro.core.query import AggregateQuery, Predicate
+from repro.crypto.encoding import Value
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.executor import SchemaExecutor
+
+
+class PlannerStats:
+    """Thread-safe planner counters and per-node-kind timings."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.compiles = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.invalidations = 0
+        self.executions = 0
+        #: node-kind (e.g. ``"IndexLookup:det"``) -> [calls, seconds]
+        self.node_timings: dict[str, list] = {}
+        #: ``"<field>.<role>"`` -> tactic chosen at the last execution.
+        self.chosen: dict[str, str] = {}
+
+    def bump(self, counter: str, amount: int = 1) -> None:
+        with self._lock:
+            setattr(self, counter, getattr(self, counter) + amount)
+
+    def record_node(self, kind: str, seconds: float) -> None:
+        with self._lock:
+            entry = self.node_timings.setdefault(kind, [0, 0.0])
+            entry[0] += 1
+            entry[1] += seconds
+
+    def record_choice(self, field: str, role: str, tactic: str) -> None:
+        with self._lock:
+            self.chosen[f"{field}.{role}"] = tactic
+
+    def snapshot(self) -> dict[str, Any]:
+        with self._lock:
+            return {
+                "compiles": self.compiles,
+                "cache_hits": self.cache_hits,
+                "cache_misses": self.cache_misses,
+                "invalidations": self.invalidations,
+                "executions": self.executions,
+                "node_timings": {
+                    kind: {"calls": calls, "seconds": seconds}
+                    for kind, (calls, seconds) in sorted(
+                        self.node_timings.items()
+                    )
+                },
+                "chosen": dict(self.chosen),
+            }
+
+    def render(self) -> str:
+        snap = self.snapshot()
+        lines = [
+            "Query planner statistics",
+            (
+                f"  plans: {snap['compiles']} compiled, "
+                f"{snap['cache_hits']} cache hits, "
+                f"{snap['cache_misses']} misses, "
+                f"{snap['invalidations']} invalidations"
+            ),
+            f"  executions: {snap['executions']}",
+        ]
+        if snap["node_timings"]:
+            lines.append("  node timings:")
+            for kind, cost in snap["node_timings"].items():
+                mean_ms = (
+                    1000.0 * cost["seconds"] / cost["calls"]
+                    if cost["calls"] else 0.0
+                )
+                lines.append(
+                    f"    {kind:<24}{cost['calls']:>7} calls"
+                    f"{mean_ms:>10.2f} ms mean"
+                )
+        if snap["chosen"]:
+            lines.append("  lookup tactics (last execution):")
+            for key in sorted(snap["chosen"]):
+                lines.append(f"    {key} -> {snap['chosen'][key]}")
+        return "\n".join(lines)
+
+
+class QueryPlanner:
+    """Plans, caches and executes one executor's operations."""
+
+    def __init__(self, executor: "SchemaExecutor"):
+        self._x = executor
+        self.cost_model = CostModel(executor)
+        self.compiler = PlanCompiler(executor)
+        self.optimizer = PlanOptimizer(executor, self.cost_model)
+        self.stats = PlannerStats()
+        self.engine = PlanEngine(executor, self.stats)
+        self._cache: dict[Any, Plan] = {}
+        self._lock = threading.Lock()
+
+    # -- plan cache ------------------------------------------------------------
+
+    def _plan(self, key: Any, build) -> Plan:
+        if not self._x.pipeline.plan_cache:
+            self.stats.bump("compiles")
+            return self.optimizer.optimize(build())
+        with self._lock:
+            cached = self._cache.get(key)
+        if cached is not None:
+            self.stats.bump("cache_hits")
+            if self._x.pipeline.adaptive_selection:
+                # A cache hit still tracks drifting latencies: re-run the
+                # (cheap) selection rewrite against current EWMAs.
+                refreshed = self.optimizer.reselect(cached)
+                if refreshed is not cached:
+                    with self._lock:
+                        self._cache[key] = refreshed
+                return refreshed
+            return cached
+        self.stats.bump("cache_misses")
+        self.stats.bump("compiles")
+        plan = self.optimizer.optimize(build())
+        with self._lock:
+            self._cache[key] = plan
+        return plan
+
+    def invalidate(self) -> None:
+        """Drop every cached plan (schema migration / registry change)."""
+        with self._lock:
+            self._cache.clear()
+        self.stats.bump("invalidations")
+
+    def absorb(self, predecessor: "QueryPlanner") -> None:
+        """Carry a migrated-away executor's counters into this planner."""
+        predecessor.invalidate()
+        snap = predecessor.stats.snapshot()
+        self.stats.bump("invalidations", snap["invalidations"])
+
+    def cached_plans(self) -> int:
+        with self._lock:
+            return len(self._cache)
+
+    # -- operations ------------------------------------------------------------
+
+    def find(self, predicate: Predicate | None, verify: bool | None,
+             limit: int | None) -> list[dict[str, Value]]:
+        verify = self._x.verify_results if verify is None else verify
+        parameterized, values, shape = parameterize(predicate)
+        plan = self._plan(
+            ("find", shape, verify, limit is not None),
+            lambda: self.compiler.compile_find(
+                parameterized, verify, limit is not None, len(values)
+            ),
+        )
+        self.stats.bump("executions")
+        return self.engine.find(plan, Run(values, predicate), limit)
+
+    def find_ids(self, predicate: Predicate | None,
+                 verify: bool | None) -> set[str]:
+        verify = self._x.verify_results if verify is None else verify
+        parameterized, values, shape = parameterize(predicate)
+        plan = self._plan(
+            ("find_ids", shape, verify),
+            lambda: self.compiler.compile_find_ids(
+                parameterized, verify, len(values)
+            ),
+        )
+        self.stats.bump("executions")
+        return self.engine.find_ids(plan, Run(values, predicate))
+
+    def count(self, predicate: Predicate | None) -> int:
+        parameterized, values, shape = parameterize(predicate)
+        plan = self._plan(
+            ("count", shape),
+            lambda: self.compiler.compile_count(parameterized, len(values)),
+        )
+        self.stats.bump("executions")
+        return self.engine.count(plan, Run(values, predicate))
+
+    def aggregate(self, query: AggregateQuery) -> Value:
+        parameterized, values, shape = parameterize(query.where)
+        plan = self._plan(
+            ("aggregate", query.function.value, query.field, shape),
+            lambda: self.compiler.compile_aggregate(
+                query.function.value, query.field, parameterized,
+                len(values),
+            ),
+        )
+        self.stats.bump("executions")
+        return self.engine.aggregate(plan, Run(values, query.where))
+
+    def find_sorted(self, field: str, limit: int | None,
+                    descending: bool) -> list[dict[str, Value]]:
+        plan = self._plan(
+            ("find_sorted", field, descending, limit is not None),
+            lambda: self.compiler.compile_find_sorted(
+                field, descending, limit is not None
+            ),
+        )
+        self.stats.bump("executions")
+        return self.engine.find(plan, Run([], None), limit)
+
+    def insert_bulk(self, documents: list[dict[str, Value]]) -> list[str]:
+        plan = self._plan(
+            ("write", "insert"),
+            lambda: self.compiler.compile_write("insert"),
+        )
+        self.stats.bump("executions")
+        return self.engine.insert_bulk(plan, documents)
+
+    def update(self, doc_id: str, changes: dict[str, Value]) -> None:
+        plan = self._plan(
+            ("write", "update"),
+            lambda: self.compiler.compile_write("update"),
+        )
+        self.stats.bump("executions")
+        self.engine.update(plan, doc_id, changes)
+
+    def delete(self, doc_id: str) -> bool:
+        plan = self._plan(
+            ("write", "delete"),
+            lambda: self.compiler.compile_write("delete"),
+        )
+        self.stats.bump("executions")
+        return self.engine.delete(plan, doc_id)
+
+    # -- EXPLAIN ---------------------------------------------------------------
+
+    def explain_plan(self, operation: str = "find",
+                     predicate: Predicate | None = None,
+                     verify: bool | None = None,
+                     limit: int | None = None,
+                     field: str | None = None,
+                     function: str | None = None,
+                     descending: bool = False) -> Plan:
+        """Compile + optimize without executing, caching, or counting.
+
+        EXPLAIN deliberately bypasses the cache in both directions: it
+        never warms it (a later query still records its true miss) and
+        never reads it (the rendered plan reflects the current compiler
+        output and cost estimates).
+        """
+        verify = self._x.verify_results if verify is None else verify
+        parameterized, values, _ = parameterize(predicate)
+        if operation == "find":
+            plan = self.compiler.compile_find(
+                parameterized, verify, limit is not None, len(values)
+            )
+        elif operation == "find_ids":
+            plan = self.compiler.compile_find_ids(
+                parameterized, verify, len(values)
+            )
+        elif operation == "count":
+            plan = self.compiler.compile_count(parameterized, len(values))
+        elif operation == "aggregate":
+            if function is None or field is None:
+                raise ValueError(
+                    "aggregate explain needs function= and field="
+                )
+            plan = self.compiler.compile_aggregate(
+                function, field, parameterized, len(values)
+            )
+        elif operation == "find_sorted":
+            if field is None:
+                raise ValueError("find_sorted explain needs field=")
+            plan = self.compiler.compile_find_sorted(
+                field, descending, limit is not None
+            )
+        elif operation in ("insert", "update", "delete"):
+            plan = self.compiler.compile_write(operation)
+        else:
+            raise ValueError(f"cannot explain operation {operation!r}")
+        return self.optimizer.optimize(plan)
+
+    def explain(self, **kwargs: Any) -> str:
+        from repro.analysis.planview import render_plan
+
+        return render_plan(self.explain_plan(**kwargs), self)

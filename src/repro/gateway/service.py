@@ -18,7 +18,7 @@ from repro.net.batch import BatchCollector, PipelineConfig
 from repro.net.resilience import ResilienceConfig, wrap_resilient
 from repro.net.transport import Transport
 from repro.spi.context import GatewayTacticContext
-from repro.spi.metrics import TacticMetrics
+from repro.spi.metrics import CostObservatory, TacticMetrics
 from repro.stores.kv import KeyValueStore
 
 
@@ -52,6 +52,11 @@ class GatewayRuntime:
         self.keystore = keystore or KeyStore(application)
         self.local_kv = local_kv or KeyValueStore()
         self.metrics = TacticMetrics()
+        #: Observed per-(scope, operation, tactic) latency EWMAs feeding
+        #: the query optimizer's cost model.  Runtime-owned (not
+        #: executor-owned) so observations survive plan-cache
+        #: invalidations and schema migrations.
+        self.cost = CostObservatory()
         self._instances: dict[tuple[str, str], Any] = {}
         self._lock = threading.RLock()
         self.transport.call(

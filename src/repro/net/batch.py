@@ -61,6 +61,26 @@ class PipelineConfig:
     #: Prefetch the next ``get_many`` chunk while the previous one is
     #: being decrypted and verified.
     prefetch: bool = False
+    #: Candidate-fetch chunk size used by the plan engine's ``FetchDocs``
+    #: node.  0 keeps the per-operation legacy defaults (64 for ``find``,
+    #: ``max(2*limit, 16)`` under a limit, 16 for min/max streaming, 32
+    #: for ordered scans); any positive value overrides them all — the
+    #: single knob for the whole read path.
+    fetch_chunk: int = 0
+    #: Cost-based adaptive tactic selection: when a field plan admits
+    #: alternative tactics for a role, the optimizer explores them during
+    #: a short warmup and then routes each ``IndexLookup`` to the tactic
+    #: with the lowest observed latency EWMA.  Off by default — the plan
+    #: compiler then always binds the statically selected tactic, and the
+    #: write path feeds only the primary indexes (seed behaviour).
+    adaptive_selection: bool = False
+    #: How many observations each candidate tactic gets before the
+    #: optimizer starts exploiting the latency EWMAs.
+    adaptive_warmup: int = 2
+    #: Cache optimized plans keyed by (schema, operation, predicate
+    #: shape).  Pure gateway-side memoisation — results and wire traffic
+    #: are unchanged — so it defaults on; disable to measure compile cost.
+    plan_cache: bool = True
 
 
 #: Methods whose results gateway callers ignore: index maintenance on

@@ -90,6 +90,12 @@ class TacticDescriptor:
     #: per-term equality queries that the gateway combines (predicate
     #: evaluation in the trusted zone).
     boolean_via_equality: bool = False
+    #: Whether the tactic's candidate id sets are exact — no false
+    #: positives (BIEX-ZMF's probabilistic filters) and no stale entries
+    #: (insert-as-upsert range indexes, Sophos' addition-only updates).
+    #: The planner uses this to drop the Decrypt/Verify stages from plans
+    #: whose result cannot change under verification (e.g. ``count``).
+    exact_search: bool = True
 
     def supports(self, operation: Operation) -> bool:
         if operation in self.operations:

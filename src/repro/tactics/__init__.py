@@ -126,6 +126,9 @@ SOPHOS_DESCRIPTOR = TacticDescriptor(
     challenge="Key management",
     implementation="implemented from scratch",
     boolean_via_equality=True,
+    # Addition-only updates leave stale old-value entries behind, so
+    # candidate sets need gateway-side verification.
+    exact_search=False,
 )
 
 RND_DESCRIPTOR = TacticDescriptor(
@@ -147,6 +150,9 @@ RND_DESCRIPTOR = TacticDescriptor(
     challenge="Inefficiency",
     implementation="implemented from scratch",
     boolean_via_equality=True,
+    # No Deletion SPI: removed documents stay in the scan until their
+    # candidate ids fail the document fetch, so sets can be stale.
+    exact_search=False,
 )
 
 BIEX_2LEV_DESCRIPTOR = TacticDescriptor(
@@ -194,6 +200,9 @@ BIEX_ZMF_DESCRIPTOR = TacticDescriptor(
     protection_class=ProtectionClass.C3,
     challenge="Storage impl. complexity",
     implementation="re-implementation of the Clusion construction",
+    # Matryoshka filters answer membership probabilistically: false
+    # positives survive until verification trims them.
+    exact_search=False,
 )
 
 OPE_DESCRIPTOR = TacticDescriptor(
@@ -214,6 +223,9 @@ OPE_DESCRIPTOR = TacticDescriptor(
     protection_class=ProtectionClass.C5,
     challenge="-",
     implementation="re-implementation of the Boldyreva construction",
+    # Insert-as-upsert: entries of updated or deleted documents linger
+    # in the order index until verification discards them.
+    exact_search=False,
 )
 
 ORE_DESCRIPTOR = TacticDescriptor(
@@ -234,6 +246,8 @@ ORE_DESCRIPTOR = TacticDescriptor(
     protection_class=ProtectionClass.C5,
     challenge="-",
     implementation="re-implementation of the CLWW construction",
+    # Insert-as-upsert, like OPE: stale entries require verification.
+    exact_search=False,
 )
 
 PAILLIER_DESCRIPTOR = TacticDescriptor(

@@ -1,0 +1,465 @@
+"""Query planner: plan IR, cache, EXPLAIN, cost-based adaptive selection,
+and the engine-level fixes (prefetch drain, unified fetch chunking,
+decrypt-free count)."""
+
+import time
+
+import pytest
+
+from repro.cloud.server import CloudZone
+from repro.core.middleware import DataBlinder
+from repro.core.planner import walk
+from repro.core.planner import ir
+from repro.core.planner.compile import parameterize
+from repro.core.query import And, Eq, Not, Or, Range
+from repro.core.registry import TacticRegistry
+from repro.core.schema import FieldAnnotation, Schema
+from repro.net.batch import PipelineConfig
+from repro.net.transport import InProcTransport, Transport
+from repro.tactics import register_builtin_tactics
+
+
+def make_schema(name="rec"):
+    return Schema.define(
+        name,
+        status=("string", FieldAnnotation.parse("C3", "I,EQ,BL")),
+        code=("string", FieldAnnotation.parse("C3", "I,EQ,BL")),
+        subject=("string", FieldAnnotation.parse("C2", "I,EQ")),
+        when=("int", FieldAnnotation.parse("C5", "I,EQ,RG", "min,max")),
+        score=("float", FieldAnnotation.parse("C4", "I,EQ", "sum,avg")),
+        note="string",
+    )
+
+
+def make_docs(n):
+    return [
+        {
+            "status": ["draft", "active", "done"][i % 3],
+            "code": ["a", "b"][i % 2],
+            "subject": f"s{i % 4}",
+            "when": i,
+            "score": float(i % 5),
+            "note": f"n{i}",
+        }
+        for i in range(n)
+    ]
+
+
+def deploy(pipeline=None, n_docs=30, transport_wrap=None):
+    registry = TacticRegistry()
+    register_builtin_tactics(registry)
+    cloud = CloudZone(registry)
+    transport = InProcTransport(cloud.host)
+    if transport_wrap is not None:
+        transport = transport_wrap(transport)
+    blinder = DataBlinder("plannertest", transport, registry=registry,
+                          pipeline=pipeline)
+    blinder.register_schema(make_schema())
+    entities = blinder.entities("rec")
+    if n_docs:
+        entities.insert_many(make_docs(n_docs))
+    return blinder, entities
+
+
+class CountingTransport(Transport):
+    """Counts (service-suffix, method) call pairs."""
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.calls = {}
+
+    def call(self, service, method, **kwargs):
+        key = (service.rsplit("/", 1)[-1], method)
+        self.calls[key] = self.calls.get(key, 0) + 1
+        return self.inner.call(service, method, **kwargs)
+
+    def method_calls(self, method):
+        return sum(
+            count for (_, m), count in self.calls.items() if m == method
+        )
+
+    def stats(self):
+        return self.inner.stats()
+
+
+class TestParameterize:
+    def test_values_leave_the_shape(self):
+        p1 = And([Eq("status", "draft"), Range("when", 3, 9)])
+        p2 = And([Eq("status", "done"), Range("when", 0, 50)])
+        _, values1, shape1 = parameterize(p1)
+        _, values2, shape2 = parameterize(p2)
+        assert shape1 == shape2
+        assert values1 == ["draft", 3, 9]
+        assert values2 == ["done", 0, 50]
+
+    def test_open_bounds_change_the_shape(self):
+        _, _, low_only = parameterize(Range("when", low=3))
+        _, _, high_only = parameterize(Range("when", high=3))
+        assert low_only != high_only
+
+    def test_duplicate_literals_get_distinct_slots(self):
+        # CNF dedup may only merge structurally identical Params, never
+        # two user literals that happen to share a value — otherwise a
+        # cached plan would be wrong for same-shape different-value runs.
+        _, values, _ = parameterize(
+            Or([Eq("status", "draft"), Eq("status", "draft")])
+        )
+        assert values == ["draft", "draft"]
+
+    def test_none_predicate(self):
+        assert parameterize(None) == (None, [], None)
+
+
+class TestPlanCache:
+    def test_same_shape_hits_different_values_work(self):
+        blinder, entities = deploy()
+        shape = lambda lo, hi: And(
+            [Eq("status", "draft"), Range("when", lo, hi)]
+        )
+        first = entities.find(shape(0, 10))
+        second = entities.find(shape(10, 29))
+        stats = blinder.planner_stats("rec")
+        assert stats["cache_hits"] >= 1
+        # Values bound per execution: results differ, both correct.
+        assert {d["when"] for d in first} == {0, 3, 6, 9}
+        assert {d["when"] for d in second} == {12, 15, 18, 21, 24, 27}
+
+    def test_different_shapes_miss(self):
+        blinder, entities = deploy()
+        before = blinder.planner_stats("rec")
+        entities.find(Eq("status", "draft"))
+        entities.find(Eq("code", "a"))
+        entities.find(Range("when", 1, 2))
+        after = blinder.planner_stats("rec")
+        assert after["cache_hits"] == before["cache_hits"]
+        assert after["cache_misses"] - before["cache_misses"] == 3
+
+    def test_cache_disabled_compiles_every_time(self):
+        blinder, entities = deploy(PipelineConfig(plan_cache=False))
+        before = blinder.planner_stats("rec")["compiles"]
+        entities.find(Eq("status", "draft"))
+        entities.find(Eq("status", "active"))
+        after = blinder.planner_stats("rec")["compiles"]
+        assert after - before == 2
+
+    def test_migrate_schema_invalidates(self):
+        blinder, entities = deploy(n_docs=8)
+        entities.find(Eq("status", "draft"))
+        entities.find(Eq("status", "active"))
+        executor = blinder._executor("rec")
+        assert executor.planner.cached_plans() > 0
+        blinder.migrate_schema("rec")
+        new_executor = blinder._executor("rec")
+        assert new_executor is not executor
+        stats = blinder.planner_stats("rec")
+        assert stats["invalidations"] >= 1
+        # The old executor's find plans are gone: the same shape misses
+        # again on the new planner, recompiles, and still answers.
+        # (The migration itself may have cached write plans — only the
+        # read-path shapes matter here.)
+        docs = blinder.entities("rec").find(Eq("status", "draft"))
+        assert {d["status"] for d in docs} <= {"draft"}
+        assert (
+            blinder.planner_stats("rec")["cache_misses"]
+            == stats["cache_misses"] + 1
+        )
+
+
+class TestExplain:
+    def test_stable_and_side_effect_free(self):
+        blinder, entities = deploy(n_docs=6)
+        predicate = And([Eq("status", "draft"), Range("when", 1, 4)])
+        before = blinder.planner_stats("rec")
+        cached_before = blinder._executor("rec").planner.cached_plans()
+        one = blinder.explain("rec", predicate)
+        two = blinder.explain("rec", predicate)
+        assert one == two
+        after = blinder.planner_stats("rec")
+        assert after["compiles"] == before["compiles"]
+        assert after["cache_hits"] == before["cache_hits"]
+        assert after["cache_misses"] == before["cache_misses"]
+        assert blinder._executor("rec").planner.cached_plans() == (
+            cached_before
+        )
+
+    def test_renders_cost_and_leakage_for_every_predicate_form(self):
+        blinder, entities = deploy(n_docs=6)
+        plans = {
+            "eq-sensitive": blinder.explain("rec", Eq("subject", "s1")),
+            "eq-plain": blinder.explain("rec", Eq("note", "n1")),
+            "range": blinder.explain("rec", Range("when", 1, 4)),
+            "and-or-not": blinder.explain("rec", And([
+                Or([Eq("status", "draft"), Eq("code", "a")]),
+                Not(Eq("subject", "s1")),
+            ])),
+            "count": blinder.explain("rec", Eq("status", "draft"),
+                                     operation="count"),
+            "aggregate": blinder.explain(
+                "rec", operation="aggregate", function="min", field="when"
+            ),
+            "sorted": blinder.explain(
+                "rec", operation="find_sorted", field="when"
+            ),
+            "write": blinder.explain("rec", operation="insert"),
+        }
+        for text in plans.values():
+            assert "cost" in text and "ms" in text
+        assert "IndexLookup" in plans["eq-sensitive"]
+        assert "leaks" in plans["eq-sensitive"]
+        assert "plaintext field" in plans["eq-plain"]
+        assert "leaks order" in plans["range"]
+        assert "BoolQuery" in plans["and-or-not"]
+        assert "SetOp(diff)" in plans["and-or-not"]
+        assert "Count" in plans["count"]
+        assert "Extreme(min(when)" in plans["aggregate"]
+        assert "OrderedScan" in plans["sorted"]
+        assert "WritePipeline" in plans["write"]
+        assert "StoreWrite(insert_many)" in plans["write"]
+
+    def test_entities_explain_passthrough(self):
+        blinder, entities = deploy(n_docs=0)
+        assert "plan: find" in entities.explain(Eq("status", "draft"))
+
+
+class TestPlanShape:
+    def test_count_plan_is_decrypt_free_for_exact_indexes(self):
+        blinder, _ = deploy(n_docs=0)
+        plan = blinder._executor("rec").planner.explain_plan(
+            operation="count", predicate=Eq("status", "draft")
+        )
+        kinds = [node.kind for node, _ in walk(plan.root)]
+        assert "FetchDocs" not in kinds and "Verify" not in kinds
+
+    def test_count_plan_keeps_verify_for_approximate_indexes(self):
+        blinder, _ = deploy(n_docs=0)
+        plan = blinder._executor("rec").planner.explain_plan(
+            operation="count", predicate=Range("when", 1, 4)
+        )
+        kinds = [node.kind for node, _ in walk(plan.root)]
+        assert "FetchDocs" in kinds and "Verify" in kinds
+
+    def test_boolean_clauses_compile_to_one_bool_query(self):
+        blinder, _ = deploy(n_docs=0)
+        plan = blinder._executor("rec").planner.explain_plan(
+            predicate=And([Eq("status", "draft"), Eq("code", "a")])
+        )
+        bool_nodes = [
+            node for node, _ in walk(plan.root)
+            if isinstance(node, ir.BoolQuery)
+        ]
+        assert len(bool_nodes) == 1
+        assert len(bool_nodes[0].clauses) == 2
+
+
+class TestDecryptFreeCount:
+    def test_exact_count_fetches_no_documents(self):
+        wrapper = {}
+
+        def wrap(inner):
+            wrapper["t"] = CountingTransport(inner)
+            return wrapper["t"]
+
+        blinder, entities = deploy(n_docs=24, transport_wrap=wrap)
+        counting = wrapper["t"]
+        baseline = counting.method_calls("get_many")
+        exact = entities.count(Eq("status", "draft"))
+        assert counting.method_calls("get_many") == baseline
+        assert exact == len(entities.find(Eq("status", "draft")))
+
+    def test_approximate_count_still_verifies(self):
+        wrapper = {}
+
+        def wrap(inner):
+            wrapper["t"] = CountingTransport(inner)
+            return wrapper["t"]
+
+        blinder, entities = deploy(n_docs=24, transport_wrap=wrap)
+        counting = wrapper["t"]
+        baseline = counting.method_calls("get_many")
+        verified = entities.count(Range("when", 3, 11))
+        assert counting.method_calls("get_many") > baseline
+        assert verified == len(entities.find(Range("when", 3, 11)))
+
+    def test_count_correct_after_delete(self):
+        _, entities = deploy(n_docs=12)
+        victim = sorted(entities.find_ids(Eq("status", "draft")))[0]
+        assert entities.delete(victim)
+        assert entities.count(Eq("status", "draft")) == len(
+            entities.find(Eq("status", "draft"))
+        )
+
+
+class TestFetchChunkKnob:
+    def _get_many_calls(self, pipeline, action):
+        wrapper = {}
+
+        def wrap(inner):
+            wrapper["t"] = CountingTransport(inner)
+            return wrapper["t"]
+
+        _, entities = deploy(pipeline, n_docs=40, transport_wrap=wrap)
+        counting = wrapper["t"]
+        before = counting.method_calls("get_many")
+        action(entities)
+        return counting.method_calls("get_many") - before
+
+    def test_find_respects_override(self):
+        unlimited = lambda e: e.find(Eq("code", "a"))  # 20 matches
+        assert self._get_many_calls(None, unlimited) == 1  # legacy 64
+        assert self._get_many_calls(
+            PipelineConfig(fetch_chunk=5), unlimited
+        ) == 4
+
+    def test_find_sorted_respects_override(self):
+        sweep = lambda e: e.find_sorted("when")  # 40 docs
+        assert self._get_many_calls(None, sweep) == 2  # legacy 32
+        assert self._get_many_calls(
+            PipelineConfig(fetch_chunk=8), sweep
+        ) == 5
+
+    def test_extreme_respects_override(self):
+        # min() touches only the head of the order index: one chunk,
+        # whose size is the knob (legacy 16).
+        wrapper = {}
+
+        def wrap(inner):
+            wrapper["t"] = CountingTransport(inner)
+            return wrapper["t"]
+
+        _, entities = deploy(PipelineConfig(fetch_chunk=4), n_docs=40,
+                             transport_wrap=wrap)
+        assert entities.min("when") == 0
+        assert wrapper["t"].method_calls("get_many") >= 1
+
+
+class SlowGetMany(Transport):
+    """Delays get_many and tracks in-flight fetches."""
+
+    def __init__(self, inner, delay=0.03):
+        self.inner = inner
+        self.delay = delay
+        self.in_flight = 0
+        self.total = 0
+        import threading
+
+        self._lock = threading.Lock()
+
+    def call(self, service, method, **kwargs):
+        if method == "get_many":
+            with self._lock:
+                self.in_flight += 1
+                self.total += 1
+            try:
+                time.sleep(self.delay)
+                return self.inner.call(service, method, **kwargs)
+            finally:
+                with self._lock:
+                    self.in_flight -= 1
+        return self.inner.call(service, method, **kwargs)
+
+    def stats(self):
+        return self.inner.stats()
+
+
+class TestPrefetchDrain:
+    def test_early_limit_return_leaves_no_pending_fetch(self):
+        wrapper = {}
+
+        def wrap(inner):
+            wrapper["t"] = SlowGetMany(inner)
+            return wrapper["t"]
+
+        _, entities = deploy(
+            PipelineConfig(prefetch=True), n_docs=80, transport_wrap=wrap
+        )
+        slow = wrapper["t"]
+        results = entities.find(Range("when", 0, 79), limit=1)
+        assert len(results) == 1
+        # The prefetched next chunk must be cancelled or drained before
+        # find() returns — nothing may still be on the wire.
+        assert slow.in_flight == 0
+        settled = slow.total
+        time.sleep(slow.delay * 3)
+        assert slow.total == settled  # and nothing fires later either
+
+    def test_prefetch_still_overlaps_and_is_correct(self):
+        _, entities = deploy(PipelineConfig(prefetch=True,
+                                            fetch_chunk=8), n_docs=40)
+        docs = entities.find(Range("when", 0, 39))
+        assert {d["when"] for d in docs} == set(range(40))
+
+
+class DelayTactic(Transport):
+    """Penalises every call to one tactic's cloud services."""
+
+    def __init__(self, inner, tactic, delay=0.02):
+        self.inner = inner
+        self.tactic = tactic
+        self.delay = delay
+
+    def call(self, service, method, **kwargs):
+        if service.rsplit("/", 1)[-1] == self.tactic:
+            time.sleep(self.delay)
+        return self.inner.call(service, method, **kwargs)
+
+    def stats(self):
+        return self.inner.stats()
+
+
+class TestAdaptiveSelection:
+    def test_alternatives_are_recorded_per_role(self):
+        blinder, _ = deploy(n_docs=0)
+        plan = blinder._executor("rec").plans["subject"]
+        assert plan.alternatives.get("eq"), (
+            "C2 equality field should admit runner-up tactics"
+        )
+
+    def test_cost_based_selection_switches_off_slow_primary(self):
+        registry = TacticRegistry()
+        register_builtin_tactics(registry)
+        cloud = CloudZone(registry)
+        probe = DataBlinder(
+            "probe", InProcTransport(CloudZone(registry).host),
+            registry=registry,
+        )
+        probe.register_schema(make_schema())
+        plan = probe._executor("rec").plans["subject"]
+        primary = plan.roles["eq"]
+        alternatives = plan.alternatives["eq"]
+
+        transport = DelayTactic(InProcTransport(cloud.host), primary)
+        pipeline = PipelineConfig(adaptive_selection=True,
+                                  adaptive_warmup=1)
+        blinder = DataBlinder("plannertest", transport, registry=registry,
+                              pipeline=pipeline)
+        blinder.register_schema(make_schema())
+        entities = blinder.entities("rec")
+        entities.insert_many(make_docs(12))
+
+        expected = entities.find_ids(Eq("subject", "s1"))
+        assert len(expected) == 3  # i in {1, 5, 9}
+        # Warmup explores each candidate once, then the EWMAs take over.
+        for _ in range(2 + len(alternatives)):
+            got = entities.find_ids(Eq("subject", "s1"))
+            assert got == expected  # alternatives are dual-indexed
+        chosen = blinder.planner_stats("rec")["chosen"]["subject.eq"]
+        assert chosen in alternatives
+        assert chosen != primary
+
+    def test_adaptive_off_never_leaves_primary(self):
+        blinder, entities = deploy(n_docs=12)
+        primary = blinder._executor("rec").plans["subject"].roles["eq"]
+        for _ in range(4):
+            entities.find(Eq("subject", "s1"))
+        chosen = blinder.planner_stats("rec")["chosen"]["subject.eq"]
+        assert chosen == primary
+
+
+class TestPlannerReport:
+    def test_report_renders(self):
+        blinder, entities = deploy(n_docs=6)
+        entities.find(Eq("status", "draft"))
+        entities.find(Eq("status", "draft"))
+        report = blinder.planner_report("rec")
+        assert "cache hits" in report
+        assert "node timings" in report
