@@ -1,0 +1,73 @@
+"""Multi-node untrusted zone: N CloudZones behind per-node transports.
+
+The harness the sharded tests and benchmarks deploy against: each node
+is a full :class:`~repro.cloud.server.CloudZone` (own document store,
+own KV index store, own service host) reached through its own
+:class:`~repro.net.transport.InProcTransport` — so per-node traffic is
+metered separately and a network model charges every hop, exactly as N
+real providers would.
+
+``cluster.nodes()`` feeds :class:`repro.shard.router.ShardedTransport`
+directly; ``cluster.add_zone(name)`` mints a fresh node for
+:meth:`repro.shard.rebalance.Resharder.add_node`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.cloud.server import CloudZone
+from repro.errors import TransportError
+from repro.net.latency import NetworkModel
+from repro.net.transport import InProcTransport, Transport
+
+
+class CloudCluster:
+    """N named, independent CloudZones with one transport each."""
+
+    def __init__(self, nodes: int | Iterable[str] = 2, registry=None,
+                 network: NetworkModel | None = None,
+                 dedup_window: int = 1024):
+        if isinstance(nodes, int):
+            names = [f"zone-{index}" for index in range(nodes)]
+        else:
+            names = list(nodes)
+        if not names:
+            raise TransportError("a cluster needs at least one node")
+        self._registry = registry
+        self._network = network
+        self._dedup_window = dedup_window
+        self._zones: dict[str, CloudZone] = {}
+        self._transports: dict[str, Transport] = {}
+        self._order: list[str] = []
+        for name in names:
+            self.add_zone(name)
+
+    def add_zone(self, name: str) -> tuple[str, Transport]:
+        """Provision a fresh node; returns the ``(name, transport)`` pair
+        ready for ``Resharder.add_node``."""
+        if name in self._zones:
+            raise TransportError(f"cluster node {name!r} already exists")
+        zone = CloudZone(registry=self._registry,
+                         dedup_window=self._dedup_window)
+        transport = InProcTransport(zone.host, self._network)
+        self._zones[name] = zone
+        self._transports[name] = transport
+        self._order.append(name)
+        return name, transport
+
+    def nodes(self) -> list[tuple[str, Transport]]:
+        return [(name, self._transports[name]) for name in self._order]
+
+    def names(self) -> list[str]:
+        return list(self._order)
+
+    def zone(self, name: str) -> CloudZone:
+        return self._zones[name]
+
+    def transport(self, name: str) -> Transport:
+        return self._transports[name]
+
+    def close(self) -> None:
+        for zone in self._zones.values():
+            zone.close()

@@ -64,6 +64,13 @@ class DataBlinder:
         #: Retry/breaker wrapping of the transport; None (the default)
         #: keeps the raw fail-fast behaviour.
         self.resilience = resilience
+        if not isinstance(transport, Transport):
+            # A sequence of (name, transport) pairs deploys the sharded
+            # untrusted zone; PipelineConfig.sharding tunes the ring.
+            from repro.shard.router import ShardedTransport
+
+            transport = ShardedTransport(list(transport),
+                                         self.pipeline.sharding)
         self.runtime = GatewayRuntime(
             application, transport, self.registry, keystore, local_kv,
             pipeline=self.pipeline, resilience=resilience,

@@ -81,6 +81,17 @@ class PlanEngine:
                  seconds: float, kind: str) -> None:
         self._x.runtime.cost.observe(scope, operation, tactic, seconds)
         self._stats.record_node(f"{kind}:{tactic}", seconds)
+        self._drain_shard_timings()
+
+    def _drain_shard_timings(self) -> None:
+        """Attribute per-shard wire time to ``Shard:<node>`` stat rows.
+
+        The sharded router accumulates (node, seconds) pairs on the
+        calling thread; non-sharded transports return nothing and this
+        is a no-op.
+        """
+        for shard, seconds in self._x.runtime.drain_shard_timings():
+            self._stats.record_node(f"Shard:{shard}", seconds)
 
     def _timed_docs(self, operation: str, kind: str, method: str,
                     **kwargs: Any) -> Any:
@@ -492,6 +503,7 @@ class PlanEngine:
         self._stats.record_node(
             "WritePipeline:insert", time.perf_counter() - started
         )
+        self._drain_shard_timings()
         return doc_ids
 
     def update(self, plan: ir.Plan, doc_id: str,
@@ -512,6 +524,7 @@ class PlanEngine:
         self._stats.record_node(
             "WritePipeline:update", time.perf_counter() - started
         )
+        self._drain_shard_timings()
 
     def _apply_update(self, doc_id: str,
                       old_sensitive: dict[str, Value],
@@ -586,3 +599,4 @@ class PlanEngine:
             self._stats.record_node(
                 "WritePipeline:delete", time.perf_counter() - started
             )
+            self._drain_shard_timings()

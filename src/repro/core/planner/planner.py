@@ -38,6 +38,9 @@ class PlannerStats:
         self.cache_hits = 0
         self.cache_misses = 0
         self.invalidations = 0
+        #: Cache drops caused by an untrusted-zone membership change
+        #: (the transport's topology epoch moved).
+        self.topology_invalidations = 0
         self.executions = 0
         #: node-kind (e.g. ``"IndexLookup:det"``) -> [calls, seconds]
         self.node_timings: dict[str, list] = {}
@@ -65,6 +68,7 @@ class PlannerStats:
                 "cache_hits": self.cache_hits,
                 "cache_misses": self.cache_misses,
                 "invalidations": self.invalidations,
+                "topology_invalidations": self.topology_invalidations,
                 "executions": self.executions,
                 "node_timings": {
                     kind: {"calls": calls, "seconds": seconds}
@@ -83,7 +87,8 @@ class PlannerStats:
                 f"  plans: {snap['compiles']} compiled, "
                 f"{snap['cache_hits']} cache hits, "
                 f"{snap['cache_misses']} misses, "
-                f"{snap['invalidations']} invalidations"
+                f"{snap['invalidations']} invalidations "
+                f"({snap['topology_invalidations']} topology)"
             ),
             f"  executions: {snap['executions']}",
         ]
@@ -117,13 +122,34 @@ class QueryPlanner:
         self.engine = PlanEngine(executor, self.stats)
         self._cache: dict[Any, Plan] = {}
         self._lock = threading.Lock()
+        self._epoch = executor.runtime.topology_epoch()
 
     # -- plan cache ------------------------------------------------------------
+
+    def _check_topology(self) -> None:
+        """Drop cached plans when the untrusted zone changed shape.
+
+        Plans are shape-keyed, not topology-keyed: a plan compiled
+        against a 2-node ring is structurally valid on 3 nodes, but its
+        cost estimates and adaptive selections are stale — and tests
+        want a crisp signal that membership changes were noticed.
+        """
+        epoch = self._x.runtime.topology_epoch()
+        if epoch == self._epoch:
+            return
+        with self._lock:
+            if epoch == self._epoch:
+                return
+            self._cache.clear()
+            self._epoch = epoch
+        self.stats.bump("topology_invalidations")
+        self.stats.bump("invalidations")
 
     def _plan(self, key: Any, build) -> Plan:
         if not self._x.pipeline.plan_cache:
             self.stats.bump("compiles")
             return self.optimizer.optimize(build())
+        self._check_topology()
         with self._lock:
             cached = self._cache.get(key)
         if cached is not None:
@@ -155,6 +181,8 @@ class QueryPlanner:
         predecessor.invalidate()
         snap = predecessor.stats.snapshot()
         self.stats.bump("invalidations", snap["invalidations"])
+        self.stats.bump("topology_invalidations",
+                        snap["topology_invalidations"])
 
     def cached_plans(self) -> int:
         with self._lock:

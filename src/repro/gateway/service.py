@@ -71,6 +71,14 @@ class GatewayRuntime:
         """Call the application's cloud document service."""
         return self.transport.call(self.documents_service, method, **kwargs)
 
+    def topology_epoch(self) -> int:
+        """The untrusted zone's membership epoch (0 when unsharded)."""
+        return self.transport.topology_epoch()
+
+    def drain_shard_timings(self) -> list[tuple[str, float]]:
+        """Per-shard timings accumulated by this thread's calls."""
+        return self.transport.drain_shard_timings()
+
     @property
     def batch_collector(self) -> BatchCollector | None:
         """The write-batching wrapper, when batching is configured."""

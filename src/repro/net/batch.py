@@ -36,11 +36,14 @@ from __future__ import annotations
 import threading
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Any, Iterator, Sequence
+from typing import TYPE_CHECKING, Any, Iterator, Sequence
 
 from repro.net.latency import NetworkStats
 from repro.net.rpc import Request, Response
 from repro.net.transport import Transport
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.shard.config import ShardConfig
 
 
 @dataclass(frozen=True)
@@ -81,6 +84,12 @@ class PipelineConfig:
     #: shape).  Pure gateway-side memoisation — results and wire traffic
     #: are unchanged — so it defaults on; disable to measure compile cost.
     plan_cache: bool = True
+    #: Shard the untrusted zone: when set (and the deployment hands the
+    #: middleware a *list* of named per-node transports), documents and
+    #: secure indexes partition across N cloud nodes behind a
+    #: :class:`repro.shard.router.ShardedTransport`.  ``None`` keeps the
+    #: seed single-zone wiring byte-for-byte.
+    sharding: "ShardConfig | None" = None
 
 
 #: Methods whose results gateway callers ignore: index maintenance on
@@ -205,6 +214,15 @@ class BatchCollector(Transport):
 
     def stats(self) -> NetworkStats:
         return self._inner.stats()
+
+    def labeled_stats(self) -> dict[str, NetworkStats]:
+        return self._inner.labeled_stats()
+
+    def topology_epoch(self) -> int:
+        return self._inner.topology_epoch()
+
+    def drain_shard_timings(self) -> list[tuple[str, float]]:
+        return self._inner.drain_shard_timings()
 
     def close(self) -> None:
         self._inner.close()

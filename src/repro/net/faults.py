@@ -229,5 +229,24 @@ class FaultInjectingTransport(Transport):
             )
         return self._inner.stats().merge(own)
 
+    def labeled_stats(self) -> dict[str, NetworkStats]:
+        labeled = dict(self._inner.labeled_stats())
+        with self._lock:
+            own = NetworkStats(
+                simulated_delay_seconds=self._injected_delay,
+                faults_injected=len(self._events),
+            )
+        if len(labeled) == 1:
+            label, stats = next(iter(labeled.items()))
+            return {label: stats.merge(own)}
+        labeled["faults"] = own
+        return labeled
+
+    def topology_epoch(self) -> int:
+        return self._inner.topology_epoch()
+
+    def drain_shard_timings(self) -> list[tuple[str, float]]:
+        return self._inner.drain_shard_timings()
+
     def close(self) -> None:
         self._inner.close()

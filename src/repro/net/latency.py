@@ -52,6 +52,44 @@ class NetworkStats:
         )
 
 
+def roll_up(labeled: dict[str, NetworkStats]) -> NetworkStats:
+    """Merge a labelled stats report into one total.
+
+    Nested transports (resilience -> batch collector -> sharded router ->
+    per-shard) each contribute their own counters under a label via
+    ``Transport.labeled_stats``; the roll-up is the single
+    :class:`NetworkStats` the whole stack amounts to.
+    """
+    total = NetworkStats()
+    for stats in labeled.values():
+        total = total.merge(stats)
+    return total
+
+
+def render_labeled(labeled: dict[str, NetworkStats]) -> str:
+    """One report line per label plus the roll-up total."""
+    lines = ["network stats by endpoint:"]
+    for label in sorted(labeled):
+        stats = labeled[label]
+        lines.append(
+            f"  {label}: sent={stats.messages_sent}"
+            f" recv={stats.messages_received}"
+            f" bytes={stats.bytes_sent + stats.bytes_received}"
+            f" retries={stats.retries} breaker_opens={stats.breaker_opens}"
+            f" failovers={stats.failovers}"
+            f" faults={stats.faults_injected}"
+        )
+    total = roll_up(labeled)
+    lines.append(
+        f"  total: sent={total.messages_sent}"
+        f" recv={total.messages_received}"
+        f" bytes={total.bytes_sent + total.bytes_received}"
+        f" retries={total.retries} breaker_opens={total.breaker_opens}"
+        f" failovers={total.failovers} faults={total.faults_injected}"
+    )
+    return "\n".join(lines)
+
+
 @dataclass
 class NetworkModel:
     """One-way delay model for a gateway<->cloud link.

@@ -176,6 +176,28 @@ class MultiCloudTransport(Transport):
         with self._lock:
             return total.merge(NetworkStats(failovers=self._failovers))
 
+    def labeled_stats(self) -> dict[str, NetworkStats]:
+        labeled: dict[str, NetworkStats] = {}
+        for index, transport in enumerate(self._providers()):
+            for label, stats in transport.labeled_stats().items():
+                labeled[f"provider{index}:{label}"] = stats
+        with self._lock:
+            labeled["multicloud"] = NetworkStats(
+                failovers=self._failovers
+            )
+        return labeled
+
+    def topology_epoch(self) -> int:
+        return max(
+            (t.topology_epoch() for t in self._providers()), default=0
+        )
+
+    def drain_shard_timings(self) -> list[tuple[str, float]]:
+        timings: list[tuple[str, float]] = []
+        for transport in self._providers():
+            timings.extend(transport.drain_shard_timings())
+        return timings
+
     def close(self) -> None:
         for transport in self._providers():
             transport.close()

@@ -315,6 +315,24 @@ class ResilientTransport(Transport):
                                breaker_opens=self.breaker.opens)
         return self._inner.stats().merge(own)
 
+    def labeled_stats(self) -> dict[str, NetworkStats]:
+        labeled = dict(self._inner.labeled_stats())
+        with self._lock:
+            own = NetworkStats(retries=self._retries,
+                               breaker_opens=self.breaker.opens)
+        if len(labeled) == 1:
+            # One endpoint below: fold our counters into its line.
+            label, stats = next(iter(labeled.items()))
+            return {label: stats.merge(own)}
+        labeled["resilience"] = own
+        return labeled
+
+    def topology_epoch(self) -> int:
+        return self._inner.topology_epoch()
+
+    def drain_shard_timings(self) -> list[tuple[str, float]]:
+        return self._inner.drain_shard_timings()
+
     def close(self) -> None:
         self._inner.close()
 

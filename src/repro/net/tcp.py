@@ -21,6 +21,7 @@ from typing import Any, Sequence
 from repro.errors import TransportError
 from repro.net.latency import NetworkStats, TrafficMeter
 from repro.net.message import decode, encode
+from repro.net.transport import Transport
 from repro.net.rpc import (
     Request,
     Response,
@@ -110,7 +111,7 @@ class TcpRpcServer(socketserver.ThreadingTCPServer):
         return thread
 
 
-class TcpTransport:
+class TcpTransport(Transport):
     """Client side: one pooled connection per calling thread."""
 
     def __init__(self, address: tuple[str, int], timeout: float = 30.0):

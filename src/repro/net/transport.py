@@ -80,6 +80,31 @@ class Transport(ABC):
     def stats(self) -> NetworkStats:
         """Traffic counters accumulated by this transport."""
 
+    def labeled_stats(self) -> dict[str, NetworkStats]:
+        """Stats keyed by endpoint label for the merged roll-up report.
+
+        Wrapper transports override this to surface their inner labels
+        (per shard, per provider) plus their own counters, so a nested
+        stack reports as one labelled table instead of siloed snapshots;
+        :func:`repro.net.latency.roll_up` sums any labelled report back
+        into a single :class:`NetworkStats`.
+        """
+        return {"endpoint": self.stats()}
+
+    def topology_epoch(self) -> int:
+        """Monotonic counter of untrusted-zone membership changes.
+
+        Non-sharded transports are a fixed topology (epoch 0); the
+        sharded router bumps the epoch on node join/leave so the planner
+        can invalidate shape-keyed plans.  Wrappers delegate inward.
+        """
+        return 0
+
+    def drain_shard_timings(self) -> list[tuple[str, float]]:
+        """Per-shard call timings accumulated on the calling thread
+        since the last drain (empty for non-sharded transports)."""
+        return []
+
     def close(self) -> None:
         """Release any underlying resources (default: none)."""
 

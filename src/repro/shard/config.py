@@ -1,0 +1,33 @@
+"""Sharding configuration.
+
+Kept dependency-free (dataclasses only) so
+:class:`~repro.net.batch.PipelineConfig` can reference it without an
+import cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ShardConfig:
+    """Knobs of the sharded untrusted zone.
+
+    The all-defaults config with a 1-node ring behaves exactly like the
+    unsharded deployment (the equivalence tests enforce it).
+    """
+
+    #: Virtual nodes per physical node on the hash ring.
+    vnodes: int = 64
+    #: Seed of the ring's hash function; part of the shared ring spec.
+    seed: int = 0
+    #: Copies of every routed write (1 = no replication).  Reads fail
+    #: over to replicas when the owner's circuit is open.
+    replication: int = 1
+    #: Scatter broadcasts run on a thread pool when True.
+    parallel_fanout: bool = True
+    #: Upper bound on concurrent scatter workers.
+    fanout_workers: int = 8
+    #: Documents / index entries moved per chunk during resharding.
+    rebalance_chunk: int = 64

@@ -1,0 +1,980 @@
+"""ShardedTransport: hash-ring routing + scatter/gather over N zones.
+
+The router implements the standard :class:`~repro.net.transport.Transport`
+interface over a set of named per-node transports, so the gateway (and
+every tactic protocol above it) stays oblivious to the topology:
+
+* **Key-routed operations** — document CRUD by ``_id``, DET/RND/OPE/ORE
+  token and ciphertext writes by ``doc_id``, Sophos/Mitra index writes by
+  ``address``, stateless-SSE postings by ``tag`` — go to the ring owner
+  of their shard key (plus replicas when ``replication > 1``).
+* **Scatter/gather operations** — Sophos search, boolean BIEX queries,
+  range scans, ``count``, ``all_ids`` — broadcast to every node and the
+  router merges per tactic semantics (set union, elementwise
+  first-non-None for Mitra address slots, homomorphic ``combine`` for
+  Paillier/ElGamal partials, an order-merge for OPE/ORE scans).
+* **Pinned services** — BIEX two-level / ZMF (whose cross-anchor tag
+  dedup needs all pairs on one node) and unknown tactics — live whole on
+  ``replication`` ring-chosen nodes and move only via the generic
+  namespace dump/load protocol during node removal.
+
+Reads fail over along the replica chain on an open circuit breaker
+(reusing the PR 2 resilience machinery *below* the router: wrap each
+per-node transport in a :class:`~repro.net.resilience.ResilientTransport`
+to get per-shard breakers).  During an online reshard the router keeps
+the previous ring as a *forwarding table*: reads that miss on the new
+owner fall back to the previous owner, so a migration in flight never
+makes a document or index entry unreachable.
+
+Membership changes bump ``topology_epoch`` — the planner drops its
+shape-keyed plan cache when the epoch moves.
+"""
+
+from __future__ import annotations
+
+import functools
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Iterable, Sequence
+
+from repro.errors import CircuitOpenError, RemoteError, TransportError
+from repro.net.latency import NetworkStats, roll_up
+from repro.net.rpc import Request, Response
+from repro.net.transport import Transport
+from repro.shard.config import ShardConfig
+from repro.shard.ring import HashRing
+
+#: Tactics whose cloud entries are keyed by document id: every index
+#: entry of a document co-locates with the document itself.
+DOC_KEYED = frozenset({
+    "det", "rnd", "blind-index", "ope", "ore", "paillier", "elgamal",
+})
+#: Tactics keyed by opaque index address (forward-private SSE chains).
+ADDRESS_KEYED = frozenset({"sophos", "mitra"})
+#: Tactics keyed by keyword tag (append-only posting lists).
+TAG_KEYED = frozenset({"sse-stateless"})
+#: Tactics needing cross-entry state on one node (BIEX cross-anchor tag
+#: dedup, ZMF counting filter).  Unknown tactic names are pinned too —
+#: the conservative default for third-party registrations.
+PINNED = frozenset({"biex-2lev", "biex-zmf"})
+#: Order-revealing tactics: ``ordered_range`` scatters are rewritten to
+#: ``ordered_range_keyed`` so the router can merge by ciphertext order.
+ORDERED = frozenset({"ope", "ore"})
+#: Aggregating tactics: partial aggregates merge through a cloud-side
+#: ``combine`` call (the router never touches the homomorphic math).
+AGGREGATE = frozenset({"paillier", "elgamal"})
+
+#: Cloud-tactic methods that mutate index state (routed as writes).
+MUTATING_TACTIC_METHODS = frozenset({
+    "insert", "update", "delete", "add", "remove", "upsert",
+    "insert_terms", "update_terms", "delete_terms",
+})
+
+
+def _tactic_of(service: str) -> str:
+    return service.rsplit("/", 1)[-1]
+
+
+def _freeze(value: Any) -> Any:
+    """A hashable key for wire values (lists arrive un-tupled)."""
+    if isinstance(value, list):
+        return tuple(_freeze(item) for item in value)
+    if isinstance(value, dict):
+        return tuple(sorted(
+            (key, _freeze(item)) for key, item in value.items()
+        ))
+    return value
+
+
+class ShardedTransport(Transport):
+    """Routes one gateway onto N named per-node transports."""
+
+    def __init__(self, nodes: Iterable[tuple[str, Transport]],
+                 config: ShardConfig | None = None):
+        self.config = config or ShardConfig()
+        self._nodes: dict[str, Transport] = {}
+        self._order: list[str] = []
+        for name, transport in nodes:
+            if name in self._nodes:
+                raise TransportError(f"duplicate shard node {name!r}")
+            self._nodes[name] = transport
+            self._order.append(name)
+        if not self._nodes:
+            raise TransportError("sharded transport needs at least one node")
+        self._ring = HashRing(self._order, vnodes=self.config.vnodes,
+                              seed=self.config.seed)
+        #: Previous ring while a reshard is in flight (forwarding table).
+        self._forward: HashRing | None = None
+        self._epoch = 1
+        self._lock = threading.RLock()
+        self._local = threading.local()
+        self._pool: ThreadPoolExecutor | None = None
+        self._failovers = 0
+        self._replica_errors = 0
+        self._scatters = 0
+        #: Provisioning calls replayed onto every joining node.
+        self._provision_log: list[Request] = []
+        self._applications: list[str] = []
+        self._tactic_services: dict[str, str] = {}
+        self._pins: dict[str, list[str]] = {}
+
+    # -- topology --------------------------------------------------------------
+
+    def topology_epoch(self) -> int:
+        with self._lock:
+            return self._epoch
+
+    def node_names(self) -> list[str]:
+        with self._lock:
+            return list(self._order)
+
+    def node_transport(self, name: str) -> Transport:
+        return self._nodes[name]
+
+    def ring_spec(self, self_node: str | None = None) -> dict[str, Any]:
+        with self._lock:
+            return self._ring.spec(self_node)
+
+    def forwarding_active(self) -> bool:
+        with self._lock:
+            return self._forward is not None
+
+    @property
+    def applications(self) -> list[str]:
+        with self._lock:
+            return list(self._applications)
+
+    def tactic_services(self) -> dict[str, str]:
+        """Provisioned tactic service name -> tactic name."""
+        with self._lock:
+            return dict(self._tactic_services)
+
+    @property
+    def provision_log(self) -> list[Request]:
+        with self._lock:
+            return list(self._provision_log)
+
+    def pins(self) -> dict[str, list[str]]:
+        with self._lock:
+            return {name: list(p) for name, p in self._pins.items()}
+
+    def set_pins(self, service: str, nodes: Sequence[str]) -> None:
+        with self._lock:
+            self._pins[service] = list(nodes)
+
+    def _topology(self) -> tuple[HashRing, HashRing | None, list[str]]:
+        with self._lock:
+            return self._ring, self._forward, list(self._order)
+
+    def _replication(self) -> int:
+        return max(1, min(self.config.replication, len(self._order)))
+
+    # -- membership (driven by repro.shard.rebalance.Resharder) ----------------
+
+    def begin_join(self, name: str, transport: Transport) -> None:
+        """Admit a node: replay provisioning, then extend the ring.
+
+        The previous ring becomes the forwarding table until
+        :meth:`finish_migration`, so reads stay correct while keys move.
+        """
+        for request in self.provision_log:
+            transport.call_request(request)
+        with self._lock:
+            if name in self._nodes:
+                raise TransportError(f"shard node {name!r} already joined")
+            self._forward = HashRing.from_spec(self._ring.spec())
+            self._nodes[name] = transport
+            self._order.append(name)
+            ring = HashRing.from_spec(self._ring.spec())
+            ring.add(name)
+            self._ring = ring
+            self._epoch += 1
+
+    def begin_leave(self, name: str) -> None:
+        """Retire a node from the ring but keep its transport reachable
+        (forwarded reads and migration still address it)."""
+        with self._lock:
+            if name not in self._nodes:
+                raise TransportError(f"unknown shard node {name!r}")
+            if len(self._order) == 1:
+                raise TransportError("cannot remove the last shard node")
+            self._forward = HashRing.from_spec(self._ring.spec())
+            ring = HashRing.from_spec(self._ring.spec())
+            ring.remove(name)
+            self._ring = ring
+            self._epoch += 1
+
+    def finish_migration(self) -> None:
+        with self._lock:
+            self._forward = None
+            self._epoch += 1
+
+    def finish_leave(self, name: str) -> None:
+        with self._lock:
+            self._forward = None
+            self._nodes.pop(name, None)
+            if name in self._order:
+                self._order.remove(name)
+            self._epoch += 1
+
+    # -- timing / stats --------------------------------------------------------
+
+    def _timings(self) -> list[tuple[str, float]]:
+        timings = getattr(self._local, "timings", None)
+        if timings is None:
+            timings = []
+            self._local.timings = timings
+        return timings
+
+    def _record_timing(self, name: str, seconds: float) -> None:
+        self._timings().append((name, seconds))
+
+    def drain_shard_timings(self) -> list[tuple[str, float]]:
+        timings = self._timings()
+        self._local.timings = []
+        return timings
+
+    def stats(self) -> NetworkStats:
+        return roll_up(self.labeled_stats())
+
+    def labeled_stats(self) -> dict[str, NetworkStats]:
+        labeled: dict[str, NetworkStats] = {}
+        with self._lock:
+            nodes = list(self._nodes.items())
+            own = NetworkStats(failovers=self._failovers)
+        for name, transport in nodes:
+            labeled[f"shard:{name}"] = roll_up(transport.labeled_stats())
+        labeled["router"] = own
+        return labeled
+
+    def scatter_count(self) -> int:
+        with self._lock:
+            return self._scatters
+
+    def replica_error_count(self) -> int:
+        with self._lock:
+            return self._replica_errors
+
+    def close(self) -> None:
+        with self._lock:
+            pool, self._pool = self._pool, None
+            nodes = list(self._nodes.values())
+        if pool is not None:
+            pool.shutdown(wait=False)
+        for transport in nodes:
+            transport.close()
+
+    # -- low-level node calls --------------------------------------------------
+
+    def _timed_call(self, name: str, request: Request) -> Any:
+        node = self._nodes[name]
+        started = time.perf_counter()
+        try:
+            return node.call_request(request)
+        finally:
+            self._record_timing(name, time.perf_counter() - started)
+
+    def _scatter_pool(self) -> ThreadPoolExecutor:
+        with self._lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=max(2, self.config.fanout_workers),
+                    thread_name_prefix="shard-scatter",
+                )
+            return self._pool
+
+    def _broadcast(self, request: Request,
+                   nodes: Sequence[str] | None = None,
+                   skip_broken: bool | None = None,
+                   ) -> list[tuple[str, Any]]:
+        """Call every target node, returning ``(name, result)`` rows in
+        node order.
+
+        A :class:`RemoteError` (application failure) always propagates.
+        Link failures propagate too unless ``skip_broken`` — the default
+        when replication holds every datum on more than one node, where a
+        broken shard's rows exist elsewhere in the gather.
+        """
+        targets = list(nodes) if nodes is not None else self.node_names()
+        if skip_broken is None:
+            skip_broken = self._replication() > 1
+
+        def one(name: str) -> tuple[str, Any, float, Exception | None]:
+            node = self._nodes[name]
+            started = time.perf_counter()
+            try:
+                result = node.call_request(request)
+                return name, result, time.perf_counter() - started, None
+            except TransportError as exc:
+                return name, None, time.perf_counter() - started, exc
+
+        if (self.config.parallel_fanout and len(targets) > 1):
+            rows = list(self._scatter_pool().map(one, targets))
+        else:
+            rows = [one(name) for name in targets]
+
+        with self._lock:
+            self._scatters += 1
+        gathered: list[tuple[str, Any]] = []
+        last_error: Exception | None = None
+        for name, result, seconds, error in rows:
+            self._record_timing(name, seconds)
+            if error is not None:
+                if skip_broken and not isinstance(error, RemoteError):
+                    with self._lock:
+                        self._failovers += 1
+                    last_error = error
+                    continue
+                raise error
+            gathered.append((name, result))
+        if not gathered and last_error is not None:
+            raise last_error
+        return gathered
+
+    def _attempt_chain(self, names: Sequence[str], request: Request) -> Any:
+        """Read along a replica chain: an open breaker moves to the next
+        candidate; application errors propagate immediately."""
+        last: Exception | None = None
+        for name in names:
+            try:
+                return self._timed_call(name, request)
+            except CircuitOpenError as exc:
+                last = exc
+                with self._lock:
+                    self._failovers += 1
+        assert last is not None
+        raise last
+
+    def _routed_write(self, key: str | bytes, request: Request) -> Any:
+        """Deliver a write to the owner chain.
+
+        The first successful delivery's result is returned.  A non-breaker
+        failure of the *primary* propagates (the resilience layer above
+        redelivers; per-host idempotency dedup makes that safe); replica
+        failures are swallowed and counted.
+        """
+        ring, _, _ = self._topology()
+        owners = ring.owners(key, self._replication())
+        result: Any = None
+        delivered = False
+        last: Exception | None = None
+        for index, name in enumerate(owners):
+            try:
+                value = self._timed_call(name, request)
+            except CircuitOpenError as exc:
+                last = exc
+                with self._lock:
+                    if delivered:
+                        self._replica_errors += 1
+                    else:
+                        self._failovers += 1
+                continue
+            except TransportError as exc:
+                if index == 0:
+                    raise
+                last = exc
+                with self._lock:
+                    self._replica_errors += 1
+                continue
+            if not delivered:
+                result = value
+                delivered = True
+        if not delivered:
+            assert last is not None
+            raise last
+        return result
+
+    def _routed_read(self, key: str | bytes, request: Request) -> Any:
+        ring, _, _ = self._topology()
+        owners = ring.owners(key, self._replication())
+        if len(owners) == 1:
+            return self._timed_call(owners[0], request)
+        return self._attempt_chain(owners, request)
+
+    def _prev_owner(self, key: str | bytes) -> str | None:
+        """The forwarding-table owner, when it differs from the current
+        owner and is still reachable."""
+        ring, forward, _ = self._topology()
+        if forward is None:
+            return None
+        prev = forward.owner(key)
+        if prev == ring.owner(key) or prev not in self._nodes:
+            return None
+        return prev
+
+    # -- Transport interface ---------------------------------------------------
+
+    def call(self, service: str, method: str, **kwargs: Any) -> Any:
+        return self.call_request(Request(service, method, kwargs))
+
+    def call_request(self, request: Request) -> Any:
+        service = request.service
+        if service == "admin":
+            return self._admin(request)
+        if service.startswith("docs/"):
+            return self._docs(request)
+        if service.startswith("tactic/"):
+            return self._tactic(request)
+        # Unknown service class: conservative broadcast, last result.
+        return self._broadcast_last(request)
+
+    def call_batch(self, requests: Sequence[Request]) -> list[Response]:
+        _, forward, order = self._topology()
+        if len(order) == 1 and forward is None:
+            name = order[0]
+            started = time.perf_counter()
+            try:
+                return self._nodes[name].call_batch(list(requests))
+            finally:
+                self._record_timing(name, time.perf_counter() - started)
+
+        responses: list[Response | None] = [None] * len(requests)
+        grouped: dict[str, tuple[list[int], list[Request]]] = {}
+        loose: list[int] = []
+        for index, request in enumerate(requests):
+            target = self._single_route(request)
+            if target is None:
+                loose.append(index)
+            else:
+                indices, subrequests = grouped.setdefault(
+                    target, ([], [])
+                )
+                indices.append(index)
+                subrequests.append(request)
+        for name, (indices, subrequests) in grouped.items():
+            started = time.perf_counter()
+            try:
+                answered = self._nodes[name].call_batch(subrequests)
+            finally:
+                self._record_timing(name,
+                                    time.perf_counter() - started)
+            for slot, response in zip(indices, answered):
+                responses[slot] = response
+        for index in loose:
+            # Base-class semantics: per-slot isolation of everything but
+            # link-level failures.
+            responses[index] = Transport.call_batch(
+                self, [requests[index]]
+            )[0]
+        missing = [i for i, r in enumerate(responses) if r is None]
+        if missing:
+            raise TransportError(
+                f"sharded batch lost responses for slots {missing}"
+            )
+        return [r for r in responses if r is not None]
+
+    def _single_route(self, request: Request) -> str | None:
+        """The owning node for batch slots that are pure single-node
+        deliveries; ``None`` sends the slot through the full router."""
+        ring, forward, _ = self._topology()
+        if self._replication() > 1:
+            return None
+        service, method, kwargs = (request.service, request.method,
+                                   request.kwargs)
+        if service.startswith("docs/"):
+            if method == "insert" and forward is None:
+                doc_id = (kwargs.get("document") or {}).get("_id")
+                return ring.owner(doc_id) if doc_id else None
+            if method in ("replace", "delete") and forward is None:
+                key = (kwargs.get("document") or {}).get("_id") \
+                    if method == "replace" else kwargs.get("doc_id")
+                return ring.owner(key) if key else None
+            return None
+        if service.startswith("tactic/"):
+            tactic = _tactic_of(service)
+            if method == "setup" or method not in MUTATING_TACTIC_METHODS:
+                return None
+            if tactic in DOC_KEYED and "doc_id" in kwargs:
+                return ring.owner(kwargs["doc_id"])
+            if tactic in ADDRESS_KEYED and "address" in kwargs:
+                return ring.owner(self._address_key(kwargs["address"]))
+            if tactic in TAG_KEYED and "tag" in kwargs:
+                return ring.owner(self._address_key(kwargs["tag"]))
+            if tactic in PINNED or tactic not in (
+                DOC_KEYED | ADDRESS_KEYED | TAG_KEYED
+            ):
+                return self._pin_nodes(service)[0]
+        return None
+
+    # -- admin -----------------------------------------------------------------
+
+    def _admin(self, request: Request) -> Any:
+        method = request.method
+        if method == "list_services":
+            names: set[str] = set()
+            for _, result in self._broadcast(request, skip_broken=False):
+                names.update(result or [])
+            return sorted(names)
+        if method in ("provision_application", "provision_tactic"):
+            self._log_provision(request)
+            if method == "provision_application":
+                application = request.kwargs.get("application")
+                with self._lock:
+                    if application and (application
+                                        not in self._applications):
+                        self._applications.append(application)
+            else:
+                from repro.spi.context import service_name
+
+                kwargs = request.kwargs
+                with self._lock:
+                    self._tactic_services[service_name(
+                        kwargs["application"], kwargs["field"],
+                        kwargs["tactic"],
+                    )] = kwargs["tactic"]
+        results = self._broadcast(request, skip_broken=False)
+        return results[-1][1]
+
+    def _log_provision(self, request: Request) -> None:
+        bare = Request(request.service, request.method,
+                       dict(request.kwargs))
+        with self._lock:
+            self._provision_log.append(bare)
+
+    def _broadcast_last(self, request: Request) -> Any:
+        results = self._broadcast(request, skip_broken=False)
+        for _, result in reversed(results):
+            if result is not None:
+                return result
+        return results[-1][1]
+
+    # -- document store --------------------------------------------------------
+
+    def _docs(self, request: Request) -> Any:
+        _, forward, order = self._topology()
+        method, kwargs = request.method, request.kwargs
+        if len(order) == 1 and forward is None:
+            return self._timed_call(order[0], request)
+        if method == "insert":
+            return self._routed_write(self._doc_key(kwargs), request)
+        if method == "insert_many":
+            return self._docs_insert_many(request)
+        if method == "get":
+            return self._docs_get(request)
+        if method == "get_many":
+            return self._docs_get_many(request)
+        if method == "replace":
+            return self._docs_replace(request)
+        if method == "delete":
+            return self._docs_delete(request)
+        if method == "count":
+            return self._docs_count(request)
+        if method in ("all_ids", "find_plain"):
+            merged: list[str] = []
+            seen: set[str] = set()
+            for _, part in self._broadcast(request):
+                for doc_id in part or []:
+                    if doc_id not in seen:
+                        seen.add(doc_id)
+                        merged.append(doc_id)
+            limit = kwargs.get("limit")
+            if method == "find_plain" and limit is not None:
+                return merged[:limit]
+            return merged
+        if method == "find_text":
+            return self._docs_find_text(request)
+        return self._broadcast_last(request)
+
+    @staticmethod
+    def _doc_key(kwargs: dict[str, Any]) -> str:
+        document = kwargs.get("document") or {}
+        doc_id = document.get("_id")
+        if not doc_id:
+            raise TransportError(
+                "sharded document writes require an explicit _id"
+            )
+        return doc_id
+
+    def _docs_insert_many(self, request: Request) -> list[str]:
+        documents = list(request.kwargs.get("documents") or [])
+        if not documents:
+            return []
+        ring, _, _ = self._topology()
+        if self._replication() > 1:
+            # Per-document routed writes: owner chains differ per key.
+            ids = []
+            for document in documents:
+                sub = Request(request.service, "insert",
+                              {"document": document})
+                ids.append(self._routed_write(document["_id"], sub))
+            return ids
+        groups: dict[str, tuple[list[int], list[dict]]] = {}
+        for index, document in enumerate(documents):
+            doc_id = document.get("_id")
+            if not doc_id:
+                raise TransportError(
+                    "sharded document writes require an explicit _id"
+                )
+            indices, docs = groups.setdefault(ring.owner(doc_id),
+                                              ([], []))
+            indices.append(index)
+            docs.append(document)
+        ids: list[str | None] = [None] * len(documents)
+        for name in sorted(groups):
+            indices, docs = groups[name]
+            # The derived key is deterministic across retries of the
+            # same logical insert_many, so the per-host dedup window
+            # still applies at-most-once per sub-batch.
+            idem = f"{request.idem}.{name}" if request.idem else ""
+            sub = Request(request.service, "insert_many",
+                          {**request.kwargs, "documents": docs},
+                          idem=idem)
+            returned = self._timed_call(name, sub)
+            for slot, doc_id in zip(indices, returned):
+                ids[slot] = doc_id
+        return [doc_id for doc_id in ids if doc_id is not None]
+
+    def _docs_get(self, request: Request) -> Any:
+        doc_id = request.kwargs["doc_id"]
+        try:
+            return self._routed_read(doc_id, request)
+        except RemoteError as exc:
+            prev = self._prev_owner(doc_id)
+            if prev is None or exc.remote_type != "DocumentNotFound":
+                raise
+            return self._timed_call(prev, request)
+
+    def _docs_replace(self, request: Request) -> Any:
+        doc_id = self._doc_key(request.kwargs)
+        try:
+            return self._routed_write(doc_id, request)
+        except RemoteError as exc:
+            prev = self._prev_owner(doc_id)
+            if prev is None or exc.remote_type != "DocumentNotFound":
+                raise
+            return self._timed_call(prev, request)
+
+    def _docs_delete(self, request: Request) -> bool:
+        doc_id = request.kwargs["doc_id"]
+        existed = bool(self._routed_write(doc_id, request))
+        if not existed:
+            prev = self._prev_owner(doc_id)
+            if prev is not None:
+                existed = bool(self._timed_call(prev, request))
+        return existed
+
+    def _docs_get_many(self, request: Request) -> list[dict]:
+        requested = list(request.kwargs.get("doc_ids") or [])
+        ring, forward, _ = self._topology()
+        replication = self._replication()
+        found: dict[str, dict] = {}
+        missing: list[str] = []
+        seen: set[str] = set()
+        for doc_id in requested:
+            if doc_id not in seen:
+                seen.add(doc_id)
+                missing.append(doc_id)
+        for attempt in range(replication):
+            if not missing:
+                break
+            groups: dict[str, list[str]] = {}
+            for doc_id in missing:
+                owners = ring.owners(doc_id, replication)
+                if attempt < len(owners):
+                    groups.setdefault(owners[attempt], []).append(doc_id)
+            deferred: list[str] = []
+            for name in sorted(groups):
+                ids = groups[name]
+                sub = Request(request.service, "get_many",
+                              {**request.kwargs, "doc_ids": ids})
+                try:
+                    stored = self._timed_call(name, sub)
+                except TransportError:
+                    if attempt + 1 < replication:
+                        with self._lock:
+                            self._failovers += 1
+                        deferred.extend(ids)
+                        continue
+                    raise
+                for item in stored:
+                    found[item["_id"]] = item
+                deferred.extend(i for i in ids if i not in found)
+            missing = deferred
+        if missing and forward is not None:
+            groups = {}
+            for doc_id in missing:
+                prev = self._prev_owner(doc_id)
+                if prev is not None:
+                    groups.setdefault(prev, []).append(doc_id)
+            for name in sorted(groups):
+                sub = Request(request.service, "get_many",
+                              {**request.kwargs,
+                               "doc_ids": groups[name]})
+                for item in self._timed_call(name, sub):
+                    found[item["_id"]] = item
+        return [found[i] for i in requested if i in found]
+
+    def _docs_count(self, request: Request) -> int:
+        if self._replication() == 1:
+            return sum(
+                part or 0 for _, part in self._broadcast(request)
+            )
+        # Replicated rows would double-count; gather ids and dedupe.
+        query = request.kwargs.get("query")
+        if query:
+            sub = Request(request.service, "find_plain",
+                          {"query": query})
+        else:
+            sub = Request(request.service, "all_ids", {})
+        ids: set[str] = set()
+        for _, part in self._broadcast(sub):
+            ids.update(part or [])
+        return len(ids)
+
+    def _docs_find_text(self, request: Request) -> list[list]:
+        limit = request.kwargs.get("limit", 10)
+        best: dict[str, float] = {}
+        for _, part in self._broadcast(request):
+            for doc_id, score in part or []:
+                if doc_id not in best or score > best[doc_id]:
+                    best[doc_id] = score
+        ranked = sorted(best.items(), key=lambda hit: (-hit[1], hit[0]))
+        return [[doc_id, score] for doc_id, score in ranked[:limit]]
+
+    # -- tactic services -------------------------------------------------------
+
+    @staticmethod
+    def _address_key(value: Any) -> str | bytes:
+        if isinstance(value, (str, bytes)):
+            return value
+        return repr(value)
+
+    def _pin_nodes(self, service: str) -> list[str]:
+        with self._lock:
+            pins = self._pins.get(service)
+            if pins is None:
+                pins = self._ring.owners(service, self._replication())
+                self._pins[service] = pins
+            return list(pins)
+
+    def _tactic(self, request: Request) -> Any:
+        service, method, kwargs = (request.service, request.method,
+                                   request.kwargs)
+        tactic = _tactic_of(service)
+        if method == "setup":
+            self._log_provision(request)
+            results = self._broadcast(request, skip_broken=False)
+            return results[-1][1]
+        _, forward, order = self._topology()
+        if len(order) == 1 and forward is None:
+            return self._timed_call(order[0], request)
+
+        if tactic in DOC_KEYED:
+            return self._doc_keyed(tactic, request)
+        if tactic in ADDRESS_KEYED:
+            return self._address_keyed(tactic, request)
+        if tactic in TAG_KEYED:
+            return self._tag_keyed(request)
+        return self._pinned(service, request)
+
+    def _doc_keyed(self, tactic: str, request: Request) -> Any:
+        method, kwargs = request.method, request.kwargs
+        if "doc_id" in kwargs:
+            if method == "retrieve":
+                result = self._routed_read(kwargs["doc_id"], request)
+                if result is None:
+                    prev = self._prev_owner(kwargs["doc_id"])
+                    if prev is not None:
+                        result = self._timed_call(prev, request)
+                return result
+            if method in MUTATING_TACTIC_METHODS:
+                return self._routed_write(kwargs["doc_id"], request)
+        if method in ("eq_query", "range_query"):
+            return self._merge_concat(self._broadcast(request))
+        if method == "ordered_range" and tactic in ORDERED:
+            return self._ordered_range(tactic, request)
+        if method == "aggregate" and tactic in AGGREGATE:
+            return self._aggregate(request)
+        return self._broadcast_last(request)
+
+    def _address_keyed(self, tactic: str, request: Request) -> Any:
+        method, kwargs = request.method, request.kwargs
+        if method in MUTATING_TACTIC_METHODS and "address" in kwargs:
+            return self._routed_write(
+                self._address_key(kwargs["address"]), request
+            )
+        if method == "eq_query":
+            results = self._broadcast(request)
+            if tactic == "mitra":
+                # Address slots align across shards: the owning shard
+                # answers its slot, the rest return None.
+                merged: list[Any] = []
+                for _, part in results:
+                    part = part or []
+                    while len(merged) < len(part):
+                        merged.append(None)
+                    for index, payload in enumerate(part):
+                        if merged[index] is None:
+                            merged[index] = payload
+                return merged
+            return self._merge_concat(results)
+        return self._broadcast_last(request)
+
+    def _tag_keyed(self, request: Request) -> Any:
+        method, kwargs = request.method, request.kwargs
+        if method in MUTATING_TACTIC_METHODS and "tag" in kwargs:
+            return self._routed_write(
+                self._address_key(kwargs["tag"]), request
+            )
+        if method == "eq_query":
+            # Node order puts older nodes first, so entries still on a
+            # migration source precede entries written to the new owner:
+            # the gateway's tombstone scan sees causal order.
+            merged: list[Any] = []
+            seen: set[Any] = set()
+            for _, part in self._broadcast(request):
+                for entry in part or []:
+                    key = _freeze(entry)
+                    if key not in seen:
+                        seen.add(key)
+                        merged.append(entry)
+            return merged
+        return self._broadcast_last(request)
+
+    def _pinned(self, service: str, request: Request) -> Any:
+        pins = self._pin_nodes(service)
+        if request.method in MUTATING_TACTIC_METHODS:
+            result: Any = None
+            delivered = False
+            last: Exception | None = None
+            for index, name in enumerate(pins):
+                try:
+                    value = self._timed_call(name, request)
+                except CircuitOpenError as exc:
+                    last = exc
+                    with self._lock:
+                        if delivered:
+                            self._replica_errors += 1
+                        else:
+                            self._failovers += 1
+                    continue
+                except TransportError as exc:
+                    if index == 0:
+                        raise
+                    last = exc
+                    with self._lock:
+                        self._replica_errors += 1
+                    continue
+                if not delivered:
+                    result = value
+                    delivered = True
+            if not delivered:
+                assert last is not None
+                raise last
+            return result
+        return self._attempt_chain(pins, request)
+
+    # -- scatter merges --------------------------------------------------------
+
+    def _merge_concat(self, results: list[tuple[str, Any]]) -> list:
+        """Union-merge of per-shard id/entry lists.
+
+        Pure-string results (DET/blind-index/OPE/ORE id sets, Sophos
+        chains) come back sorted — the answer a single node holding all
+        entries would give; mixed payloads keep node-order concat.
+        """
+        merged: list[Any] = []
+        seen: set[Any] = set()
+        all_str = True
+        for _, part in results:
+            for item in part or []:
+                key = _freeze(item)
+                if key in seen:
+                    continue
+                seen.add(key)
+                merged.append(item)
+                if not isinstance(item, str):
+                    all_str = False
+        if all_str:
+            return sorted(merged)
+        return merged
+
+    def _ordered_range(self, tactic: str, request: Request) -> list[str]:
+        kwargs = request.kwargs
+        limit = kwargs.get("limit")
+        descending = bool(kwargs.get("descending", False))
+        keyed_kwargs: dict[str, Any] = {
+            "low": kwargs.get("low"),
+            "high": kwargs.get("high"),
+            "descending": descending,
+        }
+        if limit is not None:
+            # Each shard returns its own first ``limit`` in direction;
+            # the global answer is within the union of those prefixes.
+            keyed_kwargs["limit"] = limit
+        keyed = Request(request.service, "ordered_range_keyed",
+                        keyed_kwargs)
+        pairs: list[tuple[Any, str]] = []
+        for _, part in self._broadcast(keyed):
+            for key, doc_id in part or []:
+                pairs.append((key, doc_id))
+        if tactic == "ore":
+            from repro.crypto.ore import OreCiphertext, compare
+
+            def order(a: tuple[Any, str], b: tuple[Any, str]) -> int:
+                verdict = compare(OreCiphertext.from_bytes(a[0]),
+                                  OreCiphertext.from_bytes(b[0]))
+                if verdict:
+                    return verdict
+                return (a[1] > b[1]) - (a[1] < b[1])
+
+            pairs.sort(key=functools.cmp_to_key(order))
+        else:
+            pairs.sort(key=lambda pair: (pair[0], pair[1]))
+        if descending:
+            pairs.reverse()
+        ids: list[str] = []
+        seen: set[str] = set()
+        for _, doc_id in pairs:
+            if doc_id not in seen:
+                seen.add(doc_id)
+                ids.append(doc_id)
+        if limit is not None:
+            return ids[:limit]
+        return ids
+
+    def _aggregate(self, request: Request) -> Any:
+        service, kwargs = request.service, request.kwargs
+        doc_ids = kwargs.get("doc_ids")
+        ring, _, _ = self._topology()
+        replication = self._replication()
+        parts: list[Any] = []
+        if doc_ids is None:
+            for _, part in self._broadcast(request):
+                parts.append(part)
+        else:
+            remaining = list(dict.fromkeys(doc_ids))
+            for attempt in range(replication):
+                if not remaining:
+                    break
+                groups: dict[str, list[str]] = {}
+                for doc_id in remaining:
+                    owners = ring.owners(doc_id, replication)
+                    if attempt < len(owners):
+                        groups.setdefault(owners[attempt],
+                                          []).append(doc_id)
+                deferred: list[str] = []
+                for name in sorted(groups):
+                    ids = groups[name]
+                    sub = Request(service, request.method,
+                                  {**kwargs, "doc_ids": ids})
+                    try:
+                        parts.append(self._timed_call(name, sub))
+                    except CircuitOpenError:
+                        if attempt + 1 < replication:
+                            with self._lock:
+                                self._failovers += 1
+                            deferred.extend(ids)
+                            continue
+                        raise
+                remaining = deferred
+        live = [part for part in parts
+                if part and part.get("count", 0) > 0]
+        if not live:
+            return parts[0] if parts else None
+        if len(live) == 1:
+            return live[0]
+        combine = Request(service, "combine", {"parts": live})
+        ring, _, order = self._topology()
+        return self._attempt_chain(order, combine)

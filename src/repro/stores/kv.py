@@ -207,6 +207,81 @@ class KeyValueStore(SnapshotStore):
             ]
         yield from snapshot
 
+    def map_names(self, prefix: bytes = b"") -> list[bytes]:
+        """Names of every hash whose name starts with ``prefix``."""
+        with self._lock:
+            return [n for n in self._maps if n.startswith(prefix)]
+
+    def set_names(self, prefix: bytes = b"") -> list[bytes]:
+        with self._lock:
+            return [n for n in self._sets if n.startswith(prefix)]
+
+    def counter_names(self, prefix: bytes = b"") -> list[bytes]:
+        with self._lock:
+            return [n for n in self._counters if n.startswith(prefix)]
+
+    # -- namespace migration (sharding dump/load/drop) --------------------------
+
+    def namespace_dump(self, prefix: bytes) -> Record:
+        """A wire-shippable dump of every structure under ``prefix``.
+
+        The generic half of the shard migration SPI: tactics whose state
+        cannot be split entry-by-entry (BIEX buckets, counting filters)
+        relocate whole by dumping their key namespace on the source and
+        loading it on the target.
+        """
+        with self._lock:
+            return {
+                "strings": {
+                    _hex(k): _hex(v) for k, v in self._strings.items()
+                    if k.startswith(prefix)
+                },
+                "maps": {
+                    _hex(n): {_hex(f): _hex(v) for f, v in bucket.items()}
+                    for n, bucket in self._maps.items()
+                    if n.startswith(prefix)
+                },
+                "sets": {
+                    _hex(n): [_hex(m) for m in sorted(members)]
+                    for n, members in self._sets.items()
+                    if n.startswith(prefix)
+                },
+                "counters": {
+                    _hex(n): v for n, v in self._counters.items()
+                    if n.startswith(prefix)
+                },
+            }
+
+    def namespace_load(self, dump: Record) -> None:
+        """Merge a :meth:`namespace_dump` in through the public mutating
+        operations, so a WAL-backed store journals the load."""
+        for key, value in dump.get("strings", {}).items():
+            self.put(_unhex(key), _unhex(value))
+        for name, bucket in dump.get("maps", {}).items():
+            for field, value in bucket.items():
+                self.map_put(_unhex(name), _unhex(field), _unhex(value))
+        for name, members in dump.get("sets", {}).items():
+            for member in members:
+                self.set_add(_unhex(name), _unhex(member))
+        for name, value in dump.get("counters", {}).items():
+            self.counter_set(_unhex(name), value)
+
+    def namespace_drop(self, prefix: bytes) -> int:
+        """Delete every structure under ``prefix`` (journalled)."""
+        dropped = 0
+        for key, _ in self.scan(prefix):
+            dropped += int(self.delete(key))
+        for name in self.map_names(prefix):
+            for field, _ in self.map_items(name):
+                dropped += int(self.map_delete(name, field))
+        for name in self.set_names(prefix):
+            for member in self.set_members(name):
+                dropped += int(self.set_remove(name, member))
+        for name in self.counter_names(prefix):
+            self.counter_set(name, 0)
+            dropped += 1
+        return dropped
+
     # -- persistence hooks ------------------------------------------------------
 
     def snapshot_state(self) -> Record:

@@ -45,8 +45,22 @@ def _decode_bytes(obj: Any) -> Any:
     return obj
 
 
+#: Magic key marking a snapshot file that carries its log high-water
+#: sequence (snapshots written before this scheme load transparently).
+_SEQ_KEY = "__wal_seq__"
+
+
 class WriteAheadLog:
-    """JSON-lines append log with snapshot compaction."""
+    """JSON-lines append log with snapshot compaction.
+
+    Every appended record is stamped with a monotonic ``_seq``, and a
+    snapshot records the sequence high-water mark it covers.  That pair
+    closes the crash window in :meth:`write_snapshot` between replacing
+    the snapshot and removing the log: a recovery that finds *both* a
+    new snapshot and a stale log skips the already-snapshotted records
+    instead of double-applying them (``sadd``/``mput`` are idempotent,
+    but ``incr`` is not — SSE posting counters would corrupt).
+    """
 
     def __init__(self, directory: str | Path, name: str = "store",
                  flush_every: int = 256, compact_after: int = 10_000):
@@ -59,13 +73,20 @@ class WriteAheadLog:
         self._pending = 0
         self._records_since_snapshot = 0
         self._handle = None
+        self._seq = 0
+        #: Highest ``_seq`` covered by the loaded snapshot (0 when no
+        #: snapshot, or a legacy snapshot without a watermark, exists).
+        self.last_snapshot_seq = 0
 
     # -- write path ---------------------------------------------------------
 
     def append(self, record: Record) -> None:
         if self._handle is None:
             self._handle = open(self.log_path, "a", encoding="utf-8")
-        json.dump(_encode_bytes(record), self._handle,
+        self._seq += 1
+        stamped = dict(record)
+        stamped["_seq"] = self._seq
+        json.dump(_encode_bytes(stamped), self._handle,
                   separators=(",", ":"))
         self._handle.write("\n")
         self._pending += 1
@@ -91,42 +112,68 @@ class WriteAheadLog:
 
     # -- read path ----------------------------------------------------------
 
-    def replay(self) -> Iterator[Record]:
-        """Yield every logged record after the latest snapshot."""
+    def replay(self, after_seq: int = 0) -> Iterator[Record]:
+        """Yield logged records with ``_seq > after_seq``, unstamped.
+
+        ``after_seq`` is the loaded snapshot's watermark: records a
+        crash-interrupted compaction already folded into the snapshot
+        are skipped instead of applied twice.  Legacy records without a
+        ``_seq`` stamp are always yielded.
+        """
         if not self.log_path.exists():
             return
         with open(self.log_path, encoding="utf-8") as handle:
-            for line_number, line in enumerate(handle, start=1):
+            for line in handle:
                 line = line.strip()
                 if not line:
                     continue
                 try:
-                    yield _decode_bytes(json.loads(line))
+                    record = _decode_bytes(json.loads(line))
                 except json.JSONDecodeError:
                     # A torn tail write is the expected crash artifact in
                     # semi-durable mode; everything before it is intact.
                     break
+                seq = record.pop("_seq", None)
+                if seq is not None:
+                    self._seq = max(self._seq, seq)
+                    if seq <= after_seq:
+                        continue
+                yield record
 
     def load_snapshot(self) -> Record | None:
         if not self.snapshot_path.exists():
             return None
         try:
             with open(self.snapshot_path, encoding="utf-8") as handle:
-                return _decode_bytes(json.load(handle))
+                raw = _decode_bytes(json.load(handle))
         except (json.JSONDecodeError, OSError) as exc:
             raise StoreError(f"corrupt snapshot: {exc}") from exc
+        if isinstance(raw, dict) and _SEQ_KEY in raw and "state" in raw:
+            seq = int(raw[_SEQ_KEY])
+            self._seq = max(self._seq, seq)
+            self.last_snapshot_seq = seq
+            return raw["state"]
+        # Legacy snapshot without a watermark: replay the whole log.
+        self.last_snapshot_seq = 0
+        return raw
 
     def write_snapshot(self, state: Record) -> None:
         """Atomically replace the snapshot and truncate the log."""
         self.close()
         temp_path = self.snapshot_path.with_suffix(".tmp")
+        wrapped = {_SEQ_KEY: self._seq, "state": state}
         with open(temp_path, "w", encoding="utf-8") as handle:
-            json.dump(_encode_bytes(state), handle, separators=(",", ":"))
+            json.dump(_encode_bytes(wrapped), handle,
+                      separators=(",", ":"))
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(temp_path, self.snapshot_path)
+        # CRASH WINDOW: the new snapshot exists but the stale log does
+        # not vanish atomically with it.  The watermark above is what
+        # makes a recovery straddling this window apply-once.
         if self.log_path.exists():
             os.remove(self.log_path)
+        self.last_snapshot_seq = self._seq
         self._records_since_snapshot = 0
 
 
@@ -150,7 +197,11 @@ class SnapshotStore:
             snapshot = self._wal.load_snapshot()
             if snapshot is not None:
                 self.restore_state(snapshot)
-            for record in self._wal.replay():
+            # Skip log records the snapshot already covers — a stale log
+            # surviving a crash mid-compaction must not double-apply.
+            for record in self._wal.replay(
+                after_seq=self._wal.last_snapshot_seq
+            ):
                 self.apply_record(record)
         finally:
             self._replaying = False

@@ -16,10 +16,13 @@ construction.  This module adds the pieces nearly every tactic needs:
 
 from __future__ import annotations
 
+from typing import Any
+
 from repro.crypto.encoding import Value, encode_value
 from repro.crypto.primitives.hmac_prf import prf
 from repro.crypto.primitives.random import default_random
 from repro.crypto.symmetric import Aead
+from repro.shard.ring import HashRing, spec_ring
 from repro.spi.context import CloudTacticContext, GatewayTacticContext
 
 
@@ -31,10 +34,40 @@ class GatewayTactic:
 
 
 class CloudTactic:
-    """Base for cloud-side tactic halves."""
+    """Base for cloud-side tactic halves.
+
+    Provides the *generic* half of the shard-migration SPI: the whole
+    key namespace of this tactic instance relocates via
+    ``shard_dump``/``shard_load``/``shard_drop``.  Pinned tactics (BIEX)
+    rely on exactly this; entry-keyed tactics additionally implement
+    ``shard_export``/``shard_import``/``shard_evict`` so only the
+    entries whose ring owner changed have to move.
+    """
 
     def __init__(self, ctx: CloudTacticContext):
         self.ctx = ctx
+
+    def shard_dump(self) -> dict[str, Any]:
+        """Everything this instance stores, as a wire-shippable blob."""
+        return self.ctx.kv.namespace_dump(self.ctx.state_key(b""))
+
+    def shard_load(self, dump: dict[str, Any]) -> None:
+        self.ctx.kv.namespace_load(dump)
+
+    def shard_drop(self) -> int:
+        return self.ctx.kv.namespace_drop(self.ctx.state_key(b""))
+
+
+def export_ring(spec: dict[str, Any]) -> tuple[HashRing, str | None]:
+    """Rebuild ``(ring, origin)`` for a ``shard_export``/``shard_evict``
+    ownership check.
+
+    An entry leaves ``origin`` when ``ring.owner(key) != origin`` — which
+    covers both directions: on a node *join* the origin is still a ring
+    member and sheds ~1/N of its keys; on a *leave* the origin is absent
+    from the new ring, so every entry tests foreign and drains.
+    """
+    return spec_ring(spec)
 
 
 class IdCipher:

@@ -27,7 +27,7 @@ from repro.crypto.encoding import Value, encode_value
 from repro.crypto.oprf import OprfClient
 from repro.errors import TacticError
 from repro.spi import interfaces as spi
-from repro.tactics.base import CloudTactic, GatewayTactic
+from repro.tactics.base import CloudTactic, GatewayTactic, export_ring
 
 OPRF_GROUP_BITS = 256
 
@@ -95,6 +95,9 @@ class BlindIndexCloud(
 
     def setup(self, **params: Any) -> None:
         self._namespace = self.ctx.state_key(b"tags")
+        # doc_id -> tag reverse map; lets shard migration enumerate the
+        # entries of one document without scanning every tag set.
+        self._by_doc = self.ctx.state_key(b"by-doc")
 
     def _tag_set(self, tag: bytes) -> bytes:
         return self._namespace + b"/" + tag
@@ -103,16 +106,39 @@ class BlindIndexCloud(
         if not isinstance(tag, bytes):
             raise TacticError("blind-index tag must be bytes")
         self.ctx.kv.set_add(self._tag_set(tag), doc_id.encode())
+        self.ctx.kv.map_put(self._by_doc, doc_id.encode(), tag)
 
     def update(self, doc_id: str, old_tag: bytes, new_tag: bytes) -> None:
         self.ctx.kv.set_remove(self._tag_set(old_tag), doc_id.encode())
-        self.ctx.kv.set_add(self._tag_set(new_tag), doc_id.encode())
+        self.insert(doc_id, new_tag)
 
     def delete(self, doc_id: str, tag: bytes) -> None:
         self.ctx.kv.set_remove(self._tag_set(tag), doc_id.encode())
+        self.ctx.kv.map_delete(self._by_doc, doc_id.encode())
 
     def eq_query(self, tag: bytes) -> list[str]:
         return sorted(
             member.decode()
             for member in self.ctx.kv.set_members(self._tag_set(tag))
         )
+
+    # -- shard migration SPI (doc-keyed) ---------------------------------------
+
+    def shard_export(self, spec: dict[str, Any]) -> list:
+        ring, origin = export_ring(spec)
+        return [
+            (doc_id.decode(), tag)
+            for doc_id, tag in self.ctx.kv.map_items(self._by_doc)
+            if ring.owner(doc_id.decode()) != origin
+        ]
+
+    def shard_import(self, entries: list) -> None:
+        for doc_id, tag in entries:
+            self.insert(doc_id, tag)
+
+    def shard_evict(self, spec: dict[str, Any]) -> None:
+        ring, origin = export_ring(spec)
+        for doc_id, tag in self.ctx.kv.map_items(self._by_doc):
+            decoded = doc_id.decode()
+            if ring.owner(decoded) != origin:
+                self.delete(decoded, tag)

@@ -20,7 +20,12 @@ from repro.crypto.encoding import Value
 from repro.crypto.symmetric import Deterministic, open_value, seal_value
 from repro.errors import DocumentNotFound, TacticError
 from repro.spi import interfaces as spi
-from repro.tactics.base import CloudTactic, GatewayTactic, random_doc_id
+from repro.tactics.base import (
+    CloudTactic,
+    GatewayTactic,
+    export_ring,
+    random_doc_id,
+)
 
 
 class DetGateway(
@@ -129,3 +134,24 @@ class DetCloud(
             member.decode()
             for member in self.ctx.kv.set_members(self._token_set(token))
         )
+
+    # -- shard migration SPI (doc-keyed) ---------------------------------------
+
+    def shard_export(self, spec: dict[str, Any]) -> list:
+        ring, origin = export_ring(spec)
+        return [
+            (doc_id.decode(), token)
+            for doc_id, token in self.ctx.kv.map_items(self._by_doc)
+            if ring.owner(doc_id.decode()) != origin
+        ]
+
+    def shard_import(self, entries: list) -> None:
+        for doc_id, token in entries:
+            self.insert(doc_id, token)
+
+    def shard_evict(self, spec: dict[str, Any]) -> None:
+        ring, origin = export_ring(spec)
+        for doc_id, token in self.ctx.kv.map_items(self._by_doc):
+            decoded = doc_id.decode()
+            if ring.owner(decoded) != origin:
+                self.delete(decoded, token)

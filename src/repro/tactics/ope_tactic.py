@@ -28,7 +28,7 @@ from repro.crypto.encoding import Value, value_to_ordered_int
 from repro.crypto.ope import Ope
 from repro.errors import TacticError
 from repro.spi import interfaces as spi
-from repro.tactics.base import CloudTactic, GatewayTactic
+from repro.tactics.base import CloudTactic, GatewayTactic, export_ring
 
 DOMAIN_BITS = 40
 RANGE_BITS = 56
@@ -136,3 +136,54 @@ class OpeCloud(
         if descending:
             ids.reverse()
         return ids if limit is None else ids[:limit]
+
+    def ordered_range_keyed(self, low: int | None, high: int | None,
+                            limit: int | None = None,
+                            descending: bool = False
+                            ) -> list[tuple[int, str]]:
+        """Like ``ordered_range`` but keeps the sort keys, so a sharded
+        router can order-merge partial results from several nodes."""
+        start = 0 if low is None else bisect.bisect_left(
+            self._sorted, (low, "")
+        )
+        end = len(self._sorted) if high is None else bisect.bisect_right(
+            self._sorted, (high, chr(0x10FFFF))
+        )
+        pairs = self._sorted[start:end]
+        if descending:
+            pairs = pairs[::-1]
+        if limit is not None:
+            pairs = pairs[:limit]
+        return pairs
+
+    # -- shard migration SPI (doc-keyed) ---------------------------------------
+
+    def _remove_entry(self, doc_id: str) -> None:
+        ciphertext = self._by_doc.pop(doc_id, None)
+        if ciphertext is None:
+            return
+        index = bisect.bisect_left(self._sorted, (ciphertext, doc_id))
+        if index < len(self._sorted) and self._sorted[index] == (
+            ciphertext, doc_id
+        ):
+            self._sorted.pop(index)
+        self.ctx.kv.map_delete(self._map_name, doc_id.encode())
+
+    def shard_export(self, spec: dict[str, Any]) -> list:
+        ring, origin = export_ring(spec)
+        return [
+            (doc_id, ciphertext)
+            for doc_id, ciphertext in self._by_doc.items()
+            if ring.owner(doc_id) != origin
+        ]
+
+    def shard_import(self, entries: list) -> None:
+        for doc_id, ciphertext in entries:
+            self.insert(doc_id, ciphertext)
+
+    def shard_evict(self, spec: dict[str, Any]) -> None:
+        ring, origin = export_ring(spec)
+        foreign = [doc_id for doc_id in self._by_doc
+                   if ring.owner(doc_id) != origin]
+        for doc_id in foreign:
+            self._remove_entry(doc_id)

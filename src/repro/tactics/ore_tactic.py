@@ -20,7 +20,7 @@ from repro.crypto.encoding import Value, value_to_ordered_int
 from repro.crypto.ore import Ore, OreCiphertext, compare
 from repro.errors import TacticError
 from repro.spi import interfaces as spi
-from repro.tactics.base import CloudTactic, GatewayTactic
+from repro.tactics.base import CloudTactic, GatewayTactic, export_ring
 
 PLAINTEXT_BITS = 40
 
@@ -139,3 +139,62 @@ class OreCloud(
         if descending:
             ids.reverse()
         return ids if limit is None else ids[:limit]
+
+    def ordered_range_keyed(self, low: bytes | None, high: bytes | None,
+                            limit: int | None = None,
+                            descending: bool = False
+                            ) -> list[tuple[bytes, str]]:
+        """Like ``ordered_range`` but pairs each id with its raw
+        ciphertext, so a sharded router can order-merge partial results
+        through the public ``compare`` routine."""
+        start = 0 if low is None else self._bisect(
+            OreCiphertext.from_bytes(low), right=False
+        )
+        end = len(self._sorted) if high is None else self._bisect(
+            OreCiphertext.from_bytes(high), right=True
+        )
+        pairs = self._sorted[start:end]
+        if descending:
+            pairs = pairs[::-1]
+        if limit is not None:
+            pairs = pairs[:limit]
+        return [
+            (self.ctx.kv.map_get(self._map_name, doc_id.encode()), doc_id)
+            for _, doc_id in pairs
+        ]
+
+    # -- shard migration SPI (doc-keyed) ---------------------------------------
+
+    def _remove_entry(self, doc_id: str) -> None:
+        previous = self._by_doc.pop(doc_id, None)
+        if previous is None:
+            return
+        index = self._bisect(previous, right=False)
+        while index < len(self._sorted):
+            entry_ct, entry_id = self._sorted[index]
+            if compare(entry_ct, previous) != 0:
+                break
+            if entry_id == doc_id:
+                self._sorted.pop(index)
+                break
+            index += 1
+        self.ctx.kv.map_delete(self._map_name, doc_id.encode())
+
+    def shard_export(self, spec: dict[str, Any]) -> list:
+        ring, origin = export_ring(spec)
+        return [
+            (key.decode(), blob)
+            for key, blob in self.ctx.kv.map_items(self._map_name)
+            if ring.owner(key.decode()) != origin
+        ]
+
+    def shard_import(self, entries: list) -> None:
+        for doc_id, blob in entries:
+            self.insert(doc_id, blob)
+
+    def shard_evict(self, spec: dict[str, Any]) -> None:
+        ring, origin = export_ring(spec)
+        foreign = [doc_id for doc_id in self._by_doc
+                   if ring.owner(doc_id) != origin]
+        for doc_id in foreign:
+            self._remove_entry(doc_id)

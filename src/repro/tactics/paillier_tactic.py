@@ -23,7 +23,7 @@ from repro.crypto import paillier
 from repro.crypto.encoding import Value
 from repro.errors import TacticError
 from repro.spi import interfaces as spi
-from repro.tactics.base import CloudTactic, GatewayTactic
+from repro.tactics.base import CloudTactic, GatewayTactic, export_ring
 
 KEY_BITS = 1024
 FIXED_POINT_SCALE = 6
@@ -148,3 +148,34 @@ class PaillierCloud(
         for ciphertext in selected:
             product = product * ciphertext % n_squared
         return {"ct": product, "count": len(selected)}
+
+    def combine(self, parts: list[dict]) -> dict:
+        """Merge per-shard partial aggregates: E(a)·E(b) = E(a+b)."""
+        n_squared = self._public.n_squared
+        product, count = 1, 0
+        for part in parts:
+            if not part or part.get("count", 0) == 0:
+                continue
+            product = product * part["ct"] % n_squared
+            count += part["count"]
+        return {"ct": product, "count": count}
+
+    # -- shard migration SPI (doc-keyed) ---------------------------------------
+
+    def shard_export(self, spec: dict[str, Any]) -> list:
+        ring, origin = export_ring(spec)
+        return [
+            (key.decode(), int.from_bytes(blob, "big"))
+            for key, blob in self.ctx.kv.map_items(self._map_name)
+            if ring.owner(key.decode()) != origin
+        ]
+
+    def shard_import(self, entries: list) -> None:
+        for doc_id, ciphertext in entries:
+            self.insert(doc_id, ciphertext)
+
+    def shard_evict(self, spec: dict[str, Any]) -> None:
+        ring, origin = export_ring(spec)
+        for key, _ in self.ctx.kv.map_items(self._map_name):
+            if ring.owner(key.decode()) != origin:
+                self.ctx.kv.map_delete(self._map_name, key)

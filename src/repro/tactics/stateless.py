@@ -38,6 +38,7 @@ from repro.spi import interfaces as spi
 from repro.tactics.base import (
     CloudTactic,
     GatewayTactic,
+    export_ring,
     keyword_key,
     random_doc_id,
 )
@@ -172,3 +173,56 @@ class StatelessSseCloud(
         return [
             (blob[:_SALT_SIZE], blob[_SALT_SIZE:]) for _, blob in entries
         ]
+
+    # -- shard migration SPI (tag-keyed) ---------------------------------------
+    # A whole posting list moves at once, keyed by its tag; append order
+    # within the list is preserved so tombstone replay stays correct.
+
+    def _ordered_blobs(self, name: bytes) -> list[bytes]:
+        return [
+            blob for _, blob in sorted(self.ctx.kv.map_items(name),
+                                       key=lambda kv: kv[0])
+        ]
+
+    def _clear_list(self, name: bytes) -> None:
+        for field, _ in self.ctx.kv.map_items(name):
+            self.ctx.kv.map_delete(name, field)
+        self.ctx.kv.counter_set(name, 0)
+
+    def shard_export(self, spec: dict[str, Any]) -> list:
+        ring, origin = export_ring(spec)
+        prefix = self._namespace + b"/"
+        exported = []
+        for name in self.ctx.kv.map_names(prefix):
+            tag = name[len(prefix):]
+            if ring.owner(tag) == origin:
+                continue
+            exported.append((tag, self._ordered_blobs(name)))
+        return exported
+
+    def shard_import(self, entries: list) -> None:
+        for tag, blobs in entries:
+            name = self._list_key(tag)
+            existing = self._ordered_blobs(name)
+            seen = set(existing)
+            # Random salts make every posting unique, so a retried
+            # import chunk dedupes instead of double-appending.
+            fresh = [blob for blob in blobs if blob not in seen]
+            if not fresh:
+                continue
+            # Imported postings predate anything the target accepted
+            # during the migration window; re-sequence them first so a
+            # delete tombstone still lands after its add.
+            self._clear_list(name)
+            for blob in fresh + existing:
+                counter = self.ctx.kv.counter_increment(name)
+                self.ctx.kv.map_put(name, counter.to_bytes(8, "big"),
+                                    blob)
+
+    def shard_evict(self, spec: dict[str, Any]) -> None:
+        ring, origin = export_ring(spec)
+        prefix = self._namespace + b"/"
+        for name in self.ctx.kv.map_names(prefix):
+            tag = name[len(prefix):]
+            if ring.owner(tag) != origin:
+                self._clear_list(name)

@@ -1,0 +1,260 @@
+"""Online resharding: node join/leave under a live workload, and
+replicated failover when a shard dies outright."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.cloud.cluster import CloudCluster
+from repro.core.middleware import DataBlinder
+from repro.core.query import Eq, Range
+from repro.core.registry import TacticRegistry
+from repro.errors import TransportError
+from repro.fhir.model import observation_schema
+from repro.net.resilience import (
+    BreakerConfig,
+    ResilienceConfig,
+    ResilientTransport,
+    RetryPolicy,
+)
+from repro.net.rpc import Request
+from repro.net.transport import Transport
+from repro.shard.config import ShardConfig
+from repro.shard.rebalance import Resharder
+from repro.shard.router import ShardedTransport
+from repro.tactics import register_builtin_tactics
+
+APP = "reshardapp"
+
+
+def fresh_registry() -> TacticRegistry:
+    registry = TacticRegistry()
+    register_builtin_tactics(registry)
+    return registry
+
+
+def make_doc(i: int) -> dict:
+    return {
+        "id": f"f{i}",
+        "identifier": i,
+        "status": "final" if i % 2 == 0 else "amended",
+        "code": "glucose" if i % 3 == 0 else "insulin",
+        "subject": f"Patient {i}",
+        "effective": 1000 + i,
+        "issued": 2000 + i,
+        "performer": "Dr",
+        "value": float(i),
+        "interpretation": "",
+    }
+
+
+def deploy(n_nodes: int, config: ShardConfig | None = None):
+    registry = fresh_registry()
+    cluster = CloudCluster(n_nodes, registry=registry)
+    router = ShardedTransport(
+        cluster.nodes(), config or ShardConfig(parallel_fanout=False)
+    )
+    blinder = DataBlinder(APP, router, registry=registry)
+    blinder.register_schema(observation_schema())
+    return cluster, router, blinder
+
+
+def verify_workload(observations, ids_by_identifier: dict[int, str]):
+    """Full sweep: every doc readable, every query shape correct."""
+    for i, doc_id in ids_by_identifier.items():
+        assert observations.get(doc_id)["identifier"] == i
+    identifiers = sorted(ids_by_identifier)
+    assert observations.count() == len(identifiers)
+    assert sorted(
+        observations.get(d)["identifier"]
+        for d in observations.find_ids(Eq("status", "final"))
+    ) == [i for i in identifiers if i % 2 == 0]
+    lo, hi = 1000 + identifiers[2], 1000 + identifiers[-3]
+    assert sorted(
+        observations.get(d)["identifier"]
+        for d in observations.find_ids(Range("effective", lo, hi))
+    ) == [i for i in identifiers if lo <= 1000 + i <= hi]
+
+
+class TestNodeJoin:
+    def test_join_during_live_workload_loses_nothing(self):
+        cluster, router, blinder = deploy(3)
+        observations = blinder.entities("observation")
+        ids = {i: observations.insert(make_doc(i)) for i in range(40)}
+
+        stop = threading.Event()
+        errors: list[Exception] = []
+        live_ids: dict[int, str] = {}
+
+        def writer():
+            i = 100
+            while not stop.is_set() and i < 160:
+                try:
+                    live_ids[i] = observations.insert(make_doc(i))
+                except Exception as exc:  # noqa: BLE001 - fail the test
+                    errors.append(exc)
+                    return
+                i += 1
+
+        def reader():
+            probes = [ids[0], ids[17], ids[39]]
+            while not stop.is_set():
+                try:
+                    for doc_id in probes:
+                        assert observations.get(doc_id)["_id"] == doc_id
+                except Exception as exc:  # noqa: BLE001 - fail the test
+                    errors.append(exc)
+                    return
+
+        threads = [threading.Thread(target=writer),
+                   threading.Thread(target=reader)]
+        for thread in threads:
+            thread.start()
+        time.sleep(0.01)  # let the live workload overlap the migration
+        try:
+            report = Resharder(router, chunk_size=8).add_node(
+                *cluster.add_zone("zone-3")
+            )
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join()
+        assert errors == []
+        assert not router.forwarding_active()
+        assert report.documents_moved > 0
+        assert report.index_entries_total > 0
+        assert report.services_replayed > 0
+
+        all_ids = {**ids, **live_ids}
+        verify_workload(observations, all_ids)
+        # The joiner genuinely took ownership of part of the keyspace.
+        joined = cluster.zone("zone-3").application_stores(APP)[1]
+        assert len(joined.all_ids()) > 0
+        cluster.close()
+
+    def test_join_is_invisible_to_results(self):
+        cluster, router, blinder = deploy(2)
+        observations = blinder.entities("observation")
+        ids = {i: observations.insert(make_doc(i)) for i in range(20)}
+        before = sorted(
+            observations.get(d)["identifier"]
+            for d in observations.find_ids(Eq("status", "final"))
+        )
+        Resharder(router).add_node(*cluster.add_zone("zone-2"))
+        after = sorted(
+            observations.get(d)["identifier"]
+            for d in observations.find_ids(Eq("status", "final"))
+        )
+        assert after == before
+        verify_workload(observations, ids)
+        cluster.close()
+
+
+class TestNodeLeave:
+    def test_remove_node_drains_completely(self):
+        cluster, router, blinder = deploy(4)
+        observations = blinder.entities("observation")
+        ids = {i: observations.insert(make_doc(i)) for i in range(30)}
+
+        report = Resharder(router, chunk_size=8).remove_node("zone-2")
+        assert "zone-2" not in router.node_names()
+        verify_workload(observations, ids)
+        # The departed zone kept nothing behind.
+        drained = cluster.zone("zone-2").application_stores(APP)[1]
+        assert drained.all_ids() == []
+        assert report.documents_moved > 0
+        cluster.close()
+
+    def test_last_node_cannot_leave(self):
+        cluster, router, _ = deploy(1)
+        with pytest.raises(TransportError):
+            Resharder(router).remove_node("zone-0")
+        cluster.close()
+
+
+class TestReplicationGuard:
+    def test_resharding_requires_single_replica(self):
+        cluster, router, _ = deploy(
+            3, ShardConfig(replication=2, parallel_fanout=False)
+        )
+        with pytest.raises(TransportError):
+            Resharder(router).add_node(*cluster.add_zone("zone-3"))
+        cluster.close()
+
+
+class KillSwitch(Transport):
+    """A shard link that can be cut dead mid-test."""
+
+    def __init__(self, inner: Transport):
+        self._inner = inner
+        self.dead = False
+
+    def _check(self) -> None:
+        if self.dead:
+            raise TransportError("shard is down")
+
+    def call(self, service, method, **kwargs):
+        return self.call_request(Request(service, method, kwargs))
+
+    def call_request(self, request):
+        self._check()
+        return self._inner.call_request(request)
+
+    def call_batch(self, requests):
+        self._check()
+        return self._inner.call_batch(requests)
+
+    def stats(self):
+        return self._inner.stats()
+
+
+class TestShardKillFailover:
+    def test_replicated_reads_survive_a_dead_shard(self):
+        registry = fresh_registry()
+        cluster = CloudCluster(4, registry=registry)
+        switches: dict[str, KillSwitch] = {}
+        nodes = []
+        for name in cluster.names():
+            switch = KillSwitch(cluster.transport(name))
+            switches[name] = switch
+            # Per-shard breaker: the first failed call opens it, so the
+            # router's replica chain can skip the dead shard afterwards.
+            nodes.append((name, ResilientTransport(
+                switch, RetryPolicy.no_retry(),
+                breaker=BreakerConfig(failure_threshold=1,
+                                      reset_timeout=10 ** 9),
+                seed=0,
+            )))
+        router = ShardedTransport(
+            nodes, ShardConfig(replication=2, parallel_fanout=False)
+        )
+        blinder = DataBlinder(
+            APP, router, registry=registry,
+            resilience=ResilienceConfig(
+                retry=RetryPolicy(max_attempts=4, sleep=False),
+                breaker=BreakerConfig(failure_threshold=10 ** 9),
+            ),
+        )
+        blinder.register_schema(observation_schema())
+        observations = blinder.entities("observation")
+        ids = {i: observations.insert(make_doc(i)) for i in range(16)}
+
+        switches["zone-1"].dead = True
+
+        # Reads fail over to the surviving replica of every key.
+        for i, doc_id in ids.items():
+            assert observations.get(doc_id)["identifier"] == i
+        assert observations.count() == 16
+        assert sorted(
+            observations.get(d)["identifier"]
+            for d in observations.find_ids(Eq("status", "final"))
+        ) == [i for i in ids if i % 2 == 0]
+        # Writes land on the surviving owner too.
+        ids[99] = observations.insert(make_doc(99))
+        assert observations.get(ids[99])["identifier"] == 99
+        assert observations.count() == 17
+        assert router.stats().failovers > 0
+        cluster.close()

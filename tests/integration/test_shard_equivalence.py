@@ -1,0 +1,147 @@
+"""Sharding equivalence: off, 1-node ring and 4-shard ring all answer
+every query shape identically to the plain unsharded deployment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cloud.cluster import CloudCluster
+from repro.cloud.server import CloudZone
+from repro.core.middleware import DataBlinder
+from repro.core.query import And, Eq, Range
+from repro.core.registry import TacticRegistry
+from repro.fhir.model import observation_schema
+from repro.net.transport import InProcTransport
+from repro.shard.config import ShardConfig
+from repro.shard.router import ShardedTransport
+from repro.tactics import register_builtin_tactics
+
+APP = "equivapp"
+
+
+def fresh_registry() -> TacticRegistry:
+    registry = TacticRegistry()
+    register_builtin_tactics(registry)
+    return registry
+
+
+def make_doc(i: int) -> dict:
+    return {
+        "id": f"f{i}",
+        "identifier": i,
+        "status": "final" if i % 2 == 0 else "amended",
+        "code": "glucose" if i < 6 else "insulin",
+        "subject": f"Patient {i}",
+        "effective": 1000 + i,
+        "issued": 2000 + i,
+        "performer": "Dr",
+        "value": float(i),
+        "interpretation": "",
+    }
+
+
+def run_workload(blinder: DataBlinder) -> dict:
+    """Insert/update/delete plus every query shape, as comparable data.
+
+    Documents get random ids per deployment, so results are projected
+    onto the deterministic ``identifier`` field (and full content
+    multisets) before comparison.
+    """
+    blinder.register_schema(observation_schema())
+    observations = blinder.entities("observation")
+    ids = [observations.insert(make_doc(i)) for i in range(12)]
+    observations.update(ids[3], {"value": 30.0})
+    assert observations.delete(ids[11])
+
+    def identifiers(doc_ids) -> list[int]:
+        return sorted(observations.get(d)["identifier"] for d in doc_ids)
+
+    def content(doc_ids) -> list[tuple]:
+        docs = []
+        for doc_id in doc_ids:
+            doc = dict(observations.get(doc_id))
+            doc.pop("_id", None)
+            docs.append(tuple(sorted(doc.items())))
+        return sorted(docs)
+
+    everything = observations.find_ids(Range("effective", 1000, 1020))
+    return {
+        "count": observations.count(),
+        "eq": identifiers(observations.find_ids(Eq("status", "final"))),
+        "bool": identifiers(observations.find_ids(
+            And([Eq("status", "final"), Eq("code", "glucose")])
+        )),
+        "range": identifiers(observations.find_ids(
+            Range("effective", 1002, 1008)
+        )),
+        "avg": observations.average("value"),
+        "sorted": [
+            doc["identifier"]
+            for doc in observations.find_sorted("effective",
+                                                descending=True, limit=5)
+        ],
+        "content": content(everything),
+    }
+
+
+@pytest.fixture(scope="module")
+def unsharded_results() -> dict:
+    registry = fresh_registry()
+    cloud = CloudZone(registry)
+    blinder = DataBlinder(APP, InProcTransport(cloud.host),
+                          registry=registry)
+    assert not isinstance(blinder.runtime.transport, ShardedTransport)
+    return run_workload(blinder)
+
+
+class TestEquivalence:
+    def test_unsharded_baseline_is_sane(self, unsharded_results):
+        assert unsharded_results["count"] == 11
+        assert unsharded_results["eq"] == [0, 2, 4, 6, 8, 10]
+        assert unsharded_results["bool"] == [0, 2, 4]
+        assert unsharded_results["range"] == [2, 3, 4, 5, 6, 7, 8]
+        assert unsharded_results["sorted"] == [10, 9, 8, 7, 6]
+        assert len(unsharded_results["content"]) == 11
+
+    def test_single_node_ring_matches_unsharded(self, unsharded_results):
+        registry = fresh_registry()
+        cluster = CloudCluster(1, registry=registry)
+        router = ShardedTransport(cluster.nodes())
+        blinder = DataBlinder(APP, router, registry=registry)
+        try:
+            assert run_workload(blinder) == unsharded_results
+        finally:
+            cluster.close()
+
+    @pytest.mark.parametrize("parallel", [False, True])
+    def test_four_shards_match_unsharded(self, unsharded_results,
+                                         parallel):
+        registry = fresh_registry()
+        cluster = CloudCluster(4, registry=registry)
+        router = ShardedTransport(
+            cluster.nodes(), ShardConfig(parallel_fanout=parallel)
+        )
+        blinder = DataBlinder(APP, router, registry=registry)
+        try:
+            assert run_workload(blinder) == unsharded_results
+            assert router.scatter_count() > 0
+        finally:
+            cluster.close()
+
+    def test_four_shards_spread_the_data(self, unsharded_results):
+        registry = fresh_registry()
+        cluster = CloudCluster(4, registry=registry)
+        blinder = DataBlinder(APP, ShardedTransport(cluster.nodes()),
+                              registry=registry)
+        try:
+            results = run_workload(blinder)
+            assert results == unsharded_results
+            counts = [
+                len(cluster.zone(n).application_stores(APP)[1].all_ids())
+                for n in cluster.names()
+            ]
+            assert sum(counts) == 11
+            # 12 random ids over 4 shards: no shard holds everything.
+            assert max(counts) < 11
+        finally:
+            cluster.close()

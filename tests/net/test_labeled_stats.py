@@ -1,0 +1,157 @@
+"""Labelled NetworkStats roll-up across nested transport stacks."""
+
+import pytest
+
+from repro.cloud.cluster import CloudCluster
+from repro.core.middleware import DataBlinder
+from repro.core.registry import TacticRegistry
+from repro.fhir.model import observation_schema
+from repro.net.faults import FaultInjectingTransport, FaultPlan
+from repro.net.latency import NetworkStats, render_labeled, roll_up
+from repro.net.resilience import (
+    BreakerConfig,
+    ResilientTransport,
+    RetryPolicy,
+)
+from repro.shard.config import ShardConfig
+from repro.shard.router import ShardedTransport
+from repro.tactics import register_builtin_tactics
+
+APP = "statsapp"
+
+
+def fresh_registry() -> TacticRegistry:
+    registry = TacticRegistry()
+    register_builtin_tactics(registry)
+    return registry
+
+
+def make_doc(i: int) -> dict:
+    return {
+        "id": f"s{i}",
+        "identifier": i,
+        "status": "final" if i % 2 == 0 else "amended",
+        "code": "glucose",
+        "subject": f"Patient {i}",
+        "effective": 1000 + i,
+        "issued": 2000 + i,
+        "performer": "Dr",
+        "value": float(i),
+        "interpretation": "",
+    }
+
+
+class TestMerge:
+    def test_merge_sums_every_counter(self):
+        a = NetworkStats(1, 2, 3, 4, 0.5, 6, 7, 8, 9)
+        b = NetworkStats(10, 20, 30, 40, 5.0, 60, 70, 80, 90)
+        merged = a.merge(b)
+        assert merged == NetworkStats(11, 22, 33, 44, 5.5, 66, 77, 88, 99)
+
+    def test_roll_up_folds_all_labels(self):
+        labeled = {
+            "shard:a": NetworkStats(messages_sent=3, retries=1),
+            "shard:b": NetworkStats(messages_sent=5, faults_injected=2),
+            "router": NetworkStats(failovers=4),
+        }
+        total = roll_up(labeled)
+        assert total.messages_sent == 8
+        assert total.retries == 1
+        assert total.faults_injected == 2
+        assert total.failovers == 4
+
+    def test_roll_up_of_empty_report_is_zero(self):
+        assert roll_up({}) == NetworkStats()
+
+
+class TestBaseDefault:
+    def test_plain_transport_reports_single_endpoint_label(self):
+        registry = fresh_registry()
+        cluster = CloudCluster(1, registry=registry)
+        transport = cluster.transport("zone-0")
+        transport.call("admin", "list_services")
+        labeled = transport.labeled_stats()
+        assert set(labeled) == {"endpoint"}
+        assert labeled["endpoint"].messages_sent >= 1
+        cluster.close()
+
+
+class TestNestedStack:
+    @pytest.fixture()
+    def stack(self):
+        registry = fresh_registry()
+        cluster = CloudCluster(3, registry=registry)
+        router = ShardedTransport(cluster.nodes(),
+                                  ShardConfig(parallel_fanout=False))
+        resilient = ResilientTransport(
+            router, RetryPolicy(max_attempts=2, sleep=False),
+            BreakerConfig(failure_threshold=100), seed=1,
+        )
+        blinder = DataBlinder(APP, resilient, registry=registry)
+        blinder.register_schema(observation_schema())
+        yield cluster, router, resilient, blinder
+        cluster.close()
+
+    def test_shard_labels_survive_the_resilience_wrapper(self, stack):
+        _, _, resilient, blinder = stack
+        observations = blinder.entities("observation")
+        for i in range(6):
+            observations.insert(make_doc(i))
+
+        labeled = resilient.labeled_stats()
+        shard_labels = {k for k in labeled if k.startswith("shard:")}
+        assert shard_labels == {"shard:zone-0", "shard:zone-1",
+                                "shard:zone-2"}
+        # The wrapper's own counters get their own line because more
+        # than one endpoint sits below it.
+        assert "resilience" in labeled
+
+    def test_roll_up_equals_stats(self, stack):
+        _, _, resilient, blinder = stack
+        observations = blinder.entities("observation")
+        for i in range(6):
+            observations.insert(make_doc(i))
+        total = roll_up(resilient.labeled_stats())
+        assert total.messages_sent == resilient.stats().messages_sent
+        assert total.messages_sent > 0
+
+    def test_every_shard_saw_traffic(self, stack):
+        _, _, resilient, blinder = stack
+        observations = blinder.entities("observation")
+        for i in range(12):
+            observations.insert(make_doc(i))
+        labeled = resilient.labeled_stats()
+        for label in ("shard:zone-0", "shard:zone-1", "shard:zone-2"):
+            assert labeled[label].messages_sent > 0
+
+
+class TestSingleEndpointFolding:
+    def test_fault_wrapper_folds_into_single_inner_label(self):
+        registry = fresh_registry()
+        cluster = CloudCluster(1, registry=registry)
+        faulty = FaultInjectingTransport(
+            cluster.transport("zone-0"),
+            FaultPlan(delay=1.0, delay_seconds=0.0),
+            seed=3,
+        )
+        faulty.call("admin", "list_services")
+        labeled = faulty.labeled_stats()
+        # One endpoint below: the chaos counters fold into its line
+        # instead of adding a second label.
+        assert set(labeled) == {"endpoint"}
+        assert labeled["endpoint"].faults_injected > 0
+        assert labeled["endpoint"].messages_sent >= 1
+        cluster.close()
+
+
+class TestRender:
+    def test_render_contains_labels_and_total(self):
+        labeled = {
+            "shard:zone-0": NetworkStats(messages_sent=2, retries=1),
+            "router": NetworkStats(failovers=1),
+        }
+        report = render_labeled(labeled)
+        assert "shard:zone-0: sent=2" in report
+        assert "router:" in report
+        assert "total: sent=2" in report
+        assert "failovers=1" in report

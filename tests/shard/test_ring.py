@@ -1,0 +1,84 @@
+"""Consistent hash ring: determinism, distribution, minimal movement."""
+
+import pytest
+
+from repro.shard.ring import HashRing, spec_ring
+
+NODES = ["alpha", "beta", "gamma", "delta"]
+KEYS = [f"doc-{i}" for i in range(400)]
+
+
+class TestDeterminism:
+    def test_same_spec_same_placement(self):
+        a = HashRing(NODES, vnodes=32, seed=7)
+        b = HashRing(reversed(NODES), vnodes=32, seed=7)
+        assert [a.owner(k) for k in KEYS] == [b.owner(k) for k in KEYS]
+
+    def test_seed_changes_placement(self):
+        a = HashRing(NODES, seed=1)
+        b = HashRing(NODES, seed=2)
+        assert [a.owner(k) for k in KEYS] != [b.owner(k) for k in KEYS]
+
+    def test_str_and_bytes_keys_agree(self):
+        ring = HashRing(NODES)
+        assert ring.owner("doc-1") == ring.owner(b"doc-1")
+
+
+class TestOwnership:
+    def test_every_node_owns_some_keys(self):
+        ring = HashRing(NODES, vnodes=64)
+        owners = {ring.owner(k) for k in KEYS}
+        assert owners == set(NODES)
+
+    def test_owners_are_distinct_nodes(self):
+        ring = HashRing(NODES)
+        for key in KEYS[:50]:
+            owners = ring.owners(key, 3)
+            assert len(owners) == len(set(owners)) == 3
+            assert owners[0] == ring.owner(key)
+
+    def test_owner_count_clamped_to_ring_size(self):
+        ring = HashRing(["solo"])
+        assert ring.owners("k", 5) == ["solo"]
+
+    def test_empty_ring_raises(self):
+        with pytest.raises(ValueError):
+            HashRing([]).owner("k")
+
+
+class TestMinimalMovement:
+    def test_join_moves_only_toward_joiner(self):
+        before = HashRing(NODES, vnodes=64, seed=3)
+        after = HashRing(NODES + ["epsilon"], vnodes=64, seed=3)
+        moved = [k for k in KEYS if before.owner(k) != after.owner(k)]
+        # Everything that moved, moved to the new node — and roughly
+        # 1/(N+1) of the keyspace, not all of it.
+        assert moved
+        assert all(after.owner(k) == "epsilon" for k in moved)
+        assert len(moved) < len(KEYS) / 2
+
+    def test_leave_moves_only_departed_keys(self):
+        before = HashRing(NODES, vnodes=64, seed=3)
+        after = HashRing(NODES[:-1], vnodes=64, seed=3)
+        for key in KEYS:
+            if before.owner(key) != "delta":
+                assert after.owner(key) == before.owner(key)
+
+
+class TestSpec:
+    def test_round_trip(self):
+        ring = HashRing(NODES, vnodes=16, seed=9)
+        rebuilt = HashRing.from_spec(ring.spec())
+        assert [rebuilt.owner(k) for k in KEYS] == [
+            ring.owner(k) for k in KEYS
+        ]
+
+    def test_spec_ring_carries_origin(self):
+        ring = HashRing(NODES)
+        rebuilt, origin = spec_ring(ring.spec(self_node="beta"))
+        assert origin == "beta"
+        assert rebuilt.nodes() == ring.nodes()
+
+    def test_spec_without_self_has_no_origin(self):
+        _, origin = spec_ring(HashRing(NODES).spec())
+        assert origin is None

@@ -90,6 +90,97 @@ class TestCompaction:
         assert recovered.get(b"logged") == b"2"
 
 
+class TestCrashMidCompaction:
+    """Recovery straddling the snapshot/log-removal crash window.
+
+    Compaction is two filesystem steps: ``os.replace`` of the snapshot,
+    then ``os.remove`` of the log.  A crash in between leaves a snapshot
+    that already covers every log record; replay must not apply those
+    records a second time (counter increments are not idempotent).
+    """
+
+    def test_stale_log_is_not_double_applied(self, tmp_path):
+        store = KeyValueStore(tmp_path)
+        for _ in range(3):
+            store.counter_increment(b"hits")
+        store.put(b"k", b"v1")
+        store.sync()
+        stale_log = store._wal.log_path.read_text(encoding="utf-8")
+
+        # Compaction step 1 (snapshot replace) succeeded...
+        store._wal.write_snapshot(store.snapshot_state())
+        # ...but the crash hit before step 2 (log removal).
+        store._wal.log_path.write_text(stale_log, encoding="utf-8")
+        store.close()
+
+        recovered = KeyValueStore(tmp_path)
+        assert recovered.counter_get(b"hits") == 3
+        assert recovered.get(b"k") == b"v1"
+
+    def test_post_snapshot_records_still_replay(self, tmp_path):
+        store = KeyValueStore(tmp_path)
+        store.counter_increment(b"hits")
+        store.sync()
+        stale_log = store._wal.log_path.read_text(encoding="utf-8")
+
+        store._wal.write_snapshot(store.snapshot_state())
+        # Crash window: stale pre-snapshot records resurface *and* new
+        # writes land after them in the same log file.
+        store._wal.log_path.write_text(stale_log, encoding="utf-8")
+        store.counter_increment(b"hits")
+        store.sync()
+        store.close()
+
+        recovered = KeyValueStore(tmp_path)
+        assert recovered.counter_get(b"hits") == 2
+
+    def test_torn_tail_after_snapshot(self, tmp_path):
+        store = KeyValueStore(tmp_path)
+        store.put(b"a", b"1")
+        store._wal.write_snapshot(store.snapshot_state())
+        store.put(b"b", b"2")
+        store.sync()
+        with open(store._wal.log_path, "a", encoding="utf-8") as handle:
+            handle.write('{"op": "put", "tor')
+        store.close()
+
+        recovered = KeyValueStore(tmp_path)
+        assert recovered.get(b"a") == b"1"
+        assert recovered.get(b"b") == b"2"
+
+
+class TestBytesKeyedRecovery:
+    """Non-UTF-8 byte keys survive the snapshot+log round trip."""
+
+    RAW = b"\x00\xff\xfe"
+
+    def test_bytes_keys_survive_snapshot_and_log(self, tmp_path):
+        store = KeyValueStore(tmp_path)
+        store.put(self.RAW, b"\x80plain")
+        store.map_put(b"m\x00ap", self.RAW, b"\x81field")
+        store.set_add(b"s\xffet", self.RAW)
+        store.counter_increment(b"c\x00nt", 7)
+        store._wal.write_snapshot(store.snapshot_state())
+        # Post-snapshot writes exercise the log path with raw bytes too.
+        store.put(self.RAW + b"2", b"\x82late")
+        store.map_put(b"m\x00ap", self.RAW + b"2", b"\x83late")
+        store.sync()
+        store.close()
+
+        recovered = KeyValueStore(tmp_path)
+        assert recovered.get(self.RAW) == b"\x80plain"
+        assert recovered.get(self.RAW + b"2") == b"\x82late"
+        assert recovered.map_get(b"m\x00ap", self.RAW) == b"\x81field"
+        assert recovered.map_get(b"m\x00ap", self.RAW + b"2") == b"\x83late"
+        assert self.RAW in recovered.set_members(b"s\xffet")
+        assert recovered.counter_get(b"c\x00nt") == 7
+
+    def test_log_only_bytes_keys(self, tmp_path):
+        with KeyValueStore(tmp_path) as store:
+            store.put(self.RAW, b"v")
+        assert KeyValueStore(tmp_path).get(self.RAW) == b"v"
+
+
 class TestContextManager:
     def test_with_block_closes(self, tmp_path):
         with KeyValueStore(tmp_path) as store:
