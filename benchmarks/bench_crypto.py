@@ -1,0 +1,220 @@
+"""EXP-CRYPTO — gateway crypto kernels: batched tactic SPI, process-pool
+offload and fixed-base modexp precomputation.
+
+Three measurements, written to ``BENCH_crypto.json``:
+
+* **Paillier encryption micro-benchmark** — one cold ``r^n mod n²``
+  exponentiation per ciphertext (the seed path) against the fixed-base
+  windowed table (``CryptoConfig.precompute``).  The headline claim:
+  >= 5x more encryptions per second from precomputation alone.
+* **Bulk-insert throughput grid** — the §5.2 benchmark observation
+  schema (8 tactic instances) ingested through ``insert_many`` under
+  the kernel config grid (defaults / precompute-only / 1 worker /
+  N workers).  Claim: the kernelised write path lands >= 3x the
+  baseline document rate.  The speedup is *algorithmic* (fixed-base
+  masks, OPE split-node memoisation, DET/blind-index dedup), so it
+  holds on a single-core runner where the pool adds no parallelism.
+* **Paillier aggregate throughput** — homomorphic sum + CRT-assisted
+  decryption over the ingested corpus, per config.
+
+Run standalone with ``python benchmarks/bench_crypto.py --smoke`` for
+the reduced CI smoke profile.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+from repro.cloud.server import CloudZone
+from repro.core.middleware import DataBlinder
+from repro.core.query import AggregateQuery
+from repro.crypto import paillier
+from repro.crypto.kernels.config import CryptoConfig
+from repro.fhir.generator import MedicalDataGenerator
+from repro.fhir.model import benchmark_observation_schema
+from repro.net.batch import PipelineConfig
+from repro.net.transport import InProcTransport
+from repro.spi.descriptors import Aggregate
+
+SEED = 2019
+DOCS = int(os.environ.get("DATABLINDER_CRYPTO_BENCH_DOCS", "48"))
+ENCRYPTIONS = int(os.environ.get("DATABLINDER_CRYPTO_BENCH_ENC", "24"))
+AGGREGATES = int(os.environ.get("DATABLINDER_CRYPTO_BENCH_AGG", "5"))
+POOL_WORKERS = int(os.environ.get("DATABLINDER_CRYPTO_BENCH_WORKERS", "4"))
+#: Minimum pooled-vs-baseline insert speedup.  The full profile asserts
+#: the EXP-CRYPTO claim (3x); the CI smoke lowers it — a 16-document
+#: workload on a single-core runner cannot amortise pool dispatch, and
+#: the smoke's job is validating the plumbing, not the perf claim.
+SPEEDUP_FLOOR = float(
+    os.environ.get("DATABLINDER_CRYPTO_BENCH_FLOOR", "3.0")
+)
+
+#: config-id -> CryptoConfig (None = the seed-identical defaults).
+CONFIG_GRID: dict[str, CryptoConfig | None] = {
+    "baseline": None,
+    "precompute": CryptoConfig(precompute=True),
+    "pool1+precompute": CryptoConfig(workers=1, precompute=True),
+    f"pool{POOL_WORKERS}+precompute": CryptoConfig(
+        workers=POOL_WORKERS, precompute=True
+    ),
+}
+
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_crypto.json"
+RESULTS: dict = {}
+
+
+# -- Paillier encryption micro-benchmark --------------------------------------
+
+
+def test_fixed_base_paillier_encrypt_speedup():
+    """Fixed-base windowed masks beat cold exponentiation >= 5x."""
+    private = paillier.generate_keypair(1024)
+    public = private.public
+
+    started = time.perf_counter()
+    for i in range(ENCRYPTIONS):
+        paillier.encrypt(public, i)
+    cold_rate = ENCRYPTIONS / (time.perf_counter() - started)
+
+    fixed = paillier.FixedBaseObfuscator(
+        public, window_bits=CryptoConfig().window_bits
+    )
+    fixed.mask()  # table built in the constructor; one warm call
+    started = time.perf_counter()
+    ciphertexts = [fixed.encrypt(i) for i in range(ENCRYPTIONS)]
+    fixed_rate = ENCRYPTIONS / (time.perf_counter() - started)
+
+    for i, ciphertext in enumerate(ciphertexts):
+        assert paillier.decrypt(private, ciphertext) == i
+
+    speedup = fixed_rate / cold_rate
+    RESULTS["paillier_encrypt"] = {
+        "cold_per_s": cold_rate,
+        "fixed_base_per_s": fixed_rate,
+        "speedup": speedup,
+        "table_bytes": fixed.memory_bytes,
+    }
+    print(f"\nEXP-CRYPTO Paillier encrypt: {cold_rate:.1f} -> "
+          f"{fixed_rate:.1f} ops/s ({speedup:.1f}x, table "
+          f"{fixed.memory_bytes / 1e6:.1f} MB)")
+    assert speedup >= 5.0
+
+
+# -- bulk insert + aggregate grid ---------------------------------------------
+
+
+def observation_documents(count):
+    generator = MedicalDataGenerator(SEED)
+    return [o.to_document() for o in
+            generator.observations(count, cohort_size=4)]
+
+
+def deploy(crypto, application):
+    from repro.core.registry import TacticRegistry
+    from repro.tactics import register_builtin_tactics
+
+    registry = TacticRegistry()
+    register_builtin_tactics(registry)
+    cloud = CloudZone(registry)
+    blinder = DataBlinder(
+        application, InProcTransport(cloud.host), registry=registry,
+        verify_results=False,
+        pipeline=PipelineConfig(batch_writes=True, crypto=crypto),
+    )
+    blinder.register_schema(benchmark_observation_schema())
+    return blinder, blinder.entities("observation")
+
+
+def measure_config(name, crypto, documents):
+    from repro.crypto.kernels import workers
+
+    blinder, entities = deploy(crypto, f"bench-crypto-{name}")
+    # Warm up outside the timed window: tactic setup (keypair
+    # re-derivation, fixed-base table builds) and — for pooled configs —
+    # the forkserver spawn plus the per-worker package import and
+    # fixed-base table build are one-time service-startup costs, not
+    # per-document ones.  warm() is the same call a long-lived gateway
+    # makes at boot.
+    kernels = blinder.runtime.kernels
+    if kernels.config.workers > 0:
+        keypair = blinder.runtime.keystore.paillier_keypair(
+            "observation.value", "paillier", 1024
+        )
+        kernels.warm(
+            workers.paillier_masks, keypair.public.n, 1,
+            kernels.config.window_bits if kernels.config.precompute else 0,
+        )
+    entities.insert_many([dict(d) for d in documents[:2]])
+
+    started = time.perf_counter()
+    entities.insert_many([dict(d) for d in documents])
+    insert_rate = len(documents) / (time.perf_counter() - started)
+
+    query = AggregateQuery(Aggregate.AVG, "value", None)
+    expected = entities.aggregate(query)  # warm plan cache
+    started = time.perf_counter()
+    for _ in range(AGGREGATES):
+        assert entities.aggregate(query) == expected
+    aggregate_rate = AGGREGATES / (time.perf_counter() - started)
+
+    return insert_rate, aggregate_rate
+
+
+def test_insert_many_kernel_speedup():
+    """The kernelised bulk ingest beats the seed loop >= 3x."""
+    documents = observation_documents(DOCS + 2)
+    grid = {}
+    for name, crypto in CONFIG_GRID.items():
+        insert_rate, aggregate_rate = measure_config(name, crypto,
+                                                     documents)
+        grid[name] = {
+            "insert_docs_per_s": insert_rate,
+            "aggregate_per_s": aggregate_rate,
+        }
+        print(f"EXP-CRYPTO {name:<18} insert {insert_rate:7.1f} docs/s"
+              f"   paillier-agg {aggregate_rate:6.1f} ops/s")
+
+    baseline = grid["baseline"]["insert_docs_per_s"]
+    pooled = grid[f"pool{POOL_WORKERS}+precompute"]["insert_docs_per_s"]
+    speedup = pooled / baseline
+    RESULTS["insert_many"] = {
+        "docs": DOCS,
+        "grid": grid,
+        "speedup_pooled_vs_baseline": speedup,
+        "speedup_precompute_vs_baseline": (
+            grid["precompute"]["insert_docs_per_s"] / baseline
+        ),
+    }
+    print(f"EXP-CRYPTO insert_many: {baseline:.1f} -> {pooled:.1f} docs/s "
+          f"({speedup:.1f}x with {POOL_WORKERS} workers + precompute)")
+    assert speedup >= SPEEDUP_FLOOR
+
+    RESULTS["config"] = {
+        "docs": DOCS,
+        "encryptions": ENCRYPTIONS,
+        "aggregates": AGGREGATES,
+        "pool_workers": POOL_WORKERS,
+    }
+    RESULTS_PATH.write_text(json.dumps(RESULTS, indent=2) + "\n")
+    print(f"results written to {RESULTS_PATH}")
+
+
+def main(argv: list[str]) -> int:
+    """Standalone entry point; ``--smoke`` shrinks the workload for CI."""
+    import pytest
+
+    if "--smoke" in argv:
+        os.environ.setdefault("DATABLINDER_CRYPTO_BENCH_DOCS", "16")
+        os.environ.setdefault("DATABLINDER_CRYPTO_BENCH_ENC", "6")
+        os.environ.setdefault("DATABLINDER_CRYPTO_BENCH_AGG", "3")
+        os.environ.setdefault("DATABLINDER_CRYPTO_BENCH_WORKERS", "2")
+        os.environ.setdefault("DATABLINDER_CRYPTO_BENCH_FLOOR", "1.2")
+    return pytest.main(["-q", "-s", __file__])
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

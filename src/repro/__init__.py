@@ -34,6 +34,7 @@ from repro.core.middleware import DataBlinder
 from repro.core.query import AggregateQuery, And, Eq, Not, Or, Range
 from repro.core.registry import TacticRegistry, default_registry
 from repro.core.schema import FieldAnnotation, FieldSpec, Schema
+from repro.crypto.kernels.config import CryptoConfig
 from repro.net.batch import PipelineConfig
 from repro.net.faults import FaultInjectingTransport, FaultPlan
 from repro.net.latency import NetworkModel
@@ -55,6 +56,7 @@ __all__ = [
     "And",
     "BreakerConfig",
     "CloudZone",
+    "CryptoConfig",
     "DataBlinder",
     "DirectTransport",
     "Entities",

@@ -74,4 +74,36 @@ def render_plan(plan: ir.Plan, planner: "QueryPlanner") -> str:
             suffix += f"; {leakage}"
         suffix += "]"
         lines.append("  " * (depth + 1) + label + suffix)
+    lines.extend(_crypto_wire_footer(plan, planner))
     return "\n".join(lines)
+
+
+def _crypto_wire_footer(plan: ir.Plan, planner: "QueryPlanner") -> list[str]:
+    """Observed crypto-vs-wire split for write plans.
+
+    The kernelised bulk-insert path records its two phases (and a
+    per-kernel breakdown) as ``Crypto:*`` / ``Wire:*`` stat rows; for a
+    write plan the EXPLAIN output surfaces them so an operator can see
+    whether a slow ingest is compute- or network-bound.  Reads, and
+    runtimes with the kernels off, have no such rows and no footer.
+    """
+    if plan.operation not in ("insert", "update", "delete"):
+        return []
+    timings = planner.stats.snapshot()["node_timings"]
+    rows = [
+        (kind, cost) for kind, cost in timings.items()
+        if kind.startswith(("Crypto:", "Wire:"))
+    ]
+    if not rows:
+        return []
+    lines = ["  observed crypto/wire split:"]
+    for kind, cost in rows:
+        mean_ms = (
+            1000.0 * cost["seconds"] / cost["calls"] if cost["calls"]
+            else 0.0
+        )
+        lines.append(
+            f"    {kind:<24}{cost['calls']:>7} calls"
+            f"  {mean_ms:>9.3f} ms/call"
+        )
+    return lines

@@ -470,8 +470,14 @@ class PlanEngine:
 
         Under a write batch, every per-field index RPC *and* the final
         document-store write leave the gateway in a single batch frame.
+        With active crypto kernels the loop is restructured field-major
+        through the tactic batch SPI instead (see
+        :meth:`_insert_bulk_kernel`); the default config keeps this
+        exact seed path.
         """
         x = self._x
+        if x.runtime.crypto.active:
+            return self._insert_bulk_kernel(documents)
         started = time.perf_counter()
         stored = []
         doc_ids = []
@@ -505,6 +511,91 @@ class PlanEngine:
         )
         self._drain_shard_timings()
         return doc_ids
+
+    def _insert_bulk_kernel(
+        self, documents: list[dict[str, Value]]
+    ) -> list[str]:
+        """Field-major bulk insert through the tactic batch SPI.
+
+        Phase 1 (crypto): validate and split every document, *begin*
+        every field's index batch — pooled big-int batches start
+        progressing immediately while the inline fields (DET dedup, OPE
+        memo walks) compute — and seal the document bodies.  Phase 2
+        (wire): finish each batch into one write-batch frame and flush.
+        The two phases land in separate ``Crypto:insert`` /
+        ``Wire:insert`` stat rows, with per-kernel breakdown rows drained
+        from the executor, so ``explain()`` shows where a bulk write
+        spends its time.
+
+        Index RPCs leave field-major instead of the seed's doc-major
+        order; the batch collector coalesces both into a single frame,
+        and no tactic orders its index entries by arrival.
+        """
+        x = self._x
+        started = time.perf_counter()
+        prepared: list[tuple[str, dict[str, Value], dict[str, Value]]] = []
+        for document in documents:
+            x.schema.validate(document)
+            doc_id = document.get("_id") or x._generate_doc_id()
+            sensitive, plain = x._split_document(document)
+            prepared.append((doc_id, sensitive, plain))
+
+        field_entries: dict[str, list[tuple[str, Value]]] = {}
+        for doc_id, sensitive, _ in prepared:
+            for field, value in sensitive.items():
+                if value is not None:
+                    field_entries.setdefault(field, []).append(
+                        (doc_id, value)
+                    )
+
+        finishers = []
+        bool_fields: set[str] = set()
+        for field, entries in field_entries.items():
+            for instance in x.write_instances(field):
+                if instance is x._bool_instance:
+                    bool_fields.add(field)
+                elif isinstance(instance, GatewayInsertion):
+                    finishers.append(instance.index_many_begin(entries))
+        doc_bool_terms: list[tuple[str, list[bytes]]] = []
+        if x._bool_instance is not None and bool_fields:
+            for doc_id, sensitive, _ in prepared:
+                terms = [
+                    x._bool_instance.term(field, value)
+                    for field, value in sensitive.items()
+                    if value is not None and field in bool_fields
+                ]
+                if terms:
+                    doc_bool_terms.append((doc_id, terms))
+        stored = [
+            {
+                "_id": doc_id,
+                "schema": x.schema.name,
+                "body": x._seal_body(sensitive),
+                "plain": plain,
+            }
+            for doc_id, sensitive, plain in prepared
+        ]
+        crypto_elapsed = time.perf_counter() - started
+
+        wire_started = time.perf_counter()
+        with x._write_batch():
+            for finish in finishers:
+                finish()
+            for doc_id, terms in doc_bool_terms:
+                x._bool_instance.insert_terms(doc_id, terms)
+            if stored:
+                x.runtime.docs("insert_many", documents=stored)
+        wire_elapsed = time.perf_counter() - wire_started
+
+        self._stats.record_node("Crypto:insert", crypto_elapsed)
+        self._stats.record_node("Wire:insert", wire_elapsed)
+        for name, seconds in x.runtime.kernels.drain_timings():
+            self._stats.record_node(f"Crypto:{name}", seconds)
+        self._stats.record_node(
+            "WritePipeline:insert", time.perf_counter() - started
+        )
+        self._drain_shard_timings()
+        return [doc_id for doc_id, _, _ in prepared]
 
     def update(self, plan: ir.Plan, doc_id: str,
                changes: dict[str, Value]) -> None:

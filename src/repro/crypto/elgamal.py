@@ -105,6 +105,20 @@ def _unembed(public: ElGamalPublicKey, residue: int) -> int:
     return root
 
 
+def encrypt_with_randomness(public: ElGamalPublicKey, message: int,
+                            g_r: int, h_r: int) -> ElGamalCiphertext:
+    """Encrypt using a precomputed randomness pair ``(g^r, h^r)``.
+
+    The expensive exponentiations are plaintext-independent, so the
+    crypto kernel layer pregenerates the pairs (process pool or
+    fixed-base tables) and this assembly step costs one modmul — the
+    message itself never has to leave the caller.
+    """
+    return ElGamalCiphertext(
+        public, g_r, _embed(public, message) * h_r % public.p
+    )
+
+
 def encrypt(public: ElGamalPublicKey, message: int,
             randbelow: RandBelow | None = None) -> ElGamalCiphertext:
     import secrets

@@ -1,0 +1,35 @@
+"""Gateway crypto kernels: batched, pooled, precomputed crypto.
+
+Public surface:
+
+* :class:`~repro.crypto.kernels.config.CryptoConfig` — the
+  ``PipelineConfig.crypto`` knob set (defaults keep everything off).
+* :class:`~repro.crypto.kernels.executor.CryptoExecutor` — the shared
+  dispatcher (process pool, sanitizer, dedup/LRU maps, kernel timings).
+* :class:`~repro.crypto.kernels.modexp.FixedBaseTable` — windowed
+  fixed-base modexp precomputation.
+
+``repro.crypto.kernels.workers`` holds the process-pool kernel
+functions; it is imported lazily by call sites (and by the forkserver
+workers), never here, so ``paillier.py`` can import the table type
+without a cycle.
+"""
+
+from repro.crypto.kernels.config import CryptoConfig, resolve_crypto
+from repro.crypto.kernels.executor import (
+    CryptoExecutor,
+    LruCache,
+    ensure_plain_args,
+    inline_executor,
+)
+from repro.crypto.kernels.modexp import FixedBaseTable
+
+__all__ = [
+    "CryptoConfig",
+    "CryptoExecutor",
+    "FixedBaseTable",
+    "LruCache",
+    "ensure_plain_args",
+    "inline_executor",
+    "resolve_crypto",
+]

@@ -1,0 +1,81 @@
+"""Process-pool kernel functions.
+
+Module-level functions taking only plain int arguments, so they pickle
+by reference and unpickle in a forkserver worker by importing this
+module.  By design they receive **public parameters and counts only**
+(``n`` for Paillier, ``(p, g, h)`` for ElGamal): randomness is drawn
+worker-side from ``secrets`` (fork-safe), plaintexts stay in the parent
+and are folded in afterwards with one modmul.  Private keys cannot reach
+a worker even by accident — the executor's sanitizer rejects non-plain
+arguments, and these signatures have nowhere to put them.
+
+Per-key fixed-base tables are cached in a worker-global so a long-lived
+pool pays each table build once.
+"""
+
+from __future__ import annotations
+
+import secrets
+
+from repro.crypto.kernels.modexp import FixedBaseTable
+from repro.crypto.primitives.numbers import egcd
+
+#: Worker-resident fixed-base tables (or tuples of them) keyed by
+#: (kind, modulus-defining ints, window).  Bounded by the handful of
+#: keys a deployment uses.
+_TABLES: dict[tuple, object] = {}
+
+
+def _unit_below(n: int) -> int:
+    while True:
+        r = secrets.randbelow(n - 1) + 1
+        if egcd(r, n)[0] == 1:
+            return r
+
+
+def paillier_masks(n: int, count: int, window_bits: int = 0) -> list[int]:
+    """``count`` fresh Paillier obfuscator masks ``r^n mod n²``.
+
+    With ``window_bits`` set, the worker keeps a fixed-base table for
+    ``β = r₀^n`` and returns ``β^k`` masks (the amortised-randomness
+    trade documented in docs/architecture.md); otherwise each mask is a
+    full cold exponentiation.
+    """
+    n_squared = n * n
+    if window_bits <= 0:
+        return [pow(_unit_below(n), n, n_squared) for _ in range(count)]
+    key = ("paillier", n, window_bits)
+    table = _TABLES.get(key)
+    if table is None:
+        beta = pow(_unit_below(n), n, n_squared)
+        table = FixedBaseTable(beta, n_squared, n.bit_length(), window_bits)
+        _TABLES[key] = table
+    return [table.pow(secrets.randbelow(n - 1) + 1) for _ in range(count)]
+
+
+def elgamal_randoms(p: int, g: int, h: int, count: int,
+                    window_bits: int = 0) -> list[tuple[int, int]]:
+    """``count`` ElGamal randomness pairs ``(g^r, h^r) mod p``.
+
+    The parent multiplies the embedded message into the second component
+    (one modmul), so plaintexts never reach the worker.
+    """
+    q = (p - 1) // 2
+    if window_bits <= 0:
+        pairs = []
+        for _ in range(count):
+            r = secrets.randbelow(q - 1) + 1
+            pairs.append((pow(g, r, p), pow(h, r, p)))
+        return pairs
+    key = ("elgamal", p, g, h, window_bits)
+    tables = _TABLES.get(key)
+    if tables is None:
+        tables = (FixedBaseTable(g, p, q.bit_length(), window_bits),
+                  FixedBaseTable(h, p, q.bit_length(), window_bits))
+        _TABLES[key] = tables
+    table_g, table_h = tables
+    pairs = []
+    for _ in range(count):
+        r = secrets.randbelow(q - 1) + 1
+        pairs.append((table_g.pow(r), table_h.pow(r)))
+    return pairs

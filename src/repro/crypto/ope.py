@@ -107,7 +107,8 @@ class Ope:
     """
 
     def __init__(self, key: bytes, domain_bits: int = DEFAULT_DOMAIN_BITS,
-                 range_bits: int = DEFAULT_RANGE_BITS):
+                 range_bits: int = DEFAULT_RANGE_BITS,
+                 cache_nodes: int = 0):
         if range_bits <= domain_bits:
             raise CryptoError("OPE range must be strictly larger than domain")
         if not key:
@@ -117,27 +118,45 @@ class Ope:
         self.range_bits = range_bits
         self.domain_size = 1 << domain_bits
         self.range_size = 1 << range_bits
+        #: Memo of bisection-node split decisions, keyed by the node's
+        #: (domain, range) intervals.  The sampled function is fully
+        #: determined by the key, so memoised walks produce identical
+        #: ciphertexts — the cache only skips re-sampling the (scipy)
+        #: hypergeometric quantile at nodes many plaintexts share, which
+        #: is most of them when values cluster (ages, vitals, prices).
+        self._node_cache: dict[tuple[int, int, int, int], int] | None = (
+            {} if cache_nodes > 0 else None
+        )
+        self._node_cache_limit = cache_nodes
 
     def encrypt(self, plaintext: int) -> int:
         if not 0 <= plaintext < self.domain_size:
             raise CryptoError("plaintext outside OPE domain")
         d_lo, d_hi = 0, self.domain_size  # domain interval [d_lo, d_hi)
         r_lo, r_hi = 0, self.range_size   # range interval [r_lo, r_hi)
+        cache = self._node_cache
         while d_hi - d_lo > 1:
+            node = (d_lo, d_hi, r_lo, r_hi)
+            split = None if cache is None else cache.get(node)
             d_size = d_hi - d_lo
             r_size = r_hi - r_lo
             r_mid = r_lo + r_size // 2
-            draws = r_mid - r_lo
-            coin = _uniform_coin(
-                self._key,
-                b"node",
-                d_lo.to_bytes(16, "big"), d_hi.to_bytes(16, "big"),
-                r_lo.to_bytes(16, "big"), r_hi.to_bytes(16, "big"),
-            )
-            # How many of the d_size domain points fall into the left half
-            # of the range (draws slots out of r_size).
-            left_count = _hypergeom_sample(coin, r_size, d_size, draws)
-            split = d_lo + left_count
+            if split is None:
+                draws = r_mid - r_lo
+                coin = _uniform_coin(
+                    self._key,
+                    b"node",
+                    d_lo.to_bytes(16, "big"), d_hi.to_bytes(16, "big"),
+                    r_lo.to_bytes(16, "big"), r_hi.to_bytes(16, "big"),
+                )
+                # How many of the d_size domain points fall into the left
+                # half of the range (draws slots out of r_size).
+                left_count = _hypergeom_sample(coin, r_size, d_size, draws)
+                split = d_lo + left_count
+                if cache is not None:
+                    if len(cache) >= self._node_cache_limit:
+                        cache.clear()
+                    cache[node] = split
             if plaintext < split:
                 d_hi, r_hi = split, r_mid
             else:

@@ -18,7 +18,9 @@ import queue
 import secrets
 import threading
 from dataclasses import dataclass
+from functools import cached_property
 
+from repro.crypto.kernels.modexp import FixedBaseTable
 from repro.crypto.primitives.numbers import (
     RandBelow,
     egcd,
@@ -35,7 +37,10 @@ DEFAULT_KEY_BITS = 1024
 class PaillierPublicKey:
     n: int
 
-    @property
+    # Every homomorphic operation reduces mod n^2; caching the square on
+    # the key object (equality/hash still use ``n`` alone) spares one
+    # 2048-bit multiplication per ciphertext operation.
+    @cached_property
     def n_squared(self) -> int:
         return self.n * self.n
 
@@ -50,6 +55,11 @@ class PaillierPrivateKey:
     public: PaillierPublicKey
     lam: int  # lcm(p-1, q-1)
     mu: int   # (L(g^lam mod n^2))^-1 mod n
+    #: The factors, when known (0 on keys loaded without them): decrypt
+    #: then runs two half-size exponentiations under CRT, ~2x faster,
+    #: with identical outputs.
+    p: int = 0
+    q: int = 0
 
 
 @dataclass(frozen=True)
@@ -73,10 +83,14 @@ class Ciphertext:
         )
 
     def add_plain(self, scalar: int) -> "Ciphertext":
-        g_m = pow(self.public.n + 1, scalar % self.public.n_squared,
-                  self.public.n_squared)
+        # With g = n + 1, g^m = 1 + m*n (mod n^2): the closed form costs
+        # one multiplication where the general pow() walked ~1.5 * bits
+        # square-and-multiply steps for the same result.
+        n = self.public.n
+        n_sq = self.public.n_squared
+        g_m = (1 + scalar % n * n) % n_sq
         return Ciphertext(
-            self.public, self.value * g_m % self.public.n_squared
+            self.public, self.value * g_m % n_sq
         )
 
     def __mul__(self, scalar: int) -> "Ciphertext":
@@ -112,7 +126,7 @@ def generate_keypair(bits: int = DEFAULT_KEY_BITS,
         lam = lcm(p - 1, q - 1)
         # With g = n + 1: L(g^lam mod n^2) = lam mod n, so mu = lam^-1.
         mu = invmod(lam, n)
-        return PaillierPrivateKey(public=public, lam=lam, mu=mu)
+        return PaillierPrivateKey(public=public, lam=lam, mu=mu, p=p, q=q)
 
 
 def _embed_signed(public: PaillierPublicKey, message: int) -> int:
@@ -160,6 +174,39 @@ def encrypt(public: PaillierPublicKey, message: int,
                              obfuscator(public, randbelow))
 
 
+class FixedBaseObfuscator:
+    """Windowed fixed-base generation of obfuscator masks.
+
+    At setup one cold mask ``β = r₀^n mod n²`` is drawn; fresh masks are
+    then ``β^k`` for random ``k < n`` — i.e. effective randomness
+    ``r₀^k``, produced with ~bits/window modmuls through the
+    :class:`~repro.crypto.kernels.modexp.FixedBaseTable` instead of a
+    full exponentiation.  This is the classic amortised-randomness
+    trade (masks range over the subgroup ⟨r₀⟩ rather than all of Z*_n);
+    it is opt-in via ``CryptoConfig.precompute`` and never the default.
+    """
+
+    def __init__(self, public: PaillierPublicKey, window_bits: int = 5,
+                 randbelow: RandBelow | None = None):
+        self._public = public
+        self._randbelow = randbelow or secrets.randbelow
+        beta = obfuscator(public, randbelow)
+        self._table = FixedBaseTable(
+            beta, public.n_squared, public.n.bit_length(), window_bits
+        )
+
+    def mask(self) -> int:
+        exponent = self._randbelow(self._public.n - 1) + 1
+        return self._table.pow(exponent)
+
+    def encrypt(self, message: int) -> Ciphertext:
+        return encrypt_with_mask(self._public, message, self.mask())
+
+    @property
+    def memory_bytes(self) -> int:
+        return self._table.memory_bytes
+
+
 class ObfuscatorPool:
     """Background precomputation of encryption masks ``r^n mod n^2``.
 
@@ -170,14 +217,22 @@ class ObfuscatorPool:
     mask ready and pays only the modmul.  When the queue is empty the
     mask is computed inline — the pool never changes the ciphertext
     distribution, only when the work happens.
+
+    An optional ``source`` callable replaces the cold per-mask
+    exponentiation (the crypto kernel layer plugs a
+    :class:`FixedBaseObfuscator` in here, making refills ~7x cheaper).
     """
 
     def __init__(self, public: PaillierPublicKey, size: int = 8,
-                 randbelow: RandBelow | None = None):
+                 randbelow: RandBelow | None = None,
+                 source=None):
         if size < 1:
             raise CryptoError("obfuscator pool size must be positive")
         self._public = public
         self._randbelow = randbelow
+        self._source = source or (
+            lambda: obfuscator(self._public, self._randbelow)
+        )
         self._queue: queue.Queue[int] = queue.Queue(maxsize=size)
         self._thread: threading.Thread | None = None
         self._stopped = False
@@ -199,7 +254,7 @@ class ObfuscatorPool:
 
     def _refill(self) -> None:
         while not self._stopped:
-            mask = obfuscator(self._public, self._randbelow)
+            mask = self._source()
             while not self._stopped:
                 try:
                     self._queue.put(mask, timeout=0.2)
@@ -215,7 +270,7 @@ class ObfuscatorPool:
         try:
             return self._queue.get_nowait()
         except queue.Empty:
-            return obfuscator(self._public, self._randbelow)
+            return self._source()
 
     def encrypt(self, message: int) -> Ciphertext:
         """Encrypt with a pooled mask — one modmul on the hot path."""
@@ -229,12 +284,28 @@ class ObfuscatorPool:
         self._stopped = True
 
 
+def _crt_power(value: int, lam: int, p: int, q: int) -> int:
+    """``value^lam mod (p*q)^2`` via two half-size exponentiations.
+
+    Exponent reduction mod λ(p²) = p(p-1) is only valid for units, so
+    callers must ensure gcd(value, p*q) == 1.
+    """
+    p_sq = p * p
+    q_sq = q * q
+    u_p = pow(value % p_sq, lam % (p * (p - 1)), p_sq)
+    u_q = pow(value % q_sq, lam % (q * (q - 1)), q_sq)
+    return u_p + p_sq * ((u_q - u_p) * invmod(p_sq, q_sq) % q_sq)
+
+
 def decrypt(private: PaillierPrivateKey, ciphertext: Ciphertext) -> int:
     public = private.public
     if ciphertext.public != public:
         raise CryptoError("ciphertext was produced under a different key")
     n = public.n
-    u = pow(ciphertext.value, private.lam, public.n_squared)
+    if private.p and private.q and egcd(ciphertext.value, n)[0] == 1:
+        u = _crt_power(ciphertext.value, private.lam, private.p, private.q)
+    else:
+        u = pow(ciphertext.value, private.lam, public.n_squared)
     l_value = (u - 1) // n
     residue = l_value * private.mu % n
     return _unembed_signed(public, residue)

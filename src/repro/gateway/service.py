@@ -13,6 +13,8 @@ from __future__ import annotations
 import threading
 from typing import Any
 
+from repro.crypto.kernels.config import resolve_crypto
+from repro.crypto.kernels.executor import CryptoExecutor
 from repro.keys.keystore import KeyStore
 from repro.net.batch import BatchCollector, PipelineConfig
 from repro.net.resilience import ResilienceConfig, wrap_resilient
@@ -36,6 +38,12 @@ class GatewayRuntime:
             registry = default_registry()
         self.application = application
         self.pipeline = pipeline or PipelineConfig()
+        #: The resolved crypto kernel config (env overrides applied) and
+        #: the one executor every tactic context of this runtime shares
+        #: — batch submissions from different fields keep the same
+        #: process pool and timing sink.
+        self.crypto = resolve_crypto(self.pipeline.crypto)
+        self.kernels = CryptoExecutor(self.crypto)
         # Resilience wraps *below* the batch collector: collected write
         # batches are then retried whole, with their idempotency-keyed
         # sub-requests making the re-delivery safe.
@@ -113,6 +121,7 @@ class GatewayRuntime:
                 transport=self.transport,
                 local_kv=self.local_kv,
                 metrics=self.metrics,
+                kernels=self.kernels,
             )
             instance = registration.gateway_cls(context)
             instance.setup()

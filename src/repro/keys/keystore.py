@@ -46,6 +46,12 @@ class KeyStore:
         self._paillier_cache: dict[tuple[str, str, int], paillier.PaillierPrivateKey] = {}
         self._rsa_cache: dict[tuple[str, str, int], rsa.RsaPrivateKey] = {}
         self._elgamal_cache: dict[tuple[str, str, int], elgamal.ElGamalPrivateKey] = {}
+        # HKDF subkey memo, keyed by the full derivation tuple.  Tactic
+        # setup() calls and the resolve_eq fast path hit the same few
+        # (field, tactic, purpose) triples repeatedly; the derivation is
+        # deterministic per root epoch, so caching it is exact.  Cleared
+        # on rotation (the root — and thus every subkey — changes).
+        self._derive_cache: dict[tuple[str, str, str, int], bytes] = {}
 
     def _derive_root(self) -> bytes:
         return self.hsm.derive_data_key(
@@ -59,8 +65,18 @@ class KeyStore:
     def derive(self, field: str, tactic: str, purpose: str = "key",
                length: int = 32) -> bytes:
         """Deterministically derive a symmetric key for a tactic instance."""
+        cache_key = (field, tactic, purpose, length)
+        with self._lock:
+            cached = self._derive_cache.get(cache_key)
+            if cached is not None:
+                return cached
         info = "/".join((self.application, field, tactic, purpose)).encode()
-        return hkdf(self._root, info, length)
+        key = hkdf(self._root, info, length)
+        with self._lock:
+            if len(self._derive_cache) >= 4096:
+                self._derive_cache.clear()
+            self._derive_cache[cache_key] = key
+        return key
 
     # -- asymmetric -----------------------------------------------------------
 
@@ -129,6 +145,7 @@ class KeyStore:
             self._paillier_cache.clear()
             self._rsa_cache.clear()
             self._elgamal_cache.clear()
+            self._derive_cache.clear()
 
 
 KeyProvider = Callable[[str, str, str, int], bytes]

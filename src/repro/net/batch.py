@@ -43,6 +43,7 @@ from repro.net.rpc import Request, Response
 from repro.net.transport import Transport
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.crypto.kernels.config import CryptoConfig
     from repro.shard.config import ShardConfig
 
 
@@ -90,6 +91,12 @@ class PipelineConfig:
     #: :class:`repro.shard.router.ShardedTransport`.  ``None`` keeps the
     #: seed single-zone wiring byte-for-byte.
     sharding: "ShardConfig | None" = None
+    #: Gateway crypto kernels: batched tactic SPI, process-pool offload
+    #: of big-int work and fixed-base modexp precomputation
+    #: (:class:`repro.crypto.kernels.config.CryptoConfig`).  ``None``
+    #: (or an all-defaults config) keeps every per-value crypto call on
+    #: the seed's sequential inline path.
+    crypto: "CryptoConfig | None" = None
 
 
 #: Methods whose results gateway callers ignore: index maintenance on

@@ -13,13 +13,16 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from repro.keys.keystore import KeyStore
 from repro.net.transport import Transport
 from repro.spi.metrics import TacticMetrics
 from repro.stores.docstore import DocumentStore
 from repro.stores.kv import KeyValueStore
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.crypto.kernels.executor import CryptoExecutor
 
 
 def service_name(application: str, field: str, tactic: str) -> str:
@@ -42,6 +45,10 @@ class GatewayTacticContext:
     #: Per-deployment performance-metric sink (Fig. 1); optional so bare
     #: tactic harnesses stay lightweight.
     metrics: TacticMetrics | None = None
+    #: Shared crypto kernel dispatcher (batch SPI backend).  ``None``
+    #: means no runtime wired one in; tactics then fall back to the
+    #: inline executor and the seed's sequential loops.
+    kernels: "CryptoExecutor | None" = None
 
     @property
     def service(self) -> str:

@@ -5,7 +5,16 @@ keys) and a cloud half (untrusted zone, holds encrypted structures).  Both
 halves receive their dependency context (§4.2 commonalities) at
 construction.  This module adds the pieces nearly every tactic needs:
 
-* :class:`GatewayTactic` / :class:`CloudTactic` — context-holding bases.
+* :class:`GatewayTactic` / :class:`CloudTactic` — context-holding bases,
+  including the gateway-side **batch SPI** (``seal_many`` /
+  ``tokens_many`` / ``index_many``): default implementations loop over
+  the per-value protocol methods, so every tactic is batch-callable,
+  while the hot tactics override them with vectorised kernels
+  (dedup/LRU token maps, pooled big-int batches, fixed-base tables).
+  ``index_many_begin`` splits a batch insertion into a *begin* phase
+  (crypto: compute or submit) and a *finish* callable (network: emit the
+  index RPCs), which is what lets the plan engine overlap kernel
+  execution with batched network flushes.
 * :class:`IdCipher` — encryption of document identifiers stored inside
   secure indexes (AEAD, so index values are IND-CPA blobs).
 * :func:`canonical_term` — the ``field=value`` keyword encoding used by
@@ -16,12 +25,15 @@ construction.  This module adds the pieces nearly every tactic needs:
 
 from __future__ import annotations
 
-from typing import Any
+from typing import Any, Callable
 
 from repro.crypto.encoding import Value, encode_value
+from repro.crypto.kernels.config import CryptoConfig
+from repro.crypto.kernels.executor import CryptoExecutor, inline_executor
 from repro.crypto.primitives.hmac_prf import prf
 from repro.crypto.primitives.random import default_random
 from repro.crypto.symmetric import Aead
+from repro.errors import TacticError
 from repro.shard.ring import HashRing, spec_ring
 from repro.spi.context import CloudTacticContext, GatewayTacticContext
 
@@ -31,6 +43,67 @@ class GatewayTactic:
 
     def __init__(self, ctx: GatewayTacticContext):
         self.ctx = ctx
+
+    # -- crypto kernel access ----------------------------------------------------
+
+    @property
+    def kernels(self) -> CryptoExecutor:
+        """The runtime's shared kernel dispatcher (inline fallback for
+        bare harnesses constructed without one)."""
+        kernels = getattr(self.ctx, "kernels", None)
+        return kernels if kernels is not None else inline_executor()
+
+    @property
+    def crypto(self) -> CryptoConfig:
+        return self.kernels.config
+
+    # -- batch SPI ---------------------------------------------------------------
+    # Default implementations loop over the per-value protocol methods,
+    # so the batch surface exists on every tactic; with an inactive
+    # CryptoConfig the overrides below degrade to these same loops.
+
+    def token(self, value: Value) -> Any:
+        """The single-value search-token/code hook behind ``tokens_many``.
+
+        Only meaningful for tactics whose equality/range protocol is
+        driven by a deterministic per-value token (DET seals,
+        blind-index tags, OPE/ORE codes); stateful-protocol tactics
+        (Sophos, Mitra) have no such surface.
+        """
+        raise TacticError(
+            f"{type(self).__name__} exposes no token surface"
+        )
+
+    def seal_many(self, values: list[Value]) -> list[bytes]:
+        """Batch SecureEnc: one sealed blob per value."""
+        return [self.seal(value) for value in values]  # type: ignore[attr-defined]
+
+    def tokens_many(self, values: list[Value]) -> list[Any]:
+        """Batch token derivation: one token per value, order-preserving."""
+        return [self.token(value) for value in values]
+
+    def index_many(self, entries: list[tuple[str, Value]]) -> None:
+        """Batch Insertion over ``(doc_id, value)`` pairs."""
+        self.index_many_begin(entries)()
+
+    def index_many_begin(
+        self, entries: list[tuple[str, Value]]
+    ) -> Callable[[], None]:
+        """Start a batch insertion; the returned callable completes it.
+
+        The *begin* phase performs (or submits to the process pool) the
+        plaintext-dependent crypto; calling the returned *finish* emits
+        the index RPCs.  The engine begins every field of a bulk write
+        first — pooled batches then progress in the background while
+        inline fields compute — and finishes them in order into one
+        batch-collector scope.  The default keeps the seed per-entry
+        protocol loop, entirely in finish.
+        """
+        def finish() -> None:
+            for doc_id, value in entries:
+                self.insert(doc_id, value)  # type: ignore[attr-defined]
+
+        return finish
 
 
 class CloudTactic:

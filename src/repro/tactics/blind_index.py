@@ -46,20 +46,70 @@ class BlindIndexGateway(
     def setup(self) -> None:
         label = f"oprf/{self.ctx.application}/{self.ctx.field}"
         self._hsm_label = label
+        # The group handle (and with it the hash-to-group subkey state)
+        # is derived once here; per-call work is one blind/evaluate/
+        # finalize round, and with active crypto kernels the finished
+        # tags are memoised per (field, key-version) so repeated
+        # eq_query/resolve_eq traffic skips the HSM round entirely.
         group = self.ctx.keystore.hsm.create_oprf_key(
             label, OPRF_GROUP_BITS
         )
         self._client = OprfClient(group)
+        self._token_cache = self.kernels.cache()
         self.ctx.call("setup")
 
     def _token(self, value: Value) -> bytes:
-        """One blinded HSM round: value -> OPRF tag."""
+        """One blinded HSM round: value -> OPRF tag (LRU-memoised when
+        the crypto kernels are active — the OPRF is deterministic)."""
+        cache = self._token_cache
+        if cache is None:
+            return self._token_cold(value)
+        key = encode_value(value)
+        token = cache.get(key)
+        if token is None:
+            token = self._token_cold(value)
+            cache.put(key, token)
+        return token
+
+    def _token_cold(self, value: Value) -> bytes:
         data = encode_value(value)
         state, blinded = self._client.blind(data)
         evaluated = self.ctx.keystore.hsm.oprf_evaluate(
             self._hsm_label, blinded
         )
         return self._client.finalize(data, state, evaluated)
+
+    # -- batch SPI ----------------------------------------------------------------
+
+    def token(self, value: Value) -> bytes:
+        return self._token(value)
+
+    def _tokens_batch(self, values: list[Value]) -> list[bytes]:
+        """One multi-element HSM round for a whole batch of values."""
+        data = [encode_value(value) for value in values]
+        blind = [self._client.blind(item) for item in data]
+        evaluated = self.ctx.keystore.hsm.oprf_evaluate_many(
+            self._hsm_label, [blinded for _, blinded in blind]
+        )
+        return [
+            self._client.finalize(item, state, output)
+            for item, (state, _), output in zip(data, blind, evaluated)
+        ]
+
+    def tokens_many(self, values: list[Value]) -> list[bytes]:
+        return self.kernels.dedup_map(
+            values, self._token_cold, key=encode_value,
+            cache=self._token_cache, batch=self._tokens_batch,
+        )
+
+    def index_many_begin(self, entries: list[tuple[str, Value]]):
+        tags = self.tokens_many([value for _, value in entries])
+
+        def finish() -> None:
+            for (doc_id, _), tag in zip(entries, tags):
+                self.ctx.call("insert", doc_id=doc_id, tag=tag)
+
+        return finish
 
     def insert(self, doc_id: str, value: Value) -> None:
         self.ctx.call("insert", doc_id=doc_id, tag=self._token(value))

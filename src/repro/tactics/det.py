@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import Any
 
-from repro.crypto.encoding import Value
+from repro.crypto.encoding import Value, encode_value
 from repro.crypto.symmetric import Deterministic, open_value, seal_value
 from repro.errors import DocumentNotFound, TacticError
 from repro.spi import interfaces as spi
@@ -43,12 +43,25 @@ class DetGateway(
     """Trusted-zone half of the DET tactic."""
 
     def setup(self) -> None:
+        # Subkey derivation happens once here (the Deterministic cipher
+        # HKDFs its enc/mac subkeys at construction), and with active
+        # crypto kernels the sealed tokens themselves are memoised — so
+        # the eq_query/resolve_eq path re-derives nothing per call.
         self._det = Deterministic(self.ctx.derive_key("value"))
+        self._token_cache = self.kernels.cache()
         self.ctx.call("setup")
 
     # -- SecureEnc / DocIDGen ----------------------------------------------------
 
     def seal(self, value: Value) -> bytes:
+        cache = self._token_cache
+        if cache is not None:
+            key = encode_value(value)
+            token = cache.get(key)
+            if token is None:
+                token = seal_value(self._det, value)
+                cache.put(key, token)
+            return token
         return seal_value(self._det, value)
 
     def open(self, blob: bytes) -> Value:
@@ -56,6 +69,31 @@ class DetGateway(
 
     def generate_doc_id(self) -> str:
         return random_doc_id()
+
+    # -- batch SPI ----------------------------------------------------------------
+    # DET seals are deterministic, so a batch costs one AES-SIV pass per
+    # *distinct* value (dedup + LRU via the kernel dispatcher).
+
+    def token(self, value: Value) -> bytes:
+        return self.seal(value)
+
+    def tokens_many(self, values: list[Value]) -> list[bytes]:
+        return self.kernels.dedup_map(
+            values, lambda v: seal_value(self._det, v),
+            key=encode_value, cache=self._token_cache,
+        )
+
+    def seal_many(self, values: list[Value]) -> list[bytes]:
+        return self.tokens_many(values)
+
+    def index_many_begin(self, entries: list[tuple[str, Value]]):
+        tokens = self.tokens_many([value for _, value in entries])
+
+        def finish() -> None:
+            for (doc_id, _), token in zip(entries, tokens):
+                self.ctx.call("insert", doc_id=doc_id, token=token)
+
+        return finish
 
     # -- CRUD ----------------------------------------------------------------------
 

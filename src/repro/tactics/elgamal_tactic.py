@@ -12,10 +12,13 @@ aggregation, e.g. compounding factors).
 
 from __future__ import annotations
 
+import secrets
 from typing import Any
 
 from repro.crypto import elgamal
 from repro.crypto.encoding import Value
+from repro.crypto.kernels import workers
+from repro.crypto.kernels.modexp import FixedBaseTable
 from repro.errors import TacticError
 from repro.spi import interfaces as spi
 from repro.tactics.base import CloudTactic, GatewayTactic, export_ring
@@ -36,17 +39,77 @@ class ElGamalGateway(
             self.ctx.field, self.ctx.tactic, KEY_BITS
         )
         public = self._private.public
+        # Fixed-base tables for the two public bases g and h: both
+        # exponentiations of an encryption then run windowed.  Exact —
+        # unlike the Paillier β-trade, r still ranges over the whole
+        # exponent group.
+        crypto = self.crypto
+        self._tables: tuple[FixedBaseTable, FixedBaseTable] | None = None
+        if crypto.precompute:
+            q = (public.p - 1) // 2
+            self._tables = (
+                FixedBaseTable(public.g, public.p, q.bit_length(),
+                               crypto.window_bits),
+                FixedBaseTable(public.h, public.p, q.bit_length(),
+                               crypto.window_bits),
+            )
         self.ctx.call("setup", p=public.p, g=public.g, h=public.h)
 
-    def insert(self, doc_id: str, value: Value) -> None:
+    @staticmethod
+    def _validate(value: Value) -> None:
         if not isinstance(value, int) or isinstance(value, bool) or value < 1:
             raise TacticError(
                 "ElGamal product tactic requires positive integer values"
             )
-        ciphertext = elgamal.encrypt(self._private.public, value)
+
+    def _encrypt(self, value: int) -> elgamal.ElGamalCiphertext:
+        public = self._private.public
+        if self._tables is None:
+            return elgamal.encrypt(public, value)
+        table_g, table_h = self._tables
+        q = (public.p - 1) // 2
+        r = secrets.randbelow(q - 1) + 1
+        return elgamal.encrypt_with_randomness(
+            public, value, table_g.pow(r), table_h.pow(r)
+        )
+
+    def insert(self, doc_id: str, value: Value) -> None:
+        self._validate(value)
+        ciphertext = self._encrypt(value)
         self.ctx.call(
             "insert", doc_id=doc_id, c1=ciphertext.c1, c2=ciphertext.c2
         )
+
+    # -- batch SPI ----------------------------------------------------------------
+
+    def index_many_begin(self, entries: list[tuple[str, Value]]):
+        """Begin: submit the randomness batch ``(g^r, h^r)`` to the pool
+        (only the public ``p, g, h`` and the count cross the boundary).
+        Finish: one modmul folds each message in, then the insert RPCs."""
+        public = self._private.public
+        for _, value in entries:
+            self._validate(value)
+        crypto = self.crypto
+        future = self.kernels.submit_batch(
+            workers.elgamal_randoms, len(entries),
+            public.p, public.g, public.h, len(entries),
+            crypto.window_bits if crypto.precompute else 0,
+        )
+
+        def finish() -> None:
+            if future is None:
+                ciphertexts = [self._encrypt(value) for _, value in entries]
+            else:
+                ciphertexts = [
+                    elgamal.encrypt_with_randomness(public, value, g_r, h_r)
+                    for (_, value), (g_r, h_r) in zip(entries,
+                                                      future.result())
+                ]
+            for (doc_id, _), ciphertext in zip(entries, ciphertexts):
+                self.ctx.call("insert", doc_id=doc_id,
+                              c1=ciphertext.c1, c2=ciphertext.c2)
+
+        return finish
 
     def aggregate(self, function: str,
                   doc_ids: list[str] | None = None) -> Value:

@@ -24,7 +24,7 @@ from __future__ import annotations
 import bisect
 from typing import Any
 
-from repro.crypto.encoding import Value, value_to_ordered_int
+from repro.crypto.encoding import Value, encode_value, value_to_ordered_int
 from repro.crypto.ope import Ope
 from repro.errors import TacticError
 from repro.spi import interfaces as spi
@@ -43,11 +43,20 @@ class OpeGateway(
     """Trusted-zone half: order-preserving encryption of numeric codes."""
 
     def setup(self) -> None:
+        # With active crypto kernels the Boldyreva sampler additionally
+        # memoises interior split nodes: a batch of clustered values
+        # shares long prefix paths down the recursion tree, so each
+        # hypergeometric split is sampled once per node instead of once
+        # per value.  Splits are deterministic PRF functions of the key
+        # and node, so the memo never changes a ciphertext.
+        crypto = self.crypto
         self._ope = Ope(
             self.ctx.derive_key("ope"),
             domain_bits=DOMAIN_BITS,
             range_bits=RANGE_BITS,
+            cache_nodes=crypto.cache_size if crypto.active else 0,
         )
+        self._code_cache = self.kernels.cache()
         self.ctx.call("setup")
 
     def _encode(self, value: Value) -> int:
@@ -62,6 +71,29 @@ class OpeGateway(
 
     def insert(self, doc_id: str, value: Value) -> None:
         self.ctx.call("insert", doc_id=doc_id, ciphertext=self._encode(value))
+
+    # -- batch SPI ----------------------------------------------------------------
+    # OPE stays gateway-inline (the sampler needs scipy, which must not
+    # be imported into pool workers); its batch win is dedup + the node
+    # memo above, both exact.
+
+    def token(self, value: Value) -> int:
+        return self._encode(value)
+
+    def tokens_many(self, values: list[Value]) -> list[int]:
+        return self.kernels.dedup_map(
+            values, self._encode, key=encode_value,
+            cache=self._code_cache,
+        )
+
+    def index_many_begin(self, entries: list[tuple[str, Value]]):
+        codes = self.tokens_many([value for _, value in entries])
+
+        def finish() -> None:
+            for (doc_id, _), code in zip(entries, codes):
+                self.ctx.call("insert", doc_id=doc_id, ciphertext=code)
+
+        return finish
 
     def range_query(self, low: Value, high: Value) -> set[str]:
         low_ct = None if low is None else self._encode(low)

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import Any
 
-from repro.crypto.encoding import Value, value_to_ordered_int
+from repro.crypto.encoding import Value, encode_value, value_to_ordered_int
 from repro.crypto.ore import Ore, OreCiphertext, compare
 from repro.errors import TacticError
 from repro.spi import interfaces as spi
@@ -35,6 +35,7 @@ class OreGateway(
 
     def setup(self) -> None:
         self._ore = Ore(self.ctx.derive_key("ore"), bits=PLAINTEXT_BITS)
+        self._code_cache = self.kernels.cache()
         self.ctx.call("setup")
 
     def _encode(self, value: Value) -> bytes:
@@ -49,6 +50,29 @@ class OreGateway(
 
     def insert(self, doc_id: str, value: Value) -> None:
         self.ctx.call("insert", doc_id=doc_id, ciphertext=self._encode(value))
+
+    # -- batch SPI ----------------------------------------------------------------
+    # CLWW encryption is a deterministic PRF per digit, so batches dedup
+    # exactly; the digit-vector loop itself stays gateway-inline (cheap
+    # AES rounds, not worth a pickle round trip).
+
+    def token(self, value: Value) -> bytes:
+        return self._encode(value)
+
+    def tokens_many(self, values: list[Value]) -> list[bytes]:
+        return self.kernels.dedup_map(
+            values, self._encode, key=encode_value,
+            cache=self._code_cache,
+        )
+
+    def index_many_begin(self, entries: list[tuple[str, Value]]):
+        codes = self.tokens_many([value for _, value in entries])
+
+        def finish() -> None:
+            for (doc_id, _), code in zip(entries, codes):
+                self.ctx.call("insert", doc_id=doc_id, ciphertext=code)
+
+        return finish
 
     def range_query(self, low: Value, high: Value) -> set[str]:
         low_ct = None if low is None else self._encode(low)

@@ -21,6 +21,7 @@ from typing import Any
 
 from repro.crypto import paillier
 from repro.crypto.encoding import Value
+from repro.crypto.kernels import workers
 from repro.errors import TacticError
 from repro.spi import interfaces as spi
 from repro.tactics.base import CloudTactic, GatewayTactic, export_ring
@@ -56,27 +57,77 @@ class PaillierGateway(
                 f"{OBFUSCATOR_POOL_ENV} must be an integer, "
                 f"got {raw_size!r}"
             ) from None
+        #: Fixed-base mask generation (CryptoConfig.precompute): one cold
+        #: mask β at setup, fresh masks as β^k through a windowed table —
+        #: ~7x fewer modmuls than a cold r^n exponentiation.
+        crypto = self.crypto
+        self._fixed_base = (
+            paillier.FixedBaseObfuscator(self._private.public,
+                                         crypto.window_bits)
+            if crypto.precompute else None
+        )
         #: Masks (r^n mod n^2) precompute on a background thread, so the
         #: write path usually pays one modmul instead of a 2048-bit
-        #: modular exponentiation.
+        #: modular exponentiation.  The fixed-base generator, when
+        #: enabled, becomes the pool's refill source.
         self._obfuscators = (
-            paillier.ObfuscatorPool(self._private.public, size=pool_size)
+            paillier.ObfuscatorPool(
+                self._private.public, size=pool_size,
+                source=(self._fixed_base.mask
+                        if self._fixed_base is not None else None),
+            )
             if pool_size > 0 else None
         )
         self.ctx.call("setup", n=self._private.public.n)
 
-    def insert(self, doc_id: str, value: Value) -> None:
+    def _encode(self, value: Value) -> int:
         if not isinstance(value, (int, float)) or isinstance(value, bool):
             raise TacticError(
                 f"Paillier protects numeric fields only, got "
                 f"{type(value).__name__}"
             )
-        encoded = self._codec.encode(value)
+        return self._codec.encode(value)
+
+    def _encrypt(self, encoded: int) -> paillier.Ciphertext:
         if self._obfuscators is not None:
-            ciphertext = self._obfuscators.encrypt(encoded)
-        else:
-            ciphertext = paillier.encrypt(self._private.public, encoded)
+            return self._obfuscators.encrypt(encoded)
+        if self._fixed_base is not None:
+            return self._fixed_base.encrypt(encoded)
+        return paillier.encrypt(self._private.public, encoded)
+
+    def insert(self, doc_id: str, value: Value) -> None:
+        ciphertext = self._encrypt(self._encode(value))
         self.ctx.call("insert", doc_id=doc_id, ciphertext=ciphertext.value)
+
+    # -- batch SPI ----------------------------------------------------------------
+
+    def index_many_begin(self, entries: list[tuple[str, Value]]):
+        """Begin: encode plaintexts and submit the mask batch to the
+        process pool (only ``n``, the count and the window width cross
+        the boundary).  Finish: fold each plaintext in with one modmul
+        and emit the insert RPCs."""
+        public = self._private.public
+        encoded = [self._encode(value) for _, value in entries]
+        crypto = self.crypto
+        future = self.kernels.submit_batch(
+            workers.paillier_masks, len(entries),
+            public.n, len(entries),
+            crypto.window_bits if crypto.precompute else 0,
+        )
+
+        def finish() -> None:
+            if future is None:
+                ciphertexts = [self._encrypt(message) for message in encoded]
+            else:
+                ciphertexts = [
+                    paillier.encrypt_with_mask(public, message, mask)
+                    for message, mask in zip(encoded, future.result())
+                ]
+            for (doc_id, _), ciphertext in zip(entries, ciphertexts):
+                self.ctx.call("insert", doc_id=doc_id,
+                              ciphertext=ciphertext.value)
+
+        return finish
 
     # -- aggregate protocol -------------------------------------------------------
 

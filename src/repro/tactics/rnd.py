@@ -51,6 +51,18 @@ class RndGateway(
     def insert(self, doc_id: str, value: Value) -> None:
         self.ctx.call("insert", doc_id=doc_id, blob=self.seal(value))
 
+    def index_many_begin(self, entries: list[tuple[str, Value]]):
+        # Probabilistic seals cannot dedup, but hoisting them into the
+        # begin phase lets the engine overlap this AEAD loop with pooled
+        # big-int batches of other fields before any RPC is emitted.
+        blobs = self.seal_many([value for _, value in entries])
+
+        def finish() -> None:
+            for (doc_id, _), blob in zip(entries, blobs):
+                self.ctx.call("insert", doc_id=doc_id, blob=blob)
+
+        return finish
+
     def retrieve(self, doc_id: str) -> Value:
         blob = self.ctx.call("retrieve", doc_id=doc_id)
         if blob is None:
