@@ -60,14 +60,16 @@ def observation_documents(count, seed=SEED):
 
 
 def deploy(registry, shards, parallel_fanout=True, latency_ms=0.0,
-           sleep=False, application="bench-shard"):
+           sleep=False, application="bench-shard", replication=1,
+           write_quorum=0):
     cluster = CloudCluster(
         shards, registry=registry,
         network=NetworkModel(one_way_latency_ms=latency_ms, sleep=sleep),
     )
     router = ShardedTransport(
         cluster.nodes(),
-        ShardConfig(parallel_fanout=parallel_fanout, fanout_workers=8),
+        ShardConfig(parallel_fanout=parallel_fanout, fanout_workers=8,
+                    replication=replication, write_quorum=write_quorum),
     )
     blinder = DataBlinder(application, router, registry=registry,
                           verify_results=False, pipeline=PIPELINE)
@@ -146,6 +148,72 @@ def test_parallel_fanout_beats_sequential_scatter(registry):
           f"{results['sequential']:.2f} -> {results['parallel']:.2f} "
           f"searches/s ({speedup:.1f}x)")
     assert speedup >= 2.0
+
+
+def test_insert_scaling_flat_or_rising(registry):
+    """The parallel write scatter keeps single-client insert throughput
+    flat (or better) from 1 to 8 shards: a batch frame touching K
+    shards costs one concurrent round trip, not K sequential ones."""
+    scaling = RESULTS.get("scaling")
+    if not scaling:  # standalone selection: measure just the endpoints
+        docs = observation_documents(INSERTS)
+        scaling = {}
+        for shards in (1, 8):
+            cluster, _, entities = deploy(
+                registry, shards, latency_ms=WAN_ONE_WAY_MS, sleep=True,
+                application=f"bench-shard-flat-{shards}",
+            )
+            insert_tput, _ = timed_workload(entities, docs)
+            scaling[str(shards)] = {"insert_ops_per_s": insert_tput}
+            cluster.close()
+    one = scaling["1"]["insert_ops_per_s"]
+    eight = scaling["8"]["insert_ops_per_s"]
+    RESULTS["insert_scaling"] = {
+        "one_shard_ops_per_s": one,
+        "eight_shard_ops_per_s": eight,
+        "ratio": eight / one,
+    }
+    print(f"\nEXP-SHARD insert scaling: {one:.2f} ops/s at 1 shard -> "
+          f"{eight:.2f} ops/s at 8 shards ({eight / one:.2f}x)")
+    assert eight >= 0.9 * one
+
+
+def test_quorum_replicated_insert_throughput(registry):
+    """replication=2 with write_quorum=1 acks a parallel chain's first
+    confirmed replica, so doubling durability must not cost the client
+    more than the unreplicated sequential baseline."""
+    docs = observation_documents(INSERTS)
+    legs = {
+        "replication1_sequential": dict(
+            replication=1, write_quorum=0, parallel_fanout=False,
+        ),
+        "replication2_quorum1_parallel": dict(
+            replication=2, write_quorum=1, parallel_fanout=True,
+        ),
+    }
+    results = {}
+    for label, shard_kwargs in legs.items():
+        cluster, router, entities = deploy(
+            registry, 4, latency_ms=WAN_ONE_WAY_MS, sleep=True,
+            application=f"bench-shard-quorum-{label}", **shard_kwargs,
+        )
+        start = time.perf_counter()
+        for document in docs:
+            entities.insert(dict(document))
+        results[label] = len(docs) / (time.perf_counter() - start)
+        router.drain_async_writes()
+        cluster.close()
+    baseline = results["replication1_sequential"]
+    quorum = results["replication2_quorum1_parallel"]
+    RESULTS["quorum_writes"] = {
+        "replication1_sequential_insert_ops_per_s": baseline,
+        "replication2_quorum1_parallel_insert_ops_per_s": quorum,
+        "speedup": quorum / baseline,
+    }
+    print(f"\nEXP-SHARD quorum writes at 4 shards: replication=1 "
+          f"sequential {baseline:.2f} ops/s vs replication=2 quorum=1 "
+          f"parallel {quorum:.2f} ops/s ({quorum / baseline:.2f}x)")
+    assert quorum >= baseline
 
 
 def test_node_join_downtime(registry):

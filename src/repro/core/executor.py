@@ -191,10 +191,11 @@ class SchemaExecutor:
         return self._collector.collect()
 
     def _pool(self) -> ThreadPoolExecutor | None:
-        """Bounded worker pool for read-side fan-out (lazy, shared)."""
+        """Bounded worker pool for read/write-side fan-out (lazy, shared)."""
         workers = max(
             self.pipeline.fanout_workers,
             2 if self.pipeline.prefetch else 0,
+            2 if self.pipeline.write_chunk > 0 else 0,
         )
         if workers < 2:
             return None

@@ -97,6 +97,13 @@ class PipelineConfig:
     #: (or an all-defaults config) keeps every per-value crypto call on
     #: the seed's sequential inline path.
     crypto: "CryptoConfig | None" = None
+    #: Pipelined bulk writes: split ``insert_many`` into chunks of this
+    #: many documents and overlap chunk N+1's crypto-kernel work with
+    #: chunk N's batch frame in flight (the frame ships on the fan-out
+    #: pool; at most one is airborne, so per-shard write order stays
+    #: chunk order).  Requires ``batch_writes`` and active ``crypto``
+    #: kernels; 0 keeps the single crypto-then-wire pass.
+    write_chunk: int = 0
 
 
 #: Methods whose results gateway callers ignore: index maintenance on
@@ -212,6 +219,34 @@ class BatchCollector(Transport):
             pending, scope.pending = scope.pending, []
             self._ship(pending)
 
+    def in_scope(self) -> bool:
+        """Whether the calling thread has an open collection scope."""
+        return self._scope() is not None
+
+    def drain_pending(self) -> list[Request]:
+        """Take over the calling thread's queued writes without shipping.
+
+        The write pipeline uses this to close a scope empty and hand the
+        frame to a worker thread — crypto for the next chunk then runs
+        while this frame crosses the wire via :meth:`ship`.
+        """
+        scope = self._scope()
+        if scope is None or not scope.pending:
+            return []
+        pending, scope.pending = scope.pending, []
+        return pending
+
+    def ship(self, requests: Sequence[Request]) -> list[Response]:
+        """Ship one prepared frame now (callable from any thread).
+
+        The inner transport receives the whole frame in a single
+        :meth:`~repro.net.transport.Transport.call_batch` — a sharded
+        router may split and scatter it per shard — and the first failed
+        sub-call re-raises after the batch ran, exactly like a scope
+        flush.
+        """
+        return self._ship(list(requests))
+
     def _ship(self, pending: list[Request]) -> list[Response]:
         responses = self._inner.call_batch(pending)
         for response in responses:
@@ -230,6 +265,9 @@ class BatchCollector(Transport):
 
     def drain_shard_timings(self) -> list[tuple[str, float]]:
         return self._inner.drain_shard_timings()
+
+    def drain_async_writes(self, timeout: float | None = None) -> int:
+        return self._inner.drain_async_writes(timeout)
 
     def close(self) -> None:
         self._inner.close()

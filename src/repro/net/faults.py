@@ -248,5 +248,8 @@ class FaultInjectingTransport(Transport):
     def drain_shard_timings(self) -> list[tuple[str, float]]:
         return self._inner.drain_shard_timings()
 
+    def drain_async_writes(self, timeout: float | None = None) -> int:
+        return self._inner.drain_async_writes(timeout)
+
     def close(self) -> None:
         self._inner.close()

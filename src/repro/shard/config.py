@@ -25,9 +25,30 @@ class ShardConfig:
     #: Copies of every routed write (1 = no replication).  Reads fail
     #: over to replicas when the owner's circuit is open.
     replication: int = 1
-    #: Scatter broadcasts run on a thread pool when True.
+    #: Scatter broadcasts and write fan-outs run on a thread pool when
+    #: True; False keeps every fan-out sequential (the comparison
+    #: baseline and the deterministic-ordering debug mode).
     parallel_fanout: bool = True
     #: Upper bound on concurrent scatter workers.
     fanout_workers: int = 8
+    #: Replica acks required before a replicated write returns.
+    #:
+    #: * ``0`` (the default) keeps the legacy synchronous semantics:
+    #:   every replica delivery completes before the write returns, and
+    #:   the write succeeds if at least the best-placed delivery did
+    #:   (replica failures are swallowed and counted).
+    #: * ``1..replication`` acks after that many replicas confirmed; the
+    #:   remainder completes asynchronously with breaker-aware bounded
+    #:   retries (:meth:`~repro.shard.router.ShardedTransport.drain_async_writes`
+    #:   waits them out).  Fewer than the requested acks is a write
+    #:   failure — the resilience layer above redelivers, and the
+    #:   idempotency keys keep the redelivery at-most-once per host.
+    write_quorum: int = 0
+    #: Bounded retries for a post-ack (asynchronous) replica delivery
+    #: that hit a link failure or an open breaker.
+    async_write_retries: int = 4
+    #: Base backoff between asynchronous replica retries (doubles per
+    #: attempt).
+    async_write_backoff_s: float = 0.005
     #: Documents / index entries moved per chunk during resharding.
     rebalance_chunk: int = 64

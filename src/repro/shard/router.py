@@ -26,6 +26,19 @@ the previous ring as a *forwarding table*: reads that miss on the new
 owner fall back to the previous owner, so a migration in flight never
 makes a document or index entry unreachable.
 
+**Writes fan out in parallel.**  A batch frame splits into per-owner
+(chain) sub-batches that scatter concurrently on the same pool the
+search gather uses, so a write touching K shards costs one round trip
+instead of K.  Replicated writes deliver to every chain member
+concurrently; :attr:`~repro.shard.config.ShardConfig.write_quorum` acks
+after W confirmed replicas and completes the remainder asynchronously
+(bounded breaker-aware retries — the idempotency keys minted above the
+router keep redeliveries at-most-once per host).  Per-shard enqueue
+order is preserved: slots sharing an owner chain travel in one frame in
+slot order, and while a migration's forwarding table is active the
+loose slots (which include every document write) run sequentially so
+forwarding-epoch writes stay ordered per shard.
+
 Membership changes bump ``topology_epoch`` — the planner drops its
 shape-keyed plan cache when the epoch moves.
 """
@@ -35,7 +48,12 @@ from __future__ import annotations
 import functools
 import threading
 import time
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    Future,
+    ThreadPoolExecutor,
+    wait,
+)
 from typing import Any, Iterable, Sequence
 
 from repro.errors import CircuitOpenError, RemoteError, TransportError
@@ -70,6 +88,18 @@ MUTATING_TACTIC_METHODS = frozenset({
     "insert", "update", "delete", "add", "remove", "upsert",
     "insert_terms", "update_terms", "delete_terms",
 })
+
+
+#: Thread-name prefix of the scatter pool.  Work that already runs *on*
+#: a scatter worker degrades to its serial path instead of submitting
+#: nested jobs, so a saturated pool can never deadlock on itself.
+_SCATTER_THREAD_PREFIX = "shard-scatter"
+
+
+def _on_scatter_thread() -> bool:
+    return threading.current_thread().name.startswith(
+        _SCATTER_THREAD_PREFIX
+    )
 
 
 def _tactic_of(service: str) -> str:
@@ -113,6 +143,10 @@ class ShardedTransport(Transport):
         self._failovers = 0
         self._replica_errors = 0
         self._scatters = 0
+        #: Post-ack replica deliveries still in flight (quorum writes).
+        self._async_writes: set[Future] = set()
+        self._async_retries = 0
+        self._async_failures = 0
         #: Provisioning calls replayed onto every joining node.
         self._provision_log: list[Request] = []
         self._applications: list[str] = []
@@ -169,6 +203,18 @@ class ShardedTransport(Transport):
 
     def _replication(self) -> int:
         return max(1, min(self.config.replication, len(self._order)))
+
+    def _write_quorum(self) -> int:
+        """Acks required before a replicated write returns (clamped)."""
+        replication = self._replication()
+        quorum = self.config.write_quorum
+        if quorum <= 0 or quorum > replication:
+            return replication
+        return quorum
+
+    def _parallel_writes(self) -> bool:
+        """Whether this thread may fan a write out on the scatter pool."""
+        return self.config.parallel_fanout and not _on_scatter_thread()
 
     # -- membership (driven by repro.shard.rebalance.Resharder) ----------------
 
@@ -230,6 +276,23 @@ class ShardedTransport(Transport):
     def _record_timing(self, name: str, seconds: float) -> None:
         self._timings().append((name, seconds))
 
+    def _record_parallel_timings(
+        self, rows: Iterable[tuple[str, float]]
+    ) -> None:
+        """Attribute one parallel fan-out's wall clock per node.
+
+        Concurrent frames to the same node overlap in time, so summing
+        their durations would double-count that node's share in the
+        ``Shard:`` planner-report lines; the longest delivery is the
+        node's wall-clock contribution for this scatter.
+        """
+        longest: dict[str, float] = {}
+        for name, seconds in rows:
+            if seconds > longest.get(name, -1.0):
+                longest[name] = seconds
+        for name, seconds in longest.items():
+            self._record_timing(name, seconds)
+
     def drain_shard_timings(self) -> list[tuple[str, float]]:
         timings = self._timings()
         self._local.timings = []
@@ -256,7 +319,44 @@ class ShardedTransport(Transport):
         with self._lock:
             return self._replica_errors
 
+    def async_write_failures(self) -> int:
+        """Post-ack replica deliveries that exhausted their retries."""
+        with self._lock:
+            return self._async_failures
+
+    def pending_async_writes(self) -> int:
+        with self._lock:
+            return len(self._async_writes)
+
+    def drain_async_writes(self, timeout: float | None = None) -> int:
+        """Wait out post-ack replica deliveries still in flight.
+
+        Returns the number of deliveries waited for.  Call before
+        fingerprinting state, migrating keys, or closing: with
+        ``write_quorum < replication`` a write returns before its
+        slowest replicas and this is the durability barrier.
+        """
+        deadline = (None if timeout is None
+                    else time.monotonic() + timeout)
+        seen: set[Future] = set()
+        while True:
+            with self._lock:
+                pending = [f for f in self._async_writes
+                           if f not in seen]
+            if not pending:
+                return len(seen)
+            remaining = None
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return len(seen)
+            done, _ = wait(pending, timeout=remaining)
+            if not done:
+                return len(seen)
+            seen.update(done)
+
     def close(self) -> None:
+        self.drain_async_writes(timeout=5.0)
         with self._lock:
             pool, self._pool = self._pool, None
             nodes = list(self._nodes.values())
@@ -275,14 +375,234 @@ class ShardedTransport(Transport):
         finally:
             self._record_timing(name, time.perf_counter() - started)
 
+    def _timed_batch(self, name: str,
+                     requests: Sequence[Request]) -> list[Response]:
+        node = self._nodes[name]
+        started = time.perf_counter()
+        try:
+            return node.call_batch(list(requests))
+        finally:
+            self._record_timing(name, time.perf_counter() - started)
+
     def _scatter_pool(self) -> ThreadPoolExecutor:
         with self._lock:
             if self._pool is None:
                 self._pool = ThreadPoolExecutor(
                     max_workers=max(2, self.config.fanout_workers),
-                    thread_name_prefix="shard-scatter",
+                    thread_name_prefix=_SCATTER_THREAD_PREFIX,
                 )
             return self._pool
+
+    # -- replicated chain delivery ---------------------------------------------
+
+    def _deliver(self, name: str, payload: Any, is_batch: bool,
+                 state: dict) -> tuple[str, Any, float, Exception | None]:
+        """One delivery leg, run on the scatter pool (leaf job: never
+        submits nested work).
+
+        Before the caller acked (``state["acked"]`` unset) a failure
+        reports immediately — the caller decides failover semantics.
+        After the ack the leg is an asynchronous replica completion and
+        retries itself with bounded backoff (an open breaker or a lost
+        frame is worth re-attempting once the window passed); the
+        request's idempotency key makes every redelivery at-most-once.
+        """
+        attempts = 0
+        while True:
+            node = self._nodes.get(name)
+            started = time.perf_counter()
+            try:
+                if node is None:
+                    raise TransportError(
+                        f"shard node {name!r} left the topology"
+                    )
+                if is_batch:
+                    result = node.call_batch(list(payload))
+                else:
+                    result = node.call_request(payload)
+                return name, result, time.perf_counter() - started, None
+            except TransportError as exc:
+                elapsed = time.perf_counter() - started
+                retryable = (not isinstance(exc, RemoteError)
+                             and node is not None)
+                if (not retryable or not state.get("acked")
+                        or attempts >= self.config.async_write_retries):
+                    return name, None, elapsed, exc
+                attempts += 1
+                with self._lock:
+                    self._async_retries += 1
+                backoff = (self.config.async_write_backoff_s
+                           * (2 ** (attempts - 1)))
+                if backoff > 0:
+                    time.sleep(backoff)
+
+    def _chain_launch(self, owners: Sequence[str], payload: Any,
+                      is_batch: bool) -> dict:
+        """Start one write's replica deliveries concurrently."""
+        pool = self._scatter_pool()
+        state: dict = {"acked": False}
+        futures: dict[Future, int] = {}
+        for position, name in enumerate(owners):
+            future = pool.submit(self._deliver, name, payload, is_batch,
+                                 state)
+            futures[future] = position
+        return {"state": state, "futures": futures,
+                "owners": tuple(owners)}
+
+    def _chain_gather(self, launch: dict) -> tuple[Any, list]:
+        """Wait a launched chain out to its quorum.
+
+        Returns ``(value, timing_rows)`` where ``value`` is the result
+        of the best-placed (lowest chain position) successful delivery.
+        Legacy mode (``write_quorum=0``) waits for every leg and
+        succeeds if any did — exactly the sequential semantics; an
+        explicit quorum returns after W acks and fails if fewer than W
+        legs ever succeed.  A primary (position 0) failure that is not
+        an open breaker aborts before the ack, as it always has — the
+        resilience layer above owns that redelivery.
+        """
+        state: dict = launch["state"]
+        futures: dict[Future, int] = launch["futures"]
+        quorum = min(self._write_quorum(), len(futures))
+        legacy = self.config.write_quorum <= 0
+        successes: dict[int, Any] = {}
+        rows: list[tuple[str, float]] = []
+        failure: Exception | None = None
+        abort: Exception | None = None
+        pending = set(futures)
+        while pending:
+            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                position = futures[future]
+                name, value, seconds, error = future.result()
+                rows.append((name, seconds))
+                if error is None:
+                    successes[position] = value
+                    continue
+                if position == 0:
+                    if isinstance(error, CircuitOpenError):
+                        failure = error
+                        with self._lock:
+                            self._failovers += 1
+                    else:
+                        abort = error
+                else:
+                    failure = error
+                    with self._lock:
+                        self._replica_errors += 1
+            if abort is not None:
+                break
+            if not legacy and len(successes) >= quorum:
+                break
+        if pending:
+            self._detach_async(pending, state)
+        if abort is not None:
+            raise abort
+        if not successes:
+            assert failure is not None
+            raise failure
+        if not legacy and len(successes) < quorum:
+            assert failure is not None
+            raise failure
+        return successes[min(successes)], rows
+
+    def _detach_async(self, futures: Iterable[Future],
+                      state: dict) -> None:
+        """Hand the unfinished legs of an acked write to the background."""
+        state["acked"] = True
+        with self._lock:
+            self._async_writes.update(futures)
+        for future in futures:
+            future.add_done_callback(self._async_done)
+
+    def _async_done(self, future: Future) -> None:
+        with self._lock:
+            self._async_writes.discard(future)
+        try:
+            _, _, _, error = future.result()
+        except Exception as exc:  # noqa: BLE001 - background accounting
+            error = exc
+        if error is not None:
+            with self._lock:
+                self._replica_errors += 1
+                self._async_failures += 1
+
+    def _gather_scatter(
+        self, launches: Sequence[tuple[Any, dict]]
+    ) -> list[tuple[Any, Any]]:
+        """Gather a set of concurrently launched chains.
+
+        Every launch is drained (nothing is left dangling on the pool)
+        before the first chain failure — if any — re-raises; successes
+        come back as ``(tag, value)`` rows in launch order, and the
+        per-node wall clock of the whole scatter lands in the timing
+        thread-local exactly once per node.
+        """
+        rows: list[tuple[str, float]] = []
+        first_error: Exception | None = None
+        gathered: list[tuple[Any, Any]] = []
+        for tag, launch in launches:
+            try:
+                value, chain_rows = self._chain_gather(launch)
+            except TransportError as exc:
+                if first_error is None:
+                    first_error = exc
+                continue
+            rows.extend(chain_rows)
+            gathered.append((tag, value))
+        self._record_parallel_timings(rows)
+        if first_error is not None:
+            raise first_error
+        return gathered
+
+    def _chain_write(self, owners: Sequence[str], request: Request) -> Any:
+        """Deliver one write to its owner chain (parallel when allowed)."""
+        if len(owners) > 1 and self._parallel_writes():
+            value, rows = self._chain_gather(
+                self._chain_launch(owners, request, is_batch=False)
+            )
+            self._record_parallel_timings(rows)
+            return value
+        return self._chain_serial(owners, request, is_batch=False)
+
+    def _chain_serial(self, owners: Sequence[str], payload: Any,
+                      is_batch: bool) -> Any:
+        """The sequential chain delivery (legacy / nested-pool path).
+
+        The first successful delivery's result is returned.  A
+        non-breaker failure of the *primary* propagates (the resilience
+        layer above redelivers; per-host idempotency dedup makes that
+        safe); replica failures are swallowed and counted.
+        """
+        call = self._timed_batch if is_batch else self._timed_call
+        result: Any = None
+        delivered = False
+        last: Exception | None = None
+        for index, name in enumerate(owners):
+            try:
+                value = call(name, payload)
+            except CircuitOpenError as exc:
+                last = exc
+                with self._lock:
+                    if delivered:
+                        self._replica_errors += 1
+                    else:
+                        self._failovers += 1
+                continue
+            except TransportError as exc:
+                if index == 0:
+                    raise
+                last = exc
+                with self._lock:
+                    self._replica_errors += 1
+                continue
+            if not delivered:
+                result = value
+                delivered = True
+        if not delivered:
+            assert last is not None
+            raise last
+        return result
 
     def _broadcast(self, request: Request,
                    nodes: Sequence[str] | None = None,
@@ -309,7 +629,8 @@ class ShardedTransport(Transport):
             except TransportError as exc:
                 return name, None, time.perf_counter() - started, exc
 
-        if (self.config.parallel_fanout and len(targets) > 1):
+        if (self.config.parallel_fanout and len(targets) > 1
+                and not _on_scatter_thread()):
             rows = list(self._scatter_pool().map(one, targets))
         else:
             rows = [one(name) for name in targets]
@@ -347,43 +668,11 @@ class ShardedTransport(Transport):
         raise last
 
     def _routed_write(self, key: str | bytes, request: Request) -> Any:
-        """Deliver a write to the owner chain.
-
-        The first successful delivery's result is returned.  A non-breaker
-        failure of the *primary* propagates (the resilience layer above
-        redelivers; per-host idempotency dedup makes that safe); replica
-        failures are swallowed and counted.
-        """
+        """Deliver a write to its key's owner chain (see
+        :meth:`_chain_write` for the replication/quorum semantics)."""
         ring, _, _ = self._topology()
-        owners = ring.owners(key, self._replication())
-        result: Any = None
-        delivered = False
-        last: Exception | None = None
-        for index, name in enumerate(owners):
-            try:
-                value = self._timed_call(name, request)
-            except CircuitOpenError as exc:
-                last = exc
-                with self._lock:
-                    if delivered:
-                        self._replica_errors += 1
-                    else:
-                        self._failovers += 1
-                continue
-            except TransportError as exc:
-                if index == 0:
-                    raise
-                last = exc
-                with self._lock:
-                    self._replica_errors += 1
-                continue
-            if not delivered:
-                result = value
-                delivered = True
-        if not delivered:
-            assert last is not None
-            raise last
-        return result
+        return self._chain_write(ring.owners(key, self._replication()),
+                                 request)
 
     def _routed_read(self, key: str | bytes, request: Request) -> Any:
         ring, _, _ = self._topology()
@@ -430,72 +719,243 @@ class ShardedTransport(Transport):
                 self._record_timing(name, time.perf_counter() - started)
 
         responses: list[Response | None] = [None] * len(requests)
-        grouped: dict[str, tuple[list[int], list[Request]]] = {}
+        #: A tag is either a plain slot index or, for a bulk-insert
+        #: piece, ``(slot, positions)`` mapping the piece's returned ids
+        #: back into the original document order.
+        grouped: dict[tuple[str, ...], tuple[list, list[Request]]] = {}
         loose: list[int] = []
+        splits: dict[int, int] = {}
         for index, request in enumerate(requests):
-            target = self._single_route(request)
-            if target is None:
+            split = self._split_insert_many(request)
+            if split is not None:
+                # A ``docs insert_many`` slot rides the same scatter as
+                # the index writes it travels with: one piece per owner
+                # chain, in slot order, instead of a second sequential
+                # round trip through the loose path.
+                total, pieces = split
+                splits[index] = total
+                for chain, (positions, sub) in pieces.items():
+                    tags, subrequests = grouped.setdefault(
+                        chain, ([], [])
+                    )
+                    tags.append((index, tuple(positions)))
+                    subrequests.append(sub)
+                continue
+            chain = self._chain_route(request)
+            if chain is None:
                 loose.append(index)
             else:
-                indices, subrequests = grouped.setdefault(
-                    target, ([], [])
-                )
-                indices.append(index)
+                tags, subrequests = grouped.setdefault(chain, ([], []))
+                tags.append(index)
                 subrequests.append(request)
-        for name, (indices, subrequests) in grouped.items():
-            started = time.perf_counter()
-            try:
-                answered = self._nodes[name].call_batch(subrequests)
-            finally:
-                self._record_timing(name,
-                                    time.perf_counter() - started)
-            for slot, response in zip(indices, answered):
-                responses[slot] = response
-        for index in loose:
-            # Base-class semantics: per-slot isolation of everything but
-            # link-level failures.
-            responses[index] = Transport.call_batch(
-                self, [requests[index]]
-            )[0]
+
+        merged_ids = {index: [None] * total
+                      for index, total in splits.items()}
+        merged_error: dict[int, Response] = {}
+
+        def assign(tag, response: Response) -> None:
+            if isinstance(tag, tuple):
+                slot, positions = tag
+                if not response.ok:
+                    merged_error.setdefault(slot, response)
+                    return
+                for position, doc_id in zip(positions,
+                                            response.result or []):
+                    merged_ids[slot][position] = doc_id
+            else:
+                responses[tag] = response
+
+        parallel = self._parallel_writes() and (
+            len(grouped) > 1
+            or any(len(chain) > 1 for chain in grouped)
+        )
+        if parallel:
+            # Launch every per-chain sub-batch before gathering any:
+            # a write frame touching K shards costs one round trip.
+            launches = [
+                (tags,
+                 self._chain_launch(chain, subrequests, is_batch=True))
+                for chain, (tags, subrequests) in grouped.items()
+            ]
+            with self._lock:
+                self._scatters += 1
+            for tags, answered in self._gather_scatter(launches):
+                for tag, response in zip(tags, answered):
+                    assign(tag, response)
+        else:
+            for chain, (tags, subrequests) in grouped.items():
+                if len(chain) == 1:
+                    answered = self._timed_batch(chain[0], subrequests)
+                else:
+                    answered = self._chain_serial(chain, subrequests,
+                                                  is_batch=True)
+                for tag, response in zip(tags, answered):
+                    assign(tag, response)
+        for slot, ids in merged_ids.items():
+            error = merged_error.get(slot)
+            responses[slot] = error if error is not None else Response(
+                ok=True,
+                result=[doc_id for doc_id in ids if doc_id is not None],
+            )
+        if loose:
+            self._dispatch_loose(requests, loose, responses)
         missing = [i for i, r in enumerate(responses) if r is None]
         if missing:
             raise TransportError(
                 f"sharded batch lost responses for slots {missing}"
             )
-        return [r for r in responses if r is not None]
+        return responses
 
-    def _single_route(self, request: Request) -> str | None:
-        """The owning node for batch slots that are pure single-node
+    def _dispatch_loose(self, requests: Sequence[Request],
+                        loose: Sequence[int],
+                        responses: list[Response | None]) -> None:
+        """Route the slots that need the full router, one at a time.
+
+        Read-only slots fan out concurrently (each task degrades to the
+        serial router paths on its scatter worker); anything that may
+        mutate state — and every slot while a migration's forwarding
+        table is active — stays sequential so per-shard write order is
+        exactly the frame's slot order.
+        """
+        _, forward, _ = self._topology()
+        concurrent = (
+            self._parallel_writes() and len(loose) > 1
+            and forward is None
+            and not any(self._mutating_slot(requests[i]) for i in loose)
+        )
+        if not concurrent:
+            for index in loose:
+                # Base-class semantics: per-slot isolation of everything
+                # but link-level failures.
+                responses[index] = Transport.call_batch(
+                    self, [requests[index]]
+                )[0]
+            return
+
+        def one(index: int) -> tuple[int, Response | None,
+                                     list[tuple[str, float]],
+                                     Exception | None]:
+            # Timings land in the worker's thread-local; drain them so
+            # the caller can max-merge the scatter's wall clock.
+            try:
+                response = Transport.call_batch(
+                    self, [requests[index]]
+                )[0]
+                return index, response, self.drain_shard_timings(), None
+            except TransportError as exc:
+                return index, None, self.drain_shard_timings(), exc
+
+        rows: list[tuple[str, float]] = []
+        first_error: Exception | None = None
+        for index, response, timing_rows, error in \
+                self._scatter_pool().map(one, loose):
+            rows.extend(timing_rows)
+            if error is not None:
+                if first_error is None:
+                    first_error = error
+                continue
+            responses[index] = response
+        self._record_parallel_timings(rows)
+        if first_error is not None:
+            raise first_error
+
+    @staticmethod
+    def _mutating_slot(request: Request) -> bool:
+        """Conservatively, whether a loose slot may mutate state."""
+        service, method = request.service, request.method
+        if service.startswith("docs/"):
+            return method not in (
+                "get", "get_many", "count", "all_ids", "find_plain",
+                "find_text",
+            )
+        if service.startswith("tactic/"):
+            return (method in MUTATING_TACTIC_METHODS
+                    or method == "setup")
+        return True
+
+    def _chain_route(self, request: Request) -> tuple[str, ...] | None:
+        """The owner chain for batch slots that are pure chain
         deliveries; ``None`` sends the slot through the full router."""
         ring, forward, _ = self._topology()
-        if self._replication() > 1:
-            return None
+        replication = self._replication()
         service, method, kwargs = (request.service, request.method,
                                    request.kwargs)
         if service.startswith("docs/"):
             if method == "insert" and forward is None:
                 doc_id = (kwargs.get("document") or {}).get("_id")
-                return ring.owner(doc_id) if doc_id else None
+                if doc_id:
+                    return tuple(ring.owners(doc_id, replication))
+                return None
             if method in ("replace", "delete") and forward is None:
                 key = (kwargs.get("document") or {}).get("_id") \
                     if method == "replace" else kwargs.get("doc_id")
-                return ring.owner(key) if key else None
+                if key:
+                    return tuple(ring.owners(key, replication))
+                return None
             return None
         if service.startswith("tactic/"):
             tactic = _tactic_of(service)
             if method == "setup" or method not in MUTATING_TACTIC_METHODS:
                 return None
             if tactic in DOC_KEYED and "doc_id" in kwargs:
-                return ring.owner(kwargs["doc_id"])
+                return tuple(ring.owners(kwargs["doc_id"], replication))
             if tactic in ADDRESS_KEYED and "address" in kwargs:
-                return ring.owner(self._address_key(kwargs["address"]))
+                return tuple(ring.owners(
+                    self._address_key(kwargs["address"]), replication
+                ))
             if tactic in TAG_KEYED and "tag" in kwargs:
-                return ring.owner(self._address_key(kwargs["tag"]))
+                return tuple(ring.owners(
+                    self._address_key(kwargs["tag"]), replication
+                ))
             if tactic in PINNED or tactic not in (
                 DOC_KEYED | ADDRESS_KEYED | TAG_KEYED
             ):
-                return self._pin_nodes(service)[0]
+                return tuple(self._pin_nodes(service))
         return None
+
+    def _split_insert_many(
+        self, request: Request
+    ) -> tuple[int, dict[tuple[str, ...],
+                         tuple[list[int], Request]]] | None:
+        """Per-chain pieces of a ``docs insert_many`` batch slot, or
+        ``None`` when the slot must go through the full router instead
+        (forwarding active, empty batch, or a document without an id).
+
+        Each piece carries the positions its documents occupy in the
+        original batch, so the per-chain id lists can be merged back
+        into one response in document order.  The idem derivation
+        matches :meth:`_docs_insert_many` exactly: replays of the same
+        logical bulk insert dedup identically on either path.
+        """
+        if (not request.service.startswith("docs/")
+                or request.method != "insert_many"):
+            return None
+        ring, forward, _ = self._topology()
+        if forward is not None:
+            return None
+        documents = list(request.kwargs.get("documents") or [])
+        if not documents:
+            return None
+        replication = self._replication()
+        groups: dict[tuple[str, ...], tuple[list[int], list[dict]]] = {}
+        for position, document in enumerate(documents):
+            doc_id = (document or {}).get("_id")
+            if not doc_id:
+                return None
+            chain = tuple(ring.owners(doc_id, replication))
+            positions, docs = groups.setdefault(chain, ([], []))
+            positions.append(position)
+            docs.append(document)
+        pieces: dict[tuple[str, ...], tuple[list[int], Request]] = {}
+        for chain in sorted(groups):
+            positions, docs = groups[chain]
+            idem = (f"{request.idem}.{'+'.join(chain)}"
+                    if request.idem else "")
+            pieces[chain] = (positions, Request(
+                request.service, "insert_many",
+                {**request.kwargs, "documents": docs}, idem=idem,
+            ))
+        return len(documents), pieces
 
     # -- admin -----------------------------------------------------------------
 
@@ -591,38 +1051,50 @@ class ShardedTransport(Transport):
         if not documents:
             return []
         ring, _, _ = self._topology()
-        if self._replication() > 1:
-            # Per-document routed writes: owner chains differ per key.
-            ids = []
-            for document in documents:
-                sub = Request(request.service, "insert",
-                              {"document": document})
-                ids.append(self._routed_write(document["_id"], sub))
-            return ids
-        groups: dict[str, tuple[list[int], list[dict]]] = {}
+        replication = self._replication()
+        groups: dict[tuple[str, ...], tuple[list[int], list[dict]]] = {}
         for index, document in enumerate(documents):
             doc_id = document.get("_id")
             if not doc_id:
                 raise TransportError(
                     "sharded document writes require an explicit _id"
                 )
-            indices, docs = groups.setdefault(ring.owner(doc_id),
-                                              ([], []))
+            chain = tuple(ring.owners(doc_id, replication))
+            indices, docs = groups.setdefault(chain, ([], []))
             indices.append(index)
             docs.append(document)
         ids: list[str | None] = [None] * len(documents)
-        for name in sorted(groups):
-            indices, docs = groups[name]
+        subs: list[tuple[list[int], tuple[str, ...], Request]] = []
+        for chain in sorted(groups):
+            indices, docs = groups[chain]
             # The derived key is deterministic across retries of the
             # same logical insert_many, so the per-host dedup window
-            # still applies at-most-once per sub-batch.
-            idem = f"{request.idem}.{name}" if request.idem else ""
-            sub = Request(request.service, "insert_many",
-                          {**request.kwargs, "documents": docs},
-                          idem=idem)
-            returned = self._timed_call(name, sub)
-            for slot, doc_id in zip(indices, returned):
-                ids[slot] = doc_id
+            # still applies at-most-once per sub-batch (and per chain
+            # member — two chains sharing a replica must not collide).
+            idem = (f"{request.idem}.{'+'.join(chain)}"
+                    if request.idem else "")
+            subs.append((indices, chain,
+                         Request(request.service, "insert_many",
+                                 {**request.kwargs, "documents": docs},
+                                 idem=idem)))
+        if self._parallel_writes() and (
+            len(subs) > 1 or any(len(c) > 1 for _, c, _ in subs)
+        ):
+            launches = [
+                (indices, self._chain_launch(chain, sub, is_batch=False))
+                for indices, chain, sub in subs
+            ]
+            for indices, returned in self._gather_scatter(launches):
+                for slot, doc_id in zip(indices, returned):
+                    ids[slot] = doc_id
+        else:
+            for indices, chain, sub in subs:
+                returned = (self._timed_call(chain[0], sub)
+                            if len(chain) == 1
+                            else self._chain_serial(chain, sub,
+                                                    is_batch=False))
+                for slot, doc_id in zip(indices, returned):
+                    ids[slot] = doc_id
         return [doc_id for doc_id in ids if doc_id is not None]
 
     def _docs_get(self, request: Request) -> Any:
@@ -835,34 +1307,7 @@ class ShardedTransport(Transport):
     def _pinned(self, service: str, request: Request) -> Any:
         pins = self._pin_nodes(service)
         if request.method in MUTATING_TACTIC_METHODS:
-            result: Any = None
-            delivered = False
-            last: Exception | None = None
-            for index, name in enumerate(pins):
-                try:
-                    value = self._timed_call(name, request)
-                except CircuitOpenError as exc:
-                    last = exc
-                    with self._lock:
-                        if delivered:
-                            self._replica_errors += 1
-                        else:
-                            self._failovers += 1
-                    continue
-                except TransportError as exc:
-                    if index == 0:
-                        raise
-                    last = exc
-                    with self._lock:
-                        self._replica_errors += 1
-                    continue
-                if not delivered:
-                    result = value
-                    delivered = True
-            if not delivered:
-                assert last is not None
-                raise last
-            return result
+            return self._chain_write(pins, request)
         return self._attempt_chain(pins, request)
 
     # -- scatter merges --------------------------------------------------------

@@ -1,0 +1,178 @@
+"""Pipelined bulk writes (``PipelineConfig.write_chunk``): the chunked
+crypto/wire overlap must answer every query identically to the
+single-pass kernelised path, and its explain rows must show the
+overlap (``Crypto:insert + Wire:insert > WritePipeline:insert``)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cloud.cluster import CloudCluster
+from repro.cloud.server import CloudZone
+from repro.core.middleware import DataBlinder
+from repro.core.query import And, Eq, Range
+from repro.core.registry import TacticRegistry
+from repro.crypto.kernels.config import CryptoConfig
+from repro.fhir.model import observation_schema
+from repro.net.batch import PipelineConfig
+from repro.net.latency import NetworkModel
+from repro.net.transport import InProcTransport
+from repro.shard.config import ShardConfig
+from repro.shard.router import ShardedTransport
+from repro.tactics import register_builtin_tactics
+
+APP = "pipeapp"
+DOCS = 14  # crosses three chunk boundaries at write_chunk=4
+
+
+def fresh_registry() -> TacticRegistry:
+    registry = TacticRegistry()
+    register_builtin_tactics(registry)
+    return registry
+
+
+def make_doc(i: int) -> dict:
+    return {
+        "id": f"f{i}",
+        "identifier": i,
+        "status": "final" if i % 2 == 0 else "amended",
+        "code": "glucose" if i < 6 else "insulin",
+        "subject": f"Patient {i}",
+        "effective": 1000 + i,
+        "issued": 2000 + i,
+        "performer": "Dr",
+        "value": float(i),
+        "interpretation": "",
+    }
+
+
+def pipeline(write_chunk: int = 0) -> PipelineConfig:
+    return PipelineConfig(
+        batch_writes=True,
+        crypto=CryptoConfig(precompute=True),
+        write_chunk=write_chunk,
+    )
+
+
+def deploy(config: PipelineConfig, shards: int = 0,
+           latency_ms: float = 0.0):
+    registry = fresh_registry()
+    network = NetworkModel(one_way_latency_ms=latency_ms,
+                           sleep=latency_ms > 0)
+    if shards:
+        closer = CloudCluster(shards, registry=registry, network=network)
+        transport = ShardedTransport(closer.nodes(), ShardConfig())
+    else:
+        closer = CloudZone(registry)
+        transport = InProcTransport(closer.host, network)
+    blinder = DataBlinder(APP, transport, registry=registry,
+                          pipeline=config)
+    blinder.register_schema(observation_schema())
+    return blinder, blinder.entities("observation"), closer
+
+
+def query_results(observations) -> dict:
+    def identifiers(doc_ids) -> list[int]:
+        return sorted(observations.get(d)["identifier"] for d in doc_ids)
+
+    return {
+        "count": observations.count(),
+        "eq": identifiers(observations.find_ids(Eq("status", "final"))),
+        "bool": identifiers(observations.find_ids(
+            And([Eq("status", "final"), Eq("code", "glucose")])
+        )),
+        "range": identifiers(observations.find_ids(
+            Range("effective", 1002, 1010)
+        )),
+        "avg": observations.average("value"),
+        "sorted": [
+            doc["identifier"]
+            for doc in observations.find_sorted("effective",
+                                                descending=True, limit=5)
+        ],
+    }
+
+
+def insert_timings(blinder) -> dict[str, list]:
+    return blinder._executor("observation").planner.stats.node_timings
+
+
+class TestChunkedEquivalence:
+    @pytest.mark.parametrize("write_chunk", [1, 4, 5])
+    def test_chunked_matches_single_pass(self, write_chunk):
+        base_blinder, base, base_closer = deploy(pipeline())
+        pipe_blinder, piped, pipe_closer = deploy(pipeline(write_chunk))
+        try:
+            documents = [make_doc(i) for i in range(DOCS)]
+            base_ids = base.insert_many([dict(d) for d in documents])
+            pipe_ids = piped.insert_many([dict(d) for d in documents])
+            assert len(base_ids) == len(pipe_ids) == DOCS
+            assert query_results(piped) == query_results(base)
+        finally:
+            base_closer.close()
+            pipe_closer.close()
+
+    def test_small_batch_keeps_single_pass(self):
+        # len(documents) <= write_chunk: no pipelining, one frame.
+        blinder, observations, closer = deploy(pipeline(write_chunk=32))
+        try:
+            observations.insert_many([make_doc(i) for i in range(4)])
+            assert observations.count() == 4
+        finally:
+            closer.close()
+
+
+class TestOverlapSignature:
+    def test_crypto_and_wire_rows_overlap(self):
+        # A slept 5 ms link makes every flush long enough that chunk
+        # N+1's crypto demonstrably runs while chunk N's frame flies.
+        blinder, observations, closer = deploy(
+            pipeline(write_chunk=4), latency_ms=5.0
+        )
+        try:
+            observations.insert_many([make_doc(i) for i in range(DOCS)])
+            timings = insert_timings(blinder)
+            crypto = timings["Crypto:insert"][1]
+            wire = timings["Wire:insert"][1]
+            total = timings["WritePipeline:insert"][1]
+            assert crypto > 0 and wire > 0
+            # The overlap signature: phases sum to more than the wall
+            # clock.  The single-pass path can never exhibit this.
+            assert crypto + wire > total
+        finally:
+            closer.close()
+
+    def test_single_pass_phases_fit_inside_wall_clock(self):
+        blinder, observations, closer = deploy(
+            pipeline(), latency_ms=5.0
+        )
+        try:
+            observations.insert_many([make_doc(i) for i in range(DOCS)])
+            timings = insert_timings(blinder)
+            crypto = timings["Crypto:insert"][1]
+            wire = timings["Wire:insert"][1]
+            assert crypto + wire <= timings["WritePipeline:insert"][1]
+        finally:
+            closer.close()
+
+
+class TestShardedPipeline:
+    def test_chunked_insert_over_shards(self):
+        blinder, observations, closer = deploy(
+            pipeline(write_chunk=4), shards=4
+        )
+        try:
+            documents = [make_doc(i) for i in range(DOCS)]
+            ids = observations.insert_many(
+                [dict(d) for d in documents]
+            )
+            assert len(ids) == DOCS
+            assert observations.count() == DOCS
+            assert sorted(
+                observations.get(d)["identifier"] for d in ids
+            ) == list(range(DOCS))
+            # Pool-thread frame flushes still attribute per-shard time.
+            timings = insert_timings(blinder)
+            assert any(kind.startswith("Shard:") for kind in timings)
+        finally:
+            closer.close()
