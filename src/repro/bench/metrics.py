@@ -37,6 +37,8 @@ class OperationStats:
     p50_ms: float
     p75_ms: float
     p99_ms: float
+    # Appended with a default so positional construction stays valid.
+    p95_ms: float = 0.0
 
     @classmethod
     def from_samples(cls, operation: str, samples: list[float],
@@ -50,6 +52,7 @@ class OperationStats:
             if milliseconds else 0.0,
             p50_ms=percentile(milliseconds, 0.50),
             p75_ms=percentile(milliseconds, 0.75),
+            p95_ms=percentile(milliseconds, 0.95),
             p99_ms=percentile(milliseconds, 0.99),
         )
 
@@ -90,6 +93,7 @@ class RunReport:
             mean_ms=mean,
             p50_ms=max(s.p50_ms for s in self.per_operation.values()),
             p75_ms=max(s.p75_ms for s in self.per_operation.values()),
+            p95_ms=max(s.p95_ms for s in self.per_operation.values()),
             p99_ms=max(s.p99_ms for s in self.per_operation.values()),
         )
 

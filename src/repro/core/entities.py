@@ -142,3 +142,110 @@ class Entities:
     @staticmethod
     def between(field: str, low: Value, high: Value) -> Range:
         return Range(field, low, high)
+
+
+class AsyncEntities:
+    """The coroutine flavour of :class:`Entities`.
+
+    Same operations, same results, awaitable: each method delegates to
+    the executor's async path, which keeps gateway-local crypto on
+    worker threads and awaits the wire natively so one event loop can
+    interleave many concurrent operations.  Obtain instances from the
+    async gateway runtime — the two façades share the executor, plan
+    cache and write pipeline, so sync and async callers may be mixed
+    freely on one application.
+    """
+
+    def __init__(self, executor: SchemaExecutor):
+        self._executor = executor
+
+    @property
+    def schema_name(self) -> str:
+        return self._executor.schema.name
+
+    # -- CRUD -----------------------------------------------------------------
+
+    async def insert(self, document: dict[str, Value]) -> str:
+        return await self._executor.insert_async(document)
+
+    async def insert_many(
+        self, documents: list[dict[str, Value]]
+    ) -> list[str]:
+        return await self._executor.insert_many_async(documents)
+
+    async def get(self, doc_id: str) -> dict[str, Value]:
+        return await self._executor.get_async(doc_id)
+
+    async def update(self, doc_id: str,
+                     changes: dict[str, Value]) -> None:
+        await self._executor.update_async(doc_id, changes)
+
+    async def delete(self, doc_id: str) -> bool:
+        return await self._executor.delete_async(doc_id)
+
+    # -- search ------------------------------------------------------------------
+
+    async def find(self, predicate: Predicate | None = None,
+                   verify: bool | None = None,
+                   limit: int | None = None) -> list[dict[str, Value]]:
+        return await self._executor.find_async(
+            predicate, verify=verify, limit=limit
+        )
+
+    async def find_one(self,
+                       predicate: Predicate) -> dict[str, Value] | None:
+        results = await self._executor.find_async(predicate, limit=1)
+        return results[0] if results else None
+
+    async def find_ids(self,
+                       predicate: Predicate | None = None) -> set[str]:
+        return await self._executor.find_ids_async(predicate)
+
+    async def count(self, predicate: Predicate | None = None) -> int:
+        return await self._executor.count_async(predicate)
+
+    # -- aggregates ----------------------------------------------------------------
+
+    async def aggregate(self, query: AggregateQuery) -> Value:
+        return await self._executor.aggregate_async(query)
+
+    async def average(self, field: str,
+                      where: Predicate | None = None) -> Value:
+        return await self.aggregate(
+            AggregateQuery(Aggregate.AVG, field, where)
+        )
+
+    async def sum(self, field: str,
+                  where: Predicate | None = None) -> Value:
+        return await self.aggregate(
+            AggregateQuery(Aggregate.SUM, field, where)
+        )
+
+    async def min(self, field: str,
+                  where: Predicate | None = None) -> Value:
+        return await self.aggregate(
+            AggregateQuery(Aggregate.MIN, field, where)
+        )
+
+    async def max(self, field: str,
+                  where: Predicate | None = None) -> Value:
+        return await self.aggregate(
+            AggregateQuery(Aggregate.MAX, field, where)
+        )
+
+    async def find_sorted(self, field: str, limit: int | None = None,
+                          descending: bool = False
+                          ) -> list[dict[str, Value]]:
+        return await self._executor.find_sorted_async(
+            field, limit=limit, descending=descending
+        )
+
+    # -- convenience predicates -------------------------------------------------------
+
+    @staticmethod
+    def eq(field: str, value: Value) -> Eq:
+        return Eq(field, value)
+
+    @staticmethod
+    def between(field: str, low: Value, high: Value) -> Range:
+        return Range(field, low, high)

@@ -81,6 +81,7 @@ class DataBlinder:
         #: Optional body padding bucket (bytes); 0 disables padding.
         self.pad_bucket = pad_bucket
         self._executors: dict[str, SchemaExecutor] = {}
+        self._async_runtime = None
         self._lock = threading.RLock()
 
     @property
@@ -193,6 +194,39 @@ class DataBlinder:
 
     def entities(self, schema_name: str) -> Entities:
         return Entities(self._executor(schema_name))
+
+    def async_entities(self, schema_name: str):
+        """The awaitable data API (see :class:`AsyncEntities`)."""
+        from repro.core.entities import AsyncEntities
+
+        return AsyncEntities(self._executor(schema_name))
+
+    def async_runtime(self, **kwargs):
+        """Get-or-create this application's async gateway runtime.
+
+        Keyword arguments (``max_in_flight``, ``default_deadline_s``,
+        ``front``, ...) configure the runtime on first call; later
+        calls return the cached instance and reject reconfiguration.
+        """
+        from repro.gateway.runtime import AsyncGatewayRuntime
+
+        with self._lock:
+            if self._async_runtime is None:
+                self._async_runtime = AsyncGatewayRuntime(self, **kwargs)
+            elif kwargs:
+                raise ValueError(
+                    "async runtime already configured; close() it "
+                    "before reconfiguring"
+                )
+            return self._async_runtime
+
+    def sync_gateway(self, principal: str = "anonymous",
+                     deadline_s: float | None = None, **kwargs):
+        """The blocking façade over the async runtime (service tier)."""
+        from repro.gateway.runtime import SyncGateway
+
+        return SyncGateway(self.async_runtime(**kwargs),
+                           principal=principal, deadline_s=deadline_s)
 
     def _executor(self, schema_name: str) -> SchemaExecutor:
         with self._lock:

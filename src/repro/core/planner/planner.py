@@ -272,6 +272,104 @@ class QueryPlanner:
         self.stats.bump("executions")
         return self.engine.delete(plan, doc_id)
 
+    # -- async operations --------------------------------------------------------
+    #
+    # The same compile/cache/execute pipeline with the engine's async
+    # execution path.  Cache keys are identical to the sync entry
+    # points, so both paths share one plan per shape and a plan warmed
+    # by either is a hit for the other.
+
+    async def find_async(self, predicate: Predicate | None,
+                         verify: bool | None,
+                         limit: int | None) -> list[dict[str, Value]]:
+        verify = self._x.verify_results if verify is None else verify
+        parameterized, values, shape = parameterize(predicate)
+        plan = self._plan(
+            ("find", shape, verify, limit is not None),
+            lambda: self.compiler.compile_find(
+                parameterized, verify, limit is not None, len(values)
+            ),
+        )
+        self.stats.bump("executions")
+        return await self.engine.find_async(plan, Run(values, predicate),
+                                            limit)
+
+    async def find_ids_async(self, predicate: Predicate | None,
+                             verify: bool | None) -> set[str]:
+        verify = self._x.verify_results if verify is None else verify
+        parameterized, values, shape = parameterize(predicate)
+        plan = self._plan(
+            ("find_ids", shape, verify),
+            lambda: self.compiler.compile_find_ids(
+                parameterized, verify, len(values)
+            ),
+        )
+        self.stats.bump("executions")
+        return await self.engine.find_ids_async(plan,
+                                                Run(values, predicate))
+
+    async def count_async(self, predicate: Predicate | None) -> int:
+        parameterized, values, shape = parameterize(predicate)
+        plan = self._plan(
+            ("count", shape),
+            lambda: self.compiler.compile_count(parameterized,
+                                                len(values)),
+        )
+        self.stats.bump("executions")
+        return await self.engine.count_async(plan, Run(values, predicate))
+
+    async def aggregate_async(self, query: AggregateQuery) -> Value:
+        parameterized, values, shape = parameterize(query.where)
+        plan = self._plan(
+            ("aggregate", query.function.value, query.field, shape),
+            lambda: self.compiler.compile_aggregate(
+                query.function.value, query.field, parameterized,
+                len(values),
+            ),
+        )
+        self.stats.bump("executions")
+        return await self.engine.aggregate_async(plan,
+                                                 Run(values, query.where))
+
+    async def find_sorted_async(self, field: str, limit: int | None,
+                                descending: bool
+                                ) -> list[dict[str, Value]]:
+        plan = self._plan(
+            ("find_sorted", field, descending, limit is not None),
+            lambda: self.compiler.compile_find_sorted(
+                field, descending, limit is not None
+            ),
+        )
+        self.stats.bump("executions")
+        return await self.engine.find_async(plan, Run([], None), limit)
+
+    async def insert_bulk_async(
+        self, documents: list[dict[str, Value]]
+    ) -> list[str]:
+        plan = self._plan(
+            ("write", "insert"),
+            lambda: self.compiler.compile_write("insert"),
+        )
+        self.stats.bump("executions")
+        return await self.engine.insert_bulk_async(plan, documents)
+
+    async def update_async(self, doc_id: str,
+                           changes: dict[str, Value]) -> None:
+        plan = self._plan(
+            ("write", "update"),
+            lambda: self.compiler.compile_write("update"),
+        )
+        self.stats.bump("executions")
+        await self.engine.update_async(plan, doc_id, changes)
+
+    async def delete_async(self, doc_id: str) -> bool:
+        plan = self._plan(
+            ("write", "delete"),
+            lambda: self.compiler.compile_write("delete"),
+        )
+        self.stats.bump("executions")
+        return await self.engine.delete_async(plan, doc_id)
+
     # -- EXPLAIN ---------------------------------------------------------------
 
     def explain_plan(self, operation: str = "find",

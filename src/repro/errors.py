@@ -81,6 +81,34 @@ class RemoteError(TransportError):
         self.remote_message = message
 
 
+class GatewayOverloadError(DataBlinderError):
+    """The gateway front door refused an operation before execution.
+
+    Subclasses say why; all of them mean the operation never touched
+    tactic state or the wire, so it is always safe to retry later.
+    """
+
+
+class RateLimitExceeded(GatewayOverloadError):
+    """A principal exhausted its token bucket at the service tier.
+
+    Carries the principal and the seconds until a token accrues, so
+    callers can implement honest backoff instead of hammering.
+    """
+
+    def __init__(self, principal: str, retry_after_s: float):
+        super().__init__(
+            f"rate limit exceeded for {principal!r}; "
+            f"retry after {retry_after_s:.3f}s"
+        )
+        self.principal = principal
+        self.retry_after_s = retry_after_s
+
+
+class AdmissionRejected(GatewayOverloadError):
+    """The async gateway runtime's admission queue is at capacity."""
+
+
 class SchemaError(DataBlinderError):
     """A document schema or field annotation is invalid."""
 

@@ -1,5 +1,27 @@
 """Trusted-zone runtime: gateway-side tactic loading and resources."""
 
+from repro.gateway.frontdoor import (
+    AuditLog,
+    FrontDoor,
+    RateLimiter,
+    TokenBucket,
+    front_door,
+)
+from repro.gateway.runtime import (
+    AsyncGatewayRuntime,
+    SyncEntities,
+    SyncGateway,
+)
 from repro.gateway.service import GatewayRuntime
 
-__all__ = ["GatewayRuntime"]
+__all__ = [
+    "AsyncGatewayRuntime",
+    "AuditLog",
+    "FrontDoor",
+    "GatewayRuntime",
+    "RateLimiter",
+    "SyncEntities",
+    "SyncGateway",
+    "TokenBucket",
+    "front_door",
+]

@@ -1,0 +1,242 @@
+"""Service-tier front door: per-principal rate limiting and audit.
+
+DataBlinder's architecture (§4) puts a *service tier* in front of the
+gateway's data tier: the place where per-caller policy — who may do how
+much, and a faithful record of what they did — is enforced before an
+operation reaches tactic state or the wire.  This module is the minimal
+reproduction of that tier: a token-bucket rate limiter keyed by
+principal and a structured audit log, both designed to be called from
+the async runtime's admission path (cheap, lock-held for microseconds,
+no I/O on the hot path unless a sink file is configured).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, TextIO
+
+from repro.errors import RateLimitExceeded
+
+
+class TokenBucket:
+    """Classic token bucket: ``rate`` tokens/second, burst ``capacity``.
+
+    The clock is injectable so tests can drive refill deterministically.
+    Not thread-safe on its own — the :class:`RateLimiter` serialises
+    access under one lock.
+    """
+
+    def __init__(self, rate: float, capacity: float,
+                 clock: Callable[[], float] = time.monotonic):
+        if rate <= 0 or capacity <= 0:
+            raise ValueError("rate and capacity must be positive")
+        self.rate = float(rate)
+        self.capacity = float(capacity)
+        self._clock = clock
+        self._tokens = self.capacity
+        self._stamp = clock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        elapsed = now - self._stamp
+        if elapsed > 0:
+            self._tokens = min(self.capacity,
+                               self._tokens + elapsed * self.rate)
+        self._stamp = now
+
+    def try_take(self, tokens: float = 1.0) -> bool:
+        self._refill()
+        if self._tokens >= tokens:
+            self._tokens -= tokens
+            return True
+        return False
+
+    def retry_after(self, tokens: float = 1.0) -> float:
+        """Seconds until ``tokens`` will have accrued (0 when available)."""
+        self._refill()
+        deficit = tokens - self._tokens
+        return max(0.0, deficit / self.rate)
+
+    @property
+    def tokens(self) -> float:
+        self._refill()
+        return self._tokens
+
+
+class RateLimiter:
+    """Per-principal token buckets with lazy creation.
+
+    ``check(principal)`` either debits one token or raises
+    :class:`~repro.errors.RateLimitExceeded` carrying an honest
+    ``retry_after_s``.  Unknown principals get a fresh bucket at the
+    default rate; per-principal overrides allow tiered service levels.
+    """
+
+    def __init__(self, rate: float = 100.0, capacity: float | None = None,
+                 clock: Callable[[], float] = time.monotonic):
+        self.rate = float(rate)
+        self.capacity = float(capacity if capacity is not None else rate)
+        self._clock = clock
+        self._overrides: dict[str, tuple[float, float]] = {}
+        self._buckets: dict[str, TokenBucket] = {}
+        self._lock = threading.Lock()
+        self.rejections = 0
+
+    def set_limit(self, principal: str, rate: float,
+                  capacity: float | None = None) -> None:
+        """Override one principal's rate (drops its current bucket)."""
+        with self._lock:
+            self._overrides[principal] = (
+                float(rate), float(capacity if capacity is not None
+                                   else rate)
+            )
+            self._buckets.pop(principal, None)
+
+    def _bucket(self, principal: str) -> TokenBucket:
+        bucket = self._buckets.get(principal)
+        if bucket is None:
+            rate, capacity = self._overrides.get(
+                principal, (self.rate, self.capacity)
+            )
+            bucket = TokenBucket(rate, capacity, clock=self._clock)
+            self._buckets[principal] = bucket
+        return bucket
+
+    def check(self, principal: str, tokens: float = 1.0) -> None:
+        with self._lock:
+            bucket = self._bucket(principal)
+            if bucket.try_take(tokens):
+                return
+            self.rejections += 1
+            retry_after = bucket.retry_after(tokens)
+        raise RateLimitExceeded(principal, retry_after)
+
+
+@dataclass
+class AuditRecord:
+    """One operation's audit trail entry."""
+
+    principal: str
+    op: str
+    fields: list[str] = field(default_factory=list)
+    latency_ms: float = 0.0
+    outcome: str = "ok"
+    detail: str = ""
+    ts: float = 0.0
+
+    def to_json(self) -> str:
+        return json.dumps({
+            "ts": round(self.ts, 6),
+            "principal": self.principal,
+            "op": self.op,
+            "fields": list(self.fields),
+            "latency_ms": round(self.latency_ms, 3),
+            "outcome": self.outcome,
+            "detail": self.detail,
+        }, sort_keys=True)
+
+
+class AuditLog:
+    """Structured JSONL audit sink.
+
+    Records are kept in memory (bounded ring, for tests and the
+    ``tail``/``records`` accessors) and, when a ``path`` or writable
+    ``stream`` is given, appended as one JSON object per line.  Thread
+    safe; the async runtime calls :meth:`record` from its loop thread
+    after every operation, including rejected and expired ones — a
+    refused operation is still an auditable fact.
+    """
+
+    def __init__(self, path: str | None = None,
+                 stream: TextIO | None = None,
+                 max_records: int = 10000,
+                 clock: Callable[[], float] = time.time):
+        self._path = path
+        self._stream = stream
+        self._max_records = max_records
+        self._clock = clock
+        self._records: list[AuditRecord] = []
+        self._lock = threading.Lock()
+
+    def record(self, principal: str, op: str,
+               fields: list[str] | None = None,
+               latency_ms: float = 0.0, outcome: str = "ok",
+               detail: str = "") -> AuditRecord:
+        entry = AuditRecord(
+            principal=principal, op=op, fields=list(fields or ()),
+            latency_ms=latency_ms, outcome=outcome, detail=detail,
+            ts=self._clock(),
+        )
+        line = entry.to_json()
+        with self._lock:
+            self._records.append(entry)
+            if len(self._records) > self._max_records:
+                del self._records[:len(self._records) - self._max_records]
+            if self._stream is not None:
+                self._stream.write(line + "\n")
+            if self._path is not None:
+                with open(self._path, "a", encoding="utf-8") as sink:
+                    sink.write(line + "\n")
+        return entry
+
+    def records(self) -> list[AuditRecord]:
+        with self._lock:
+            return list(self._records)
+
+    def tail(self, n: int = 10) -> list[AuditRecord]:
+        with self._lock:
+            return list(self._records[-n:])
+
+    def outcomes(self) -> dict[str, int]:
+        """Histogram of outcomes — the ops dashboard one-liner."""
+        counts: dict[str, int] = {}
+        with self._lock:
+            for entry in self._records:
+                counts[entry.outcome] = counts.get(entry.outcome, 0) + 1
+        return counts
+
+
+@dataclass
+class FrontDoor:
+    """The service tier bundle the async runtime consults per operation."""
+
+    limiter: RateLimiter | None = None
+    audit: AuditLog | None = None
+
+    def admit(self, principal: str) -> None:
+        """Raise when the principal is over its rate; otherwise debit."""
+        if self.limiter is not None:
+            self.limiter.check(principal)
+
+    def observe(self, principal: str, op: str,
+                fields: list[str] | None, latency_ms: float,
+                outcome: str, detail: str = "") -> None:
+        if self.audit is not None:
+            self.audit.record(principal, op, fields=fields,
+                              latency_ms=latency_ms, outcome=outcome,
+                              detail=detail)
+
+
+def front_door(rate: float | None = None,
+               audit_path: str | None = None,
+               audit: bool = False,
+               clock: Callable[[], float] = time.monotonic) -> FrontDoor:
+    """Convenience constructor: ``None``/``False`` legs stay disabled."""
+    limiter = RateLimiter(rate, clock=clock) if rate else None
+    log: AuditLog | None = None
+    if audit_path is not None or audit:
+        log = AuditLog(path=audit_path)
+    return FrontDoor(limiter=limiter, audit=log)
+
+
+__all__ = [
+    "AuditLog",
+    "AuditRecord",
+    "FrontDoor",
+    "RateLimiter",
+    "TokenBucket",
+    "front_door",
+]

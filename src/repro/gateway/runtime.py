@@ -1,0 +1,489 @@
+"""Async gateway runtime: the event-loop concurrency core.
+
+The gateway used to spend a blocked OS thread per concurrent operation.
+This module replaces that with one long-lived event loop: operations are
+admitted through the service tier (rate limit, audit), bounded by an
+in-flight semaphore, cancelled at their deadline, and executed as
+asyncio tasks over the transports' native async paths.  Gateway-local
+crypto still runs on worker threads (``asyncio.to_thread``); only the
+wire waits are interleaved, which is where the concurrency was dying.
+
+Isolation comes from ``contextvars``: every admitted operation runs as
+its own asyncio task, and task creation snapshots the context, so one
+operation's batch scopes and shard timings (both ContextVar-held since
+this refactor) can never bleed into another — including operations that
+were cancelled mid-scope at their deadline.
+
+:class:`SyncGateway` is the blocking façade: the exact ``Entities``
+method surface, each call submitted to the loop and joined.  Existing
+synchronous code keeps its API and its results; it simply shares the
+loop's admission, deadline and audit machinery with native async
+callers.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from concurrent.futures import Future
+from typing import Any, Awaitable, Callable, TYPE_CHECKING
+
+from repro.errors import (
+    AdmissionRejected,
+    DeadlineExceeded,
+    GatewayOverloadError,
+    RateLimitExceeded,
+)
+from repro.gateway.frontdoor import FrontDoor
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.entities import AsyncEntities
+    from repro.core.middleware import DataBlinder
+    from repro.core.query import AggregateQuery, Predicate
+
+
+class RuntimeStats:
+    """Thread-safe admission/completion counters for the runtime."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.admitted = 0
+        self.completed = 0
+        self.failed = 0
+        self.rejected = 0
+        self.rate_limited = 0
+        self.expired = 0
+        self.in_flight = 0
+        self.peak_in_flight = 0
+
+    def bump(self, counter: str, amount: int = 1) -> None:
+        with self._lock:
+            setattr(self, counter, getattr(self, counter) + amount)
+
+    def enter(self) -> None:
+        with self._lock:
+            self.in_flight += 1
+            self.peak_in_flight = max(self.peak_in_flight, self.in_flight)
+
+    def leave(self) -> None:
+        with self._lock:
+            self.in_flight -= 1
+
+    def snapshot(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "admitted": self.admitted,
+                "completed": self.completed,
+                "failed": self.failed,
+                "rejected": self.rejected,
+                "rate_limited": self.rate_limited,
+                "expired": self.expired,
+                "in_flight": self.in_flight,
+                "peak_in_flight": self.peak_in_flight,
+            }
+
+
+class AsyncGatewayRuntime:
+    """Event-loop operation scheduler over one :class:`DataBlinder`.
+
+    * **Admission** — ``submit`` consults the front door (per-principal
+      token bucket) and a pending-operation bound before any work is
+      scheduled; refusals raise before touching tactic state or the
+      wire.
+    * **Concurrency** — at most ``max_in_flight`` operations execute at
+      once (an ``asyncio.Semaphore`` on the loop); everything else
+      queues as an admitted-but-waiting task.
+    * **Deadlines** — ``deadline_s`` (per call, with a runtime default)
+      cancels the operation's task via ``asyncio.wait_for`` and raises
+      :class:`~repro.errors.DeadlineExceeded`.  Replicated quorum
+      writes detach their pending legs before cancellation unwinds, so
+      durability is never silently dropped.
+    * **Audit** — every terminal outcome (``ok``, ``error``,
+      ``expired``, ``rate_limited``, ``rejected``) is recorded with the
+      principal, operation, touched fields and latency.
+
+    The loop thread starts lazily on first submit and is a daemon;
+    ``close`` drains in-flight operations, runs the replicated-write
+    durability barrier, and only then stops the loop.
+    """
+
+    def __init__(self, blinder: "DataBlinder", *,
+                 max_in_flight: int = 64,
+                 max_queue: int = 4096,
+                 default_deadline_s: float | None = None,
+                 front: FrontDoor | None = None):
+        self.blinder = blinder
+        self.max_in_flight = max(1, int(max_in_flight))
+        self.max_queue = max(0, int(max_queue))
+        self.default_deadline_s = default_deadline_s
+        self.front = front or FrontDoor()
+        self.stats = RuntimeStats()
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._semaphore: asyncio.Semaphore | None = None
+        self._lock = threading.Lock()
+        self._pending = 0
+        self._closed = False
+
+    # -- loop lifecycle ---------------------------------------------------------
+
+    def _ensure_loop(self) -> asyncio.AbstractEventLoop:
+        with self._lock:
+            if self._closed:
+                raise AdmissionRejected("gateway runtime is closed")
+            if self._loop is not None:
+                return self._loop
+            loop = asyncio.new_event_loop()
+            # The default executor serves every to_thread hop of every
+            # in-flight operation; size it so CPU-side work (crypto,
+            # planning) cannot deadlock behind the wire waits.
+            from concurrent.futures import ThreadPoolExecutor
+
+            loop.set_default_executor(ThreadPoolExecutor(
+                max_workers=self.max_in_flight + 4,
+                thread_name_prefix="gateway-op",
+            ))
+            started = threading.Event()
+
+            def run() -> None:
+                asyncio.set_event_loop(loop)
+                self._semaphore = asyncio.Semaphore(self.max_in_flight)
+                started.set()
+                loop.run_forever()
+
+            thread = threading.Thread(
+                target=run, name="gateway-loop", daemon=True
+            )
+            thread.start()
+            started.wait()
+            self._loop = loop
+            self._thread = thread
+            return loop
+
+    @property
+    def running(self) -> bool:
+        with self._lock:
+            return self._loop is not None and not self._closed
+
+    # -- admission + execution --------------------------------------------------
+
+    def submit(self, operation: Callable[[], Awaitable[Any]], *,
+               principal: str = "anonymous", op: str = "call",
+               fields: list[str] | None = None,
+               deadline_s: float | None = None) -> Future:
+        """Admit one async operation; returns its result future.
+
+        ``operation`` is a zero-argument callable producing the
+        operation coroutine (built lazily on the loop so task-context
+        snapshotting covers it).  Raises
+        :class:`~repro.errors.RateLimitExceeded` /
+        :class:`~repro.errors.AdmissionRejected` when refused — refusals
+        are audited but never scheduled.
+        """
+        start = time.perf_counter()
+        try:
+            self._admit(principal)
+        except GatewayOverloadError as error:
+            outcome = ("rate_limited"
+                       if isinstance(error, RateLimitExceeded)
+                       else "rejected")
+            self.stats.bump(outcome)
+            self.front.observe(
+                principal, op, fields,
+                (time.perf_counter() - start) * 1000.0,
+                outcome, detail=str(error),
+            )
+            raise
+        loop = self._ensure_loop()
+        if deadline_s is None:
+            deadline_s = self.default_deadline_s
+        self.stats.bump("admitted")
+        future = asyncio.run_coroutine_threadsafe(
+            self._run_op(operation, principal, op, fields, deadline_s,
+                         start),
+            loop,
+        )
+        return future
+
+    def _admit(self, principal: str) -> None:
+        with self._lock:
+            if self._closed:
+                raise AdmissionRejected("gateway runtime is closed")
+            if self.max_queue and self._pending >= (
+                self.max_in_flight + self.max_queue
+            ):
+                raise AdmissionRejected(
+                    f"admission queue full "
+                    f"({self._pending} operations pending)"
+                )
+            # Reserve the slot before the (lock-free) limiter check so
+            # two racing submits cannot both squeeze past the bound.
+            self._pending += 1
+        try:
+            self.front.admit(principal)
+        except GatewayOverloadError:
+            with self._lock:
+                self._pending -= 1
+            raise
+
+    async def _run_op(self, operation: Callable[[], Awaitable[Any]],
+                      principal: str, op: str,
+                      fields: list[str] | None,
+                      deadline_s: float | None, start: float) -> Any:
+        outcome, detail = "ok", ""
+        try:
+            async with self._semaphore:
+                self.stats.enter()
+                try:
+                    # A fresh task per operation: its context snapshot
+                    # isolates ContextVar scopes even if we cancel it.
+                    task = asyncio.ensure_future(operation())
+                    if deadline_s is not None:
+                        return await asyncio.wait_for(task, deadline_s)
+                    return await task
+                finally:
+                    self.stats.leave()
+        except asyncio.TimeoutError:
+            outcome, detail = "expired", f"deadline {deadline_s}s"
+            self.stats.bump("expired")
+            raise DeadlineExceeded(
+                f"operation {op!r} exceeded its {deadline_s}s deadline"
+            ) from None
+        except BaseException as error:
+            outcome, detail = "error", str(error)
+            self.stats.bump("failed")
+            raise
+        finally:
+            if outcome == "ok":
+                self.stats.bump("completed")
+            with self._lock:
+                self._pending -= 1
+            self.front.observe(
+                principal, op, fields,
+                (time.perf_counter() - start) * 1000.0,
+                outcome, detail=detail,
+            )
+
+    # -- data-access surface ---------------------------------------------------
+
+    def entities(self, schema_name: str) -> AsyncEntities:
+        """The awaitable data API for one registered schema.
+
+        For direct use *on the runtime's loop* (or any loop); to get
+        admission/deadline/audit treatment, go through :meth:`submit`
+        or the :class:`SyncGateway` façade.
+        """
+        from repro.core.entities import AsyncEntities
+
+        return AsyncEntities(self.blinder._executor(schema_name))
+
+    def run(self, coroutine: Awaitable[Any], *,
+            principal: str = "anonymous", op: str = "call",
+            fields: list[str] | None = None,
+            deadline_s: float | None = None,
+            timeout: float | None = None) -> Any:
+        """Blocking convenience: submit and join one coroutine."""
+        return self.submit(
+            lambda: coroutine, principal=principal, op=op,
+            fields=fields, deadline_s=deadline_s,
+        ).result(timeout)
+
+    # -- shutdown ---------------------------------------------------------------
+
+    def drain(self, timeout: float | None = None) -> int:
+        """Durability barrier: join detached replicated-write legs."""
+        return self.blinder.runtime.drain_async_writes(timeout)
+
+    def close(self, timeout: float = 30.0) -> None:
+        """Ordered shutdown: refuse → drain ops → drain writes → stop.
+
+        New submissions are refused first, in-flight operations get
+        ``timeout`` seconds to finish, the replicated-write barrier
+        runs, and only then does the loop stop — so nothing durable is
+        lost to an abrupt teardown.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            loop, thread = self._loop, self._thread
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            with self._lock:
+                if self._pending == 0:
+                    break
+            time.sleep(0.005)
+        remaining = max(0.001, deadline - time.monotonic())
+        self.blinder.runtime.drain_async_writes(remaining)
+        if loop is not None:
+            loop.call_soon_threadsafe(loop.stop)
+            if thread is not None:
+                thread.join(timeout=5.0)
+            loop.close()
+
+    def __enter__(self) -> "AsyncGatewayRuntime":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+def _predicate_fields(predicate: Predicate | None) -> list[str]:
+    return sorted(predicate.fields()) if predicate is not None else []
+
+
+class SyncEntities:
+    """Blocking ``Entities`` surface routed through the async runtime.
+
+    Byte-identical results to :class:`repro.core.entities.Entities` on
+    the same executor — every call is one admitted, deadline-bounded,
+    audited operation on the loop.
+    """
+
+    def __init__(self, runtime: AsyncGatewayRuntime, schema_name: str,
+                 principal: str = "anonymous",
+                 deadline_s: float | None = None):
+        self._runtime = runtime
+        self._async = runtime.entities(schema_name)
+        self._principal = principal
+        self._deadline_s = deadline_s
+
+    @property
+    def schema_name(self) -> str:
+        return self._async.schema_name
+
+    def _call(self, op: str, fields: list[str],
+              make: Callable[[], Awaitable[Any]]) -> Any:
+        return self._runtime.submit(
+            make, principal=self._principal, op=op, fields=fields,
+            deadline_s=self._deadline_s,
+        ).result()
+
+    # -- CRUD -----------------------------------------------------------------
+
+    def insert(self, document: dict) -> str:
+        fields = sorted(k for k in document if k != "_id")
+        return self._call("insert", fields,
+                          lambda: self._async.insert(document))
+
+    def insert_many(self, documents: list[dict]) -> list[str]:
+        fields = sorted({
+            k for document in documents for k in document if k != "_id"
+        })
+        return self._call("insert_many", fields,
+                          lambda: self._async.insert_many(documents))
+
+    def get(self, doc_id: str) -> dict:
+        return self._call("get", [], lambda: self._async.get(doc_id))
+
+    def update(self, doc_id: str, changes: dict) -> None:
+        return self._call("update", sorted(changes),
+                          lambda: self._async.update(doc_id, changes))
+
+    def delete(self, doc_id: str) -> bool:
+        return self._call("delete", [],
+                          lambda: self._async.delete(doc_id))
+
+    # -- search -----------------------------------------------------------------
+
+    def find(self, predicate: Predicate | None = None,
+             verify: bool | None = None,
+             limit: int | None = None) -> list[dict]:
+        return self._call(
+            "find", _predicate_fields(predicate),
+            lambda: self._async.find(predicate, verify=verify,
+                                     limit=limit),
+        )
+
+    def find_one(self, predicate: Predicate) -> dict | None:
+        return self._call(
+            "find_one", _predicate_fields(predicate),
+            lambda: self._async.find_one(predicate),
+        )
+
+    def find_ids(self, predicate: Predicate | None = None) -> set[str]:
+        return self._call(
+            "find_ids", _predicate_fields(predicate),
+            lambda: self._async.find_ids(predicate),
+        )
+
+    def count(self, predicate: Predicate | None = None) -> int:
+        return self._call(
+            "count", _predicate_fields(predicate),
+            lambda: self._async.count(predicate),
+        )
+
+    # -- aggregates --------------------------------------------------------------
+
+    def aggregate(self, query: AggregateQuery) -> Any:
+        fields = sorted({query.field}
+                        | set(_predicate_fields(query.where)))
+        return self._call("aggregate", fields,
+                          lambda: self._async.aggregate(query))
+
+    def _aggregate_query(self, function: str, field: str,
+                         where: "Predicate | None") -> Any:
+        from repro.core.query import AggregateQuery
+        from repro.spi.descriptors import Aggregate
+
+        return self.aggregate(
+            AggregateQuery(Aggregate(function), field, where)
+        )
+
+    def average(self, field: str, where: "Predicate | None" = None) -> Any:
+        return self._aggregate_query("avg", field, where)
+
+    def sum(self, field: str, where: "Predicate | None" = None) -> Any:
+        return self._aggregate_query("sum", field, where)
+
+    def min(self, field: str, where: "Predicate | None" = None) -> Any:
+        return self._aggregate_query("min", field, where)
+
+    def max(self, field: str, where: "Predicate | None" = None) -> Any:
+        return self._aggregate_query("max", field, where)
+
+    def find_sorted(self, field: str, limit: int | None = None,
+                    descending: bool = False) -> list[dict]:
+        return self._call(
+            "find_sorted", [field],
+            lambda: self._async.find_sorted(field, limit=limit,
+                                            descending=descending),
+        )
+
+
+class SyncGateway:
+    """The sync façade over :class:`AsyncGatewayRuntime`.
+
+    Hands out :class:`SyncEntities` bound to a principal — same method
+    surface as the classic ``Entities``, same results, but every call
+    flows through the loop's admission, deadline and audit machinery.
+    """
+
+    def __init__(self, runtime: AsyncGatewayRuntime,
+                 principal: str = "anonymous",
+                 deadline_s: float | None = None):
+        self.runtime = runtime
+        self.principal = principal
+        self.deadline_s = deadline_s
+
+    def entities(self, schema_name: str,
+                 principal: str | None = None,
+                 deadline_s: float | None = None) -> SyncEntities:
+        return SyncEntities(
+            self.runtime, schema_name,
+            principal=principal or self.principal,
+            deadline_s=(deadline_s if deadline_s is not None
+                        else self.deadline_s),
+        )
+
+    def close(self) -> None:
+        self.runtime.close()
+
+
+__all__ = [
+    "AsyncGatewayRuntime",
+    "RuntimeStats",
+    "SyncEntities",
+    "SyncGateway",
+]

@@ -54,7 +54,11 @@ class GatewayRuntime:
             # Every tactic context and the executor share this wrapper,
             # so one collection scope coalesces a whole operation's cloud
             # writes.  Outside a scope it is a transparent pass-through.
-            transport = BatchCollector(transport)
+            transport = BatchCollector(
+                transport,
+                coalesce_window_ms=self.pipeline.coalesce_window_ms,
+                coalesce_max_slots=self.pipeline.coalesce_max_slots,
+            )
         self.transport = transport
         self.registry = registry
         self.keystore = keystore or KeyStore(application)

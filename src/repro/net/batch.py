@@ -25,15 +25,26 @@ Semantics inside a scope:
   :meth:`repro.net.rpc.ServiceHost.dispatch_batch`).  The first error in
   the batch is re-raised gateway-side after the whole batch ran.
 
-Scopes are thread-local, so concurrent application threads batch their
-own operations independently.  Outside a scope the collector is a
-transparent pass-through, which keeps the unbatched baseline behaviour
-byte-for-byte identical.
+Scopes are **context-local** (:mod:`contextvars`), so concurrent
+operations batch independently whether they are application threads,
+asyncio tasks, or logical operations multiplexed over a pooled thread —
+the gateway runtime runs each operation in its own copied context, so a
+scope abandoned by one operation can never leak into the next one that
+lands on the same pool thread (the latent bug of the earlier
+thread-local scopes).  Outside a scope the collector is a transparent
+pass-through, which keeps the unbatched baseline behaviour byte-for-byte
+identical.
+
+With a *coalesce window* configured
+(:attr:`PipelineConfig.coalesce_window_ms`), prepared frames from
+different concurrent operations additionally merge into shared wire
+batches via :class:`repro.net.coalesce.FrameCoalescer`.
 """
 
 from __future__ import annotations
 
-import threading
+import asyncio
+import contextvars
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Iterator, Sequence
@@ -104,6 +115,17 @@ class PipelineConfig:
     #: chunk order).  Requires ``batch_writes`` and active ``crypto``
     #: kernels; 0 keeps the single crypto-then-wire pass.
     write_chunk: int = 0
+    #: Cross-operation frame coalescing: prepared batch frames from
+    #: *different* concurrent operations wait up to this many
+    #: milliseconds in a flush window and ship together as one wire
+    #: batch (:mod:`repro.net.coalesce`).  Trades a bounded queueing
+    #: delay for a multiplicative cut in WAN round trips under
+    #: concurrent load.  0 keeps one wire batch per operation —
+    #: byte-identical to the pre-coalescing behaviour.
+    coalesce_window_ms: float = 0.0
+    #: Slot budget of one coalesced wire batch: the window closes early
+    #: once the combined batch holds this many sub-requests.
+    coalesce_max_slots: int = 256
 
 
 #: Methods whose results gateway callers ignore: index maintenance on
@@ -127,7 +149,7 @@ _DOCS_PREFIX = "docs/"
 
 
 class _Scope:
-    """One thread's open collection scope (supports nesting)."""
+    """One operation's open collection scope (supports nesting)."""
 
     __slots__ = ("depth", "pending")
 
@@ -140,32 +162,58 @@ class BatchCollector(Transport):
     """Transport wrapper that batches deferrable writes per scope."""
 
     def __init__(self, inner: Transport,
-                 deferrable: frozenset[str] = DEFERRABLE_METHODS):
+                 deferrable: frozenset[str] = DEFERRABLE_METHODS,
+                 coalesce_window_ms: float = 0.0,
+                 coalesce_max_slots: int = 256):
         self._inner = inner
         self._deferrable = deferrable
-        self._local = threading.local()
+        # Context-local scope slot.  Per-instance so two collectors in
+        # one process never share scopes; the default makes every fresh
+        # context (new thread, new copied operation context) scopeless.
+        self._scope_var: contextvars.ContextVar[_Scope | None] = (
+            contextvars.ContextVar(f"batch_scope_{id(self):x}",
+                                   default=None)
+        )
+        self._coalescer = None
+        if coalesce_window_ms > 0:
+            from repro.net.coalesce import FrameCoalescer
+
+            self._coalescer = FrameCoalescer(
+                inner, window_s=coalesce_window_ms / 1000.0,
+                max_slots=coalesce_max_slots,
+            )
 
     @property
     def inner(self) -> Transport:
         return self._inner
 
+    @property
+    def coalescer(self):
+        """The cross-operation frame coalescer, when configured."""
+        return self._coalescer
+
     # -- scope management --------------------------------------------------------
 
     def _scope(self) -> _Scope | None:
-        return getattr(self._local, "scope", None)
+        return self._scope_var.get()
 
     @contextmanager
     def collect(self) -> Iterator["BatchCollector"]:
-        """Open a collection scope on the calling thread.
+        """Open a collection scope in the calling context.
 
         Nested scopes join the outermost one; the queue flushes when the
         outermost scope exits (also on error, so gateway-side state —
         SSE counters, Sophos tokens — never runs ahead of the cloud).
+        The scope lives in a :class:`~contextvars.ContextVar`, so it is
+        visible exactly to the opening thread/task and to work it runs
+        under a copy of its context (``asyncio.to_thread``), never to an
+        unrelated operation scheduled onto the same pooled thread.
         """
         scope = self._scope()
+        token = None
         if scope is None:
             scope = _Scope()
-            self._local.scope = scope
+            token = self._scope_var.set(scope)
         else:
             scope.depth += 1
         try:
@@ -173,7 +221,19 @@ class BatchCollector(Transport):
         finally:
             scope.depth -= 1
             if scope.depth == 0:
-                self._local.scope = None
+                if token is not None:
+                    try:
+                        self._scope_var.reset(token)
+                    except ValueError:
+                        # Finalized from a foreign context: a cancelled
+                        # or abandoned operation's frame was GC'd after
+                        # its opening context died.  There is no slot
+                        # left to clear, but the pending writes below
+                        # still flush so the cloud never falls behind
+                        # gateway-side tactic state.
+                        pass
+                else:  # pragma: no cover - outermost always holds the token
+                    self._scope_var.set(None)
                 if scope.pending:
                     self._ship(scope.pending)
 
@@ -212,19 +272,44 @@ class BatchCollector(Transport):
     def call_batch(self, requests: Sequence[Request]) -> list[Response]:
         return self._inner.call_batch(requests)
 
+    async def call_request_async(self, request: Request) -> Any:
+        """Async mirror of :meth:`call_request` over the inner async path.
+
+        The scope is read from the calling task's context, so concurrent
+        operations — each running as its own task or in its own copied
+        context — keep independent queues exactly like threads do.
+        """
+        scope = self._scope()
+        if scope is None:
+            return await self._inner.call_request_async(request)
+        if self._defers(request.service, request.method):
+            scope.pending.append(request)
+            return None
+        if not scope.pending:
+            return await self._inner.call_request_async(request)
+        scope.pending.append(request)
+        pending, scope.pending = scope.pending, []
+        responses = await self._ship_async(pending)
+        return responses[-1].result
+
+    async def call_batch_async(
+        self, requests: Sequence[Request]
+    ) -> list[Response]:
+        return await self._inner.call_batch_async(requests)
+
     def flush(self) -> None:
-        """Ship any queued writes of the calling thread's scope now."""
+        """Ship any queued writes of the calling context's scope now."""
         scope = self._scope()
         if scope is not None and scope.pending:
             pending, scope.pending = scope.pending, []
             self._ship(pending)
 
     def in_scope(self) -> bool:
-        """Whether the calling thread has an open collection scope."""
+        """Whether the calling context has an open collection scope."""
         return self._scope() is not None
 
     def drain_pending(self) -> list[Request]:
-        """Take over the calling thread's queued writes without shipping.
+        """Take over the calling context's queued writes without shipping.
 
         The write pipeline uses this to close a scope empty and hand the
         frame to a worker thread — crypto for the next chunk then runs
@@ -247,8 +332,32 @@ class BatchCollector(Transport):
         """
         return self._ship(list(requests))
 
+    async def ship_async(
+        self, requests: Sequence[Request]
+    ) -> list[Response]:
+        """Async :meth:`ship`: the wire wait is held by the event loop."""
+        return await self._ship_async(list(requests))
+
     def _ship(self, pending: list[Request]) -> list[Response]:
-        responses = self._inner.call_batch(pending)
+        if self._coalescer is not None:
+            responses = self._coalescer.submit(pending).result()
+        else:
+            responses = self._inner.call_batch(pending)
+        return self._unwrap_first_failure(responses)
+
+    async def _ship_async(self, pending: list[Request]) -> list[Response]:
+        if self._coalescer is not None:
+            responses = await asyncio.wrap_future(
+                self._coalescer.submit(pending)
+            )
+        else:
+            responses = await self._inner.call_batch_async(pending)
+        return self._unwrap_first_failure(responses)
+
+    @staticmethod
+    def _unwrap_first_failure(
+        responses: list[Response],
+    ) -> list[Response]:
         for response in responses:
             if not response.ok:
                 response.unwrap()  # raises RemoteError for the first failure
@@ -270,4 +379,6 @@ class BatchCollector(Transport):
         return self._inner.drain_async_writes(timeout)
 
     def close(self) -> None:
+        if self._coalescer is not None:
+            self._coalescer.close()
         self._inner.close()

@@ -45,6 +45,9 @@ shape-keyed plan cache when the epoch moves.
 
 from __future__ import annotations
 
+import asyncio
+import concurrent.futures
+import contextvars
 import functools
 import threading
 import time
@@ -138,7 +141,16 @@ class ShardedTransport(Transport):
         self._forward: HashRing | None = None
         self._epoch = 1
         self._lock = threading.RLock()
-        self._local = threading.local()
+        # Per-operation timing sink.  Context-local (not thread-local) so
+        # an operation that hops onto ``asyncio.to_thread`` workers keeps
+        # appending to its own list — the copied context shares the list
+        # object — while scatter-pool workers (plain threads, no context
+        # copy) still accumulate their own rows for the drain in
+        # ``_dispatch_loose``.
+        self._timings_var: contextvars.ContextVar[
+            list[tuple[str, float]] | None
+        ] = contextvars.ContextVar(f"shard_timings_{id(self):x}",
+                                   default=None)
         self._pool: ThreadPoolExecutor | None = None
         self._failovers = 0
         self._replica_errors = 0
@@ -267,10 +279,10 @@ class ShardedTransport(Transport):
     # -- timing / stats --------------------------------------------------------
 
     def _timings(self) -> list[tuple[str, float]]:
-        timings = getattr(self._local, "timings", None)
+        timings = self._timings_var.get()
         if timings is None:
             timings = []
-            self._local.timings = timings
+            self._timings_var.set(timings)
         return timings
 
     def _record_timing(self, name: str, seconds: float) -> None:
@@ -294,9 +306,13 @@ class ShardedTransport(Transport):
             self._record_timing(name, seconds)
 
     def drain_shard_timings(self) -> list[tuple[str, float]]:
+        # Cleared in place: context copies (``to_thread`` hops) share the
+        # list object, so a drain from any of them must empty the sink
+        # every sharer sees, not just rebind its own context slot.
         timings = self._timings()
-        self._local.timings = []
-        return timings
+        drained = list(timings)
+        timings.clear()
+        return drained
 
     def stats(self) -> NetworkStats:
         return roll_up(self.labeled_stats())
@@ -527,6 +543,171 @@ class ShardedTransport(Transport):
                 self._replica_errors += 1
                 self._async_failures += 1
 
+    # -- native async chain delivery ---------------------------------------------
+
+    async def _deliver_async(self, name: str, payload: Any,
+                             is_batch: bool, state: dict
+                             ) -> tuple[str, Any, float, Exception | None]:
+        """Async mirror of :meth:`_deliver`: one delivery leg as a task.
+
+        Same pre-ack/post-ack contract and bounded backoff, but the
+        retries back off with ``asyncio.sleep`` and the node call rides
+        the node transport's async path — fan-out holds loop tasks, not
+        pool threads.
+        """
+        attempts = 0
+        while True:
+            node = self._nodes.get(name)
+            started = time.perf_counter()
+            try:
+                if node is None:
+                    raise TransportError(
+                        f"shard node {name!r} left the topology"
+                    )
+                if is_batch:
+                    result = await node.call_batch_async(list(payload))
+                else:
+                    result = await node.call_request_async(payload)
+                return name, result, time.perf_counter() - started, None
+            except TransportError as exc:
+                elapsed = time.perf_counter() - started
+                retryable = (not isinstance(exc, RemoteError)
+                             and node is not None)
+                if (not retryable or not state.get("acked")
+                        or attempts >= self.config.async_write_retries):
+                    return name, None, elapsed, exc
+                attempts += 1
+                with self._lock:
+                    self._async_retries += 1
+                backoff = (self.config.async_write_backoff_s
+                           * (2 ** (attempts - 1)))
+                if backoff > 0:
+                    await asyncio.sleep(backoff)
+
+    def _chain_launch_async(self, owners: Sequence[str], payload: Any,
+                            is_batch: bool) -> dict:
+        """Start one write's replica deliveries as loop tasks."""
+        state: dict = {"acked": False}
+        tasks: dict[asyncio.Task, int] = {}
+        for position, name in enumerate(owners):
+            task = asyncio.ensure_future(
+                self._deliver_async(name, payload, is_batch, state)
+            )
+            tasks[task] = position
+        return {"state": state, "futures": tasks,
+                "owners": tuple(owners)}
+
+    async def _chain_gather_async(self, launch: dict) -> tuple[Any, list]:
+        """Async :meth:`_chain_gather`: identical quorum semantics.
+
+        If the surrounding operation is cancelled (deadline), the
+        still-running legs are detached to the background first so an
+        in-flight replicated write is never silently abandoned — the
+        durability barrier (:meth:`drain_async_writes`) still sees it.
+        """
+        state: dict = launch["state"]
+        tasks: dict[asyncio.Task, int] = launch["futures"]
+        quorum = min(self._write_quorum(), len(tasks))
+        legacy = self.config.write_quorum <= 0
+        successes: dict[int, Any] = {}
+        rows: list[tuple[str, float]] = []
+        failure: Exception | None = None
+        abort: Exception | None = None
+        pending = set(tasks)
+        try:
+            while pending:
+                done, pending = await asyncio.wait(
+                    pending, return_when=asyncio.FIRST_COMPLETED
+                )
+                for task in done:
+                    position = tasks[task]
+                    name, value, seconds, error = task.result()
+                    rows.append((name, seconds))
+                    if error is None:
+                        successes[position] = value
+                        continue
+                    if position == 0:
+                        if isinstance(error, CircuitOpenError):
+                            failure = error
+                            with self._lock:
+                                self._failovers += 1
+                        else:
+                            abort = error
+                    else:
+                        failure = error
+                        with self._lock:
+                            self._replica_errors += 1
+                if abort is not None:
+                    break
+                if not legacy and len(successes) >= quorum:
+                    break
+        except asyncio.CancelledError:
+            if pending:
+                self._detach_async_tasks(pending, state)
+            raise
+        if pending:
+            self._detach_async_tasks(pending, state)
+        if abort is not None:
+            raise abort
+        if not successes:
+            assert failure is not None
+            raise failure
+        if not legacy and len(successes) < quorum:
+            assert failure is not None
+            raise failure
+        return successes[min(successes)], rows
+
+    def _detach_async_tasks(self, tasks: Iterable[asyncio.Task],
+                            state: dict) -> None:
+        """Background the unfinished legs of an acked write.
+
+        Each loop task is bridged to a ``concurrent.futures.Future``
+        proxy registered in ``_async_writes``, so the existing *sync*
+        durability barrier (:meth:`drain_async_writes`, called from any
+        thread) waits async-delivered replicas out exactly like
+        pool-delivered ones.
+        """
+        state["acked"] = True
+        for task in tasks:
+            proxy: Future = concurrent.futures.Future()
+            with self._lock:
+                self._async_writes.add(proxy)
+            proxy.add_done_callback(self._async_done)
+
+            def _bridge(finished: asyncio.Task, proxy: Future = proxy
+                        ) -> None:
+                if finished.cancelled():
+                    proxy.set_exception(
+                        TransportError("replica delivery cancelled")
+                    )
+                elif finished.exception() is not None:
+                    proxy.set_exception(finished.exception())
+                else:
+                    proxy.set_result(finished.result())
+
+            task.add_done_callback(_bridge)
+
+    async def _gather_scatter_async(
+        self, launches: Sequence[tuple[Any, dict]]
+    ) -> list[tuple[Any, Any]]:
+        """Async mirror of :meth:`_gather_scatter` (drain-all-then-raise)."""
+        rows: list[tuple[str, float]] = []
+        first_error: Exception | None = None
+        gathered: list[tuple[Any, Any]] = []
+        for tag, launch in launches:
+            try:
+                value, chain_rows = await self._chain_gather_async(launch)
+            except TransportError as exc:
+                if first_error is None:
+                    first_error = exc
+                continue
+            rows.extend(chain_rows)
+            gathered.append((tag, value))
+        self._record_parallel_timings(rows)
+        if first_error is not None:
+            raise first_error
+        return gathered
+
     def _gather_scatter(
         self, launches: Sequence[tuple[Any, dict]]
     ) -> list[tuple[Any, Any]]:
@@ -719,51 +900,8 @@ class ShardedTransport(Transport):
                 self._record_timing(name, time.perf_counter() - started)
 
         responses: list[Response | None] = [None] * len(requests)
-        #: A tag is either a plain slot index or, for a bulk-insert
-        #: piece, ``(slot, positions)`` mapping the piece's returned ids
-        #: back into the original document order.
-        grouped: dict[tuple[str, ...], tuple[list, list[Request]]] = {}
-        loose: list[int] = []
-        splits: dict[int, int] = {}
-        for index, request in enumerate(requests):
-            split = self._split_insert_many(request)
-            if split is not None:
-                # A ``docs insert_many`` slot rides the same scatter as
-                # the index writes it travels with: one piece per owner
-                # chain, in slot order, instead of a second sequential
-                # round trip through the loose path.
-                total, pieces = split
-                splits[index] = total
-                for chain, (positions, sub) in pieces.items():
-                    tags, subrequests = grouped.setdefault(
-                        chain, ([], [])
-                    )
-                    tags.append((index, tuple(positions)))
-                    subrequests.append(sub)
-                continue
-            chain = self._chain_route(request)
-            if chain is None:
-                loose.append(index)
-            else:
-                tags, subrequests = grouped.setdefault(chain, ([], []))
-                tags.append(index)
-                subrequests.append(request)
-
-        merged_ids = {index: [None] * total
-                      for index, total in splits.items()}
-        merged_error: dict[int, Response] = {}
-
-        def assign(tag, response: Response) -> None:
-            if isinstance(tag, tuple):
-                slot, positions = tag
-                if not response.ok:
-                    merged_error.setdefault(slot, response)
-                    return
-                for position, doc_id in zip(positions,
-                                            response.result or []):
-                    merged_ids[slot][position] = doc_id
-            else:
-                responses[tag] = response
+        grouped, loose, splits = self._group_slots(requests)
+        assign, finish_splits = self._split_merger(responses, splits)
 
         parallel = self._parallel_writes() and (
             len(grouped) > 1
@@ -791,12 +929,7 @@ class ShardedTransport(Transport):
                                                   is_batch=True)
                 for tag, response in zip(tags, answered):
                     assign(tag, response)
-        for slot, ids in merged_ids.items():
-            error = merged_error.get(slot)
-            responses[slot] = error if error is not None else Response(
-                ok=True,
-                result=[doc_id for doc_id in ids if doc_id is not None],
-            )
+        finish_splits()
         if loose:
             self._dispatch_loose(requests, loose, responses)
         missing = [i for i, r in enumerate(responses) if r is None]
@@ -805,6 +938,88 @@ class ShardedTransport(Transport):
                 f"sharded batch lost responses for slots {missing}"
             )
         return responses
+
+    def _group_slots(
+        self, requests: Sequence[Request]
+    ) -> tuple[dict[tuple[str, ...], tuple[list, list[Request]]],
+               list[int], dict[int, int]]:
+        """Split a batch frame into per-owner-chain sub-batches.
+
+        Returns ``(grouped, loose, splits)``: ``grouped`` maps each
+        owner chain to its ``(tags, subrequests)`` in slot order, where a
+        tag is either a plain slot index or, for a bulk-insert piece,
+        ``(slot, positions)`` mapping the piece's returned ids back into
+        the original document order; ``loose`` lists the slots that need
+        the full router; ``splits`` records each split slot's document
+        count.  Shared by the sync and async scatter paths so both route
+        byte-identically.
+        """
+        grouped: dict[tuple[str, ...], tuple[list, list[Request]]] = {}
+        loose: list[int] = []
+        splits: dict[int, int] = {}
+        for index, request in enumerate(requests):
+            split = self._split_insert_many(request)
+            if split is not None:
+                # A ``docs insert_many`` slot rides the same scatter as
+                # the index writes it travels with: one piece per owner
+                # chain, in slot order, instead of a second sequential
+                # round trip through the loose path.
+                total, pieces = split
+                splits[index] = total
+                for chain, (positions, sub) in pieces.items():
+                    tags, subrequests = grouped.setdefault(
+                        chain, ([], [])
+                    )
+                    tags.append((index, tuple(positions)))
+                    subrequests.append(sub)
+                continue
+            chain = self._chain_route(request)
+            if chain is None:
+                loose.append(index)
+            else:
+                tags, subrequests = grouped.setdefault(chain, ([], []))
+                tags.append(index)
+                subrequests.append(request)
+        return grouped, loose, splits
+
+    @staticmethod
+    def _split_merger(responses: list[Response | None],
+                      splits: dict[int, int]):
+        """Build the tag-assignment closure pair for one batch dispatch.
+
+        ``assign(tag, response)`` lands a sub-response either directly in
+        its slot or into the id-merge buffer of a split ``insert_many``;
+        ``finish()`` folds the merge buffers into their final slot
+        responses (first error wins per slot).
+        """
+        merged_ids = {index: [None] * total
+                      for index, total in splits.items()}
+        merged_error: dict[int, Response] = {}
+
+        def assign(tag, response: Response) -> None:
+            if isinstance(tag, tuple):
+                slot, positions = tag
+                if not response.ok:
+                    merged_error.setdefault(slot, response)
+                    return
+                for position, doc_id in zip(positions,
+                                            response.result or []):
+                    merged_ids[slot][position] = doc_id
+            else:
+                responses[tag] = response
+
+        def finish() -> None:
+            for slot, ids in merged_ids.items():
+                error = merged_error.get(slot)
+                responses[slot] = (
+                    error if error is not None else Response(
+                        ok=True,
+                        result=[doc_id for doc_id in ids
+                                if doc_id is not None],
+                    )
+                )
+
+        return assign, finish
 
     def _dispatch_loose(self, requests: Sequence[Request],
                         loose: Sequence[int],
@@ -856,6 +1071,104 @@ class ShardedTransport(Transport):
                 continue
             responses[index] = response
         self._record_parallel_timings(rows)
+        if first_error is not None:
+            raise first_error
+
+    async def call_batch_async(
+        self, requests: Sequence[Request]
+    ) -> list[Response]:
+        """Native async batch scatter: event-loop fan-out, same routing.
+
+        Slot grouping, idem derivation, quorum semantics and merge order
+        all reuse the sync path's helpers, so the two paths produce
+        byte-identical cloud state; only the concurrency substrate
+        differs (loop tasks instead of scatter-pool threads).
+        """
+        _, forward, order = self._topology()
+        if len(order) == 1 and forward is None:
+            name = order[0]
+            started = time.perf_counter()
+            try:
+                return await self._nodes[name].call_batch_async(
+                    list(requests)
+                )
+            finally:
+                self._record_timing(name,
+                                    time.perf_counter() - started)
+
+        responses: list[Response | None] = [None] * len(requests)
+        grouped, loose, splits = self._group_slots(requests)
+        assign, finish_splits = self._split_merger(responses, splits)
+        if grouped:
+            # Launch every per-chain sub-batch before gathering any —
+            # the same one-round-trip shape as the sync scatter.
+            launches = [
+                (tags,
+                 self._chain_launch_async(chain, subrequests,
+                                          is_batch=True))
+                for chain, (tags, subrequests) in grouped.items()
+            ]
+            with self._lock:
+                self._scatters += 1
+            for tags, answered in await self._gather_scatter_async(
+                launches
+            ):
+                for tag, response in zip(tags, answered):
+                    assign(tag, response)
+        finish_splits()
+        if loose:
+            await self._dispatch_loose_async(requests, loose, responses)
+        missing = [i for i, r in enumerate(responses) if r is None]
+        if missing:
+            raise TransportError(
+                f"sharded batch lost responses for slots {missing}"
+            )
+        return responses
+
+    async def _dispatch_loose_async(
+        self, requests: Sequence[Request], loose: Sequence[int],
+        responses: list[Response | None],
+    ) -> None:
+        """Async loose-slot dispatch with the sync path's ordering rules.
+
+        Each slot runs the full (blocking) router on a worker thread;
+        read-only slots fan out concurrently, mutating or
+        forwarding-epoch slots stay strictly sequential.  ``to_thread``
+        copies this operation's context, so shard timings land in the
+        operation's own sink.
+        """
+        _, forward, _ = self._topology()
+        concurrent_ok = (
+            len(loose) > 1 and forward is None
+            and not any(self._mutating_slot(requests[i]) for i in loose)
+        )
+        self._timings()  # materialise the context-shared timing sink
+        if not concurrent_ok:
+            for index in loose:
+                responses[index] = (await asyncio.to_thread(
+                    Transport.call_batch, self, [requests[index]]
+                ))[0]
+            return
+
+        async def one(index: int) -> tuple[int, Response | None,
+                                           Exception | None]:
+            try:
+                answered = await asyncio.to_thread(
+                    Transport.call_batch, self, [requests[index]]
+                )
+                return index, answered[0], None
+            except TransportError as exc:
+                return index, None, exc
+
+        first_error: Exception | None = None
+        for index, response, error in await asyncio.gather(
+            *(one(index) for index in loose)
+        ):
+            if error is not None:
+                if first_error is None:
+                    first_error = error
+                continue
+            responses[index] = response
         if first_error is not None:
             raise first_error
 

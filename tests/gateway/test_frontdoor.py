@@ -1,0 +1,174 @@
+"""Service-tier front door: token buckets, per-principal limits, audit."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import RateLimitExceeded
+from repro.gateway.frontdoor import (
+    AuditLog,
+    FrontDoor,
+    RateLimiter,
+    TokenBucket,
+    front_door,
+)
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestTokenBucket:
+    def test_burst_up_to_capacity_then_refuses(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, capacity=3.0, clock=clock)
+        assert [bucket.try_take() for _ in range(4)] == [
+            True, True, True, False,
+        ]
+
+    def test_refills_at_rate(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, capacity=2.0, clock=clock)
+        assert bucket.try_take(2.0)
+        assert not bucket.try_take()
+        clock.advance(0.5)  # 1 token accrued
+        assert bucket.try_take()
+        assert not bucket.try_take()
+
+    def test_refill_caps_at_capacity(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10.0, capacity=2.0, clock=clock)
+        clock.advance(100.0)
+        assert bucket.tokens == 2.0
+
+    def test_retry_after_is_honest(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, capacity=1.0, clock=clock)
+        assert bucket.try_take()
+        assert bucket.retry_after() == pytest.approx(0.5)
+        clock.advance(0.25)
+        assert bucket.retry_after() == pytest.approx(0.25)
+
+    def test_rejects_nonpositive_parameters(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0, capacity=1)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1, capacity=0)
+
+
+class TestRateLimiter:
+    def test_per_principal_isolation(self):
+        clock = FakeClock()
+        limiter = RateLimiter(rate=1.0, capacity=1.0, clock=clock)
+        limiter.check("alice")
+        # Alice is out of tokens; Bob has his own bucket.
+        limiter.check("bob")
+        with pytest.raises(RateLimitExceeded):
+            limiter.check("alice")
+
+    def test_rejection_carries_principal_and_retry_after(self):
+        clock = FakeClock()
+        limiter = RateLimiter(rate=2.0, capacity=1.0, clock=clock)
+        limiter.check("alice")
+        with pytest.raises(RateLimitExceeded) as info:
+            limiter.check("alice")
+        assert info.value.principal == "alice"
+        assert info.value.retry_after_s == pytest.approx(0.5)
+        assert limiter.rejections == 1
+
+    def test_override_gives_tiered_service(self):
+        clock = FakeClock()
+        limiter = RateLimiter(rate=1.0, capacity=1.0, clock=clock)
+        limiter.set_limit("gold", rate=100.0, capacity=10.0)
+        for _ in range(10):
+            limiter.check("gold")
+        limiter.check("basic")
+        with pytest.raises(RateLimitExceeded):
+            limiter.check("basic")
+
+    def test_tokens_accrue_back(self):
+        clock = FakeClock()
+        limiter = RateLimiter(rate=1.0, capacity=1.0, clock=clock)
+        limiter.check("alice")
+        clock.advance(1.0)
+        limiter.check("alice")  # does not raise
+
+
+class TestAuditLog:
+    def test_records_structured_fields(self):
+        clock = FakeClock(now=1000.0)
+        log = AuditLog(clock=clock)
+        log.record("alice", "find", fields=["status"], latency_ms=12.5,
+                   outcome="ok")
+        (entry,) = log.records()
+        assert entry.principal == "alice"
+        assert entry.op == "find"
+        assert entry.fields == ["status"]
+        assert entry.latency_ms == 12.5
+        assert entry.outcome == "ok"
+        assert entry.ts == 1000.0
+
+    def test_jsonl_sink_is_parseable(self, tmp_path):
+        path = tmp_path / "audit.jsonl"
+        log = AuditLog(path=str(path))
+        log.record("alice", "insert", fields=["status", "value"],
+                   latency_ms=3.25, outcome="ok")
+        log.record("bob", "find", fields=[], latency_ms=1.0,
+                   outcome="rate_limited", detail="retry after 0.5s")
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        first, second = (json.loads(line) for line in lines)
+        assert first["principal"] == "alice"
+        assert first["fields"] == ["status", "value"]
+        assert first["latency_ms"] == 3.25
+        assert second["outcome"] == "rate_limited"
+        assert second["detail"] == "retry after 0.5s"
+
+    def test_memory_ring_is_bounded(self):
+        log = AuditLog(max_records=3)
+        for i in range(5):
+            log.record("p", f"op{i}")
+        assert [e.op for e in log.records()] == ["op2", "op3", "op4"]
+
+    def test_outcomes_histogram_and_tail(self):
+        log = AuditLog()
+        for outcome in ("ok", "ok", "error", "expired"):
+            log.record("p", "find", outcome=outcome)
+        assert log.outcomes() == {"ok": 2, "error": 1, "expired": 1}
+        assert [e.outcome for e in log.tail(2)] == ["error", "expired"]
+
+
+class TestFrontDoor:
+    def test_disabled_legs_are_no_ops(self):
+        door = FrontDoor()
+        door.admit("anyone")  # no limiter: never raises
+        door.observe("anyone", "find", None, 1.0, "ok")  # no audit sink
+
+    def test_admit_debits_and_observe_records(self):
+        clock = FakeClock()
+        door = FrontDoor(
+            limiter=RateLimiter(rate=1.0, capacity=1.0, clock=clock),
+            audit=AuditLog(),
+        )
+        door.admit("alice")
+        with pytest.raises(RateLimitExceeded):
+            door.admit("alice")
+        door.observe("alice", "find", ["status"], 5.0, "ok")
+        assert door.audit.outcomes() == {"ok": 1}
+
+    def test_front_door_factory(self, tmp_path):
+        door = front_door(rate=10.0,
+                          audit_path=str(tmp_path / "a.jsonl"))
+        assert door.limiter is not None and door.audit is not None
+        assert front_door().limiter is None
+        assert front_door().audit is None
+        assert front_door(audit=True).audit is not None

@@ -1,0 +1,277 @@
+"""The transports' async call paths and the cross-operation coalescer.
+
+Every transport inherits working ``call_async``/``call_batch_async``
+adapters (sync call on a worker thread); InProc and TCP additionally
+implement native asyncio paths whose results — and wire accounting —
+must match their sync twins.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+
+import pytest
+
+from repro.errors import RemoteError, TransportError
+from repro.net.coalesce import FrameCoalescer
+from repro.net.latency import NetworkModel
+from repro.net.resilience import (
+    ResilienceConfig,
+    RetryPolicy,
+    wrap_resilient,
+)
+from repro.net.rpc import Request, Response, ServiceHost
+from repro.net.tcp import TcpRpcServer, TcpTransport
+from repro.net.transport import DirectTransport, InProcTransport, Transport
+
+
+class EchoService:
+    def __init__(self):
+        self.lock = threading.Lock()
+        self.calls = 0
+
+    def echo(self, value):
+        with self.lock:
+            self.calls += 1
+        return value
+
+    def slow_echo(self, value, delay):
+        time.sleep(delay)
+        return self.echo(value)
+
+    def boom(self):
+        raise ValueError("boom")
+
+
+@pytest.fixture()
+def host():
+    service = EchoService()
+    host = ServiceHost()
+    host.register("echo", service)
+    return host
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+class TestDefaultAsyncAdapters:
+    def test_direct_transport_inherits_to_thread_adapter(self, host):
+        transport = DirectTransport(host)
+        assert run(transport.call_async("echo", "echo", value=7)) == 7
+
+    def test_batch_adapter_matches_sync(self, host):
+        transport = DirectTransport(host)
+        requests = [Request("echo", "echo", {"value": i})
+                    for i in range(4)]
+        sync = [r.result for r in transport.call_batch(requests)]
+        via_async = run(transport.call_batch_async(requests))
+        assert [r.result for r in via_async] == sync == [0, 1, 2, 3]
+
+    def test_remote_error_surfaces(self, host):
+        transport = DirectTransport(host)
+        with pytest.raises(RemoteError):
+            run(transport.call_async("echo", "boom"))
+
+
+class TestInProcNativeAsync:
+    def test_result_and_metering_match_sync(self, host):
+        sync_t = InProcTransport(host, NetworkModel(sleep=False))
+        async_t = InProcTransport(host, NetworkModel(sleep=False))
+        assert sync_t.call("echo", "echo", value="x") == run(
+            async_t.call_async("echo", "echo", value="x")
+        )
+        # Native path meters the same frames as the sync path.
+        assert async_t.stats().bytes_sent == sync_t.stats().bytes_sent
+        assert (async_t.stats().messages_sent
+                == sync_t.stats().messages_sent)
+
+    def test_async_calls_overlap_modelled_latency(self, host):
+        # 30 ms one-way latency, slept on the loop: 8 concurrent calls
+        # should cost ~1 round trip, not 8.
+        transport = InProcTransport(
+            host, NetworkModel(one_way_latency_ms=30.0, sleep=True)
+        )
+
+        async def main():
+            return await asyncio.gather(*[
+                transport.call_async("echo", "echo", value=i)
+                for i in range(8)
+            ])
+
+        started = time.perf_counter()
+        results = run(main())
+        elapsed = time.perf_counter() - started
+        assert results == list(range(8))
+        assert elapsed < 8 * 0.06 / 2
+
+    def test_batch_async(self, host):
+        transport = InProcTransport(host)
+        responses = run(transport.call_batch_async(
+            [Request("echo", "echo", {"value": i}) for i in range(3)]
+        ))
+        assert [r.result for r in responses] == [0, 1, 2]
+
+
+class TestTcpNativeAsync:
+    @pytest.fixture()
+    def server(self, host):
+        server = TcpRpcServer(host)
+        server.serve_in_background()
+        yield server
+        server.shutdown()
+        server.server_close()
+
+    def test_roundtrip_matches_sync(self, server):
+        transport = TcpTransport(server.endpoint)
+        try:
+            assert transport.call("echo", "echo", value=1) == 1
+            assert run(transport.call_async("echo", "echo", value=2)) == 2
+            responses = run(transport.call_batch_async(
+                [Request("echo", "echo", {"value": i}) for i in range(3)]
+            ))
+            assert [r.result for r in responses] == [0, 1, 2]
+        finally:
+            transport.close()
+
+    def test_concurrent_async_calls_ride_parallel_sockets(self, server):
+        transport = TcpTransport(server.endpoint)
+        try:
+            async def main():
+                return await asyncio.gather(*[
+                    transport.call_async("echo", "slow_echo",
+                                         value=i, delay=0.05)
+                    for i in range(6)
+                ])
+
+            started = time.perf_counter()
+            results = run(main())
+            elapsed = time.perf_counter() - started
+            assert results == list(range(6))
+            # Serialized over one socket this is >= 0.30 s.
+            assert elapsed < 0.25
+        finally:
+            transport.close()
+
+    def test_closed_transport_refuses_async(self, server):
+        transport = TcpTransport(server.endpoint)
+        transport.close()
+        with pytest.raises(TransportError):
+            run(transport.call_async("echo", "echo", value=1))
+
+
+class TestResilientAsync:
+    def test_retries_then_succeeds(self, host):
+        class Flaky(Transport):
+            def __init__(self, inner, failures):
+                self._inner = inner
+                self.failures = failures
+                self.attempts = 0
+
+            def call(self, service, method, **kwargs):
+                return self.call_request(
+                    Request(service, method, kwargs)
+                )
+
+            def call_request(self, request):
+                self.attempts += 1
+                if self.failures > 0:
+                    self.failures -= 1
+                    raise TransportError("flake")
+                return self._inner.call_request(request)
+
+            def stats(self):
+                return self._inner.stats()
+
+        flaky = Flaky(DirectTransport(host), failures=2)
+        resilient = wrap_resilient(flaky, ResilienceConfig(
+            retry=RetryPolicy(max_attempts=5, sleep=False),
+        ))
+        assert run(resilient.call_async("echo", "echo", value=9)) == 9
+        assert flaky.attempts == 3
+
+
+class TestFrameCoalescer:
+    class CountingInner(Transport):
+        def __init__(self, delay=0.0):
+            self.delay = delay
+            self.lock = threading.Lock()
+            self.batches: list[list[Request]] = []
+
+        def call(self, service, method, **kwargs):  # pragma: no cover
+            raise NotImplementedError
+
+        def call_request(self, request):  # pragma: no cover
+            raise NotImplementedError
+
+        def call_batch(self, requests):
+            requests = list(requests)
+            if self.delay:
+                time.sleep(self.delay)
+            with self.lock:
+                self.batches.append(requests)
+            return [Response(ok=True, result=r.kwargs["value"])
+                    for r in requests]
+
+        def stats(self):  # pragma: no cover - unused
+            from repro.net.latency import NetworkStats
+
+            return NetworkStats()
+
+    @staticmethod
+    def frame(tag, n):
+        return [Request("svc", "insert", {"value": f"{tag}{i}"})
+                for i in range(n)]
+
+    def test_frames_within_window_share_one_wire_batch(self):
+        inner = self.CountingInner()
+        coalescer = FrameCoalescer(inner, window_s=0.05, max_slots=64)
+        try:
+            f1 = coalescer.submit(self.frame("a", 2))
+            f2 = coalescer.submit(self.frame("b", 3))
+            r1, r2 = f1.result(2), f2.result(2)
+            assert [r.result for r in r1] == ["a0", "a1"]
+            assert [r.result for r in r2] == ["b0", "b1", "b2"]
+            assert len(inner.batches) == 1
+            assert len(inner.batches[0]) == 5
+            assert coalescer.stats.frames_in == 2
+            assert coalescer.stats.batches_out == 1
+        finally:
+            coalescer.close()
+
+    def test_max_slots_closes_the_window_early(self):
+        inner = self.CountingInner()
+        coalescer = FrameCoalescer(inner, window_s=10.0, max_slots=4)
+        try:
+            f1 = coalescer.submit(self.frame("a", 2))
+            f2 = coalescer.submit(self.frame("b", 2))
+            f1.result(2)
+            f2.result(2)
+            assert len(inner.batches) == 1
+        finally:
+            coalescer.close()
+
+    def test_failure_fans_out_to_every_member_frame(self):
+        class FailingInner(self.CountingInner):
+            def call_batch(self, requests):
+                raise TransportError("wire down")
+
+        coalescer = FrameCoalescer(FailingInner(), window_s=0.02,
+                                   max_slots=8)
+        try:
+            f1 = coalescer.submit(self.frame("a", 1))
+            f2 = coalescer.submit(self.frame("b", 1))
+            for f in (f1, f2):
+                with pytest.raises(TransportError):
+                    f.result(2)
+        finally:
+            coalescer.close()
+
+    def test_close_drains_cleanly(self):
+        inner = self.CountingInner()
+        coalescer = FrameCoalescer(inner, window_s=0.01)
+        future = coalescer.submit(self.frame("a", 1))
+        future.result(2)
+        coalescer.close()
