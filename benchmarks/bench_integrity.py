@@ -1,0 +1,223 @@
+"""EXP-INTEGRITY — what verified reads cost on the paper's WAN.
+
+Three deployments run the identical find-heavy workload (a seeded
+corpus, then timed ``find`` passes with interleaved updates so the
+freshness ledger actually goes dirty and re-syncs) over the 40 ms
+one-way gateway→cloud link:
+
+* **off** — ``PipelineConfig()``: the seed's trusting read path.
+* **fetch** — proof-on-fetch: every document fetch is rewritten to its
+  proven variant, inclusion proofs checked against the gateway ledger.
+  The honest overhead is the per-envelope verification plus one ledger
+  ``report()`` round trip after each write burst.
+* **audit** — audit-pass: reads untouched; the verification sweep runs
+  off the hot path and is timed separately.
+
+Acceptance: proof-on-fetch costs <= 25% of find throughput, audit mode
+costs ~0 on the hot path, and integrity never adds or changes stored
+zone state (reads leave the fingerprint untouched; all three zones are
+structurally identical).
+
+Results land in ``BENCH_integrity.json`` at the repo root.  Run
+standalone with ``python benchmarks/bench_integrity.py --smoke`` for
+the reduced CI profile.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import statistics
+import sys
+import time
+from pathlib import Path
+
+from repro.analysis.snapshot import SnapshotAdversary, zone_fingerprint
+from repro.cloud.server import CloudZone
+from repro.core.middleware import DataBlinder
+from repro.core.query import Eq
+from repro.fhir.model import observation_schema
+from repro.integrity import MODE_AUDIT, MODE_FETCH, IntegrityConfig
+from repro.net.batch import PipelineConfig
+from repro.net.latency import NetworkModel
+from repro.net.transport import InProcTransport
+
+#: The paper's gateway→public-cloud link.
+WAN_ONE_WAY_MS = 40.0
+SEED_DOCS = 24
+#: Timed find operations per mode; every 5th op is an update, which
+#: dirties the ledger so fetch mode pays its honest re-sync round trip.
+TIMED_OPS = int(os.environ.get("DATABLINDER_INTEGRITY_BENCH_OPS", "40"))
+
+#: Acceptance ceilings (percent throughput loss vs the "off" baseline).
+FETCH_OVERHEAD_CEILING = 25.0
+AUDIT_OVERHEAD_CEILING = 10.0
+
+APP = "bench-integrity"
+
+RESULTS_PATH = Path(__file__).resolve().parent.parent / (
+    "BENCH_integrity.json"
+)
+
+MODES = {
+    "off": None,
+    "fetch": IntegrityConfig(mode=MODE_FETCH),
+    "audit": IntegrityConfig(mode=MODE_AUDIT),
+}
+
+
+def make_doc(i: int) -> dict:
+    return {
+        "id": f"f{i}",
+        "identifier": i,
+        "status": "final" if i % 2 == 0 else "amended",
+        "code": ("glucose", "insulin", "hba1c")[i % 3],
+        "subject": f"Patient {i % 6}",
+        "effective": 1000 + i,
+        "issued": 2000 + i,
+        "performer": "Dr",
+        "value": float(i),
+        "interpretation": "",
+    }
+
+
+def deploy(registry, mode: str):
+    cloud = CloudZone(registry)
+    transport = InProcTransport(
+        cloud.host,
+        NetworkModel(one_way_latency_ms=WAN_ONE_WAY_MS, sleep=True),
+    )
+    blinder = DataBlinder(
+        f"{APP}-{mode}", transport, registry=registry,
+        pipeline=PipelineConfig(integrity=MODES[mode]),
+    )
+    blinder.register_schema(observation_schema())
+    return cloud, blinder
+
+
+def run_mode(registry, mode: str) -> dict:
+    cloud, blinder = deploy(registry, mode)
+    application = f"{APP}-{mode}"
+    observations = blinder.entities("observation")
+    ids = [observations.insert(make_doc(i)) for i in range(SEED_DOCS)]
+    seeded_fingerprint = zone_fingerprint(cloud, application)
+
+    statuses = ("final", "amended")
+    codes = ("glucose", "insulin", "hba1c")
+    latencies: list[float] = []
+    checksum = 0
+    started = time.perf_counter()
+    for op in range(TIMED_OPS):
+        t0 = time.perf_counter()
+        if op % 5 == 4:
+            observations.update(ids[op % SEED_DOCS],
+                                {"value": float(1000 + op)})
+        elif op % 2 == 0:
+            checksum += len(observations.find(
+                Eq("status", statuses[op % len(statuses)])
+            ))
+        else:
+            checksum += len(observations.find(
+                Eq("code", codes[op % len(codes)])
+            ))
+        latencies.append((time.perf_counter() - t0) * 1000.0)
+    elapsed = time.perf_counter() - started
+
+    audit_ms = None
+    if mode == "audit":
+        t0 = time.perf_counter()
+        summary = blinder.integrity_audit()
+        audit_ms = (time.perf_counter() - t0) * 1000.0
+        assert summary["roots_checked"] > 0
+
+    # Reads (verified or not) never touch stored state: only the five
+    # timed updates moved the fingerprint, and re-running the read-only
+    # tail leaves it where it is.
+    fingerprint = zone_fingerprint(cloud, application)
+    assert fingerprint != seeded_fingerprint  # the updates landed
+    observations.find(Eq("status", "final"))
+    assert zone_fingerprint(cloud, application) == fingerprint
+
+    report = SnapshotAdversary(cloud, application).report()
+    ordered = sorted(latencies)
+    stats = blinder.runtime.transport.stats()
+    row = {
+        "ops": TIMED_OPS,
+        "throughput_ops_s": round(TIMED_OPS / elapsed, 3),
+        "mean_ms": round(statistics.fmean(latencies), 1),
+        "p95_ms": round(ordered[int(0.95 * (len(ordered) - 1))], 1),
+        "checksum": checksum,
+        "documents": report.documents,
+        "kv_entries": report.kv_entries,
+        "integrity_failures": stats.integrity_failures,
+        "stale_detected": stats.stale_detected,
+    }
+    if audit_ms is not None:
+        row["audit_sweep_ms"] = round(audit_ms, 1)
+    return row
+
+
+def test_integrity_overhead(registry):
+    print(f"\nEXP-INTEGRITY find workload on "
+          f"{WAN_ONE_WAY_MS:.0f} ms one-way WAN "
+          f"({TIMED_OPS} timed ops, {SEED_DOCS} docs)")
+    rows = {}
+    for mode in MODES:
+        rows[mode] = run_mode(registry, mode)
+        extra = (f"   audit sweep {rows[mode]['audit_sweep_ms']:.0f} ms"
+                 if "audit_sweep_ms" in rows[mode] else "")
+        print(f"  {mode:<6} {rows[mode]['throughput_ops_s']:>7.2f} ops/s"
+              f"   mean {rows[mode]['mean_ms']:>7.0f} ms"
+              f"   p95 {rows[mode]['p95_ms']:>7.0f} ms{extra}")
+
+    base = rows["off"]["throughput_ops_s"]
+    overhead = {
+        mode: round(100.0 * (1.0 - rows[mode]["throughput_ops_s"] / base),
+                    2)
+        for mode in ("fetch", "audit")
+    }
+    print(f"  overhead vs off: fetch {overhead['fetch']:+.1f}%  "
+          f"audit {overhead['audit']:+.1f}%")
+
+    RESULTS_PATH.write_text(json.dumps({
+        "config": {
+            "wan_one_way_ms": WAN_ONE_WAY_MS,
+            "seed_docs": SEED_DOCS,
+            "timed_ops": TIMED_OPS,
+            "mix": {"find": 0.8, "update": 0.2},
+            "fetch_overhead_ceiling_pct": FETCH_OVERHEAD_CEILING,
+            "audit_overhead_ceiling_pct": AUDIT_OVERHEAD_CEILING,
+        },
+        "modes": rows,
+        "overhead_pct": overhead,
+    }, indent=2) + "\n")
+    print(f"results written to {RESULTS_PATH}")
+
+    # Same answers, same zone shape, zero spurious detections.
+    assert rows["fetch"]["checksum"] == rows["off"]["checksum"]
+    assert rows["audit"]["checksum"] == rows["off"]["checksum"]
+    for mode in ("fetch", "audit"):
+        assert rows[mode]["documents"] == rows["off"]["documents"]
+        assert rows[mode]["kv_entries"] == rows["off"]["kv_entries"]
+        assert rows[mode]["integrity_failures"] == 0
+        assert rows[mode]["stale_detected"] == 0
+
+    # Acceptance: proof-on-fetch <= 25% find-throughput cost; the
+    # audit pass is (within noise) free on the hot path.
+    assert overhead["fetch"] <= FETCH_OVERHEAD_CEILING, overhead
+    assert overhead["audit"] <= AUDIT_OVERHEAD_CEILING, overhead
+
+
+def main(argv: list[str]) -> int:
+    """Standalone entry point; ``--smoke`` shrinks the workload for CI."""
+    import pytest
+
+    if "--smoke" in argv:
+        os.environ["DATABLINDER_INTEGRITY_BENCH_OPS"] = "15"
+        global TIMED_OPS
+        TIMED_OPS = 15
+    return pytest.main(["-q", "-s", __file__])
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

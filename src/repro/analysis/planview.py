@@ -75,7 +75,33 @@ def render_plan(plan: ir.Plan, planner: "QueryPlanner") -> str:
         suffix += "]"
         lines.append("  " * (depth + 1) + label + suffix)
     lines.extend(_crypto_wire_footer(plan, planner))
+    lines.extend(_integrity_footer(planner))
     return "\n".join(lines)
+
+
+def _integrity_footer(planner: "QueryPlanner") -> list[str]:
+    """One ``Integrity:`` line when the runtime has a verifier.
+
+    Surfaces which verification mode the plans run under and, for
+    proof-on-fetch, the per-fetch surcharge the cost estimates above
+    already include — so an operator reading EXPLAIN sees why a fetch
+    node got more expensive after integrity was switched on.
+    """
+    runtime = planner.engine._x.runtime
+    verifier = getattr(runtime, "verifier", None)
+    if verifier is None:
+        return []
+    config = verifier.config
+    if not verifier.active:
+        return [f"  Integrity: {config.mode} configured, inactive "
+                f"(no registered field at class <= C{config.min_class})"]
+    if config.mode == "fetch":
+        surcharge = planner.cost_model.verify_surcharge_ms()
+        return [f"  Integrity: proof-on-fetch active "
+                f"(fields at class <= C{config.min_class}; "
+                f"+{surcharge:.2f} ms/fetch)"]
+    return ["  Integrity: audit-pass active "
+            "(verification runs off the query path)"]
 
 
 def _crypto_wire_footer(plan: ir.Plan, planner: "QueryPlanner") -> list[str]:

@@ -43,6 +43,11 @@ class DocumentService:
     def __init__(self, store: DocumentStore):
         self._store = store
         self._text_index = InvertedIndex()
+        self._integrity = None
+
+    def attach_integrity(self, tracker) -> None:
+        """Enable proven reads (set by ``CloudZone.enable_integrity``)."""
+        self._integrity = tracker
 
     def _index_text(self, document: Document) -> None:
         plain = document.get("plain") or {}
@@ -68,6 +73,33 @@ class DocumentService:
 
     def get_many(self, doc_ids: list[str]) -> list[Document]:
         return self._store.get_many(doc_ids)
+
+    def get_proven(self, doc_id: str) -> Document:
+        """Fetch one document with its Merkle inclusion proof.
+
+        Fetch and proof are computed under the store lock so the proof
+        is against the exact tree state the body was read from — a
+        concurrent writer can never produce a false mismatch.
+        """
+        if self._integrity is None:
+            raise TransportError("integrity is not enabled for this zone")
+        with self._store._lock:  # noqa: SLF001 - fetch+prove atomically
+            document = self._store.get(doc_id)
+            return self._integrity.prove_document(doc_id, document)
+
+    def get_many_proven(self, doc_ids: list[str]) -> list[Document]:
+        """Bulk proven fetch; unknown ids are skipped like get_many."""
+        if self._integrity is None:
+            raise TransportError("integrity is not enabled for this zone")
+        envelopes = []
+        with self._store._lock:  # noqa: SLF001 - fetch+prove atomically
+            for doc_id in doc_ids:
+                if self._store.contains(doc_id):
+                    document = self._store.get(doc_id)
+                    envelopes.append(
+                        self._integrity.prove_document(doc_id, document)
+                    )
+        return envelopes
 
     def replace(self, document: Document) -> None:
         self._store.replace(document)
@@ -116,6 +148,9 @@ class CloudAdminService:
                          tactic: str) -> str:
         return self._zone.provision_tactic(application, field, tactic)
 
+    def enable_integrity(self, application: str) -> str:
+        return self._zone.enable_integrity(application)
+
     def list_services(self) -> list[str]:
         return self._zone.host.service_names()
 
@@ -136,6 +171,7 @@ class CloudZone:
         self._data_dir = Path(data_dir) if data_dir else None
         self._kv: dict[str, KeyValueStore] = {}
         self._documents: dict[str, DocumentStore] = {}
+        self._trackers: dict[str, Any] = {}
         self._lock = threading.RLock()
         self.host.register("admin", CloudAdminService(self))
 
@@ -183,6 +219,36 @@ class CloudZone:
             instance = registration.cloud_cls(context)
             self.host.register(name, instance)
             return name
+
+    def enable_integrity(self, application: str) -> str:
+        """Attach an integrity tracker to one application (idempotent).
+
+        Creates the per-domain Merkle trees over the application's
+        stores, registers the ``integrity/<application>`` report/proof
+        service, and switches the document service to support proven
+        reads.  The import is local so zones that never enable
+        integrity pay nothing for the subsystem.
+        """
+        name = f"integrity/{application}"
+        with self._lock:
+            if application in self._trackers:
+                return name
+            from repro.integrity.tracker import (
+                IntegrityService,
+                IntegrityTracker,
+            )
+
+            kv, documents = self.application_stores(application)
+            tracker = IntegrityTracker(kv, documents)
+            self._trackers[application] = tracker
+            self.host.register(name, IntegrityService(tracker))
+            self.host.get(f"docs/{application}").attach_integrity(tracker)
+            return name
+
+    def integrity_tracker(self, application: str) -> Any:
+        """Direct access to a tracker (tests, audits); None if disabled."""
+        with self._lock:
+            return self._trackers.get(application)
 
     def tactic_instance(self, application: str, field: str,
                         tactic: str) -> Any:

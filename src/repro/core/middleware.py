@@ -112,6 +112,7 @@ class DataBlinder:
             )
             self.metadata.save_schema(schema, plans)
             self._executors[schema.name] = executor
+            self.runtime.schema_registered(schema)
             return reports
 
     def restore_schema(self, name: str) -> list[FieldPolicyReport]:
@@ -128,6 +129,7 @@ class DataBlinder:
                 pad_bucket=self.pad_bucket,
                 pipeline=self.pipeline,
             )
+            self.runtime.schema_registered(schema)
             return reports
 
     def schema_names(self) -> list[str]:
@@ -182,6 +184,7 @@ class DataBlinder:
             new_executor.planner.absorb(old_executor.planner)
             self.metadata.save_schema(schema, plans)
             self._executors[schema_name] = new_executor
+            self.runtime.schema_registered(schema)
             return reports
 
     def policy_report(self, schema_name: str) -> str:
@@ -249,6 +252,26 @@ class DataBlinder:
     def metrics_report(self) -> str:
         """Per-tactic runtime cost report (Fig. 1 performance metrics)."""
         return self.runtime.metrics.render()
+
+    def integrity_audit(self) -> dict:
+        """Run one integrity audit pass against the untrusted zone.
+
+        Re-syncs the freshness ledger from every shard's incremental
+        state report, then compares roots recomputed from the raw
+        stores against what the ledger accepted at write time.  Raises
+        :class:`repro.errors.IntegrityError` /
+        :class:`repro.errors.StaleStateError` on divergence; raises
+        :class:`repro.errors.PolicyError` when integrity is not
+        configured (``PipelineConfig.integrity``).
+        """
+        verifier = self.runtime.verifier
+        if verifier is None:
+            from repro.errors import PolicyError
+
+            raise PolicyError(
+                "integrity is not configured: set PipelineConfig.integrity"
+            )
+        return verifier.audit()
 
     # -- query planning -------------------------------------------------------
 

@@ -26,6 +26,9 @@ _PRIOR_UNIT_MS = 1.0
 #: same synthetic unit.
 _STORE_MS = 1.0
 _COMBINE_MS = 0.05
+#: Nominal per-fetch surcharge when proof-on-fetch integrity is active:
+#: a proof envelope per document plus the amortised ledger refresh.
+_VERIFY_MS = 0.2
 
 
 class CostModel:
@@ -114,7 +117,8 @@ class CostModel:
             return self.lookup_ms(self.scope(node.field), "ordered",
                                   node.tactic)
         if isinstance(node, ir.FetchDocs):
-            return self._docs_ms("get_many") + self.estimate_ms(node.source)
+            return (self._docs_ms("get_many") + self.verify_surcharge_ms()
+                    + self.estimate_ms(node.source))
         if isinstance(node, ir.Extreme):
             cost = self.lookup_ms(self.scope(node.field), "ordered",
                                   node.tactic) + self._docs_ms("get_many")
@@ -135,9 +139,20 @@ class CostModel:
                 for _, tactics in node.fields
                 for tactic in tactics
             )
-        if isinstance(node, (ir.StoreWrite, ir.ReadDoc)):
+        if isinstance(node, ir.ReadDoc):
+            return _STORE_MS + self.verify_surcharge_ms()
+        if isinstance(node, ir.StoreWrite):
             return _STORE_MS
         return _COMBINE_MS
+
+    def verify_surcharge_ms(self) -> float:
+        """Extra per-fetch cost of proof-on-fetch integrity (0 when the
+        verifier is off, inactive, or in audit mode — audit verification
+        runs off the hot path)."""
+        verifier = getattr(self._executor.runtime, "verifier", None)
+        if verifier is None or not verifier.active:
+            return 0.0
+        return _VERIFY_MS if verifier.config.mode == "fetch" else 0.0
 
     def _docs_ms(self, method: str) -> float:
         observed = self.observed_ms(self._schema_scope(), method, "docs")

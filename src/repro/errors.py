@@ -17,7 +17,24 @@ class CryptoError(DataBlinderError):
 
 
 class IntegrityError(CryptoError):
-    """Authenticated decryption failed: the ciphertext was tampered with."""
+    """Authenticated decryption failed: the ciphertext was tampered with.
+
+    The integrity subsystem (:mod:`repro.integrity`) raises the same
+    type when a Merkle inclusion proof or state root does not match what
+    the gateway ledger expects: in both cases the untrusted zone served
+    bytes that differ from what was written.
+    """
+
+
+class StaleStateError(IntegrityError):
+    """The untrusted zone served valid-but-old state (a rollback).
+
+    The bytes verify against *a* root the gateway once accepted, but the
+    freshness ledger has since advanced past it — a replayed snapshot,
+    not random corruption.  Subclasses :class:`IntegrityError` so one
+    ``except IntegrityError`` clause catches both tampering and
+    rollback while callers that care can still tell them apart.
+    """
 
 
 class KeyManagementError(DataBlinderError):

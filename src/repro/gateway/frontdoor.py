@@ -125,6 +125,11 @@ class AuditRecord:
     latency_ms: float = 0.0
     outcome: str = "ok"
     detail: str = ""
+    #: Integrity verification outcome of the operation's reads:
+    #: ``"unverified"`` (no verifier, or no reads), ``"verified"`` (every
+    #: fetched document carried a checked proof), ``"failed"`` (a proof,
+    #: freshness or root check rejected the untrusted zone's reply).
+    verification: str = "unverified"
     ts: float = 0.0
 
     def to_json(self) -> str:
@@ -136,6 +141,7 @@ class AuditRecord:
             "latency_ms": round(self.latency_ms, 3),
             "outcome": self.outcome,
             "detail": self.detail,
+            "verification": self.verification,
         }, sort_keys=True)
 
 
@@ -164,11 +170,12 @@ class AuditLog:
     def record(self, principal: str, op: str,
                fields: list[str] | None = None,
                latency_ms: float = 0.0, outcome: str = "ok",
-               detail: str = "") -> AuditRecord:
+               detail: str = "",
+               verification: str = "unverified") -> AuditRecord:
         entry = AuditRecord(
             principal=principal, op=op, fields=list(fields or ()),
             latency_ms=latency_ms, outcome=outcome, detail=detail,
-            ts=self._clock(),
+            verification=verification, ts=self._clock(),
         )
         line = entry.to_json()
         with self._lock:
@@ -213,11 +220,12 @@ class FrontDoor:
 
     def observe(self, principal: str, op: str,
                 fields: list[str] | None, latency_ms: float,
-                outcome: str, detail: str = "") -> None:
+                outcome: str, detail: str = "",
+                verification: str = "unverified") -> None:
         if self.audit is not None:
             self.audit.record(principal, op, fields=fields,
                               latency_ms=latency_ms, outcome=outcome,
-                              detail=detail)
+                              detail=detail, verification=verification)
 
 
 def front_door(rate: float | None = None,

@@ -36,6 +36,7 @@ from repro.errors import (
     RateLimitExceeded,
 )
 from repro.gateway.frontdoor import FrontDoor
+from repro.integrity.verify import begin_op_scope, op_verification
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.entities import AsyncEntities
@@ -232,6 +233,11 @@ class AsyncGatewayRuntime:
                       fields: list[str] | None,
                       deadline_s: float | None, start: float) -> Any:
         outcome, detail = "ok", ""
+        # Materialised before task creation so the operation task's
+        # context snapshot carries the same scope dict: the verifying
+        # transport writes its outcome there, and we can still read it
+        # here after a cancellation unwound the task.
+        scope = begin_op_scope()
         try:
             async with self._semaphore:
                 self.stats.enter()
@@ -263,6 +269,7 @@ class AsyncGatewayRuntime:
                 principal, op, fields,
                 (time.perf_counter() - start) * 1000.0,
                 outcome, detail=detail,
+                verification=op_verification(scope),
             )
 
     # -- data-access surface ---------------------------------------------------

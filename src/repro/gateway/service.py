@@ -48,6 +48,18 @@ class GatewayRuntime:
         # batches are then retried whole, with their idempotency-keyed
         # sub-requests making the re-delivery safe.
         transport = wrap_resilient(transport, resilience)
+        #: The integrity verifier sits between resilience (below) and
+        #: the batch collector (above): batched write frames flow
+        #: through it to mark the freshness ledger dirty, and proven
+        #: reads ride the retried/fault-tolerant path underneath.
+        self.verifier = None
+        if self.pipeline.integrity is not None:
+            from repro.integrity.verify import VerifyingTransport
+
+            transport = VerifyingTransport(
+                transport, application, self.pipeline.integrity
+            )
+            self.verifier = transport
         if self.pipeline.batch_writes and not isinstance(
             transport, BatchCollector
         ):
@@ -74,6 +86,27 @@ class GatewayRuntime:
         self.transport.call(
             "admin", "provision_application", application=application
         )
+        if self.verifier is not None:
+            self.transport.call(
+                "admin", "enable_integrity", application=application
+            )
+
+    def schema_registered(self, schema) -> None:
+        """Activate integrity verification per protection class.
+
+        Called on every schema registration: once any registered field
+        carries a protection class the integrity config covers
+        (``min_class`` or stronger), the verifier switches on for the
+        whole application.  Schemas outside the covered classes leave
+        the read path at seed speed.
+        """
+        if self.verifier is None or self.verifier.active:
+            return
+        config = self.pipeline.integrity
+        for spec in schema.sensitive_fields():
+            if config.covers_class(int(spec.annotation.protection_class)):
+                self.verifier.activate()
+                return
 
     @property
     def documents_service(self) -> str:

@@ -1,0 +1,57 @@
+"""Integrity subsystem configuration (``PipelineConfig.integrity``)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Verification modes.
+MODE_FETCH = "fetch"
+MODE_AUDIT = "audit"
+
+_MODES = (MODE_FETCH, MODE_AUDIT)
+
+
+@dataclass(frozen=True)
+class IntegrityConfig:
+    """How (and for whom) the gateway verifies untrusted-zone state.
+
+    ``mode`` selects the verification style:
+
+    * ``"fetch"`` — proof-on-fetch: every document read is rewritten to
+      its proven variant and the inclusion proof is checked against the
+      freshness ledger before the result reaches the executor.  Typed
+      :class:`repro.errors.IntegrityError` /
+      :class:`repro.errors.StaleStateError` on mismatch.
+    * ``"audit"`` — audit-pass: reads are untouched (zero hot-path
+      cost); a background/periodic sweep recomputes state roots on the
+      cloud and compares them against the ledger.
+
+    ``min_class`` selects *who* gets verification, per protection class
+    (C1 strongest): verification activates once a registered schema
+    carries a field of class ``min_class`` or stronger.  The default 5
+    activates for any annotated schema; ``min_class=2`` would reserve
+    proof-on-fetch overhead for C1/C2 data while C3+ applications run
+    at seed speed.
+
+    ``history`` bounds the retired-root memory per (shard, tree) used
+    to distinguish rollback from tampering; ``refresh_on_write`` marks
+    the ledger dirty whenever a mutation passes the gateway so the next
+    verified read re-syncs shard watermarks first.
+    """
+
+    mode: str = MODE_FETCH
+    min_class: int = 5
+    history: int = 64
+    refresh_on_write: bool = True
+
+    def __post_init__(self) -> None:
+        if self.mode not in _MODES:
+            raise ValueError(
+                f"integrity mode must be one of {_MODES}, got {self.mode!r}"
+            )
+        if not 1 <= int(self.min_class) <= 5:
+            raise ValueError("min_class must be a protection class 1..5")
+
+    def covers_class(self, protection_class: int) -> bool:
+        """Whether a field of ``protection_class`` activates verification."""
+        return int(protection_class) <= int(self.min_class)

@@ -1,0 +1,203 @@
+"""Incremental Merkle trees with placement-stable additive digests.
+
+The untrusted zone maintains one tree per authenticated state domain:
+the encrypted document store and each provisioned tactic's secure-index
+namespace.  Two digests are kept per tree:
+
+* the **Merkle root** — a classic binary hash tree over the leaves in
+  canonical (sorted-key) order, supporting per-leaf inclusion proofs
+  checked by the gateway on fetch;
+* the **additive set digest** — the sum of all leaf hashes interpreted
+  as 256-bit integers, modulo ``2**256`` (the AdHash / MSet-Add-Hash
+  construction).  Addition is commutative, so the digest of a cluster
+  is the sum of its shards' digests *regardless of placement*: moving a
+  leaf from shard A to shard B subtracts the term on one side and adds
+  it on the other, leaving the cluster digest invariant.  That is what
+  makes roots stable across resharding (the ``shard_export`` migration
+  from PR 4 relocates entries without rewriting them).
+
+Leaf and node hashes are domain-separated and every variable-length
+part is 4-byte length-prefixed — the same canonical-encoding discipline
+as :func:`repro.analysis.snapshot.zone_fingerprint` — so no two
+distinct (key, value) pairs can collide structurally.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+#: Modulus of the additive set digest (hash outputs are 256 bits).
+DIGEST_MOD = 1 << 256
+
+#: Root reported for a tree with no leaves.
+EMPTY_ROOT = hashlib.sha256(b"datablinder/empty-tree").hexdigest()
+
+
+def _encode(tag: bytes, *parts: bytes) -> bytes:
+    chunks = [tag]
+    for part in parts:
+        chunks.append(len(part).to_bytes(4, "big"))
+        chunks.append(part)
+    return b"".join(chunks)
+
+
+def leaf_key(tag: bytes, *parts: bytes) -> bytes:
+    """Canonical leaf key for a store entry.
+
+    ``tag`` names the structure kind (``b"s"`` string, ``b"m"`` map
+    entry, ``b"e"`` set member, ``b"c"`` counter, ``b"d"`` document);
+    the length-prefixed encoding keeps composite names unambiguous
+    (``("a\\x00b", "c")`` never collides with ``("a", "b\\x00c")``).
+    """
+    return _encode(tag, *parts)
+
+
+def leaf_hash(key: bytes, value: bytes) -> bytes:
+    """Domain-separated hash of one (key, value) leaf."""
+    return hashlib.sha256(_encode(b"L", key, value)).digest()
+
+
+def _node_hash(left: bytes, right: bytes) -> bytes:
+    return hashlib.sha256(b"N" + left + right).digest()
+
+
+def merge_digests(digests) -> int:
+    """Sum additive digests (per-shard -> cluster), mod ``2**256``."""
+    total = 0
+    for digest in digests:
+        total = (total + int(digest)) % DIGEST_MOD
+    return total
+
+
+def digest_root(digest: int) -> str:
+    """Hex commitment to an additive digest (the *cluster root*)."""
+    payload = b"A" + (int(digest) % DIGEST_MOD).to_bytes(32, "big")
+    return hashlib.sha256(payload).hexdigest()
+
+
+class MerkleTree:
+    """A mutable leaf set with an incrementally-maintained digest.
+
+    Leaf updates are O(1): the additive digest is adjusted in place and
+    the binary tree is only (re)built lazily when a Merkle root or an
+    inclusion proof is actually requested.  The verification hot path
+    on the cloud therefore costs one hash per mutation, not a tree
+    rebuild.
+    """
+
+    def __init__(self) -> None:
+        self._leaves: dict[bytes, bytes] = {}
+        self._acc = 0
+        self._dirty = True
+        self._order: list[bytes] = []
+        self._levels: list[list[bytes]] = []
+
+    def __len__(self) -> int:
+        return len(self._leaves)
+
+    # -- mutation -----------------------------------------------------------
+
+    def update(self, key: bytes, value: bytes) -> None:
+        old = self._leaves.get(key)
+        if old is not None:
+            self._acc = (self._acc - int.from_bytes(old, "big")) % DIGEST_MOD
+        new = leaf_hash(key, value)
+        self._leaves[key] = new
+        self._acc = (self._acc + int.from_bytes(new, "big")) % DIGEST_MOD
+        self._dirty = True
+
+    def remove(self, key: bytes) -> bool:
+        old = self._leaves.pop(key, None)
+        if old is None:
+            return False
+        self._acc = (self._acc - int.from_bytes(old, "big")) % DIGEST_MOD
+        self._dirty = True
+        return True
+
+    def clear(self) -> None:
+        self._leaves.clear()
+        self._acc = 0
+        self._dirty = True
+
+    # -- digests ------------------------------------------------------------
+
+    def digest(self) -> int:
+        """The additive (placement-stable) digest of the leaf set."""
+        return self._acc
+
+    def root(self) -> str:
+        """Merkle root over the leaves in sorted-key order (hex)."""
+        if not self._leaves:
+            return EMPTY_ROOT
+        self._rebuild()
+        return self._levels[-1][0].hex()
+
+    def _rebuild(self) -> None:
+        if not self._dirty:
+            return
+        self._order = sorted(self._leaves)
+        level = [self._leaves[k] for k in self._order]
+        levels = [level]
+        while len(level) > 1:
+            nxt = []
+            for i in range(0, len(level) - 1, 2):
+                nxt.append(_node_hash(level[i], level[i + 1]))
+            if len(level) % 2:
+                # Odd node is promoted unchanged, mirroring the
+                # verifier's promote rule.
+                nxt.append(level[-1])
+            levels.append(nxt)
+            level = nxt
+        self._levels = levels
+        self._dirty = False
+
+    # -- proofs -------------------------------------------------------------
+
+    def proof(self, key: bytes) -> list[tuple[str, str]] | None:
+        """Inclusion proof for ``key``: a list of ``(side, sibling_hex)``
+        steps from leaf to root.  ``side`` is ``"L"``/``"R"`` for a
+        sibling on that side, or ``"-"`` for a promoted odd node (no
+        sibling at that level).  ``None`` when the key is not a leaf.
+        """
+        if key not in self._leaves:
+            return None
+        self._rebuild()
+        index = self._order.index(key)
+        path: list[tuple[str, str]] = []
+        for level in self._levels[:-1]:
+            sibling = index ^ 1
+            if sibling < len(level):
+                side = "L" if sibling < index else "R"
+                path.append((side, level[sibling].hex()))
+            else:
+                path.append(("-", ""))
+            index //= 2
+        return path
+
+
+def verify_inclusion(root_hex: str, key: bytes, value: bytes,
+                     proof) -> bool:
+    """Check that (key, value) is a leaf of the tree with root
+    ``root_hex`` using an inclusion proof from :meth:`MerkleTree.proof`.
+
+    Accepts the proof as tuples or lists (the wire codec round-trips
+    tuples, but callers may hand decoded JSON lists).
+    """
+    if proof is None:
+        return False
+    node = leaf_hash(key, value)
+    try:
+        for step in proof:
+            side, sibling_hex = step[0], step[1]
+            if side == "-":
+                continue
+            sibling = bytes.fromhex(sibling_hex)
+            if side == "L":
+                node = _node_hash(sibling, node)
+            elif side == "R":
+                node = _node_hash(node, sibling)
+            else:
+                return False
+    except (TypeError, ValueError, IndexError):
+        return False
+    return node.hex() == root_hex

@@ -1,0 +1,403 @@
+"""Gateway-side verification: proof-on-fetch and audit-pass.
+
+:class:`VerifyingTransport` sits in the gateway's transport stack
+between the batch collector (above) and the resilience wrapper (below).
+In **fetch** mode it rewrites document reads to their proven variants
+(``get`` -> ``get_proven``, ``get_many`` -> ``get_many_proven``),
+checks each returned inclusion proof against the freshness ledger, and
+unwraps the plain documents — the executor never sees the envelopes.
+In **audit** mode reads pass through untouched and :meth:`audit`
+performs the background sweep: re-sync the ledger from incremental
+reports, then compare roots recomputed from raw store state against
+what the ledger accepted at write time.
+
+Ledger refreshes are lazy: mutations passing through the transport
+mark the ledger dirty, and the next verification (or audit) pulls one
+``report()`` round per shard before checking proofs — writes pay
+nothing, and a verified read needs at most one extra round trip after
+a write burst.
+
+Detection semantics (see :mod:`repro.integrity.watermark` for the
+trust model):
+
+* bit-flipped document bytes, proof, or root -> proof/leaf mismatch or
+  a root the ledger never accepted -> :class:`IntegrityError`;
+* a replayed old-but-valid envelope or report -> a retired root or a
+  sequence regression -> :class:`StaleStateError`.
+
+Known limitations (documented, out of scope): no non-membership
+proofs (a server can deny a document exists), and a protocol-time
+attacker who answers with freshly forged state *and* consistent forged
+reports is only caught by the audit pass if it ever contradicts a
+write the gateway remembered.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from contextvars import ContextVar
+from typing import Any, Sequence
+
+from repro.errors import IntegrityError, StaleStateError
+from repro.integrity.config import MODE_FETCH, IntegrityConfig
+from repro.integrity.merkle import leaf_key, verify_inclusion
+from repro.integrity.watermark import FreshnessLedger
+from repro.net import message
+from repro.net.latency import NetworkStats
+from repro.net.rpc import Request, Response
+from repro.net.transport import Transport
+
+#: Methods that mutate untrusted-zone state (any service): passing one
+#: through the transport marks the freshness ledger dirty.
+_MUTATING_METHODS = frozenset({
+    "insert", "insert_many", "insert_terms", "update", "update_terms",
+    "delete", "delete_terms", "replace",
+})
+
+_PROVEN = {"get": "get_proven", "get_many": "get_many_proven"}
+
+#: Per-operation verification outcome, shared with the gateway runtime:
+#: the runtime materialises a scope dict before launching an operation
+#: and reads ``scope["verification"]`` after it completes.
+_OP_SCOPE: ContextVar[dict | None] = ContextVar(
+    "integrity_op_scope", default=None
+)
+
+VERIFICATION_KEY = "verification"
+
+
+def begin_op_scope() -> dict:
+    """Install a fresh outcome scope for the current context and return
+    it.  The dict object is shared: tasks forked from this context see
+    (and mutate) the same instance, so the creator can read the outcome
+    after the operation finishes."""
+    scope = {VERIFICATION_KEY: "unverified"}
+    _OP_SCOPE.set(scope)
+    return scope
+
+
+def op_verification(scope: dict) -> str:
+    return scope.get(VERIFICATION_KEY, "unverified")
+
+
+def _note_outcome(outcome: str) -> None:
+    scope = _OP_SCOPE.get()
+    if scope is None:
+        return
+    if outcome == "failed" or scope.get(VERIFICATION_KEY) != "failed":
+        scope[VERIFICATION_KEY] = outcome
+
+
+class VerifyingTransport(Transport):
+    """Transport wrapper enforcing the configured integrity mode."""
+
+    def __init__(self, inner: Transport, application: str,
+                 config: IntegrityConfig):
+        self._inner = inner
+        self.application = application
+        self.config = config
+        self._docs_service = f"docs/{application}"
+        self._integrity_service = f"integrity/{application}"
+        self.ledger = FreshnessLedger(history=config.history)
+        self._active = False
+        self._dirty = True
+        self._refresh_lock = threading.Lock()
+        self._stats_lock = threading.Lock()
+        self._integrity_failures = 0
+        self._stale_detected = 0
+
+    # -- activation (per protection class) ----------------------------------
+
+    @property
+    def active(self) -> bool:
+        return self._active
+
+    def activate(self) -> None:
+        """Turn verification on — called when a registered schema
+        carries a field whose protection class the config covers."""
+        self._active = True
+
+    def mark_dirty(self) -> None:
+        self._dirty = True
+
+    # -- sync call path ------------------------------------------------------
+
+    def call(self, service: str, method: str, **kwargs: Any) -> Any:
+        return self.call_request(Request(service, method, kwargs))
+
+    def call_request(self, request: Request) -> Any:
+        if self._should_verify(request.service, request.method):
+            rewritten = self._rewrite(request)
+            result = self._inner.call_request(rewritten)
+            return self._check(request.method, result)
+        result = self._inner.call_request(request)
+        self._after_passthrough(request.method)
+        return result
+
+    def call_batch(self, requests: Sequence[Request]) -> list[Response]:
+        rewritten, verified_slots = self._rewrite_batch(requests)
+        responses = self._inner.call_batch(rewritten)
+        if not verified_slots:
+            return responses
+        checked: list[Response] = list(responses)
+        for index in verified_slots:
+            response = responses[index]
+            if not response.ok:
+                continue
+            try:
+                checked[index] = Response(ok=True, result=self._check(
+                    requests[index].method, response.result
+                ))
+            except IntegrityError as exc:
+                checked[index] = Response(
+                    ok=False, error_type=type(exc).__name__,
+                    error_message=str(exc),
+                )
+        return checked
+
+    # -- async call path -----------------------------------------------------
+
+    async def call_request_async(self, request: Request) -> Any:
+        if self._should_verify(request.service, request.method):
+            rewritten = self._rewrite(request)
+            result = await self._inner.call_request_async(rewritten)
+            # The ledger refresh inside _check may itself hit the wire;
+            # keep it off the event loop.
+            return await asyncio.to_thread(
+                self._check, request.method, result
+            )
+        result = await self._inner.call_request_async(request)
+        self._after_passthrough(request.method)
+        return result
+
+    async def call_batch_async(
+        self, requests: Sequence[Request]
+    ) -> list[Response]:
+        rewritten, verified_slots = self._rewrite_batch(requests)
+        responses = await self._inner.call_batch_async(rewritten)
+        if not verified_slots:
+            return responses
+
+        def check_all() -> list[Response]:
+            checked: list[Response] = list(responses)
+            for index in verified_slots:
+                response = responses[index]
+                if not response.ok:
+                    continue
+                try:
+                    checked[index] = Response(ok=True, result=self._check(
+                        requests[index].method, response.result
+                    ))
+                except IntegrityError as exc:
+                    checked[index] = Response(
+                        ok=False, error_type=type(exc).__name__,
+                        error_message=str(exc),
+                    )
+            return checked
+
+        return await asyncio.to_thread(check_all)
+
+    # -- rewrite / verify core -----------------------------------------------
+
+    def _should_verify(self, service: str, method: str) -> bool:
+        return (
+            self._active
+            and self.config.mode == MODE_FETCH
+            and service == self._docs_service
+            and method in _PROVEN
+        )
+
+    def _rewrite(self, request: Request) -> Request:
+        return Request(
+            request.service, _PROVEN[request.method], request.kwargs
+        )
+
+    def _rewrite_batch(
+        self, requests: Sequence[Request]
+    ) -> tuple[list[Request], list[int]]:
+        rewritten: list[Request] = []
+        verified_slots: list[int] = []
+        for index, request in enumerate(requests):
+            if self._should_verify(request.service, request.method):
+                rewritten.append(self._rewrite(request))
+                verified_slots.append(index)
+            else:
+                rewritten.append(request)
+                if request.method in _MUTATING_METHODS:
+                    self._dirty = True
+        return rewritten, verified_slots
+
+    def _after_passthrough(self, method: str) -> None:
+        if method in _MUTATING_METHODS and self.config.refresh_on_write:
+            self._dirty = True
+
+    def _check(self, original_method: str, result: Any) -> Any:
+        """Verify proven-read envelopes, returning plain documents."""
+        try:
+            if original_method == "get":
+                document = self._verify_envelope(result)
+            else:
+                document = [
+                    self._verify_envelope(envelope) for envelope in result
+                ]
+        except StaleStateError:
+            with self._stats_lock:
+                self._stale_detected += 1
+            _note_outcome("failed")
+            raise
+        except IntegrityError:
+            with self._stats_lock:
+                self._integrity_failures += 1
+            _note_outcome("failed")
+            raise
+        _note_outcome("verified")
+        return document
+
+    def _verify_envelope(self, envelope: Any) -> dict:
+        if not isinstance(envelope, dict) or "document" not in envelope:
+            raise IntegrityError(
+                "proven read returned a malformed envelope"
+            )
+        doc_id = str(envelope.get("_id"))
+        document = envelope["document"]
+        root = str(envelope.get("root"))
+        try:
+            seq = int(envelope.get("seq") or 0)
+        except (TypeError, ValueError):
+            seq = 0
+        self._ensure_fresh()
+        classification = self.ledger.classify("docs", root, seq)
+        if classification == "unknown":
+            # The state may legitimately have advanced past our last
+            # refresh (a write raced the read); re-sync once before
+            # declaring the root bogus.
+            self._refresh(force=True)
+            classification = self.ledger.classify("docs", root, seq)
+        if classification == "stale":
+            raise StaleStateError(
+                f"document {doc_id!r} served under retired root "
+                f"{root[:16]}... (seq {seq}): rolled-back state"
+            )
+        if classification == "unknown":
+            raise IntegrityError(
+                f"document {doc_id!r} served under root {root[:16]}... "
+                "the ledger never accepted: tampered state"
+            )
+        if not isinstance(document, dict):
+            raise IntegrityError(
+                f"document {doc_id!r} body is not a document"
+            )
+        key = leaf_key(b"d", doc_id.encode())
+        value = message.encode(document)
+        if not verify_inclusion(root, key, value,
+                                envelope.get("proof")):
+            raise IntegrityError(
+                f"inclusion proof for document {doc_id!r} does not "
+                "verify against the accepted root: tampered state"
+            )
+        return document
+
+    # -- ledger refresh ------------------------------------------------------
+
+    def _ensure_fresh(self) -> None:
+        if self._dirty:
+            self._refresh(force=False)
+
+    def _refresh(self, force: bool) -> None:
+        with self._refresh_lock:
+            if not self._dirty and not force:
+                return
+            reports = self._inner.call_labeled(
+                self._integrity_service, "report"
+            )
+            try:
+                for label, report in sorted(reports.items()):
+                    self.ledger.accept_report(label, report)
+            except StaleStateError:
+                with self._stats_lock:
+                    self._stale_detected += 1
+                _note_outcome("failed")
+                raise
+            except IntegrityError:
+                with self._stats_lock:
+                    self._integrity_failures += 1
+                _note_outcome("failed")
+                raise
+            self._dirty = False
+
+    # -- audit pass ----------------------------------------------------------
+
+    def audit(self) -> dict:
+        """Background sweep: reconcile ledger vs recomputed state roots.
+
+        Returns a summary dict; raises :class:`IntegrityError` /
+        :class:`StaleStateError` when any shard's recomputed state
+        contradicts what the ledger accepted at write time.
+        """
+        self._refresh(force=True)
+        audits = self._inner.call_labeled(
+            self._integrity_service, "audit_report"
+        )
+        checked = 0
+        for label, audit in sorted(audits.items()):
+            for tree, state in (audit.get("trees") or {}).items():
+                expected = self.ledger.expect(label, tree)
+                if expected is None:
+                    continue
+                checked += 1
+                if str(state["root"]) != expected.root:
+                    with self._stats_lock:
+                        self._integrity_failures += 1
+                    raise IntegrityError(
+                        f"audit: shard {label!r} tree {tree!r} "
+                        "recomputed root diverges from the ledger: "
+                        "out-of-band tampering"
+                    )
+        return {
+            "shards": len(audits),
+            "roots_checked": checked,
+            "cluster": {
+                tree: self.ledger.cluster_root(tree)
+                for tree in self.ledger.trees()
+            },
+        }
+
+    # -- stats / delegation --------------------------------------------------
+
+    def _own_stats(self) -> NetworkStats:
+        with self._stats_lock:
+            return NetworkStats(
+                integrity_failures=self._integrity_failures,
+                stale_detected=self._stale_detected,
+            )
+
+    def stats(self) -> NetworkStats:
+        return self._inner.stats().merge(self._own_stats())
+
+    def labeled_stats(self) -> dict[str, NetworkStats]:
+        inner = dict(self._inner.labeled_stats())
+        own = self._own_stats()
+        if len(inner) == 1:
+            label, stats = next(iter(inner.items()))
+            return {label: stats.merge(own)}
+        inner["integrity"] = inner.get(
+            "integrity", NetworkStats()
+        ).merge(own)
+        return inner
+
+    def call_labeled(self, service: str, method: str,
+                     **kwargs: Any) -> dict[str, Any]:
+        return self._inner.call_labeled(service, method, **kwargs)
+
+    def topology_epoch(self) -> int:
+        return self._inner.topology_epoch()
+
+    def drain_shard_timings(self) -> list[tuple[str, float]]:
+        return self._inner.drain_shard_timings()
+
+    def drain_async_writes(self, timeout: float | None = None) -> int:
+        return self._inner.drain_async_writes(timeout)
+
+    def close(self) -> None:
+        self._inner.close()

@@ -55,6 +55,7 @@ from repro.net.transport import Transport
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.crypto.kernels.config import CryptoConfig
+    from repro.integrity.config import IntegrityConfig
     from repro.shard.config import ShardConfig
 
 
@@ -126,6 +127,14 @@ class PipelineConfig:
     #: Slot budget of one coalesced wire batch: the window closes early
     #: once the combined batch holds this many sub-requests.
     coalesce_max_slots: int = 256
+    #: Integrity & freshness verification
+    #: (:class:`repro.integrity.config.IntegrityConfig`): Merkle state
+    #: roots on the cloud, a freshness ledger at the gateway, and either
+    #: proof-on-fetch verified reads or an audit-pass sweep, activated
+    #: per protection class.  ``None`` keeps the seed's trusting read
+    #: path byte-for-byte (no tracker, no extra services, no wire
+    #: changes).
+    integrity: "IntegrityConfig | None" = None
 
 
 #: Methods whose results gateway callers ignore: index maintenance on
@@ -368,6 +377,10 @@ class BatchCollector(Transport):
 
     def labeled_stats(self) -> dict[str, NetworkStats]:
         return self._inner.labeled_stats()
+
+    def call_labeled(self, service: str, method: str,
+                     **kwargs: Any) -> dict[str, Any]:
+        return self._inner.call_labeled(service, method, **kwargs)
 
     def topology_epoch(self) -> int:
         return self._inner.topology_epoch()

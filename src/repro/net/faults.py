@@ -20,6 +20,8 @@ kind             wire meaning                                  applied?
 ``disconnect``   connection died after dispatch; reply lost    yes
 ``duplicate``    frame delivered twice (network duplication)   twice
 ``delay``        frame delayed by ``delay_seconds``            yes
+``tamper``       adversary mutated a fetched document reply    yes
+``rollback``     adversary replayed an old (valid) reply       yes
 ===============  ============================================  =========
 
 "applied?" is what makes the taxonomy matter: ``drop``/``corrupt``
@@ -27,10 +29,21 @@ faults are safe to blindly retry, while ``disconnect`` means the cloud
 *did* execute the request and only the idempotency-key dedup window
 (:class:`repro.net.rpc.ServiceHost`) makes a retry safe, and
 ``duplicate`` exercises the same window without any client retry.
+
+``tamper`` and ``rollback`` model the *untrusted-provider* adversary of
+the integrity subsystem rather than a flaky link: ``tamper`` flips one
+bit in a proven document read's reply, ``rollback`` re-serves the
+earliest previously captured reply for the same request once the stored
+document has actually changed.  Both are recorded in :meth:`events`
+only when they actually mutate a delivery — a draw that lands on a
+non-document call, an empty reply, or an unchanged document is a no-op
+— so the chaos invariant "every recorded event surfaces as a typed
+:class:`repro.errors.IntegrityError`" is exact, not probabilistic.
 """
 
 from __future__ import annotations
 
+import copy
 import json
 import random
 import threading
@@ -43,7 +56,16 @@ from repro.net.latency import NetworkStats
 from repro.net.rpc import Request, Response
 from repro.net.transport import Transport
 
-FAULT_KINDS = ("drop", "corrupt", "disconnect", "duplicate", "delay")
+FAULT_KINDS = ("drop", "corrupt", "disconnect", "duplicate", "delay",
+               "tamper", "rollback")
+
+#: Kinds recorded only when they actually mutate a delivery (see the
+#: module docstring); the seeded draw alone does not make an event.
+APPLY_TIME_KINDS = frozenset({"tamper", "rollback"})
+
+#: Document reads whose replies carry integrity envelopes — the only
+#: deliveries ``tamper``/``rollback`` ever touch.
+_PROTECTED_READS = frozenset({"get_proven", "get_many_proven"})
 
 
 @dataclass(frozen=True)
@@ -61,6 +83,8 @@ class FaultPlan:
     disconnect: float = 0.0
     duplicate: float = 0.0
     delay: float = 0.0
+    tamper: float = 0.0
+    rollback: float = 0.0
     #: Added one-way delay when a ``delay`` fault fires.
     delay_seconds: float = 0.0
     #: Whether the injected delay is actually slept (wall-clock chaos
@@ -69,7 +93,8 @@ class FaultPlan:
 
     def __post_init__(self) -> None:
         total = (self.drop + self.corrupt + self.disconnect
-                 + self.duplicate + self.delay)
+                 + self.duplicate + self.delay
+                 + self.tamper + self.rollback)
         if total > 1.0 + 1e-9:
             raise ValueError(
                 f"fault probabilities sum to {total}, must be <= 1"
@@ -116,6 +141,9 @@ class FaultInjectingTransport(Transport):
         self._events: list[FaultEvent] = []
         self._deliveries = 0
         self._injected_delay = 0.0
+        #: Earliest reply seen per proven-read signature: the material a
+        #: ``rollback`` fault replays once the stored document changed.
+        self._captures: dict[str, Any] = {}
         self._lock = threading.Lock()
 
     @property
@@ -128,8 +156,13 @@ class FaultInjectingTransport(Transport):
 
     # -- schedule ----------------------------------------------------------
 
-    def _next_fault(self, op: str, target: str) -> str | None:
-        """One seeded draw decides this delivery's fault (or none)."""
+    def _next_fault(self, op: str, target: str) -> tuple[int, str | None]:
+        """One seeded draw decides this delivery's fault (or none).
+
+        Returns ``(seq, kind)``.  Link faults are recorded immediately;
+        :data:`APPLY_TIME_KINDS` are recorded by the caller via
+        :meth:`_record` only once they actually mutate the delivery.
+        """
         with self._lock:
             seq = self._deliveries
             self._deliveries += 1
@@ -137,10 +170,17 @@ class FaultInjectingTransport(Transport):
             for kind in FAULT_KINDS:
                 probability = self._plan.probability(kind)
                 if draw < probability:
-                    self._events.append(FaultEvent(seq, kind, op, target))
-                    return kind
+                    if kind not in APPLY_TIME_KINDS:
+                        self._events.append(
+                            FaultEvent(seq, kind, op, target)
+                        )
+                    return seq, kind
                 draw -= probability
-            return None
+            return seq, None
+
+    def _record(self, seq: int, kind: str, op: str, target: str) -> None:
+        with self._lock:
+            self._events.append(FaultEvent(seq, kind, op, target))
 
     def events(self) -> list[FaultEvent]:
         """Every fault injected so far (for assertions and artifacts)."""
@@ -172,6 +212,100 @@ class FaultInjectingTransport(Transport):
         if self._plan.sleep and self._plan.delay_seconds > 0:
             time.sleep(self._plan.delay_seconds)
 
+    # -- adversarial (integrity) faults ------------------------------------
+
+    @staticmethod
+    def _eligible(request: Request) -> bool:
+        return (request.service.startswith("docs/")
+                and request.method in _PROTECTED_READS)
+
+    @staticmethod
+    def _signature(request: Request) -> str:
+        return (f"{request.service}.{request.method}:"
+                f"{sorted(request.kwargs.items())!r}")
+
+    def _capture(self, request: Request, result: Any) -> None:
+        """Remember the earliest reply per proven-read signature."""
+        if not self._eligible(request) or result is None:
+            return
+        signature = self._signature(request)
+        with self._lock:
+            if signature not in self._captures:
+                self._captures[signature] = copy.deepcopy(result)
+
+    def _dispatch(self, request: Request) -> Any:
+        result = self._inner.call_request(request)
+        self._capture(request, result)
+        return result
+
+    def _dispatch_batch(self,
+                        requests: Sequence[Request]) -> list[Response]:
+        responses = self._inner.call_batch(requests)
+        for request, response in zip(requests, responses):
+            if response.ok:
+                self._capture(request, response.result)
+        return responses
+
+    @classmethod
+    def _flip_leaf(cls, container: Any) -> bool:
+        """Flip one bit in the first mutable leaf; True when mutated."""
+        items: Any
+        if isinstance(container, dict):
+            items = list(container.items())
+        elif isinstance(container, list):
+            items = list(enumerate(container))
+        else:
+            return False
+        for key, value in items:
+            if isinstance(value, bytes) and value:
+                container[key] = bytes([value[0] ^ 1]) + value[1:]
+                return True
+            if isinstance(value, str) and value:
+                container[key] = chr(ord(value[0]) ^ 1) + value[1:]
+                return True
+            if isinstance(value, bool):
+                container[key] = not value
+                return True
+            if isinstance(value, (int, float)):
+                container[key] = value + 1
+                return True
+            if isinstance(value, (dict, list)) and cls._flip_leaf(value):
+                return True
+        return False
+
+    @classmethod
+    def _apply_tamper(cls, result: Any) -> bool:
+        """Mutate one proven-read envelope in place; True when applied.
+
+        Prefers flipping a bit inside the document payload (defeated by
+        the inclusion proof); falls back to the reported root (defeated
+        by the freshness ledger).  Tuple/set-only documents fall through
+        to the root flip, so an applied tamper is always detectable.
+        """
+        envelopes = result if isinstance(result, list) else [result]
+        for envelope in envelopes:
+            if not isinstance(envelope, dict):
+                continue
+            document = envelope.get("document")
+            if isinstance(document, dict) and cls._flip_leaf(document):
+                return True
+            root = envelope.get("root")
+            if isinstance(root, str) and root:
+                envelope["root"] = chr(ord(root[0]) ^ 1) + root[1:]
+                return True
+        return False
+
+    def _apply_rollback(self, request: Request,
+                        result: Any) -> tuple[Any, bool]:
+        """Replay the earliest differing capture for this request."""
+        if not self._eligible(request):
+            return result, False
+        with self._lock:
+            captured = self._captures.get(self._signature(request))
+        if captured is None or captured == result:
+            return result, False
+        return copy.deepcopy(captured), True
+
     # -- Transport interface -----------------------------------------------
 
     def call(self, service: str, method: str, **kwargs: Any) -> Any:
@@ -179,7 +313,7 @@ class FaultInjectingTransport(Transport):
 
     def call_request(self, request: Request) -> Any:
         target = f"{request.service}.{request.method}"
-        kind = self._next_fault("call", target)
+        seq, kind = self._next_fault("call", target)
         if kind == "drop":
             raise TransportFault(f"injected fault: request {target} "
                                  f"dropped in flight")
@@ -188,21 +322,35 @@ class FaultInjectingTransport(Transport):
                                  f"frame corrupt, rejected by peer")
         if kind == "delay":
             self._delay()
-            return self._inner.call_request(request)
+            return self._dispatch(request)
         if kind == "duplicate":
-            self._inner.call_request(request)
-            return self._inner.call_request(request)
+            self._dispatch(request)
+            return self._dispatch(request)
         if kind == "disconnect":
-            self._inner.call_request(request)
+            self._dispatch(request)
             raise TransportFault(f"injected fault: connection lost after "
                                  f"{target} was delivered; reply lost")
-        return self._inner.call_request(request)
+        if kind == "tamper":
+            result = self._dispatch(request)
+            if self._eligible(request):
+                tampered = copy.deepcopy(result)
+                if self._apply_tamper(tampered):
+                    self._record(seq, "tamper", "call", target)
+                    return tampered
+            return result
+        if kind == "rollback":
+            result = self._dispatch(request)
+            replayed, applied = self._apply_rollback(request, result)
+            if applied:
+                self._record(seq, "rollback", "call", target)
+            return replayed
+        return self._dispatch(request)
 
     def call_batch(self, requests: Sequence[Request]) -> list[Response]:
         if not requests:
             return []
         target = f"batch[{len(requests)}]"
-        kind = self._next_fault("batch", target)
+        seq, kind = self._next_fault("batch", target)
         if kind == "drop":
             raise TransportFault(f"injected fault: {target} frame "
                                  f"dropped in flight")
@@ -211,15 +359,53 @@ class FaultInjectingTransport(Transport):
                                  f"corrupt, rejected by peer")
         if kind == "delay":
             self._delay()
-            return self._inner.call_batch(requests)
+            return self._dispatch_batch(requests)
         if kind == "duplicate":
-            self._inner.call_batch(requests)
-            return self._inner.call_batch(requests)
+            self._dispatch_batch(requests)
+            return self._dispatch_batch(requests)
         if kind == "disconnect":
-            self._inner.call_batch(requests)
+            self._dispatch_batch(requests)
             raise TransportFault(f"injected fault: connection lost after "
                                  f"{target} was delivered; reply lost")
-        return self._inner.call_batch(requests)
+        if kind == "tamper":
+            responses = self._dispatch_batch(requests)
+            for index, (request, response) in enumerate(
+                zip(requests, responses)
+            ):
+                if not response.ok or not self._eligible(request):
+                    continue
+                tampered = copy.deepcopy(response.result)
+                if self._apply_tamper(tampered):
+                    self._record(
+                        seq, "tamper", "batch",
+                        f"{target}[{index}]="
+                        f"{request.service}.{request.method}",
+                    )
+                    responses = list(responses)
+                    responses[index] = Response(ok=True, result=tampered)
+                    break
+            return responses
+        if kind == "rollback":
+            responses = self._dispatch_batch(requests)
+            for index, (request, response) in enumerate(
+                zip(requests, responses)
+            ):
+                if not response.ok:
+                    continue
+                replayed, applied = self._apply_rollback(
+                    request, response.result
+                )
+                if applied:
+                    self._record(
+                        seq, "rollback", "batch",
+                        f"{target}[{index}]="
+                        f"{request.service}.{request.method}",
+                    )
+                    responses = list(responses)
+                    responses[index] = Response(ok=True, result=replayed)
+                    break
+            return responses
+        return self._dispatch_batch(requests)
 
     def stats(self) -> NetworkStats:
         with self._lock:
@@ -241,6 +427,14 @@ class FaultInjectingTransport(Transport):
             return {label: stats.merge(own)}
         labeled["faults"] = own
         return labeled
+
+    def call_labeled(self, service: str, method: str,
+                     **kwargs: Any) -> dict[str, Any]:
+        # Labeled broadcasts (integrity state reports) bypass fault
+        # injection: the chaos schedules target the data path, and a
+        # dropped report would only retry — the detection experiments
+        # tamper with fetched state, not with the report channel.
+        return self._inner.call_labeled(service, method, **kwargs)
 
     def topology_epoch(self) -> int:
         return self._inner.topology_epoch()

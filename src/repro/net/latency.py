@@ -38,6 +38,8 @@ class NetworkStats:
     breaker_opens: int = 0
     failovers: int = 0
     faults_injected: int = 0
+    integrity_failures: int = 0
+    stale_detected: int = 0
 
     def merge(self, other: "NetworkStats") -> "NetworkStats":
         return NetworkStats(
@@ -50,6 +52,8 @@ class NetworkStats:
             self.breaker_opens + other.breaker_opens,
             self.failovers + other.failovers,
             self.faults_injected + other.faults_injected,
+            self.integrity_failures + other.integrity_failures,
+            self.stale_detected + other.stale_detected,
         )
 
 
@@ -79,6 +83,8 @@ def render_labeled(labeled: dict[str, NetworkStats]) -> str:
             f" retries={stats.retries} breaker_opens={stats.breaker_opens}"
             f" failovers={stats.failovers}"
             f" faults={stats.faults_injected}"
+            f" integrity_failures={stats.integrity_failures}"
+            f" stale={stats.stale_detected}"
         )
     total = roll_up(labeled)
     lines.append(
@@ -87,6 +93,8 @@ def render_labeled(labeled: dict[str, NetworkStats]) -> str:
         f" bytes={total.bytes_sent + total.bytes_received}"
         f" retries={total.retries} breaker_opens={total.breaker_opens}"
         f" failovers={total.failovers} faults={total.faults_injected}"
+        f" integrity_failures={total.integrity_failures}"
+        f" stale={total.stale_detected}"
     )
     return "\n".join(lines)
 

@@ -187,6 +187,23 @@ class MultiCloudTransport(Transport):
             )
         return labeled
 
+    def call_labeled(self, service: str, method: str,
+                     **kwargs: Any) -> dict[str, Any]:
+        """Labeled broadcast, routed to the service's primary provider.
+
+        Integrity state reports follow the data: the provider holding a
+        route's stores is the one whose roots matter, so the broadcast
+        is not fanned out to every provider the way ``admin`` calls are.
+        """
+        primary, secondary = self._route(service)
+        try:
+            return primary.call_labeled(service, method, **kwargs)
+        except CircuitOpenError:
+            if secondary is None:
+                raise
+            self._record_failover()
+            return secondary.call_labeled(service, method, **kwargs)
+
     def topology_epoch(self) -> int:
         return max(
             (t.topology_epoch() for t in self._providers()), default=0

@@ -393,6 +393,10 @@ class ResilientTransport(Transport):
         labeled["resilience"] = own
         return labeled
 
+    def call_labeled(self, service: str, method: str,
+                     **kwargs: Any) -> dict[str, Any]:
+        return self._inner.call_labeled(service, method, **kwargs)
+
     def topology_epoch(self) -> int:
         return self._inner.topology_epoch()
 

@@ -120,6 +120,19 @@ class Transport(ABC):
         """
         return {"endpoint": self.stats()}
 
+    def call_labeled(self, service: str, method: str,
+                     **kwargs: Any) -> dict[str, Any]:
+        """Invoke ``service.method`` on every labelled endpoint and
+        return the results keyed by the same labels
+        :meth:`labeled_stats` uses.
+
+        The integrity subsystem pulls per-shard state reports with
+        this: the sharded router broadcasts and returns one result per
+        shard, wrappers delegate inward, and a plain single-endpoint
+        transport returns ``{"endpoint": result}``.
+        """
+        return {"endpoint": self.call(service, method, **kwargs)}
+
     def topology_epoch(self) -> int:
         """Monotonic counter of untrusted-zone membership changes.
 

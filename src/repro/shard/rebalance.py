@@ -34,7 +34,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Iterable
 
-from repro.errors import RemoteError, TransportError
+from repro.errors import IntegrityError, RemoteError, TransportError
 from repro.net.transport import Transport
 from repro.shard.ring import HashRing
 from repro.shard.router import (
@@ -54,6 +54,9 @@ class MigrationReport:
     index_entries_moved: dict[str, int] = field(default_factory=dict)
     services_replayed: int = 0
     seconds: float = 0.0
+    #: True when the post-migration cluster-digest invariance check ran
+    #: (it runs only when integrity is enabled on the zones).
+    integrity_verified: bool = False
 
     @property
     def index_entries_total(self) -> int:
@@ -92,6 +95,7 @@ class Resharder:
         self._router.drain_async_writes()
         report = MigrationReport(node=name)
         started = time.perf_counter()
+        before = self._cluster_digests()
         sources = self._router.node_names()
         self._router.begin_join(name, transport)
         report.services_replayed = len(self._router.provision_log)
@@ -111,6 +115,7 @@ class Resharder:
                 report.index_entries_moved[service] = moved
         finally:
             self._router.finish_migration()
+        report.integrity_verified = self._check_digests(before, name)
         report.seconds = time.perf_counter() - started
         return report
 
@@ -122,6 +127,7 @@ class Resharder:
         self._router.drain_async_writes()
         report = MigrationReport(node=name)
         started = time.perf_counter()
+        before = self._cluster_digests()
         self._router.begin_leave(name)
         try:
             ring = HashRing.from_spec(self._router.ring_spec())
@@ -135,6 +141,7 @@ class Resharder:
                 )
         finally:
             self._router.finish_leave(name)
+        report.integrity_verified = self._check_digests(before, name)
         report.seconds = time.perf_counter() - started
         return report
 
@@ -154,6 +161,52 @@ class Resharder:
                 service,
                 [target if pin == departing else pin for pin in pins],
             )
+
+    # -- integrity invariance --------------------------------------------------
+
+    def _cluster_digests(self) -> dict[str, dict[str, int]] | None:
+        """Per-application additive cluster digests, or None when the
+        zones do not run integrity tracking.
+
+        The additive (AdHash-style) digest of a tree is the sum of its
+        shard digests, and relocating leaves between shards preserves
+        that sum — so at ``replication == 1`` a migration must leave
+        every cluster digest exactly where it was.
+        """
+        from repro.integrity.merkle import merge_digests
+
+        digests: dict[str, dict[str, int]] = {}
+        for application in self._router.applications:
+            try:
+                labeled = self._router.call_labeled(
+                    f"integrity/{application}", "report"
+                )
+            except (RemoteError, TransportError):
+                continue  # integrity not enabled on this application
+            per_tree: dict[str, list[int]] = {}
+            for state in labeled.values():
+                for tree, entry in state["trees"].items():
+                    per_tree.setdefault(tree, []).append(
+                        int(str(entry["digest"]), 16)
+                    )
+            digests[application] = {
+                tree: merged
+                for tree, parts in per_tree.items()
+                if (merged := merge_digests(parts)) != 0
+            }
+        return digests or None
+
+    def _check_digests(self, before: dict | None, node: str) -> bool:
+        if before is None:
+            return False
+        after = self._cluster_digests() or {}
+        if after != before:
+            raise IntegrityError(
+                f"resharding around node {node!r} changed the cluster "
+                f"digest: expected {before}, observed {after} — "
+                f"entries were lost or duplicated during the migration"
+            )
+        return True
 
     # -- the streaming moves ---------------------------------------------------
 

@@ -157,6 +157,11 @@ class ShardedTransport(Transport):
         self._scatters = 0
         #: Post-ack replica deliveries still in flight (quorum writes).
         self._async_writes: set[Future] = set()
+        #: The same in-flight legs keyed by node: a later write's leg to
+        #: a node waits these out first, so two writes to one key can
+        #: never land on a replica in inverted order (see
+        #: :meth:`_chain_launch`).
+        self._async_by_node: dict[str, set[Future]] = {}
         self._async_retries = 0
         self._async_failures = 0
         #: Provisioning calls replayed onto every joining node.
@@ -327,6 +332,19 @@ class ShardedTransport(Transport):
         labeled["router"] = own
         return labeled
 
+    def call_labeled(self, service: str, method: str,
+                     **kwargs: Any) -> dict[str, Any]:
+        """Broadcast to every shard, results keyed ``shard:<name>`` —
+        the labels match :meth:`labeled_stats`, so the integrity
+        ledger's per-shard watermarks line up with the per-shard
+        traffic counters."""
+        request = Request(service, method, kwargs)
+        return {
+            f"shard:{name}": result
+            for name, result in self._broadcast(request,
+                                                skip_broken=False)
+        }
+
     def scatter_count(self) -> int:
         with self._lock:
             return self._scatters
@@ -412,9 +430,19 @@ class ShardedTransport(Transport):
     # -- replicated chain delivery ---------------------------------------------
 
     def _deliver(self, name: str, payload: Any, is_batch: bool,
-                 state: dict) -> tuple[str, Any, float, Exception | None]:
+                 state: dict, after: tuple[Future, ...] = ()
+                 ) -> tuple[str, Any, float, Exception | None]:
         """One delivery leg, run on the scatter pool (leaf job: never
         submits nested work).
+
+        ``after`` holds this node's still-detached legs from earlier
+        acked writes: they are waited out (success or failure — only
+        ordering matters) before this leg delivers, so a quorum-acked
+        write to a key can never be overtaken on a replica by a later
+        write to the same key.  Every ``after`` future was submitted
+        strictly earlier than this leg, so the pool's FIFO queue keeps
+        the wait deadlock-free.  The wait happens before the timing
+        clock starts — barrier time is not delivery time.
 
         Before the caller acked (``state["acked"]`` unset) a failure
         reports immediately — the caller decides failover semantics.
@@ -423,6 +451,8 @@ class ShardedTransport(Transport):
         frame is worth re-attempting once the window passed); the
         request's idempotency key makes every redelivery at-most-once.
         """
+        if after:
+            wait(after)
         attempts = 0
         while True:
             node = self._nodes.get(name)
@@ -458,9 +488,14 @@ class ShardedTransport(Transport):
         pool = self._scatter_pool()
         state: dict = {"acked": False}
         futures: dict[Future, int] = {}
+        with self._lock:
+            barriers = {
+                name: tuple(self._async_by_node.get(name, ()))
+                for name in owners
+            }
         for position, name in enumerate(owners):
             future = pool.submit(self._deliver, name, payload, is_batch,
-                                 state)
+                                 state, barriers[name])
             futures[future] = position
         return {"state": state, "futures": futures,
                 "owners": tuple(owners)}
@@ -511,7 +546,11 @@ class ShardedTransport(Transport):
             if not legacy and len(successes) >= quorum:
                 break
         if pending:
-            self._detach_async(pending, state)
+            owners = launch["owners"]
+            self._detach_async(
+                pending, state,
+                {future: owners[futures[future]] for future in pending},
+            )
         if abort is not None:
             raise abort
         if not successes:
@@ -522,18 +561,30 @@ class ShardedTransport(Transport):
             raise failure
         return successes[min(successes)], rows
 
-    def _detach_async(self, futures: Iterable[Future],
-                      state: dict) -> None:
+    def _detach_async(self, futures: Iterable[Future], state: dict,
+                      names: dict[Future, str]) -> None:
         """Hand the unfinished legs of an acked write to the background."""
         state["acked"] = True
         with self._lock:
             self._async_writes.update(futures)
+            for future in futures:
+                self._async_by_node.setdefault(
+                    names[future], set()
+                ).add(future)
         for future in futures:
-            future.add_done_callback(self._async_done)
+            future.add_done_callback(
+                functools.partial(self._async_done, name=names[future])
+            )
 
-    def _async_done(self, future: Future) -> None:
+    def _async_done(self, future: Future, name: str | None = None) -> None:
         with self._lock:
             self._async_writes.discard(future)
+            if name is not None:
+                legs = self._async_by_node.get(name)
+                if legs is not None:
+                    legs.discard(future)
+                    if not legs:
+                        del self._async_by_node[name]
         try:
             _, _, _, error = future.result()
         except Exception as exc:  # noqa: BLE001 - background accounting
@@ -546,15 +597,24 @@ class ShardedTransport(Transport):
     # -- native async chain delivery ---------------------------------------------
 
     async def _deliver_async(self, name: str, payload: Any,
-                             is_batch: bool, state: dict
+                             is_batch: bool, state: dict,
+                             after: tuple[Future, ...] = ()
                              ) -> tuple[str, Any, float, Exception | None]:
         """Async mirror of :meth:`_deliver`: one delivery leg as a task.
 
         Same pre-ack/post-ack contract and bounded backoff, but the
         retries back off with ``asyncio.sleep`` and the node call rides
         the node transport's async path — fan-out holds loop tasks, not
-        pool threads.
+        pool threads.  The ``after`` ordering barrier (this node's
+        still-detached earlier legs) is awaited, not blocked on, and a
+        barrier leg's own failure is irrelevant here — only its
+        completion order matters.
         """
+        if after:
+            await asyncio.gather(
+                *(asyncio.wrap_future(leg) for leg in after),
+                return_exceptions=True,
+            )
         attempts = 0
         while True:
             node = self._nodes.get(name)
@@ -589,9 +649,15 @@ class ShardedTransport(Transport):
         """Start one write's replica deliveries as loop tasks."""
         state: dict = {"acked": False}
         tasks: dict[asyncio.Task, int] = {}
+        with self._lock:
+            barriers = {
+                name: tuple(self._async_by_node.get(name, ()))
+                for name in owners
+            }
         for position, name in enumerate(owners):
             task = asyncio.ensure_future(
-                self._deliver_async(name, payload, is_batch, state)
+                self._deliver_async(name, payload, is_batch, state,
+                                    barriers[name])
             )
             tasks[task] = position
         return {"state": state, "futures": tasks,
@@ -643,10 +709,12 @@ class ShardedTransport(Transport):
                     break
         except asyncio.CancelledError:
             if pending:
-                self._detach_async_tasks(pending, state)
+                self._detach_async_tasks(pending, state, tasks,
+                                         launch["owners"])
             raise
         if pending:
-            self._detach_async_tasks(pending, state)
+            self._detach_async_tasks(pending, state, tasks,
+                                     launch["owners"])
         if abort is not None:
             raise abort
         if not successes:
@@ -658,21 +726,28 @@ class ShardedTransport(Transport):
         return successes[min(successes)], rows
 
     def _detach_async_tasks(self, tasks: Iterable[asyncio.Task],
-                            state: dict) -> None:
+                            state: dict,
+                            positions: dict[asyncio.Task, int],
+                            owners: Sequence[str]) -> None:
         """Background the unfinished legs of an acked write.
 
         Each loop task is bridged to a ``concurrent.futures.Future``
-        proxy registered in ``_async_writes``, so the existing *sync*
-        durability barrier (:meth:`drain_async_writes`, called from any
-        thread) waits async-delivered replicas out exactly like
-        pool-delivered ones.
+        proxy registered in ``_async_writes`` (and, per node, in
+        ``_async_by_node`` so later writes order behind it), so the
+        existing *sync* durability barrier (:meth:`drain_async_writes`,
+        called from any thread) waits async-delivered replicas out
+        exactly like pool-delivered ones.
         """
         state["acked"] = True
         for task in tasks:
+            name = owners[positions[task]]
             proxy: Future = concurrent.futures.Future()
             with self._lock:
                 self._async_writes.add(proxy)
-            proxy.add_done_callback(self._async_done)
+                self._async_by_node.setdefault(name, set()).add(proxy)
+            proxy.add_done_callback(
+                functools.partial(self._async_done, name=name)
+            )
 
             def _bridge(finished: asyncio.Task, proxy: Future = proxy
                         ) -> None:
@@ -1178,8 +1253,8 @@ class ShardedTransport(Transport):
         service, method = request.service, request.method
         if service.startswith("docs/"):
             return method not in (
-                "get", "get_many", "count", "all_ids", "find_plain",
-                "find_text",
+                "get", "get_many", "get_proven", "get_many_proven",
+                "count", "all_ids", "find_plain", "find_text",
             )
         if service.startswith("tactic/"):
             return (method in MUTATING_TACTIC_METHODS
@@ -1279,7 +1354,11 @@ class ShardedTransport(Transport):
             for _, result in self._broadcast(request, skip_broken=False):
                 names.update(result or [])
             return sorted(names)
-        if method in ("provision_application", "provision_tactic"):
+        if method in ("provision_application", "provision_tactic",
+                      "enable_integrity"):
+            # enable_integrity is provision-logged too: a joining node
+            # must build its trees and register its integrity service
+            # before migrated entries start landing on it.
             self._log_provision(request)
             if method == "provision_application":
                 application = request.kwargs.get("application")
@@ -1287,7 +1366,7 @@ class ShardedTransport(Transport):
                     if application and (application
                                         not in self._applications):
                         self._applications.append(application)
-            else:
+            elif method == "provision_tactic":
                 from repro.spi.context import service_name
 
                 kwargs = request.kwargs
@@ -1323,9 +1402,9 @@ class ShardedTransport(Transport):
             return self._routed_write(self._doc_key(kwargs), request)
         if method == "insert_many":
             return self._docs_insert_many(request)
-        if method == "get":
+        if method in ("get", "get_proven"):
             return self._docs_get(request)
-        if method == "get_many":
+        if method in ("get_many", "get_many_proven"):
             return self._docs_get_many(request)
         if method == "replace":
             return self._docs_replace(request)
@@ -1461,7 +1540,7 @@ class ShardedTransport(Transport):
             deferred: list[str] = []
             for name in sorted(groups):
                 ids = groups[name]
-                sub = Request(request.service, "get_many",
+                sub = Request(request.service, request.method,
                               {**request.kwargs, "doc_ids": ids})
                 try:
                     stored = self._timed_call(name, sub)
@@ -1483,7 +1562,7 @@ class ShardedTransport(Transport):
                 if prev is not None:
                     groups.setdefault(prev, []).append(doc_id)
             for name in sorted(groups):
-                sub = Request(request.service, "get_many",
+                sub = Request(request.service, request.method,
                               {**request.kwargs,
                                "doc_ids": groups[name]})
                 for item in self._timed_call(name, sub):

@@ -188,6 +188,22 @@ class SnapshotStore:
     def __init__(self, wal: WriteAheadLog | None = None):
         self._wal = wal
         self._replaying = False
+        self._observers: list = []
+
+    def add_mutation_observer(self, observer) -> None:
+        """Register a callable invoked with every live mutation record.
+
+        Observers fire from :meth:`record` — i.e. under the store's own
+        lock, after the mutation is applied, and never during recovery
+        replay (the integrity tracker rebuilds from restored state
+        instead).  With no observers registered the per-mutation cost
+        is one empty-list check, so the defaults-off path is unchanged.
+        """
+        self._observers.append(observer)
+
+    def wal_sequence(self) -> int:
+        """Current WAL append sequence (0 for an in-memory store)."""
+        return self._wal._seq if self._wal is not None else 0  # noqa: SLF001
 
     def recover(self) -> None:
         if self._wal is None:
@@ -207,6 +223,9 @@ class SnapshotStore:
             self._replaying = False
 
     def record(self, record: Record) -> None:
+        if self._observers and not self._replaying:
+            for observer in self._observers:
+                observer(record)
         if self._wal is None or self._replaying:
             return
         self._wal.append(record)

@@ -130,6 +130,19 @@ class CloudTactic:
     def shard_drop(self) -> int:
         return self.ctx.kv.namespace_drop(self.ctx.state_key(b""))
 
+    def state_digest(self) -> str:
+        """Order-independent digest of this instance's secure-index state.
+
+        The integrity subsystem's tactic SPI: a hex commitment over the
+        same ``shard_dump`` enumeration the migration SPI ships, so the
+        digest is stable across resharding and restarts.  Tactics with
+        volatile caches outside their kv namespace need no override —
+        only durable index state is committed.
+        """
+        from repro.integrity.tracker import digest_of_namespace_dump
+
+        return digest_of_namespace_dump(self.shard_dump())
+
 
 def export_ring(spec: dict[str, Any]) -> tuple[HashRing, str | None]:
     """Rebuild ``(ring, origin)`` for a ``shard_export``/``shard_evict``

@@ -1,0 +1,157 @@
+"""Merkle tree unit tests: roots, proofs, additive digests."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.integrity.merkle import (
+    DIGEST_MOD,
+    EMPTY_ROOT,
+    MerkleTree,
+    digest_root,
+    leaf_key,
+    merge_digests,
+    verify_inclusion,
+)
+
+
+def filled(n: int) -> MerkleTree:
+    tree = MerkleTree()
+    for i in range(n):
+        tree.update(leaf_key(b"d", f"doc{i}".encode()), f"body{i}".encode())
+    return tree
+
+
+class TestEmptyTree:
+    def test_canonical_empty_state(self):
+        tree = MerkleTree()
+        assert len(tree) == 0
+        assert tree.root() == EMPTY_ROOT
+        assert tree.digest() == 0
+
+    def test_proof_for_absent_key_is_none(self):
+        assert MerkleTree().proof(b"missing") is None
+
+    def test_remove_absent_key_is_noop(self):
+        tree = MerkleTree()
+        assert tree.remove(b"missing") is False
+        assert tree.digest() == 0
+
+
+class TestMutation:
+    def test_update_then_remove_restores_state(self):
+        tree = filled(5)
+        root, digest = tree.root(), tree.digest()
+        key = leaf_key(b"d", b"extra")
+        tree.update(key, b"payload")
+        assert tree.root() != root
+        assert tree.digest() != digest
+        assert tree.remove(key) is True
+        assert tree.root() == root
+        assert tree.digest() == digest
+
+    def test_update_in_place_replaces_leaf_term(self):
+        tree = filled(3)
+        key = leaf_key(b"d", b"doc0")
+        tree.update(key, b"new body")
+        # The old term was subtracted: removing the leaf again leaves
+        # exactly the two untouched leaves' digest.
+        tree.remove(key)
+        rest = MerkleTree()
+        rest.update(leaf_key(b"d", b"doc1"), b"body1")
+        rest.update(leaf_key(b"d", b"doc2"), b"body2")
+        assert tree.digest() == rest.digest()
+        assert tree.root() == rest.root()
+
+    def test_clear(self):
+        tree = filled(4)
+        tree.clear()
+        assert len(tree) == 0
+        assert tree.root() == EMPTY_ROOT
+        assert tree.digest() == 0
+
+    def test_root_independent_of_insertion_order(self):
+        forward = filled(6)
+        backward = MerkleTree()
+        for i in reversed(range(6)):
+            backward.update(leaf_key(b"d", f"doc{i}".encode()),
+                            f"body{i}".encode())
+        assert forward.root() == backward.root()
+        assert forward.digest() == backward.digest()
+
+
+class TestProofs:
+    @pytest.mark.parametrize("n", range(1, 10))
+    def test_every_leaf_proves_at_every_size(self, n):
+        """Covers the odd-node promote rule at sizes 3, 5, 7, 9."""
+        tree = filled(n)
+        root = tree.root()
+        for i in range(n):
+            key = leaf_key(b"d", f"doc{i}".encode())
+            proof = tree.proof(key)
+            assert proof is not None
+            assert verify_inclusion(root, key, f"body{i}".encode(), proof)
+
+    def test_wrong_value_fails(self):
+        tree = filled(4)
+        key = leaf_key(b"d", b"doc1")
+        proof = tree.proof(key)
+        assert not verify_inclusion(tree.root(), key, b"forged", proof)
+
+    def test_wrong_root_fails(self):
+        tree = filled(4)
+        key = leaf_key(b"d", b"doc1")
+        proof = tree.proof(key)
+        other = filled(5).root()
+        assert not verify_inclusion(other, key, b"body1", proof)
+
+    def test_malformed_proofs_fail_closed(self):
+        tree = filled(4)
+        key = leaf_key(b"d", b"doc2")
+        root = tree.root()
+        assert not verify_inclusion(root, key, b"body2", None)
+        assert not verify_inclusion(root, key, b"body2",
+                                    [("L", "not-hex")])
+        assert not verify_inclusion(root, key, b"body2", [("X", "ab" * 32)])
+        assert not verify_inclusion(root, key, b"body2", [("L",)])
+        assert not verify_inclusion(root, key, b"body2", [42])
+
+    def test_proof_survives_json_round_trip(self):
+        """The wire codec hands decoded proofs back as lists of lists."""
+        tree = filled(5)
+        key = leaf_key(b"d", b"doc3")
+        proof = json.loads(json.dumps(tree.proof(key)))
+        assert isinstance(proof[0], list)
+        assert verify_inclusion(tree.root(), key, b"body3", proof)
+
+
+class TestAdditiveDigest:
+    def test_cluster_digest_is_placement_invariant(self):
+        """Splitting the leaves across shards keeps the merged digest."""
+        whole = filled(8)
+        shard_a, shard_b = MerkleTree(), MerkleTree()
+        for i in range(8):
+            shard = shard_a if i % 3 == 0 else shard_b
+            shard.update(leaf_key(b"d", f"doc{i}".encode()),
+                         f"body{i}".encode())
+        assert merge_digests(
+            [shard_a.digest(), shard_b.digest()]
+        ) == whole.digest()
+
+    def test_merge_reduces_mod_2_256(self):
+        assert merge_digests([DIGEST_MOD - 1, 1]) == 0
+        assert merge_digests([]) == 0
+
+    def test_digest_root_commits_to_the_digest(self):
+        a, b = filled(3), filled(4)
+        assert digest_root(a.digest()) != digest_root(b.digest())
+        assert digest_root(a.digest()) == digest_root(filled(3).digest())
+
+
+class TestLeafKeys:
+    def test_length_prefix_prevents_structural_collisions(self):
+        assert leaf_key(b"m", b"a\x00b", b"c") != leaf_key(b"m", b"a",
+                                                           b"b\x00c")
+        assert leaf_key(b"s", b"x") != leaf_key(b"d", b"x")

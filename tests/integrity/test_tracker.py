@@ -1,0 +1,201 @@
+"""Cloud-side tracker tests: incremental vs recomputed roots, domains,
+counter canonicalisation, WAL seq seeding, and the tactic SPI digest."""
+
+from __future__ import annotations
+
+from repro.cloud.server import CloudZone
+from repro.core.middleware import DataBlinder
+from repro.core.query import Eq
+from repro.core.registry import TacticRegistry
+from repro.fhir.model import observation_schema
+from repro.integrity import IntegrityConfig
+from repro.integrity.tracker import (
+    IntegrityTracker,
+    digest_of_namespace_dump,
+    tree_for_key,
+)
+from repro.net.batch import PipelineConfig
+from repro.net.transport import InProcTransport
+from repro.stores.docstore import DocumentStore
+from repro.stores.kv import KeyValueStore
+from repro.tactics import register_builtin_tactics
+
+APP = "trackapp"
+
+
+def fresh_registry() -> TacticRegistry:
+    registry = TacticRegistry()
+    register_builtin_tactics(registry)
+    return registry
+
+
+def make_doc(i: int) -> dict:
+    return {
+        "id": f"f{i}",
+        "identifier": i,
+        "status": "final" if i % 2 == 0 else "amended",
+        "code": "glucose" if i % 3 == 0 else "insulin",
+        "subject": f"Patient {i}",
+        "effective": 1000 + i,
+        "issued": 2000 + i,
+        "performer": "Dr",
+        "value": float(i),
+        "interpretation": "",
+    }
+
+
+def integrity_deployment() -> tuple[CloudZone, DataBlinder]:
+    registry = fresh_registry()
+    cloud = CloudZone(registry)
+    blinder = DataBlinder(
+        APP, InProcTransport(cloud.host), registry=registry,
+        pipeline=PipelineConfig(integrity=IntegrityConfig()),
+    )
+    blinder.register_schema(observation_schema())
+    return cloud, blinder
+
+
+class TestTreeForKey:
+    def test_tactic_keys_map_to_their_provisioned_domain(self):
+        key = b"tactic/app/status/dete/postings/x"
+        assert tree_for_key(key) == "tactic/app/status/dete"
+
+    def test_short_tactic_prefix_falls_back_to_kv(self):
+        assert tree_for_key(b"tactic/app") == "kv"
+
+    def test_other_keys_are_kv(self):
+        assert tree_for_key(b"whatever/else") == "kv"
+
+
+class TestIncrementalVsRecomputed:
+    def test_report_matches_audit_report_after_live_traffic(self):
+        """The incremental trees never drift from the raw stores."""
+        cloud, blinder = integrity_deployment()
+        observations = blinder.entities("observation")
+        ids = [observations.insert(make_doc(i)) for i in range(8)]
+        observations.update(ids[2], {"value": 42.0})
+        observations.delete(ids[7])
+        observations.find_ids(Eq("status", "final"))
+
+        tracker = cloud.integrity_tracker(APP)
+        live = tracker.report()
+        recomputed = tracker.audit_report()
+        assert live["seq"] == recomputed["seq"]
+        assert live["trees"] == recomputed["trees"]
+        assert live["trees"]["docs"]["leaves"] == 7
+
+    def test_rebuilt_tracker_reproduces_the_roots(self):
+        """A tracker re-attached to existing stores (restart) rebuilds
+        the exact same per-domain state from the raw stores."""
+        cloud, blinder = integrity_deployment()
+        observations = blinder.entities("observation")
+        for i in range(5):
+            observations.insert(make_doc(i))
+        original = cloud.integrity_tracker(APP)
+        kv, documents = cloud.application_stores(APP)
+        rebuilt = IntegrityTracker(kv, documents)
+        assert rebuilt.report()["trees"] == original.report()["trees"]
+
+
+class TestTacticStateDigest:
+    def test_state_digest_matches_the_tracker_tree(self):
+        """Every provisioned tactic attests the same digest the tracker
+        maintains for its domain (empty namespaces digest to zero)."""
+        cloud, blinder = integrity_deployment()
+        observations = blinder.entities("observation")
+        for i in range(6):
+            observations.insert(make_doc(i))
+        trees = cloud.integrity_tracker(APP).report()["trees"]
+        tactic_services = [
+            name for name in cloud.host.service_names()
+            if name.startswith("tactic/")
+        ]
+        assert tactic_services
+        checked = 0
+        for name in tactic_services:
+            digest = cloud.host.get(name).state_digest()
+            expected = trees.get(name, {}).get("digest", "0" * 64)
+            assert digest == expected, name
+            if int(digest, 16) != 0:
+                checked += 1
+        assert checked > 0  # at least one tactic holds index state
+
+
+class TestCounterCanonicalisation:
+    def test_counter_zero_equals_absent(self):
+        """``namespace_drop`` resets counters to 0; the tracker must
+        treat that as leaf-absent or resharding would change digests."""
+        kv, documents = KeyValueStore(), DocumentStore()
+        tracker = IntegrityTracker(kv, documents)
+        baseline = tracker.report()["trees"].get("kv", {}).get(
+            "digest", "0" * 64
+        )
+        kv.counter_increment(b"hits", 3)
+        assert tracker.report()["trees"]["kv"]["digest"] != baseline
+        kv.counter_set(b"hits", 0)
+        assert tracker.report()["trees"]["kv"].get(
+            "digest", "0" * 64
+        ) == baseline
+        # And the recomputed (raw-scan) path agrees.
+        audit = tracker.audit_report()["trees"]
+        assert audit.get("kv", {}).get("digest", "0" * 64) == baseline
+
+    def test_namespace_dump_digest_canonicalises_zero_too(self):
+        kv = KeyValueStore()
+        kv.counter_increment(b"tactic/a/f/t/count", 2)
+        kv.counter_set(b"tactic/a/f/t/count", 0)
+        dump = kv.namespace_dump(b"tactic/a/f/t/")
+        assert int(digest_of_namespace_dump(dump), 16) == 0
+
+
+class TestSequenceWatermark:
+    def test_every_mutation_bumps_the_sequence(self):
+        kv, documents = KeyValueStore(), DocumentStore()
+        tracker = IntegrityTracker(kv, documents)
+        start = tracker.seq
+        kv.put(b"k", b"v")
+        kv.map_put(b"m", b"f", b"v")
+        kv.set_add(b"s", b"m")
+        kv.counter_increment(b"c")
+        documents.insert({"_id": "d1", "body": "x"})
+        documents.delete("d1")
+        assert tracker.seq == start + 6
+
+    def test_in_memory_stores_start_at_zero(self):
+        tracker = IntegrityTracker(KeyValueStore(), DocumentStore())
+        assert tracker.seq == 0
+
+    def test_seq_seeds_from_the_wal_watermark(self, tmp_path):
+        """A tracker attached to recovered persistent stores resumes at
+        (not below) the sequence the gateway last saw — a restore from
+        an old snapshot cannot silently reach the current watermark."""
+        store = KeyValueStore(tmp_path / "kv")
+        for i in range(4):
+            store.put(f"k{i}".encode(), b"v")
+        store.close()
+
+        recovered = KeyValueStore(tmp_path / "kv")
+        tracker = IntegrityTracker(recovered, DocumentStore())
+        assert tracker.seq == recovered.wal_sequence()
+        assert tracker.seq >= 4
+        root_before = tracker.report()["trees"]["kv"]["root"]
+        recovered.put(b"k-new", b"v")
+        after = tracker.report()
+        assert after["seq"] == tracker.seq
+        assert after["trees"]["kv"]["root"] != root_before
+
+
+class TestProofEnvelope:
+    def test_prove_document_envelope_shape(self):
+        cloud, blinder = integrity_deployment()
+        observations = blinder.entities("observation")
+        doc_id = observations.insert(make_doc(0))
+        tracker = cloud.integrity_tracker(APP)
+        _, documents = cloud.application_stores(APP)
+        stored = documents.get(doc_id)
+        envelope = tracker.prove_document(doc_id, stored)
+        assert envelope["_id"] == doc_id
+        assert envelope["document"] == stored
+        assert envelope["root"] == tracker.report()["trees"]["docs"]["root"]
+        assert envelope["seq"] == tracker.seq
+        assert envelope["proof"] is not None

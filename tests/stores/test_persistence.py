@@ -181,6 +181,70 @@ class TestBytesKeyedRecovery:
         assert KeyValueStore(tmp_path).get(self.RAW) == b"v"
 
 
+class TestLegacySnapshot:
+    """Snapshots written before the ``__wal_seq__`` watermark scheme.
+
+    A legacy snapshot is the bare state dict, unwrapped: loading one
+    must reset ``last_snapshot_seq`` to 0 so the *whole* log replays —
+    legacy logs carry no ``_seq`` stamps to skip by — while stamped
+    records appended afterwards still apply exactly once.
+    """
+
+    @staticmethod
+    def _unwrap_snapshot(wal: WriteAheadLog) -> None:
+        """Rewrite the snapshot file in the pre-watermark format."""
+        wrapped = json.loads(wal.snapshot_path.read_text(encoding="utf-8"))
+        assert "__wal_seq__" in wrapped and "state" in wrapped
+        wal.snapshot_path.write_text(
+            json.dumps(wrapped["state"]), encoding="utf-8"
+        )
+
+    def test_legacy_snapshot_loads_with_zero_watermark(self, tmp_path):
+        wal = WriteAheadLog(tmp_path, "t")
+        wal.append({"op": "a"})
+        wal.write_snapshot({"state": [1, 2]})
+        self._unwrap_snapshot(wal)
+        fresh = WriteAheadLog(tmp_path, "t")
+        assert fresh.load_snapshot() == {"state": [1, 2]}
+        assert fresh.last_snapshot_seq == 0
+
+    def test_recovery_applies_post_snapshot_records_once(self, tmp_path):
+        store = KeyValueStore(tmp_path)
+        for _ in range(3):
+            store.counter_increment(b"hits")
+        store._wal.write_snapshot(store.snapshot_state())
+        self._unwrap_snapshot(store._wal)
+        # Stamped records land after the (now-legacy) snapshot.
+        store.counter_increment(b"hits")
+        store.put(b"k", b"v")
+        store.sync()  # sync without close: no fresh snapshot is written
+
+        recovered = KeyValueStore(tmp_path)
+        assert recovered._wal.last_snapshot_seq == 0
+        # Snapshot state (3) plus the logged increment, applied once.
+        assert recovered.counter_get(b"hits") == 4
+        assert recovered.get(b"k") == b"v"
+
+    def test_recovered_sequence_continues_from_log_high_water(
+        self, tmp_path
+    ):
+        store = KeyValueStore(tmp_path)
+        store.put(b"a", b"1")
+        store._wal.write_snapshot(store.snapshot_state())
+        self._unwrap_snapshot(store._wal)
+        store.put(b"b", b"2")
+        store.sync()
+        high_water = store.wal_sequence()
+
+        recovered = KeyValueStore(tmp_path)
+        # The legacy snapshot resets the *watermark*, not the sequence:
+        # replay restores the high-water mark from the stamped log so
+        # new appends never reuse sequence numbers.
+        assert recovered.wal_sequence() == high_water
+        recovered.put(b"c", b"3")
+        assert recovered.wal_sequence() == high_water + 1
+
+
 class TestContextManager:
     def test_with_block_closes(self, tmp_path):
         with KeyValueStore(tmp_path) as store:
