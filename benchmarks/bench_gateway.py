@@ -281,15 +281,8 @@ def run_async_load(blinder: DataBlinder, operations, users: int,
 
 
 def stats_dict(report):
-    overall = report.per_operation["overall"]
-    return {
-        "ops": overall.count,
-        "throughput_ops_s": round(overall.throughput, 2),
-        "mean_ms": round(overall.mean_ms, 1),
-        "p50_ms": round(overall.p50_ms, 1),
-        "p95_ms": round(overall.p95_ms, 1),
-        "p99_ms": round(overall.p99_ms, 1),
-    }
+    # One shared spelling for every BENCH_*.json (p50/p75/p95/p99).
+    return report.per_operation["overall"].as_dict()
 
 
 def measure_scale(registry, users):

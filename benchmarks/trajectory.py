@@ -1,0 +1,182 @@
+"""Merge every ``BENCH_*.json`` artifact into one perf-trajectory table.
+
+Each subsystem benchmark writes its acceptance numbers to a JSON file at
+the repo root; this script folds them into a single markdown table — one
+row per optimisation, baseline vs optimised vs headline factor — so the
+README can show the repo's performance trajectory without anyone
+hand-copying numbers.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/trajectory.py            # print table
+    PYTHONPATH=src python benchmarks/trajectory.py --write    # refresh README
+
+``--write`` replaces the block between the ``<!-- trajectory:begin -->``
+/ ``<!-- trajectory:end -->`` markers in ``README.md`` (appending the
+section if the markers are missing).  Artifacts that have not been
+generated yet are simply skipped, so a partial checkout still renders.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+README = ROOT / "README.md"
+BEGIN = "<!-- trajectory:begin -->"
+END = "<!-- trajectory:end -->"
+
+
+def _load(name: str) -> dict | None:
+    path = ROOT / name
+    if not path.exists():
+        return None
+    try:
+        return json.loads(path.read_text())
+    except (OSError, ValueError):
+        return None
+
+
+def _fmt(value: float, unit: str = "") -> str:
+    text = f"{value:,.1f}" if value < 1000 else f"{value:,.0f}"
+    return f"{text}{unit}"
+
+
+def rows() -> list[tuple[str, str, str, str, str]]:
+    """(optimisation, benchmark, baseline, optimised, headline)."""
+    out = []
+
+    data = _load("BENCH_batching.json")
+    if data:
+        t = data["throughput_ops_per_s"]
+        out.append((
+            "batched RPC + fan-out + prefetch", "bench_batching.py",
+            _fmt(t["baseline"], " ops/s"), _fmt(t["pipelined"], " ops/s"),
+            f"{t['speedup']:.1f}x mixed workload",
+        ))
+
+    data = _load("BENCH_planner.json")
+    if data:
+        adaptive = data["adaptive_vs_static"]
+        cache = data["plan_cache"]
+        out.append((
+            "query planner: plan cache + adaptive routing",
+            "bench_planner.py",
+            _fmt(1000 * adaptive["static_mean_s"], " ms/query"),
+            _fmt(1000 * adaptive["adaptive_mean_s"], " ms/query"),
+            f"{adaptive['speedup']:.0f}x around a degraded tactic; "
+            f"{100 * cache['hit_rate']:.0f}% plan-cache hits",
+        ))
+
+    data = _load("BENCH_crypto.json")
+    if data:
+        grid = data["insert_many"]["grid"]
+        out.append((
+            "crypto kernels: precompute + process pool",
+            "bench_crypto.py",
+            _fmt(grid["baseline"]["insert_docs_per_s"], " docs/s"),
+            _fmt(grid["precompute"]["insert_docs_per_s"], " docs/s"),
+            f"{data['insert_many']['speedup_precompute_vs_baseline']:.1f}x "
+            "protected inserts",
+        ))
+
+    data = _load("BENCH_sharding.json")
+    if data:
+        fanout = data["fanout_at_8_shards"]
+        out.append((
+            "sharded zone: parallel scatter/gather", "bench_sharding.py",
+            _fmt(fanout["sequential_search_ops_per_s"], " ops/s"),
+            _fmt(fanout["parallel_search_ops_per_s"], " ops/s"),
+            f"{fanout['speedup']:.1f}x searches at 8 shards",
+        ))
+
+    data = _load("BENCH_gateway.json")
+    if data:
+        scales = data["scales"]
+        top = max(scales, key=int)
+        row = scales[top]
+        out.append((
+            "async gateway runtime", "bench_gateway.py",
+            _fmt(row["threadpool"]["throughput_ops_s"], " ops/s"),
+            _fmt(row["async_native"]["throughput_ops_s"], " ops/s"),
+            f"{row['speedup_async_vs_threadpool']:.1f}x at "
+            f"{top} concurrent clients",
+        ))
+
+    data = _load("BENCH_integrity.json")
+    if data:
+        overhead = data["overhead_pct"]
+        out.append((
+            "integrity: proof-on-fetch verification",
+            "bench_integrity.py",
+            _fmt(data["modes"]["off"]["throughput_ops_s"], " ops/s"),
+            _fmt(data["modes"]["fetch"]["throughput_ops_s"], " ops/s"),
+            f"+{overhead['fetch']:.1f}% for 100% tamper/rollback "
+            "detection",
+        ))
+
+    data = _load("BENCH_cache.json")
+    if data:
+        hot = data["hot_read"]
+        coherence = data["coherence"]
+        out.append((
+            "gateway read-cache tier", "bench_cache.py",
+            _fmt(hot["uncached"]["throughput_ops_s"], " ops/s"),
+            _fmt(hot["cached"]["throughput_ops_s"], " ops/s"),
+            f"{hot['speedup']:.1f}x Zipf hot reads, "
+            f"{coherence['stale_reads']} stale reads with a "
+            "concurrent writer",
+        ))
+
+    return out
+
+
+def render() -> str:
+    lines = [
+        "| optimisation | benchmark | baseline | optimised | headline |",
+        "|---|---|---|---|---|",
+    ]
+    for name, bench, base, optimised, headline in rows():
+        lines.append(
+            f"| {name} | `{bench}` | {base} | {optimised} "
+            f"| {headline} |"
+        )
+    return "\n".join(lines)
+
+
+def write_readme(table: str) -> None:
+    text = README.read_text()
+    block = (
+        f"{BEGIN}\n"
+        "All numbers regenerate from `BENCH_*.json` via "
+        "`python benchmarks/trajectory.py --write` — WAN legs model the "
+        "paper's 40 ms one-way link.\n\n"
+        f"{table}\n{END}"
+    )
+    if BEGIN in text and END in text:
+        head, rest = text.split(BEGIN, 1)
+        _, tail = rest.split(END, 1)
+        text = head + block + tail
+    else:
+        section = f"\n## Performance trajectory\n\n{block}\n"
+        marker = "\n## Security notes"
+        if marker in text:
+            text = text.replace(marker, section + marker, 1)
+        else:
+            text = text.rstrip() + "\n" + section
+    README.write_text(text)
+
+
+def main(argv: list[str]) -> int:
+    table = render()
+    print(table)
+    if "--write" in argv:
+        write_readme(table)
+        print(f"\nREADME refreshed: {README}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

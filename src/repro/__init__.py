@@ -28,6 +28,7 @@ Quickstart::
     assert observations.find(Eq("status", "final"))[0]["_id"] == doc_id
 """
 
+from repro.cache import CacheConfig
 from repro.cloud.server import CloudZone
 from repro.core.entities import Entities
 from repro.core.middleware import DataBlinder
@@ -55,6 +56,7 @@ __all__ = [
     "AggregateQuery",
     "And",
     "BreakerConfig",
+    "CacheConfig",
     "CloudZone",
     "CryptoConfig",
     "DataBlinder",

@@ -53,7 +53,8 @@ def _observed(planner: "QueryPlanner", node: ir.PlanNode) -> bool:
     return False
 
 
-def render_plan(plan: ir.Plan, planner: "QueryPlanner") -> str:
+def render_plan(plan: ir.Plan, planner: "QueryPlanner",
+                plan_key=None) -> str:
     """Multi-line EXPLAIN text for one compiled plan."""
     cost = planner.cost_model
     header = (
@@ -76,7 +77,62 @@ def render_plan(plan: ir.Plan, planner: "QueryPlanner") -> str:
         lines.append("  " * (depth + 1) + label + suffix)
     lines.extend(_crypto_wire_footer(plan, planner))
     lines.extend(_integrity_footer(planner))
+    lines.extend(_cache_footer(plan, planner, plan_key))
     return "\n".join(lines)
+
+
+def _cache_footer(plan: ir.Plan, planner: "QueryPlanner",
+                  plan_key) -> list[str]:
+    """``Cache:`` lines when the runtime has a read-cache tier.
+
+    Surfaces the per-level state (entries and observed hit rate), the
+    schema's leakage-admission verdict for the plaintext-bearing levels,
+    and — once the shape has traffic — the learned hit probability with
+    the effective (hit-weighted) cost estimate the operator should
+    expect instead of the cold estimate in the header.
+    """
+    runtime = planner.engine._x.runtime
+    tier = getattr(runtime, "cache_tier", None)
+    if tier is None:
+        return []
+    snapshot = tier.snapshot()
+    parts = []
+    for level in ("tokens", "results", "documents"):
+        stats = snapshot[level]
+        enabled = getattr(tier.config, level)
+        if not enabled or stats is None:
+            parts.append(f"{level} off")
+            continue
+        hits = stats.get("hits", 0)
+        misses = stats.get("misses", 0)
+        total = hits + misses
+        rate = f"{hits / total:.0%} hits" if total else "no traffic"
+        parts.append(f"{level} on ({stats.get('entries', 0)} entries, "
+                     f"{rate})")
+    admitted = tier.admits_plaintext(plan.schema)
+    lines = [
+        "  Cache: " + ", ".join(parts),
+        (f"  Cache admission: plaintext levels "
+         f"{'admitted' if admitted else 'refused'} for {plan.schema} "
+         f"(floor C{tier.config.plaintext_floor()})"),
+    ]
+    coherence = snapshot["coherence"]
+    if coherence["validations"]:
+        lines.append(
+            f"  Cache coherence: {coherence['validations']} validations, "
+            f"{coherence['stamp_mismatches']} stamp mismatches"
+        )
+    if plan_key is not None:
+        probability = planner.cost_model.result_hit_probability(plan_key)
+        if probability > 0.0:
+            effective = planner.cost_model.cached_estimate_ms(
+                plan_key, plan.root
+            )
+            lines.append(
+                f"  Cache hit probability (this shape): "
+                f"{probability:.0%} -> est {effective:.2f} ms effective"
+            )
+    return lines
 
 
 def _integrity_footer(planner: "QueryPlanner") -> list[str]:

@@ -40,6 +40,19 @@ class OperationStats:
     # Appended with a default so positional construction stays valid.
     p95_ms: float = 0.0
 
+    def as_dict(self) -> dict:
+        """The one JSON spelling every benchmark shares: throughput plus
+        the p50/p95/p99 ladder, keys stable across BENCH_*.json files."""
+        return {
+            "ops": self.count,
+            "throughput_ops_s": round(self.throughput, 2),
+            "mean_ms": round(self.mean_ms, 2),
+            "p50_ms": round(self.p50_ms, 2),
+            "p75_ms": round(self.p75_ms, 2),
+            "p95_ms": round(self.p95_ms, 2),
+            "p99_ms": round(self.p99_ms, 2),
+        }
+
     @classmethod
     def from_samples(cls, operation: str, samples: list[float],
                      elapsed: float) -> "OperationStats":

@@ -1,0 +1,23 @@
+"""Gateway read-cache tier (trusted-zone token/result/document caches)."""
+
+from repro.cache.config import CacheConfig
+from repro.cache.lru import TtlLruCache
+from repro.cache.tier import (
+    MISS,
+    NEGATIVE,
+    DocumentReadScope,
+    GatewayCacheTier,
+    current_principal,
+    set_principal,
+)
+
+__all__ = [
+    "CacheConfig",
+    "TtlLruCache",
+    "GatewayCacheTier",
+    "DocumentReadScope",
+    "MISS",
+    "NEGATIVE",
+    "set_principal",
+    "current_principal",
+]

@@ -1,0 +1,152 @@
+"""Bounded TTL+size LRU used by the result and document cache levels.
+
+Unlike :class:`repro.crypto.kernels.executor.LruCache` (a minimal
+hit/miss memo for deterministic crypto), these entries can go *wrong*
+over time — the untrusted zone moves underneath them — so every entry
+carries an expiry deadline and an opaque coherence token, and lookups
+hand the token back so the tier can validate it before serving.
+Eviction is capacity- and byte-bounded; counters split evictions from
+expirations from explicit invalidations so benchmarks and the EXPLAIN
+footer can attribute misses.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from typing import Any, Callable, Hashable, Iterable
+
+
+class _Entry:
+    __slots__ = ("value", "token", "expires_at", "size")
+
+    def __init__(self, value: Any, token: Hashable,
+                 expires_at: float, size: int) -> None:
+        self.value = value
+        self.token = token
+        self.expires_at = expires_at
+        self.size = size
+
+
+class TtlLruCache:
+    """Thread-safe LRU with per-entry TTL, token and size accounting."""
+
+    def __init__(self, capacity: int, ttl_s: float = 0.0,
+                 max_bytes: int = 0,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.capacity = max(0, int(capacity))
+        self.ttl_s = max(0.0, float(ttl_s))
+        self.max_bytes = max(0, int(max_bytes))
+        self._clock = clock
+        self._entries: "OrderedDict[Hashable, _Entry]" = OrderedDict()
+        self._bytes = 0
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.expirations = 0
+        self.invalidations = 0
+
+    # -- lookup ---------------------------------------------------------------
+
+    def lookup(self, key: Hashable) -> tuple[Any, Hashable, bool]:
+        """Return ``(value, token, found)``; expired entries miss."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None, None, False
+            if entry.expires_at and self._clock() >= entry.expires_at:
+                self._drop(key, entry)
+                self.expirations += 1
+                self.misses += 1
+                return None, None, False
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry.value, entry.token, True
+
+    # -- insert ---------------------------------------------------------------
+
+    def put(self, key: Hashable, value: Any, token: Hashable = None,
+            size: int = 1) -> None:
+        if self.capacity <= 0:
+            return
+        expires_at = (self._clock() + self.ttl_s) if self.ttl_s else 0.0
+        entry = _Entry(value, token, expires_at, max(1, int(size)))
+        with self._lock:
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self._bytes -= old.size
+            self._entries[key] = entry
+            self._bytes += entry.size
+            while len(self._entries) > self.capacity or (
+                self.max_bytes and self._bytes > self.max_bytes
+                and len(self._entries) > 1
+            ):
+                victim_key, victim = self._entries.popitem(last=False)
+                self._bytes -= victim.size
+                self.evictions += 1
+                if victim_key == key:
+                    break
+
+    # -- invalidation ---------------------------------------------------------
+
+    def invalidate(self, key: Hashable) -> bool:
+        with self._lock:
+            entry = self._entries.pop(key, None)
+            if entry is None:
+                return False
+            self._bytes -= entry.size
+            self.invalidations += 1
+            return True
+
+    def invalidate_where(self,
+                         predicate: Callable[[Hashable], bool]) -> int:
+        """Drop every entry whose *key* satisfies ``predicate``."""
+        with self._lock:
+            doomed = [k for k in self._entries if predicate(k)]
+            for key in doomed:
+                entry = self._entries.pop(key)
+                self._bytes -= entry.size
+            self.invalidations += len(doomed)
+            return len(doomed)
+
+    def clear(self) -> int:
+        with self._lock:
+            count = len(self._entries)
+            self._entries.clear()
+            self._bytes = 0
+            self.invalidations += count
+            return count
+
+    # -- introspection --------------------------------------------------------
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def bytes_used(self) -> int:
+        with self._lock:
+            return self._bytes
+
+    def keys(self) -> Iterable[Hashable]:
+        with self._lock:
+            return list(self._entries)
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "bytes": self._bytes,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "expirations": self.expirations,
+                "invalidations": self.invalidations,
+            }
+
+    def _drop(self, key: Hashable, entry: _Entry) -> None:
+        del self._entries[key]
+        self._bytes -= entry.size

@@ -1,0 +1,360 @@
+"""The gateway read-cache tier: tokens, results, documents.
+
+Three levels, all trusted-zone-resident and all *coherence-checked*:
+
+* **Token caches** (level 1) live inside the crypto executor / tactic
+  instances (:meth:`repro.crypto.kernels.executor.CryptoExecutor.cache`)
+  and memoise deterministic trapdoors — DET seals, blind-index HSM-OPRF
+  tokens, OPE/ORE codes — per plaintext value under the instance's key
+  material.  They need no freshness protocol: the mapping is a pure
+  function of the key epoch, and key rotation rebuilds the instances.
+
+* **The search-result cache** (level 2) keys whole query results by
+  compiled plan shape + parameter values + principal.  Entries carry
+  the coherence token captured *before* the query executed; a hit is
+  served only after one forced freshness-ledger re-sync shows the token
+  unchanged — the "repeat query is a single ledger-validation check"
+  property.  Parameter plaintext never lands in a key: the key holds a
+  SHA-256 digest of the (shape, params) tuple.
+
+* **The document cache** (level 3) holds decrypted documents (and
+  negative entries for missing ids) per (schema, principal, id),
+  invalidated by local writes (read-your-writes) and by any freshness
+  advance — a ledger stamp that moved, a topology epoch bump, or a key
+  rotation — for cross-gateway writes.
+
+Coherence protocol
+------------------
+
+The *coherence token* is ``(topology epoch, key-root epoch, ledger
+stamp)``; result entries additionally carry the schema's local
+write-version.  Fill tokens are captured when a read **begins** (before
+any id resolution or fetch), so state that advances mid-operation makes
+the freshly stored entries fail their first validation instead of
+serving the in-between snapshot.  Hit validation *forces* one ledger
+re-sync (``report()`` per shard over the labeled transport channel —
+the same per-shard roots the integrity subsystem already aggregates),
+so a stamp that moved — a cross-gateway write, a rollback, a reshard —
+turns the hit into a miss.  A tampered or rolled-back report raises
+through :meth:`FreshnessLedger.accept_report` exactly as it would on an
+uncached verified read: the cache can never mask what
+:class:`~repro.integrity.verify.VerifyingTransport` would have caught.
+
+Without integrity configured the ledger stamp is ``None`` and coherence
+degrades to local write-versions plus TTL — correct under the
+single-writer-per-gateway deployment, bounded-staleness otherwise
+(which is why the concurrent-writer benchmarks run with integrity on).
+
+Leakage admission: a schema whose sensitive fields include any class
+below :meth:`CacheConfig.plaintext_floor` (C1 always) is never admitted
+to the plaintext-bearing levels; id-only and count results carry no
+field plaintext and cache regardless.
+"""
+
+from __future__ import annotations
+
+import copy
+import hashlib
+import threading
+from contextvars import ContextVar
+from typing import TYPE_CHECKING, Any, Iterable
+
+from repro.cache.config import CacheConfig
+from repro.cache.lru import TtlLruCache
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.gateway.service import GatewayRuntime
+
+#: Lookup sentinels: ``MISS`` — nothing (valid) cached; ``NEGATIVE`` —
+#: the id is known-absent (cached DocumentNotFound).
+MISS = object()
+NEGATIVE = object()
+
+#: The requesting principal, installed per logical operation by the
+#: gateway runtime (and defaulting to the shared anonymous scope for
+#: direct embedded use).  Context-local like the batch scopes, so
+#: concurrent operations on pooled threads or asyncio tasks never see
+#: each other's principal.
+_PRINCIPAL: ContextVar[str] = ContextVar(
+    "datablinder_cache_principal", default=""
+)
+
+
+def set_principal(principal: str | None):
+    """Bind the cache principal for the current context."""
+    return _PRINCIPAL.set(principal or "")
+
+
+def current_principal() -> str:
+    return _PRINCIPAL.get()
+
+
+def _approx_size(document: Any) -> int:
+    """Cheap plaintext-size estimate for the byte budget."""
+    try:
+        from repro.net import message
+
+        return len(message.encode(document))
+    except Exception:
+        return 256
+
+
+def _copy_result(value: Any) -> Any:
+    if isinstance(value, list):
+        return copy.deepcopy(value)
+    if isinstance(value, set):
+        return set(value)
+    if isinstance(value, dict):
+        return copy.deepcopy(value)
+    return value
+
+
+class GatewayCacheTier:
+    """Owner of the result/document caches and the coherence protocol."""
+
+    def __init__(self, config: CacheConfig, runtime: "GatewayRuntime"):
+        self.config = config
+        self.runtime = runtime
+        self.documents: TtlLruCache | None = (
+            TtlLruCache(
+                config.document_capacity,
+                ttl_s=config.document_ttl_s,
+                max_bytes=config.document_max_bytes,
+            )
+            if config.documents else None
+        )
+        self.results: TtlLruCache | None = (
+            TtlLruCache(config.result_capacity, ttl_s=config.result_ttl_s)
+            if config.results else None
+        )
+        self._write_versions: dict[str, int] = {}
+        self._admitted: dict[str, bool] = {}
+        #: plan-shape key -> [validated hits, misses]: the signal the
+        #: cost model's hit-probability estimate learns from.
+        self._shape_stats: dict[Any, list[int]] = {}
+        self._lock = threading.Lock()
+        self.coherence_validations = 0
+        self.stamp_mismatches = 0
+
+    # -- leakage admission ---------------------------------------------------
+
+    def register_schema(self, schema) -> None:
+        """Decide plaintext admission for one schema, once."""
+        floor = self.config.plaintext_floor()
+        admitted = True
+        for spec in schema.sensitive_fields():
+            if int(spec.annotation.protection_class) < floor:
+                admitted = False
+                break
+        with self._lock:
+            self._admitted[schema.name] = admitted
+
+    def admits_plaintext(self, schema_name: str) -> bool:
+        with self._lock:
+            return self._admitted.get(schema_name, False)
+
+    # -- local write-versioning ---------------------------------------------
+
+    def write_version(self, schema_name: str) -> int:
+        with self._lock:
+            return self._write_versions.get(schema_name, 0)
+
+    def note_local_write(self, schema_name: str,
+                         doc_ids: Iterable[str] = ()) -> None:
+        """Read-your-writes: bump the schema's version (dropping its
+        result entries lazily) and invalidate the written ids — positive
+        *and* negative entries, so an insert of a previously-missing id
+        clears its cached absence."""
+        with self._lock:
+            self._write_versions[schema_name] = (
+                self._write_versions.get(schema_name, 0) + 1
+            )
+        if self.documents is not None:
+            ids = set(doc_ids)
+            if ids:
+                self.documents.invalidate_where(
+                    lambda key: key[0] == schema_name and key[2] in ids
+                )
+
+    # -- coherence tokens ----------------------------------------------------
+
+    def _stamp(self, force: bool) -> tuple:
+        verifier = self.runtime.verifier
+        ledger_stamp = (
+            verifier.coherence_stamp(force=force)
+            if verifier is not None else None
+        )
+        return (
+            self.runtime.topology_epoch(),
+            self.runtime.keystore.root_epoch,
+            ledger_stamp,
+        )
+
+    def fill_token(self) -> tuple:
+        """Token to stamp entries with — captured before a read begins.
+
+        Not forced: the ledger re-syncs only if a write left it dirty,
+        so an all-miss operation adds no wire rounds beyond what the
+        verifying read path already pays.
+        """
+        return self._stamp(force=False)
+
+    def validation_token(self) -> tuple:
+        """Token a hit must match — one forced ledger re-sync.
+
+        Raises :class:`repro.errors.IntegrityError` /
+        :class:`repro.errors.StaleStateError` when the re-synced report
+        is itself tampered or rolled back, exactly as a verified fetch
+        would.
+        """
+        with self._lock:
+            self.coherence_validations += 1
+        return self._stamp(force=True)
+
+    def note_stamp_mismatch(self) -> None:
+        with self._lock:
+            self.stamp_mismatches += 1
+
+    def _principal(self) -> str:
+        return current_principal() if self.config.per_principal else ""
+
+    # -- document level ------------------------------------------------------
+
+    def read_scope(self, schema_name: str) -> "DocumentReadScope | None":
+        """A per-operation view over the document cache, or ``None``
+        when the level is off or the schema is not admitted."""
+        if self.documents is None or not self.admits_plaintext(schema_name):
+            return None
+        return DocumentReadScope(self, schema_name)
+
+    # -- result level --------------------------------------------------------
+
+    def _result_key(self, schema_name: str, plan_key: Any,
+                    extra: Any) -> tuple:
+        digest = hashlib.sha256(
+            repr((plan_key, extra)).encode()
+        ).hexdigest()
+        return (schema_name, self._principal(), digest)
+
+    def _shape_note(self, plan_key: Any, hit: bool) -> None:
+        with self._lock:
+            entry = self._shape_stats.setdefault(plan_key, [0, 0])
+            entry[0 if hit else 1] += 1
+
+    def shape_hit_probability(self, plan_key: Any) -> float | None:
+        """Observed validated-hit rate for one plan shape (None until
+        the shape has been seen)."""
+        with self._lock:
+            entry = self._shape_stats.get(plan_key)
+            if entry is None or (entry[0] + entry[1]) == 0:
+                return None
+            return entry[0] / (entry[0] + entry[1])
+
+    def result_lookup(self, schema_name: str, plan_key: Any, extra: Any,
+                      plaintext: bool) -> Any:
+        if self.results is None:
+            return MISS
+        if plaintext and not self.admits_plaintext(schema_name):
+            return MISS
+        key = self._result_key(schema_name, plan_key, extra)
+        value, token, found = self.results.lookup(key)
+        if not found:
+            self._shape_note(plan_key, hit=False)
+            return MISS
+        expected = (self.validation_token(),
+                    self.write_version(schema_name))
+        if token != expected:
+            self.results.invalidate(key)
+            self.note_stamp_mismatch()
+            self._shape_note(plan_key, hit=False)
+            return MISS
+        self._shape_note(plan_key, hit=True)
+        return _copy_result(value)
+
+    def result_fill_token(self, schema_name: str) -> tuple:
+        """Captured before executing the query the entry will hold."""
+        return (self.fill_token(), self.write_version(schema_name))
+
+    def result_store(self, schema_name: str, plan_key: Any, extra: Any,
+                     value: Any, fill_token: tuple,
+                     plaintext: bool) -> None:
+        if self.results is None:
+            return
+        if plaintext and not self.admits_plaintext(schema_name):
+            return
+        key = self._result_key(schema_name, plan_key, extra)
+        self.results.put(key, _copy_result(value), token=fill_token)
+
+    # -- introspection -------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        token_stats = self.runtime.kernels.token_cache_stats()
+        with self._lock:
+            coherence = {
+                "validations": self.coherence_validations,
+                "stamp_mismatches": self.stamp_mismatches,
+            }
+            admitted = dict(self._admitted)
+        return {
+            "tokens": token_stats,
+            "results": (self.results.stats()
+                        if self.results is not None else None),
+            "documents": (self.documents.stats()
+                          if self.documents is not None else None),
+            "coherence": coherence,
+            "admitted": admitted,
+        }
+
+
+class DocumentReadScope:
+    """One read operation's validated window onto the document cache.
+
+    The fill token is captured at construction — before the operation
+    resolves ids or fetches anything — and the validation token is
+    computed lazily on the first actual hit, then memoised, so one
+    operation pays at most one forced ledger re-sync however many of
+    its candidate ids hit.
+    """
+
+    __slots__ = ("_tier", "_schema", "_principal", "_fill", "_validated")
+
+    def __init__(self, tier: GatewayCacheTier, schema_name: str):
+        self._tier = tier
+        self._schema = schema_name
+        self._principal = tier._principal()
+        self._fill = tier.fill_token()
+        self._validated: tuple | None = None
+
+    def _key(self, doc_id: str) -> tuple:
+        return (self._schema, self._principal, doc_id)
+
+    def _validation(self) -> tuple:
+        if self._validated is None:
+            self._validated = self._tier.validation_token()
+        return self._validated
+
+    def lookup(self, doc_id: str) -> Any:
+        """``MISS``, ``NEGATIVE``, or a private copy of the document."""
+        cache = self._tier.documents
+        value, token, found = cache.lookup(self._key(doc_id))
+        if not found:
+            return MISS
+        if token != self._validation():
+            cache.invalidate(self._key(doc_id))
+            self._tier.note_stamp_mismatch()
+            return MISS
+        if value is NEGATIVE:
+            return NEGATIVE
+        return copy.deepcopy(value)
+
+    def store(self, doc_id: str, document: dict) -> None:
+        self._tier.documents.put(
+            self._key(doc_id), copy.deepcopy(document),
+            token=self._fill, size=_approx_size(document),
+        )
+
+    def store_negative(self, doc_id: str) -> None:
+        if self._tier.config.negative_entries:
+            self._tier.documents.put(
+                self._key(doc_id), NEGATIVE, token=self._fill, size=1
+            )

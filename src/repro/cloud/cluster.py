@@ -27,7 +27,9 @@ class CloudCluster:
 
     def __init__(self, nodes: int | Iterable[str] = 2, registry=None,
                  network: NetworkModel | None = None,
-                 dedup_window: int = 1024):
+                 dedup_window: int = 1024, resilience=None):
+        if resilience is not None:
+            dedup_window = resilience.dedup_window
         if isinstance(nodes, int):
             names = [f"zone-{index}" for index in range(nodes)]
         else:

@@ -159,7 +159,7 @@ class CloudZone:
     """The whole untrusted zone in one object."""
 
     def __init__(self, registry=None, data_dir: str | Path | None = None,
-                 dedup_window: int = 1024):
+                 dedup_window: int = 1024, resilience=None):
         if registry is None:
             from repro.core.registry import default_registry
 
@@ -167,6 +167,11 @@ class CloudZone:
         self.registry = registry
         #: ``dedup_window`` bounds the idempotency-key memory that makes
         #: retried gateway writes apply-at-most-once (see ServiceHost).
+        #: Passing the deployment's :class:`~repro.net.resilience
+        #: .ResilienceConfig` instead keeps both zones on the one knob
+        #: (its ``dedup_window`` wins over the plain parameter).
+        if resilience is not None:
+            dedup_window = resilience.dedup_window
         self.host = ServiceHost(dedup_window=dedup_window)
         self._data_dir = Path(data_dir) if data_dir else None
         self._kv: dict[str, KeyValueStore] = {}

@@ -38,7 +38,7 @@ from repro.core.schema import Schema
 from repro.core.selection import FieldPlan
 from repro.crypto.encoding import Value
 from repro.crypto.symmetric import Aead
-from repro.errors import DocumentNotFound
+from repro.errors import DocumentNotFound, RemoteError
 from repro.gateway.service import GatewayRuntime
 from repro.net import message
 from repro.net.batch import PipelineConfig
@@ -47,6 +47,14 @@ from repro.tactics.base import random_doc_id
 from repro.tactics.biex import BiexGateway
 
 BOOL_SCOPE_SUFFIX = "._bool"
+
+
+def _is_not_found(error: Exception) -> bool:
+    """Known-absent document, locally raised or relayed over RPC."""
+    if isinstance(error, DocumentNotFound):
+        return True
+    return (isinstance(error, RemoteError)
+            and error.remote_type == "DocumentNotFound")
 
 #: Lookup roles whose alternatives are dual-indexed for adaptive
 #: selection (aggregate and store roles always stay on the primary).
@@ -259,9 +267,48 @@ class SchemaExecutor:
                     return instance.generate_doc_id()
         return random_doc_id()
 
-    def get(self, doc_id: str) -> dict[str, Value]:
+    def cache_read_scope(self):
+        """Per-operation document-cache view, or None (tier off, level
+        off, or this schema not admitted to plaintext caching)."""
+        tier = self.runtime.cache_tier
+        if tier is None:
+            return None
+        return tier.read_scope(self.schema.name)
+
+    def get_uncached(self, doc_id: str) -> dict[str, Value]:
+        """The seed fetch+decrypt path, bypassing the cache tier.
+
+        Read-modify-write paths (update/delete index maintenance) use
+        this: they must see the authoritative stored version, not a
+        bounded-staleness cached one.
+        """
         stored = self.runtime.docs("get", doc_id=doc_id)
         return self._decrypt_stored(stored)
+
+    def get(self, doc_id: str) -> dict[str, Value]:
+        scope = self.cache_read_scope()
+        if scope is None:
+            return self.get_uncached(doc_id)
+        from repro.cache.tier import MISS, NEGATIVE
+
+        hit = scope.lookup(doc_id)
+        if hit is NEGATIVE:
+            raise DocumentNotFound(
+                f"document {doc_id!r} not found"
+            )
+        if hit is not MISS:
+            return hit
+        try:
+            document = self.get_uncached(doc_id)
+        except (DocumentNotFound, RemoteError) as error:
+            # A store-side miss crosses the RPC boundary as RemoteError
+            # carrying the remote type name; both spellings are the
+            # same known-absent fact and re-raise unchanged.
+            if _is_not_found(error):
+                scope.store_negative(doc_id)
+            raise
+        scope.store(doc_id, document)
+        return document
 
     def _decrypt_stored(self, stored: dict) -> dict[str, Value]:
         if stored.get("schema") != self.schema.name:
@@ -335,10 +382,33 @@ class SchemaExecutor:
         return await self.planner.insert_bulk_async(documents)
 
     async def get_async(self, doc_id: str) -> dict[str, Value]:
-        stored = await self.runtime.transport.call_async(
-            self.runtime.documents_service, "get", doc_id=doc_id
-        )
-        return await asyncio.to_thread(self._decrypt_stored, stored)
+        scope = self.cache_read_scope()
+        if scope is not None:
+            from repro.cache.tier import MISS, NEGATIVE
+
+            # Hit validation may force a ledger re-sync over the wire;
+            # keep it off the event loop.
+            hit = await asyncio.to_thread(scope.lookup, doc_id)
+            if hit is NEGATIVE:
+                raise DocumentNotFound(
+                    f"document {doc_id!r} not found"
+                )
+            if hit is not MISS:
+                return hit
+        try:
+            stored = await self.runtime.transport.call_async(
+                self.runtime.documents_service, "get", doc_id=doc_id
+            )
+            document = await asyncio.to_thread(
+                self._decrypt_stored, stored
+            )
+        except (DocumentNotFound, RemoteError) as error:
+            if scope is not None and _is_not_found(error):
+                scope.store_negative(doc_id)
+            raise
+        if scope is not None:
+            scope.store(doc_id, document)
+        return document
 
     async def update_async(self, doc_id: str,
                            changes: dict[str, Value]) -> None:

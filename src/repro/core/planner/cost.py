@@ -29,6 +29,9 @@ _COMBINE_MS = 0.05
 #: Nominal per-fetch surcharge when proof-on-fetch integrity is active:
 #: a proof envelope per document plus the amortised ledger refresh.
 _VERIFY_MS = 0.2
+#: Nominal cost of serving a validated result-cache hit: one forced
+#: freshness-ledger re-sync plus the gateway-local copy.
+_RESULT_HIT_MS = 0.1
 
 
 class CostModel:
@@ -144,6 +147,27 @@ class CostModel:
         if isinstance(node, ir.StoreWrite):
             return _STORE_MS
         return _COMBINE_MS
+
+    # -- result-cache hit probability ------------------------------------------
+
+    def result_hit_probability(self, plan_key) -> float:
+        """Learned validated-hit rate for one plan shape (0 when the
+        result cache is off or the shape is unobserved)."""
+        tier = getattr(self._executor.runtime, "cache_tier", None)
+        if tier is None or tier.results is None:
+            return 0.0
+        observed = tier.shape_hit_probability(plan_key)
+        return 0.0 if observed is None else observed
+
+    def cached_estimate_ms(self, plan_key, node: ir.PlanNode) -> float:
+        """Expected latency of one read shape under the result cache:
+        the engine estimate weighted by the learned miss rate, plus the
+        (cheap) validated-hit path weighted by the hit rate."""
+        probability = self.result_hit_probability(plan_key)
+        if probability <= 0.0:
+            return self.estimate_ms(node)
+        return ((1.0 - probability) * self.estimate_ms(node)
+                + probability * _RESULT_HIT_MS)
 
     def verify_surcharge_ms(self) -> float:
         """Extra per-fetch cost of proof-on-fetch integrity (0 when the

@@ -288,6 +288,10 @@ class PlanEngine:
         x = self._x
         candidate_ids = sorted(self.eval_ids(node.source, run))
         chunk_size = self._chunk_size(node, limit)
+        scope = x.cache_read_scope()
+        if scope is not None:
+            return self._cached_fetch(scope, candidate_ids, chunk_size,
+                                      run, limit, verify)
         chunks = [
             candidate_ids[offset:offset + chunk_size]
             for offset in range(0, len(candidate_ids), chunk_size)
@@ -333,6 +337,75 @@ class PlanEngine:
                     pending.result()
                 except Exception:
                     pass  # the result is discarded either way
+
+    def _cached_fetch(self, scope, candidate_ids: list[str],
+                      chunk_size: int, run: Run, limit: int | None,
+                      verify: bool) -> list[dict[str, Value]]:
+        """The fetch loop over the document cache.
+
+        Cached candidates (positive and negative) skip the wire; the
+        missing ids fetch chunk-by-chunk as the sorted scan reaches
+        them, so an early ``limit`` return stops fetching exactly like
+        the seed loop.  When every candidate hits, no ``get_many``
+        leaves the gateway at all — the whole answer is one coherence
+        validation.  Output is sorted-id order (the order the seed
+        produces whenever the store preserves request order).
+        """
+        from repro.cache.tier import MISS, NEGATIVE
+
+        x = self._x
+        missing: list[str] = []
+        hits: dict[str, Any] = {}
+        for doc_id in candidate_ids:
+            found = scope.lookup(doc_id)
+            if found is MISS:
+                missing.append(doc_id)
+            else:
+                hits[doc_id] = found
+        fetched: dict[str, dict | None] = {}
+        fetch_offset = 0
+
+        def fetch_until(doc_id: str) -> None:
+            nonlocal fetch_offset
+            while doc_id not in fetched and fetch_offset < len(missing):
+                chunk = missing[fetch_offset:fetch_offset + chunk_size]
+                fetch_offset += chunk_size
+                stored = self._timed_docs(
+                    "get_many", "FetchDocs", "get_many", doc_ids=chunk
+                )
+                by_id = {item["_id"]: item for item in stored}
+                for wanted in chunk:
+                    item = by_id.get(wanted)
+                    if item is None or (
+                        item.get("schema") != x.schema.name
+                    ):
+                        scope.store_negative(wanted)
+                        fetched[wanted] = None
+                        continue
+                    document = x._decrypt_stored(item)
+                    scope.store(wanted, document)
+                    fetched[wanted] = document
+
+        documents: list[dict[str, Value]] = []
+        for doc_id in candidate_ids:
+            found = hits.get(doc_id, MISS)
+            if found is NEGATIVE:
+                continue
+            if found is MISS:
+                fetch_until(doc_id)
+                document = fetched.get(doc_id)
+                if document is None:
+                    continue
+            else:
+                document = found
+            if verify and run.predicate is not None and (
+                not evaluate_plain(run.predicate, document)
+            ):
+                continue
+            documents.append(document)
+            if limit is not None and len(documents) >= limit:
+                return documents
+        return documents
 
     def _ordered_docs(self, node: ir.FetchDocs, run: Run,
                       limit: int | None) -> list[dict[str, Value]]:
@@ -593,6 +666,18 @@ class PlanEngine:
         if node.ordered:
             return await asyncio.to_thread(self._ordered_docs, node, run,
                                            limit)
+        scope = self._x.cache_read_scope()
+        if scope is not None:
+            candidate_ids = sorted(
+                await self.eval_ids_async(node.source, run)
+            )
+            chunk_size = self._chunk_size(node, limit)
+            # The cached loop blocks on validation and miss fetches;
+            # one worker hop keeps the event loop free.
+            return await asyncio.to_thread(
+                self._cached_fetch, scope, candidate_ids, chunk_size,
+                run, limit, verify,
+            )
         return await self._fetched_docs_async(node, run, limit, verify)
 
     async def _fetched_docs_async(
@@ -696,6 +781,10 @@ class PlanEngine:
         doc_ids, frame = await asyncio.to_thread(prepare)
         if frame:
             await collector.ship_async(frame)
+            # The write is only now durable on the cloud: re-invalidate
+            # so a read that raced the in-flight frame cannot have
+            # re-cached the pre-write version.
+            self._note_local_write(doc_ids)
         return doc_ids
 
     async def update_async(self, plan: ir.Plan, doc_id: str,
@@ -706,6 +795,14 @@ class PlanEngine:
         return await asyncio.to_thread(self.delete, plan, doc_id)
 
     # -- write entry points ----------------------------------------------------
+
+    def _note_local_write(self, doc_ids: list[str]) -> None:
+        """Read-your-writes invalidation into the cache tier (no-op
+        without one): bump the schema's write version and drop the
+        written ids' document entries, negatives included."""
+        tier = self._x.runtime.cache_tier
+        if tier is not None:
+            tier.note_local_write(self._x.schema.name, doc_ids)
 
     def insert_bulk(self, plan: ir.Plan,
                     documents: list[dict[str, Value]]) -> list[str]:
@@ -753,6 +850,7 @@ class PlanEngine:
             "WritePipeline:insert", time.perf_counter() - started
         )
         self._drain_shard_timings()
+        self._note_local_write(doc_ids)
         return doc_ids
 
     def _insert_bulk_kernel(
@@ -799,6 +897,7 @@ class PlanEngine:
             "WritePipeline:insert", time.perf_counter() - started
         )
         self._drain_shard_timings()
+        self._note_local_write(doc_ids)
         return doc_ids
 
     def _prepare_insert_chunk(
@@ -933,13 +1032,16 @@ class PlanEngine:
             "WritePipeline:insert", time.perf_counter() - started
         )
         self._drain_shard_timings()
+        self._note_local_write(doc_ids)
         return doc_ids
 
     def update(self, plan: ir.Plan, doc_id: str,
                changes: dict[str, Value]) -> None:
         x = self._x
         started = time.perf_counter()
-        old = x.get(doc_id)
+        # Read-modify-write must see the authoritative stored version,
+        # so the fetch bypasses the document cache.
+        old = x.get_uncached(doc_id)
         new = {k: v for k, v in old.items() if k != "_id"}
         new.update({k: v for k, v in changes.items() if k != "_id"})
         x.schema.validate(new)
@@ -954,6 +1056,7 @@ class PlanEngine:
             "WritePipeline:update", time.perf_counter() - started
         )
         self._drain_shard_timings()
+        self._note_local_write([doc_id])
 
     def _apply_update(self, doc_id: str,
                       old_sensitive: dict[str, Value],
@@ -1002,7 +1105,9 @@ class PlanEngine:
         x = self._x
         started = time.perf_counter()
         try:
-            old = x.get(doc_id)
+            # Authoritative read: index deletion must remove exactly the
+            # stored values, never a cached approximation.
+            old = x.get_uncached(doc_id)
         except (DocumentNotFound, RemoteError):
             return False
         old_sensitive, _ = x._split_document(old)
@@ -1023,7 +1128,10 @@ class PlanEngine:
                 # The document-store delete needs its result, so under a
                 # write batch it rides as the batch's final element (the
                 # collector flushes and hands its result back).
-                return bool(x.runtime.docs("delete", doc_id=doc_id))
+                deleted = bool(x.runtime.docs("delete", doc_id=doc_id))
+                if deleted:
+                    self._note_local_write([doc_id])
+                return deleted
         finally:
             self._stats.record_node(
                 "WritePipeline:delete", time.perf_counter() - started

@@ -42,6 +42,11 @@ class PlannerStats:
         #: (the transport's topology epoch moved).
         self.topology_invalidations = 0
         self.executions = 0
+        #: Search-result cache traffic (only counted when the cache
+        #: tier's result level is on): validated hits vs executions
+        #: that went to the engine.
+        self.result_hits = 0
+        self.result_misses = 0
         #: node-kind (e.g. ``"IndexLookup:det"``) -> [calls, seconds]
         self.node_timings: dict[str, list] = {}
         #: ``"<field>.<role>"`` -> tactic chosen at the last execution.
@@ -70,6 +75,8 @@ class PlannerStats:
                 "invalidations": self.invalidations,
                 "topology_invalidations": self.topology_invalidations,
                 "executions": self.executions,
+                "result_hits": self.result_hits,
+                "result_misses": self.result_misses,
                 "node_timings": {
                     kind: {"calls": calls, "seconds": seconds}
                     for kind, (calls, seconds) in sorted(
@@ -92,6 +99,11 @@ class PlannerStats:
             ),
             f"  executions: {snap['executions']}",
         ]
+        if snap["result_hits"] or snap["result_misses"]:
+            lines.append(
+                f"  result cache: {snap['result_hits']} hits, "
+                f"{snap['result_misses']} misses"
+            )
         if snap["node_timings"]:
             lines.append("  node timings:")
             for kind, cost in snap["node_timings"].items():
@@ -188,65 +200,143 @@ class QueryPlanner:
         with self._lock:
             return len(self._cache)
 
+    # -- search-result cache -----------------------------------------------------
+    #
+    # Composes with (not replaces) the plan cache: the plan cache skips
+    # the compile, the result cache skips the whole engine execution.
+    # Keys are the plan-cache key plus the bound parameter values (and
+    # the actual limit, which the plan key only carries as a flag);
+    # coherence validation lives in the tier.  ``plaintext`` marks
+    # document-bearing results, which are subject to leakage admission;
+    # id/count results always cache.
+
+    def _cached_read(self, key: Any, extra: Any, plaintext: bool,
+                     execute):
+        tier = self._x.runtime.cache_tier
+        if tier is None or tier.results is None:
+            return execute()
+        schema = self._x.schema.name
+        hit = tier.result_lookup(schema, key, extra, plaintext)
+        from repro.cache.tier import MISS
+
+        if hit is not MISS:
+            self.stats.bump("result_hits")
+            return hit
+        self.stats.bump("result_misses")
+        fill_token = tier.result_fill_token(schema)
+        result = execute()
+        tier.result_store(schema, key, extra, result, fill_token,
+                          plaintext)
+        return result
+
+    async def _cached_read_async(self, key: Any, extra: Any,
+                                 plaintext: bool, execute):
+        import asyncio
+
+        tier = self._x.runtime.cache_tier
+        if tier is None or tier.results is None:
+            return await execute()
+        schema = self._x.schema.name
+        # Hit validation may force a ledger re-sync over the wire.
+        hit = await asyncio.to_thread(
+            tier.result_lookup, schema, key, extra, plaintext
+        )
+        from repro.cache.tier import MISS
+
+        if hit is not MISS:
+            self.stats.bump("result_hits")
+            return hit
+        self.stats.bump("result_misses")
+        fill_token = tier.result_fill_token(schema)
+        result = await execute()
+        tier.result_store(schema, key, extra, result, fill_token,
+                          plaintext)
+        return result
+
     # -- operations ------------------------------------------------------------
 
     def find(self, predicate: Predicate | None, verify: bool | None,
              limit: int | None) -> list[dict[str, Value]]:
         verify = self._x.verify_results if verify is None else verify
         parameterized, values, shape = parameterize(predicate)
+        key = ("find", shape, verify, limit is not None)
         plan = self._plan(
-            ("find", shape, verify, limit is not None),
+            key,
             lambda: self.compiler.compile_find(
                 parameterized, verify, limit is not None, len(values)
             ),
         )
-        self.stats.bump("executions")
-        return self.engine.find(plan, Run(values, predicate), limit)
+
+        def execute() -> list[dict[str, Value]]:
+            self.stats.bump("executions")
+            return self.engine.find(plan, Run(values, predicate), limit)
+
+        return self._cached_read(key, (limit, values), True, execute)
 
     def find_ids(self, predicate: Predicate | None,
                  verify: bool | None) -> set[str]:
         verify = self._x.verify_results if verify is None else verify
         parameterized, values, shape = parameterize(predicate)
+        key = ("find_ids", shape, verify)
         plan = self._plan(
-            ("find_ids", shape, verify),
+            key,
             lambda: self.compiler.compile_find_ids(
                 parameterized, verify, len(values)
             ),
         )
-        self.stats.bump("executions")
-        return self.engine.find_ids(plan, Run(values, predicate))
+
+        def execute() -> set[str]:
+            self.stats.bump("executions")
+            return self.engine.find_ids(plan, Run(values, predicate))
+
+        return self._cached_read(key, (values,), False, execute)
 
     def count(self, predicate: Predicate | None) -> int:
         parameterized, values, shape = parameterize(predicate)
+        key = ("count", shape)
         plan = self._plan(
-            ("count", shape),
+            key,
             lambda: self.compiler.compile_count(parameterized, len(values)),
         )
-        self.stats.bump("executions")
-        return self.engine.count(plan, Run(values, predicate))
+
+        def execute() -> int:
+            self.stats.bump("executions")
+            return self.engine.count(plan, Run(values, predicate))
+
+        return self._cached_read(key, (values,), False, execute)
 
     def aggregate(self, query: AggregateQuery) -> Value:
         parameterized, values, shape = parameterize(query.where)
+        key = ("aggregate", query.function.value, query.field, shape)
         plan = self._plan(
-            ("aggregate", query.function.value, query.field, shape),
+            key,
             lambda: self.compiler.compile_aggregate(
                 query.function.value, query.field, parameterized,
                 len(values),
             ),
         )
-        self.stats.bump("executions")
-        return self.engine.aggregate(plan, Run(values, query.where))
+
+        def execute() -> Value:
+            self.stats.bump("executions")
+            return self.engine.aggregate(plan, Run(values, query.where))
+
+        return self._cached_read(key, (values,), True, execute)
 
     def find_sorted(self, field: str, limit: int | None,
                     descending: bool) -> list[dict[str, Value]]:
+        key = ("find_sorted", field, descending, limit is not None)
         plan = self._plan(
-            ("find_sorted", field, descending, limit is not None),
+            key,
             lambda: self.compiler.compile_find_sorted(
                 field, descending, limit is not None
             ),
         )
-        self.stats.bump("executions")
-        return self.engine.find(plan, Run([], None), limit)
+
+        def execute() -> list[dict[str, Value]]:
+            self.stats.bump("executions")
+            return self.engine.find(plan, Run([], None), limit)
+
+        return self._cached_read(key, (limit,), True, execute)
 
     def insert_bulk(self, documents: list[dict[str, Value]]) -> list[str]:
         plan = self._plan(
@@ -284,64 +374,100 @@ class QueryPlanner:
                          limit: int | None) -> list[dict[str, Value]]:
         verify = self._x.verify_results if verify is None else verify
         parameterized, values, shape = parameterize(predicate)
+        key = ("find", shape, verify, limit is not None)
         plan = self._plan(
-            ("find", shape, verify, limit is not None),
+            key,
             lambda: self.compiler.compile_find(
                 parameterized, verify, limit is not None, len(values)
             ),
         )
-        self.stats.bump("executions")
-        return await self.engine.find_async(plan, Run(values, predicate),
-                                            limit)
+
+        async def execute() -> list[dict[str, Value]]:
+            self.stats.bump("executions")
+            return await self.engine.find_async(
+                plan, Run(values, predicate), limit
+            )
+
+        return await self._cached_read_async(key, (limit, values), True,
+                                             execute)
 
     async def find_ids_async(self, predicate: Predicate | None,
                              verify: bool | None) -> set[str]:
         verify = self._x.verify_results if verify is None else verify
         parameterized, values, shape = parameterize(predicate)
+        key = ("find_ids", shape, verify)
         plan = self._plan(
-            ("find_ids", shape, verify),
+            key,
             lambda: self.compiler.compile_find_ids(
                 parameterized, verify, len(values)
             ),
         )
-        self.stats.bump("executions")
-        return await self.engine.find_ids_async(plan,
-                                                Run(values, predicate))
+
+        async def execute() -> set[str]:
+            self.stats.bump("executions")
+            return await self.engine.find_ids_async(
+                plan, Run(values, predicate)
+            )
+
+        return await self._cached_read_async(key, (values,), False,
+                                             execute)
 
     async def count_async(self, predicate: Predicate | None) -> int:
         parameterized, values, shape = parameterize(predicate)
+        key = ("count", shape)
         plan = self._plan(
-            ("count", shape),
+            key,
             lambda: self.compiler.compile_count(parameterized,
                                                 len(values)),
         )
-        self.stats.bump("executions")
-        return await self.engine.count_async(plan, Run(values, predicate))
+
+        async def execute() -> int:
+            self.stats.bump("executions")
+            return await self.engine.count_async(
+                plan, Run(values, predicate)
+            )
+
+        return await self._cached_read_async(key, (values,), False,
+                                             execute)
 
     async def aggregate_async(self, query: AggregateQuery) -> Value:
         parameterized, values, shape = parameterize(query.where)
+        key = ("aggregate", query.function.value, query.field, shape)
         plan = self._plan(
-            ("aggregate", query.function.value, query.field, shape),
+            key,
             lambda: self.compiler.compile_aggregate(
                 query.function.value, query.field, parameterized,
                 len(values),
             ),
         )
-        self.stats.bump("executions")
-        return await self.engine.aggregate_async(plan,
-                                                 Run(values, query.where))
+
+        async def execute() -> Value:
+            self.stats.bump("executions")
+            return await self.engine.aggregate_async(
+                plan, Run(values, query.where)
+            )
+
+        return await self._cached_read_async(key, (values,), True,
+                                             execute)
 
     async def find_sorted_async(self, field: str, limit: int | None,
                                 descending: bool
                                 ) -> list[dict[str, Value]]:
+        key = ("find_sorted", field, descending, limit is not None)
         plan = self._plan(
-            ("find_sorted", field, descending, limit is not None),
+            key,
             lambda: self.compiler.compile_find_sorted(
                 field, descending, limit is not None
             ),
         )
-        self.stats.bump("executions")
-        return await self.engine.find_async(plan, Run([], None), limit)
+
+        async def execute() -> list[dict[str, Value]]:
+            self.stats.bump("executions")
+            return await self.engine.find_async(plan, Run([], None),
+                                                limit)
+
+        return await self._cached_read_async(key, (limit,), True,
+                                             execute)
 
     async def insert_bulk_async(
         self, documents: list[dict[str, Value]]
@@ -418,7 +544,33 @@ class QueryPlanner:
             raise ValueError(f"cannot explain operation {operation!r}")
         return self.optimizer.optimize(plan)
 
+    def _operation_key(self, operation: str = "find",
+                       predicate: Predicate | None = None,
+                       verify: bool | None = None,
+                       limit: int | None = None,
+                       field: str | None = None,
+                       function: str | None = None,
+                       descending: bool = False) -> Any:
+        """The plan-cache key the live entry point would use — lets
+        EXPLAIN surface the result cache's learned hit probability for
+        the same shape without touching either cache.  ``None`` for
+        writes (never result-cached)."""
+        verify = self._x.verify_results if verify is None else verify
+        _, _, shape = parameterize(predicate)
+        if operation == "find":
+            return ("find", shape, verify, limit is not None)
+        if operation == "find_ids":
+            return ("find_ids", shape, verify)
+        if operation == "count":
+            return ("count", shape)
+        if operation == "aggregate":
+            return ("aggregate", function, field, shape)
+        if operation == "find_sorted":
+            return ("find_sorted", field, descending, limit is not None)
+        return None
+
     def explain(self, **kwargs: Any) -> str:
         from repro.analysis.planview import render_plan
 
-        return render_plan(self.explain_plan(**kwargs), self)
+        return render_plan(self.explain_plan(**kwargs), self,
+                           plan_key=self._operation_key(**kwargs))

@@ -178,6 +178,13 @@ class CryptoExecutor:
         self._audit_limit = 512
         self._timings: list[tuple[str, float]] = []
         self._lock = threading.Lock()
+        #: Cache-tier token level: when enabled, :meth:`cache` and
+        #: :meth:`dedup_map` memoise deterministic trapdoors even while
+        #: the kernels themselves are inactive (results are identical —
+        #: the memoised functions are pure per key epoch).
+        self.token_caching = False
+        self._token_cache_capacity = 0
+        self._token_caches: list[LruCache] = []
 
     # -- process-pool offload --------------------------------------------------
 
@@ -260,11 +267,38 @@ class CryptoExecutor:
 
     # -- deterministic-value mapping -------------------------------------------
 
+    def enable_token_caching(self, capacity: int) -> None:
+        """Turn the cache tier's token level on (idempotent).
+
+        Must run before tactic instances are built — they capture their
+        token caches at ``setup()`` time.
+        """
+        self.token_caching = True
+        self._token_cache_capacity = max(1, int(capacity))
+
     def cache(self) -> LruCache | None:
-        """A per-call-site LRU, or None while the kernels are inactive."""
-        if not self.config.active:
+        """A per-call-site LRU, or None while the kernels are inactive
+        and the token-cache level is off."""
+        if self.config.active:
+            cache = LruCache(self.config.cache_size)
+        elif self.token_caching:
+            cache = LruCache(self._token_cache_capacity)
+        else:
             return None
-        return LruCache(self.config.cache_size)
+        with self._lock:
+            self._token_caches.append(cache)
+        return cache
+
+    def token_cache_stats(self) -> dict:
+        """Aggregate hit/miss counters over every handed-out cache."""
+        with self._lock:
+            caches = list(self._token_caches)
+        return {
+            "caches": len(caches),
+            "entries": sum(len(cache) for cache in caches),
+            "hits": sum(cache.hits for cache in caches),
+            "misses": sum(cache.misses for cache in caches),
+        }
 
     def dedup_map(self, values: Iterable[Any], fn: Callable[[Any], Any],
                   *, key: Callable[[Any], Any],
@@ -279,7 +313,7 @@ class CryptoExecutor:
         implementation such as one multi-element HSM round).
         """
         values = list(values)
-        if not self.config.active:
+        if not self.config.active and not self.token_caching:
             return [fn(value) for value in values]
         started = time.perf_counter()
         keys = [key(value) for value in values]
@@ -302,7 +336,10 @@ class CryptoExecutor:
                 outputs[cache_key] = output
                 if cache is not None:
                     cache.put(cache_key, output)
-        self.record("dedup_map", time.perf_counter() - started)
+        if self.config.active:
+            # Token-caching-only mode skips the timing sink: nothing
+            # drains it outside the kernelised write paths.
+            self.record("dedup_map", time.perf_counter() - started)
         return [outputs[cache_key] for cache_key in keys]
 
     # -- timing ----------------------------------------------------------------

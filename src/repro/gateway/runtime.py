@@ -35,6 +35,7 @@ from repro.errors import (
     GatewayOverloadError,
     RateLimitExceeded,
 )
+from repro.cache.tier import set_principal
 from repro.gateway.frontdoor import FrontDoor
 from repro.integrity.verify import begin_op_scope, op_verification
 
@@ -236,7 +237,10 @@ class AsyncGatewayRuntime:
         # Materialised before task creation so the operation task's
         # context snapshot carries the same scope dict: the verifying
         # transport writes its outcome there, and we can still read it
-        # here after a cancellation unwound the task.
+        # here after a cancellation unwound the task.  The cache
+        # principal rides the same snapshot — per-principal cache
+        # scoping falls out of task-context isolation.
+        set_principal(principal)
         scope = begin_op_scope()
         try:
             async with self._semaphore:

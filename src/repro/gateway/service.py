@@ -75,6 +75,21 @@ class GatewayRuntime:
         self.registry = registry
         self.keystore = keystore or KeyStore(application)
         self.local_kv = local_kv or KeyValueStore()
+        #: The gateway read-cache tier (``PipelineConfig.cache``); None
+        #: keeps the seed read path untouched.  Sits *above* the whole
+        #: transport stack — cached plaintext never crosses it — and
+        #: leans on the verifier's freshness ledger for coherence.
+        self.cache_tier = None
+        if self.pipeline.cache is not None and self.pipeline.cache.active:
+            from repro.cache.tier import GatewayCacheTier
+
+            self.cache_tier = GatewayCacheTier(self.pipeline.cache, self)
+            if self.pipeline.cache.tokens:
+                # Before any tactic is built: instances capture their
+                # token caches at setup() time.
+                self.kernels.enable_token_caching(
+                    self.pipeline.cache.token_capacity
+                )
         self.metrics = TacticMetrics()
         #: Observed per-(scope, operation, tactic) latency EWMAs feeding
         #: the query optimizer's cost model.  Runtime-owned (not
@@ -98,8 +113,11 @@ class GatewayRuntime:
         carries a protection class the integrity config covers
         (``min_class`` or stronger), the verifier switches on for the
         whole application.  Schemas outside the covered classes leave
-        the read path at seed speed.
+        the read path at seed speed.  The cache tier records the
+        schema's leakage-admission verdict here too.
         """
+        if self.cache_tier is not None:
+            self.cache_tier.register_schema(schema)
         if self.verifier is None or self.verifier.active:
             return
         config = self.pipeline.integrity

@@ -326,6 +326,22 @@ class VerifyingTransport(Transport):
                 raise
             self._dirty = False
 
+    def coherence_stamp(self, force: bool = True) -> tuple:
+        """The ledger's watermark stamp, after a report re-sync.
+
+        The cache tier's single ledger-validation check: ``force=True``
+        (hit validation) pulls one ``report()`` round per shard so a
+        cross-gateway write, rollback or reshard is guaranteed to move
+        the stamp; ``force=False`` (entry fill) re-syncs only when a
+        write left the ledger dirty.  A tampered or rolled-back report
+        raises here with the same accounting as a verified read.
+        """
+        if force:
+            self._refresh(force=True)
+        else:
+            self._ensure_fresh()
+        return self.ledger.stamp()
+
     # -- audit pass ----------------------------------------------------------
 
     def audit(self) -> dict:

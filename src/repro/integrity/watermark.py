@@ -160,6 +160,20 @@ class FreshnessLedger:
         with self._lock:
             return sorted({tree for _, tree in self._latest})
 
+    def stamp(self) -> tuple:
+        """Hashable summary of every accepted (label, tree) watermark.
+
+        The cache tier's coherence token: any accepted advance — a new
+        sequence, a new root, a shard appearing or retiring — changes
+        the stamp, so an entry stamped before the advance can never
+        validate after it.
+        """
+        with self._lock:
+            return tuple(sorted(
+                (label, tree, entry.seq, entry.root)
+                for (label, tree), entry in self._latest.items()
+            ))
+
     def snapshot(self) -> dict:
         """Debug/report view of the ledger contents."""
         with self._lock:

@@ -53,6 +53,15 @@ class KeyStore:
         # on rotation (the root — and thus every subkey — changes).
         self._derive_cache: dict[tuple[str, str, str, int], bytes] = {}
 
+    @property
+    def root_epoch(self) -> int:
+        """The current root-key epoch (bumped by :meth:`rotate_root`).
+
+        Part of the cache tier's coherence token: cached plaintext
+        derived under an older epoch is invalid after rotation.
+        """
+        return self._root_epoch
+
     def _derive_root(self) -> bytes:
         return self.hsm.derive_data_key(
             self._master_label,

@@ -54,6 +54,7 @@ from repro.net.rpc import Request, Response
 from repro.net.transport import Transport
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cache.config import CacheConfig
     from repro.crypto.kernels.config import CryptoConfig
     from repro.integrity.config import IntegrityConfig
     from repro.shard.config import ShardConfig
@@ -135,6 +136,12 @@ class PipelineConfig:
     #: path byte-for-byte (no tracker, no extra services, no wire
     #: changes).
     integrity: "IntegrityConfig | None" = None
+    #: Gateway read-cache tier (:class:`repro.cache.config.CacheConfig`):
+    #: token, search-result and decrypted-document caches, coherent via
+    #: local write-versions and — with ``integrity`` configured — the
+    #: freshness ledger's per-shard root/seq stamps.  ``None`` keeps the
+    #: seed read path byte-for-byte (no tier object, no extra state).
+    cache: "CacheConfig | None" = None
 
 
 #: Methods whose results gateway callers ignore: index maintenance on

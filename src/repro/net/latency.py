@@ -40,6 +40,10 @@ class NetworkStats:
     faults_injected: int = 0
     integrity_failures: int = 0
     stale_detected: int = 0
+    #: Idempotency-keyed responses the serving host's dedup LRU evicted
+    #: (see :class:`repro.net.rpc.ServiceHost`): nonzero under fault
+    #: load means retries may re-apply writes the window forgot.
+    dedup_evictions: int = 0
 
     def merge(self, other: "NetworkStats") -> "NetworkStats":
         return NetworkStats(
@@ -54,6 +58,7 @@ class NetworkStats:
             self.faults_injected + other.faults_injected,
             self.integrity_failures + other.integrity_failures,
             self.stale_detected + other.stale_detected,
+            self.dedup_evictions + other.dedup_evictions,
         )
 
 
@@ -85,6 +90,7 @@ def render_labeled(labeled: dict[str, NetworkStats]) -> str:
             f" faults={stats.faults_injected}"
             f" integrity_failures={stats.integrity_failures}"
             f" stale={stats.stale_detected}"
+            f" dedup_evictions={stats.dedup_evictions}"
         )
     total = roll_up(labeled)
     lines.append(
@@ -95,6 +101,7 @@ def render_labeled(labeled: dict[str, NetworkStats]) -> str:
         f" failovers={total.failovers} faults={total.faults_injected}"
         f" integrity_failures={total.integrity_failures}"
         f" stale={total.stale_detected}"
+        f" dedup_evictions={total.dedup_evictions}"
     )
     return "\n".join(lines)
 

@@ -196,6 +196,15 @@ class ResilienceConfig:
     breaker: BreakerConfig = field(default_factory=BreakerConfig)
     #: Seed for the jitter RNG (deterministic backoff in tests).
     seed: int | None = None
+    #: The idempotency dedup window the untrusted zone's
+    #: :class:`repro.net.rpc.ServiceHost` must honour for this
+    #: deployment's retries to stay exactly-once: it bounds the keyed
+    #: responses each host remembers (LRU), and must exceed the number
+    #: of keyed writes a gateway can have in flight between a fault and
+    #: its retry.  Deployment code hands the same config to
+    #: :class:`repro.cloud.server.CloudZone` /
+    #: :class:`repro.cloud.cluster.CloudCluster` so both zones agree.
+    dedup_window: int = 1024
 
 
 class ResilientTransport(Transport):

@@ -136,6 +136,12 @@ class ServiceHost:
         self._dedup: OrderedDict[str, Response] = OrderedDict()
         self._dedup_window = dedup_window
         self._dedup_hits = 0
+        #: Keyed responses the LRU pushed out before any retry claimed
+        #: them.  A nonzero count under fault load means the window may
+        #: be too small for the deployment's in-flight write fan-out —
+        #: surfaced through ``dedup_stats`` and the transport's
+        #: :class:`~repro.net.latency.NetworkStats`.
+        self._dedup_evictions = 0
 
     def register(self, name: str, service: Any) -> None:
         with self._lock:
@@ -161,7 +167,12 @@ class ServiceHost:
     def dedup_stats(self) -> dict[str, int]:
         """Observability for the idempotency window (tests, metrics)."""
         with self._lock:
-            return {"entries": len(self._dedup), "hits": self._dedup_hits}
+            return {
+                "entries": len(self._dedup),
+                "hits": self._dedup_hits,
+                "evictions": self._dedup_evictions,
+                "window": self._dedup_window,
+            }
 
     def _dedup_lookup(self, idem: str) -> Response | None:
         with self._lock:
@@ -177,6 +188,7 @@ class ServiceHost:
             self._dedup.move_to_end(idem)
             while len(self._dedup) > self._dedup_window:
                 self._dedup.popitem(last=False)
+                self._dedup_evictions += 1
 
     def dispatch(self, request: Request) -> Response:
         if request.idem:

@@ -249,7 +249,13 @@ class InProcTransport(Transport):
         return responses_from_batch(decode(reply))
 
     def stats(self) -> NetworkStats:
-        return self._meter.snapshot()
+        stats = self._meter.snapshot()
+        # The host is reachable in-process: fold its idempotency-window
+        # evictions into the endpoint's counters so the labelled report
+        # surfaces an undersized dedup window next to the retries that
+        # depend on it.
+        stats.dedup_evictions += self._host.dedup_stats()["evictions"]
+        return stats
 
     def reset_stats(self) -> None:
         self._meter.reset()

@@ -353,3 +353,94 @@ class TestReshardingInvariance:
         )
         assert report.integrity_verified is False
         self._verify_all(observations, ids)
+
+
+class TestChaosWithCache:
+    """The read cache can never mask what verification would catch.
+
+    The same acceptance schedule as :class:`TestChaosDetection`, with
+    the gateway read-cache tier forced on: a cached hit is served only
+    after a forced freshness-ledger re-sync over the *faulty* transport,
+    so tampered or rolled-back deliveries — fetches and re-sync reports
+    alike — still surface as typed errors, 100% of the time.  The
+    paper's Observation schema itself carries a C1 ``performer`` field,
+    which the admission floor refuses; the chaos leg runs on a C2
+    variant so the plaintext levels actually serve hits under fire.
+    """
+
+    @staticmethod
+    def _cached_schema():
+        from repro.core.schema import Schema, FieldAnnotation
+
+        return Schema.define(
+            "observation",
+            id="string",
+            identifier="int",
+            status=("string", FieldAnnotation.parse("C3", "I,EQ,BL")),
+            code=("string", FieldAnnotation.parse("C3", "I,EQ,BL")),
+            subject=("string", FieldAnnotation.parse("C2", "I,EQ")),
+            effective=("int", FieldAnnotation.parse("C5", "I,EQ,BL,RG")),
+            issued=("int", FieldAnnotation.parse("C5", "I,EQ,BL,RG")),
+            performer=("string", FieldAnnotation.parse("C2", "I")),
+            value=("float", FieldAnnotation.parse("C3", "I,EQ,BL",
+                                                  "avg")),
+            interpretation="string",
+        )
+
+    @classmethod
+    def _deploy(cls, faulty, registry):
+        from repro.cache import CacheConfig
+
+        blinder = DataBlinder(
+            APP, faulty, registry=registry,
+            pipeline=PipelineConfig(integrity=IntegrityConfig(),
+                                    cache=CacheConfig()),
+        )
+        blinder.register_schema(cls._cached_schema())
+        return blinder
+
+    def test_every_injected_fault_is_detected_with_caching_on(self):
+        with chaos_deployment("inproc", PLAN, CHAOS_SEED) as (
+            _, faulty, registry
+        ):
+            with schedule_artifact(faulty, "integrity-cache"):
+                blinder = self._deploy(faulty, registry)
+                observations = blinder.entities("observation")
+                ids = [observations.insert(make_doc(i))
+                       for i in range(10)]
+
+                detected, stale, _ = run_guarded(
+                    scenario_ops(observations, ids)
+                )
+                applied = faulty.fault_count("tamper", "rollback")
+                assert applied > 0, "schedule fired no integrity fault"
+                assert detected == applied
+                stats = blinder.runtime.transport.stats()
+                assert stats.integrity_failures + stats.stale_detected \
+                    == applied
+                assert stats.stale_detected == stale
+
+    def test_fault_free_cached_run_is_quiet_correct_and_warm(self):
+        with chaos_deployment("inproc", FaultPlan(), CHAOS_SEED) as (
+            _, faulty, registry
+        ):
+            blinder = self._deploy(faulty, registry)
+            observations = blinder.entities("observation")
+            ids = [observations.insert(make_doc(i)) for i in range(10)]
+
+            detected, stale, outcomes = run_guarded(
+                scenario_ops(observations, ids)
+            )
+            assert detected == 0 and stale == 0
+            assert faulty.fault_count() == 0
+            # Same correctness bar as the uncached run: the second read
+            # pass sees every interleaved update.
+            second_pass = outcomes[-len(ids):]
+            assert [doc["identifier"] for doc in second_pass] \
+                == list(range(10))
+            assert [doc["value"] for doc in second_pass[:5]] \
+                == [100.0, 101.0, 102.0, 103.0, 104.0]
+            # And the cache was live, not inert: the repeat pass served
+            # validated document hits.
+            snapshot = blinder.runtime.cache_tier.snapshot()
+            assert snapshot["documents"]["hits"] > 0
